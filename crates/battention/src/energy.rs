@@ -1,0 +1,129 @@
+//! The FPGA power/energy model behind Table III's 24 W / 1.84 µJ-per-op
+//! figures.
+//!
+//! FPGA power decomposes into static leakage plus per-resource dynamic
+//! terms scaling with clock frequency and toggle activity. The per-cell
+//! coefficients below are in the range vendor estimators (XPE) report for
+//! UltraScale+ at moderate toggle rates, and land the paper's 23-core A³
+//! design at ≈24 W.
+
+use bplatform::ResourceVector;
+
+/// Per-resource dynamic power coefficients (watts per cell at 250 MHz,
+/// nominal toggle) and static terms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Device static power, watts.
+    pub static_w: f64,
+    /// Shell (PCIe, DDR controllers) power, watts.
+    pub shell_w: f64,
+    /// Watts per active LUT at the reference clock.
+    pub per_lut_w: f64,
+    /// Watts per active flip-flop.
+    pub per_ff_w: f64,
+    /// Watts per BRAM36.
+    pub per_bram_w: f64,
+    /// Watts per URAM.
+    pub per_uram_w: f64,
+    /// Watts per DSP slice.
+    pub per_dsp_w: f64,
+    /// The clock the coefficients are referenced to, MHz.
+    pub reference_mhz: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            static_w: 3.0,
+            shell_w: 4.0,
+            per_lut_w: 11e-6,
+            per_ff_w: 2.5e-6,
+            per_bram_w: 4.5e-3,
+            per_uram_w: 9.0e-3,
+            per_dsp_w: 1.2e-3,
+            reference_mhz: 250.0,
+        }
+    }
+}
+
+/// Power totals produced by [`EnergyModel::power`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Static + shell watts.
+    pub baseline_w: f64,
+    /// Dynamic watts from user logic.
+    pub dynamic_w: f64,
+    /// Total.
+    pub total_w: f64,
+}
+
+impl EnergyModel {
+    /// Power of a design using `resources` at `clock_mhz`.
+    pub fn power(&self, resources: &ResourceVector, clock_mhz: u64) -> PowerBreakdown {
+        let scale = clock_mhz as f64 / self.reference_mhz;
+        let dynamic = scale
+            * (resources.lut as f64 * self.per_lut_w
+                + resources.ff as f64 * self.per_ff_w
+                + resources.bram as f64 * self.per_bram_w
+                + resources.uram as f64 * self.per_uram_w
+                + resources.dsp as f64 * self.per_dsp_w);
+        let baseline = self.static_w + self.shell_w;
+        PowerBreakdown { baseline_w: baseline, dynamic_w: dynamic, total_w: baseline + dynamic }
+    }
+
+    /// Energy per operation in joules given throughput in ops/second.
+    pub fn energy_per_op(&self, resources: &ResourceVector, clock_mhz: u64, ops_per_sec: f64) -> f64 {
+        self.power(resources, clock_mhz).total_w / ops_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Roughly the paper's 23-core A³ user design (Table II "Beethoven"
+    /// row): 737K LUT, 335K FF, 518 BRAM, 576 URAM.
+    fn a3_resources() -> ResourceVector {
+        ResourceVector::new(108_000, 737_000, 335_000, 518, 576, 3_000)
+    }
+
+    #[test]
+    fn a3_design_lands_near_24_watts() {
+        let model = EnergyModel::default();
+        let p = model.power(&a3_resources(), 250);
+        assert!(
+            (18.0..30.0).contains(&p.total_w),
+            "23-core A3 power {:.1} W should be near the paper's 24 W",
+            p.total_w
+        );
+    }
+
+    #[test]
+    fn energy_per_op_matches_table3() {
+        let model = EnergyModel::default();
+        // Paper: 16.59 Mops/s, 1.84 µJ/op.
+        let e = model.energy_per_op(&a3_resources(), 250, 16.59e6) * 1e6;
+        assert!(
+            (1.0..2.5).contains(&e),
+            "energy/op {e:.2} µJ should be near Table III's 1.84"
+        );
+    }
+
+    #[test]
+    fn power_scales_with_clock() {
+        let model = EnergyModel::default();
+        let r = a3_resources();
+        let slow = model.power(&r, 125);
+        let fast = model.power(&r, 250);
+        assert!(fast.dynamic_w > slow.dynamic_w);
+        assert_eq!(fast.baseline_w, slow.baseline_w);
+    }
+
+    #[test]
+    fn empty_design_draws_only_baseline() {
+        let model = EnergyModel::default();
+        let p = model.power(&ResourceVector::ZERO, 250);
+        assert_eq!(p.dynamic_w, 0.0);
+        assert_eq!(p.total_w, p.baseline_w);
+    }
+}

@@ -1,0 +1,222 @@
+//! The A³ fixed-point numerics, specified exactly.
+//!
+//! A³ uses "a 1-byte fixed-point representation, although the width of the
+//! intermediates throughout the pipeline varies to maintain accuracy"
+//! (§III-C). Our concrete scheme:
+//!
+//! * Q, K, V entries: `i8`.
+//! * Scores: `i32` exact dot products (d = 64 keeps them well inside i32).
+//! * Softmax: scores are normalized against the **maximum** score
+//!   (the numerically stable direction; the paper's prose says "minimum",
+//!   which for its sign convention is the same stabilization), then
+//!   exponentiated through a 1024-entry `u16` LUT of
+//!   `round(65535 · exp(-Δ / 8))` — 8 ≈ √d being the usual logit scale.
+//! * Accumulation: `i64` weighted sums; a single reciprocal
+//!   `r = (1 << 32) / Σw` normalizes, and outputs round-clamp to `i8`.
+
+/// Attention problem dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttentionParams {
+    /// Embedding dimension (64 for BERT in the paper).
+    pub dim: usize,
+    /// Number of key/value rows (320 sentences in the paper).
+    pub keys: usize,
+}
+
+impl Default for AttentionParams {
+    fn default() -> Self {
+        Self { dim: 64, keys: 320 }
+    }
+}
+
+/// The exponent LUT: `EXP_LUT[d] = round(65535 · exp(-d / 8))`, clamped
+/// domain `0..1024`.
+pub fn exp_lut() -> Vec<u16> {
+    (0..1024u32)
+        .map(|d| (65535.0 * (-(d as f64) / 8.0).exp()).round() as u16)
+        .collect()
+}
+
+/// One step of the LUT lookup with domain clamping.
+#[inline]
+pub fn exp_weight(lut: &[u16], delta: i32) -> u32 {
+    debug_assert!(delta >= 0, "delta is max - score, always non-negative");
+    u32::from(lut[(delta as usize).min(1023)])
+}
+
+/// The exact fixed-point attention the hardware computes: one query row
+/// against the stationary K/V matrices.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `params`.
+pub fn attention_fixed(
+    params: &AttentionParams,
+    lut: &[u16],
+    query: &[i8],
+    keys: &[i8],
+    values: &[i8],
+) -> Vec<i8> {
+    let (d, n) = (params.dim, params.keys);
+    assert_eq!(query.len(), d);
+    assert_eq!(keys.len(), n * d);
+    assert_eq!(values.len(), n * d);
+
+    // Stage 1: dot products + max reduction.
+    let mut scores = vec![0i32; n];
+    let mut max_score = i32::MIN;
+    for (i, score) in scores.iter_mut().enumerate() {
+        let mut acc = 0i32;
+        for j in 0..d {
+            acc += i32::from(query[j]) * i32::from(keys[i * d + j]);
+        }
+        *score = acc;
+        max_score = max_score.max(acc);
+    }
+
+    // Stage 2: LUT exponentiation + sum reduction.
+    let mut weights = vec![0u32; n];
+    let mut wsum = 0u64;
+    for (i, w) in weights.iter_mut().enumerate() {
+        *w = exp_weight(lut, max_score - scores[i]);
+        wsum += u64::from(*w);
+    }
+    // The max-scoring row always contributes 65535, so wsum > 0. The
+    // reciprocal carries 32 fractional bits so large sums keep precision.
+    let recip = (1u64 << 32) / wsum.max(1);
+
+    // Stage 3: weighted combination + reciprocal normalization.
+    let mut out = vec![0i8; d];
+    for (j, out_j) in out.iter_mut().enumerate() {
+        let mut acc = 0i64;
+        for i in 0..n {
+            acc += i64::from(weights[i]) * i64::from(values[i * d + j]);
+        }
+        let scaled = (acc * recip as i64 + (1 << 31)) >> 32;
+        *out_j = scaled.clamp(-128, 127) as i8;
+    }
+    out
+}
+
+/// The float reference the approximation chases: `softmax(QKᵀ / 8) · V`.
+pub fn attention_float(
+    params: &AttentionParams,
+    query: &[i8],
+    keys: &[i8],
+    values: &[i8],
+) -> Vec<f64> {
+    let (d, n) = (params.dim, params.keys);
+    let mut scores = vec![0f64; n];
+    for (i, s) in scores.iter_mut().enumerate() {
+        let mut acc = 0f64;
+        for j in 0..d {
+            acc += f64::from(query[j]) * f64::from(keys[i * d + j]);
+        }
+        *s = acc / 8.0;
+    }
+    let max = scores.iter().cloned().fold(f64::MIN, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    let mut out = vec![0f64; d];
+    for (j, out_j) in out.iter_mut().enumerate() {
+        let mut acc = 0f64;
+        for i in 0..n {
+            acc += exps[i] / sum * f64::from(values[i * d + j]);
+        }
+        *out_j = acc;
+    }
+    out
+}
+
+/// Deterministic workload generator for attention tests and benches.
+pub fn workload(params: &AttentionParams, n_queries: usize, seed: u64) -> (Vec<i8>, Vec<i8>, Vec<i8>) {
+    let mut state = seed.wrapping_add(0x1234_5678);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as u8 as i8) / 4 // small-ish i8s keep logits sane
+    };
+    let queries: Vec<i8> = (0..n_queries * params.dim).map(|_| next()).collect();
+    let keys: Vec<i8> = (0..params.keys * params.dim).map(|_| next()).collect();
+    let values: Vec<i8> = (0..params.keys * params.dim).map(|_| next()).collect();
+    (queries, keys, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_is_monotone_and_anchored() {
+        let lut = exp_lut();
+        assert_eq!(lut[0], 65535);
+        for w in lut.windows(2) {
+            assert!(w[0] >= w[1], "exp LUT must be non-increasing");
+        }
+        assert_eq!(lut[1023], 0);
+    }
+
+    #[test]
+    fn fixed_attention_tracks_float_reference() {
+        let params = AttentionParams { dim: 64, keys: 64 };
+        let lut = exp_lut();
+        let (queries, keys, values) = workload(&params, 8, 42);
+        for q in 0..8 {
+            let query = &queries[q * params.dim..(q + 1) * params.dim];
+            let fixed = attention_fixed(&params, &lut, query, &keys, &values);
+            let float = attention_float(&params, query, &keys, &values);
+            let mean_err: f64 = fixed
+                .iter()
+                .zip(float.iter())
+                .map(|(&a, &b)| (f64::from(a) - b).abs())
+                .sum::<f64>()
+                / params.dim as f64;
+            assert!(mean_err < 2.0, "query {q}: mean abs error {mean_err:.3} too high");
+        }
+    }
+
+    #[test]
+    fn one_hot_softmax_selects_its_value_row() {
+        // A single dominant key makes the output approach that key's value
+        // row.
+        let params = AttentionParams { dim: 8, keys: 4 };
+        let lut = exp_lut();
+        let query: Vec<i8> = vec![16; 8];
+        let mut keys = vec![0i8; 4 * 8];
+        keys[2 * 8..3 * 8].fill(16); // key 2 matches hard
+        let mut values = vec![0i8; 4 * 8];
+        for j in 0..8 {
+            values[2 * 8 + j] = (j as i8) * 10 - 30;
+        }
+        let out = attention_fixed(&params, &lut, &query, &keys, &values);
+        for j in 0..8 {
+            assert!(
+                (i32::from(out[j]) - i32::from(values[2 * 8 + j])).abs() <= 1,
+                "output {j} should match value row 2: {} vs {}",
+                out[j],
+                values[2 * 8 + j]
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_keys_average_values() {
+        let params = AttentionParams { dim: 4, keys: 4 };
+        let lut = exp_lut();
+        let query = vec![0i8; 4]; // zero query: all scores zero, uniform weights
+        let keys = vec![1i8; 16];
+        let mut values = vec![0i8; 16];
+        for i in 0..4 {
+            values[i * 4] = 40 * (i as i8 - 1); // column 0: -40, 0, 40, 80
+        }
+        let out = attention_fixed(&params, &lut, &query, &keys, &values);
+        assert!((i32::from(out[0]) - 20).abs() <= 1, "mean of column 0 is 20, got {}", out[0]);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let p = AttentionParams::default();
+        let a = workload(&p, 4, 7);
+        let b = workload(&p, 4, 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! # battention — the A³ approximate-attention accelerator case study
+//!
+//! Reproduces §III-C of the Beethoven paper: an FPGA implementation of the
+//! A³ attention accelerator (Ham et al., HPCA 2020) composed into a
+//! multi-core system with Beethoven primitives.
+//!
+//! The design (paper Figure 7) has three coarse stages connected by FIFOs:
+//!
+//! 1. **dot product** — the query against each of the 320 key vectors
+//!    (64-dimensional, 8-bit fixed point), with a global max reduction;
+//! 2. **exponent/softmax** — LUT-based exponentiation of the
+//!    max-normalized scores, with a second global (sum) reduction;
+//! 3. **output** — the weighted combination against the value matrix,
+//!    normalized by the weight sum via a single reciprocal.
+//!
+//! Keys and values are stationary in scratchpads; queries stream from
+//! memory and results stream back (§III-C). The numerics are specified
+//! exactly in [`fixed`], and the hardware core, the fixed-point software
+//! reference, and the float reference are cross-checked in tests.
+
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod cpu;
+pub mod energy;
+pub mod fixed;
+pub mod gpu;
+
+pub use crate::core::{a3_config, attend_args, load_kv_args, A3Core, BERT_DIM, BERT_KEYS, SYSTEM};
+pub use crate::cpu::{cpu_attention_throughput, CpuBaselineResult};
+pub use crate::energy::{EnergyModel, PowerBreakdown};
+pub use crate::fixed::{attention_fixed, attention_float, AttentionParams};
+pub use crate::gpu::GpuModel;

@@ -1,0 +1,102 @@
+//! Channel bundles tying the five AXI channels together.
+
+use bsim::{Receiver, Sender};
+
+use crate::types::{ArFlit, AwFlit, BFlit, RFlit, WFlit};
+
+/// Queue depths for each AXI channel of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortDepths {
+    /// AR channel depth (outstanding read requests in the wire queue).
+    pub ar: usize,
+    /// R channel depth (read data beats buffered).
+    pub r: usize,
+    /// AW channel depth.
+    pub aw: usize,
+    /// W channel depth (write data beats buffered).
+    pub w: usize,
+    /// B channel depth.
+    pub b: usize,
+}
+
+impl Default for PortDepths {
+    fn default() -> Self {
+        Self { ar: 4, r: 16, aw: 4, w: 16, b: 4 }
+    }
+}
+
+/// The master side of an AXI link: drives AR/AW/W, receives R/B.
+#[derive(Debug)]
+pub struct AxiMasterPort {
+    /// Read-address channel (out).
+    pub ar: Sender<ArFlit>,
+    /// Read-data channel (in).
+    pub r: Receiver<RFlit>,
+    /// Write-address channel (out).
+    pub aw: Sender<AwFlit>,
+    /// Write-data channel (out).
+    pub w: Sender<WFlit>,
+    /// Write-response channel (in).
+    pub b: Receiver<BFlit>,
+}
+
+/// The slave side of an AXI link: receives AR/AW/W, drives R/B.
+#[derive(Debug)]
+pub struct AxiSlavePort {
+    /// Read-address channel (in).
+    pub ar: Receiver<ArFlit>,
+    /// Read-data channel (out).
+    pub r: Sender<RFlit>,
+    /// Write-address channel (in).
+    pub aw: Receiver<AwFlit>,
+    /// Write-data channel (in).
+    pub w: Receiver<WFlit>,
+    /// Write-response channel (out).
+    pub b: Sender<BFlit>,
+}
+
+/// Creates a master/slave pair of AXI port bundles connected by bounded
+/// channels with the given depths.
+pub fn axi_link(depths: PortDepths) -> (AxiMasterPort, AxiSlavePort) {
+    axi_link_with_latency(depths, 1)
+}
+
+/// Like [`axi_link`] but with `latency` cycles of wire delay on every
+/// channel — how the elaborator injects NoC traversal latency between a
+/// core's memory ports and the interconnect. Channel depths should be at
+/// least `latency` to sustain full throughput.
+pub fn axi_link_with_latency(depths: PortDepths, latency: u64) -> (AxiMasterPort, AxiSlavePort) {
+    use bsim::channel_with_latency as cwl;
+    let (ar_tx, ar_rx) = cwl(depths.ar.max(latency as usize), latency);
+    let (r_tx, r_rx) = cwl(depths.r.max(latency as usize), latency);
+    let (aw_tx, aw_rx) = cwl(depths.aw.max(latency as usize), latency);
+    let (w_tx, w_rx) = cwl(depths.w.max(latency as usize), latency);
+    let (b_tx, b_rx) = cwl(depths.b.max(latency as usize), latency);
+    (
+        AxiMasterPort { ar: ar_tx, r: r_rx, aw: aw_tx, w: w_tx, b: b_rx },
+        AxiSlavePort { ar: ar_rx, r: r_tx, aw: aw_rx, w: w_rx, b: b_tx },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_moves_flits_with_one_cycle_latency() {
+        let (master, slave) = axi_link(PortDepths::default());
+        master.ar.send(0, ArFlit { id: 1, addr: 0x40, beats: 4 });
+        assert!(slave.ar.recv(0).is_none(), "not visible same cycle");
+        let flit = slave.ar.recv(1).expect("visible next cycle");
+        assert_eq!(flit.id, 1);
+        slave.b.send(1, BFlit { id: 1 });
+        assert_eq!(master.b.recv(2), Some(BFlit { id: 1 }));
+    }
+
+    #[test]
+    fn depths_bound_each_channel() {
+        let (master, _slave) = axi_link(PortDepths { ar: 1, r: 1, aw: 1, w: 1, b: 1 });
+        master.ar.send(0, ArFlit { id: 0, addr: 0, beats: 1 });
+        assert!(!master.ar.can_send());
+    }
+}

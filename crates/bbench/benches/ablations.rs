@@ -1,0 +1,194 @@
+//! Ablation benches for the design decisions DESIGN.md calls out:
+//!
+//! 1. **SLR-aware NoC vs flat** — construction cost, latency, and timing
+//!    hazards of the two network builders.
+//! 2. **80% memory spill rule vs BRAM-only** — how many A³-class cores
+//!    each policy can map.
+//! 3. **Same-ID reorder window** — the controller ordering rule the TLP
+//!    mechanism routes around.
+//! 4. **Burst length sweep** — the Figure 4 control experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bdram::{AddressMapping, DramConfig, DramRequest, DramSystem};
+use bkernels::memcpy::{run_memcpy, MemcpyVariant};
+use bnoc::{Endpoint, NetworkBuilder};
+use bplatform::{CellKind, DeviceModel, MemoryCellMapper, MemoryRequest, SlrId};
+
+fn ablation_noc(c: &mut Criterion) {
+    let device = DeviceModel::alveo_u200();
+    let endpoints: Vec<Endpoint> =
+        (0..92).map(|id| Endpoint { id, slr: SlrId(id % 3) }).collect();
+    let builder = NetworkBuilder::default();
+
+    let aware = builder.build_slr_aware(&device, SlrId(0), &endpoints);
+    let flat = builder.build_flat(SlrId(0), &endpoints);
+    println!(
+        "ablation datum: SLR-aware NoC: {} buffers, {} crossings, {} timing hazards, worst {} cyc",
+        aware.buffer_count(),
+        aware.crossing_count(),
+        aware.timing_violations(),
+        aware.worst_latency()
+    );
+    println!(
+        "ablation datum: flat NoC:      {} buffers, {} crossings, {} timing hazards, worst {} cyc",
+        flat.buffer_count(),
+        flat.crossing_count(),
+        flat.timing_violations(),
+        flat.worst_latency()
+    );
+
+    let mut group = c.benchmark_group("ablation_noc_construction");
+    group.bench_function("slr_aware_92_endpoints", |b| {
+        b.iter(|| black_box(builder.build_slr_aware(&device, SlrId(0), black_box(&endpoints))))
+    });
+    group.bench_function("flat_92_endpoints", |b| {
+        b.iter(|| black_box(builder.build_flat(SlrId(0), black_box(&endpoints))))
+    });
+    group.finish();
+}
+
+fn ablation_spill(c: &mut Criterion) {
+    let device = DeviceModel::alveo_u200();
+    // An A³-like memory bundle per core.
+    let bundle = || {
+        vec![
+            MemoryRequest::new("keys", 8, 61_440),
+            MemoryRequest::new("values", 8, 61_440),
+            MemoryRequest::new("prefetch_a", 512, 640),
+            MemoryRequest::new("prefetch_b", 512, 640),
+            MemoryRequest::new("staging", 512, 512),
+        ]
+    };
+    // Map 23 cores under each policy and report when URAM spilling begins
+    // and the worst per-SLR BRAM utilization left behind: the 80% rule
+    // spills early, preserving the routing headroom the paper needed;
+    // threshold 1.0 packs BRAM to the wall before touching URAM.
+    let profile = |threshold: f64| -> (Option<usize>, f64) {
+        let mut mapper = MemoryCellMapper::new(&device);
+        mapper.threshold = threshold;
+        let mut first_spill = None;
+        for core in 0..23 {
+            let slr = SlrId(core % 3);
+            for req in bundle() {
+                let m = mapper.map(slr, &req).expect("23 cores map either way");
+                if m.kind == CellKind::Uram && first_spill.is_none() {
+                    first_spill = Some(core);
+                }
+            }
+        }
+        let worst_bram = (0..3)
+            .map(|s| mapper.utilization(SlrId(s), CellKind::Bram))
+            .fold(0.0f64, f64::max);
+        (first_spill, worst_bram)
+    };
+    let (spill_rule, bram_rule) = profile(0.8);
+    let (spill_off, bram_off) = profile(1.0);
+    println!(
+        "ablation datum: 80% rule: first URAM spill at core {spill_rule:?}, worst BRAM util {:.0}%",
+        bram_rule * 100.0
+    );
+    println!(
+        "ablation datum: rule off : first URAM spill at core {spill_off:?}, worst BRAM util {:.0}%",
+        bram_off * 100.0
+    );
+
+    let mut group = c.benchmark_group("ablation_memory_mapping");
+    group.bench_function("map_23_a3_cores", |b| {
+        b.iter(|| {
+            let mut mapper = MemoryCellMapper::new(&device);
+            let mut mix = (0u64, 0u64);
+            for core in 0..23 {
+                for req in bundle() {
+                    let m = mapper.map(SlrId(core % 3), &req).expect("maps");
+                    match m.kind {
+                        CellKind::Bram => mix.0 += m.blocks,
+                        CellKind::Uram => mix.1 += m.blocks,
+                        CellKind::Lutram => {}
+                    }
+                }
+            }
+            black_box(mix)
+        })
+    });
+    group.finish();
+}
+
+fn ablation_bursts_and_ordering(c: &mut Criterion) {
+    let bytes = 64 * 1024;
+    // Burst-length control experiment (Figure 4's 16-beat Beethoven).
+    for variant in [MemcpyVariant::Beethoven, MemcpyVariant::Beethoven16Beat] {
+        let r = run_memcpy(variant, bytes);
+        println!("ablation datum: {} {:.2} GB/s", variant.label(), r.gbps);
+    }
+    // Same-ID ordering (No-TLP vs TLP).
+    for variant in [MemcpyVariant::BeethovenNoTlp, MemcpyVariant::Hls] {
+        let r = run_memcpy(variant, bytes);
+        println!("ablation datum: {} {:.2} GB/s", variant.label(), r.gbps);
+    }
+    let mut group = c.benchmark_group("ablation_transaction_shaping");
+    group.sample_size(10);
+    group.bench_function("tlp_64beat", |b| {
+        b.iter(|| black_box(run_memcpy(MemcpyVariant::Beethoven, bytes)).cycles)
+    });
+    group.bench_function("no_tlp_64beat", |b| {
+        b.iter(|| black_box(run_memcpy(MemcpyVariant::BeethovenNoTlp, bytes)).cycles)
+    });
+    group.finish();
+}
+
+/// Sequential-stream bandwidth under each DRAM address mapping: channel
+/// interleaving (the default) turns streams into bank/channel-parallel
+/// traffic; the linear mapping funnels them into one channel.
+fn ablation_dram_mapping(c: &mut Criterion) {
+    let run = |mapping: AddressMapping| -> f64 {
+        let mut cfg = DramConfig::ddr4_2400();
+        cfg.channels = 4;
+        cfg.mapping = mapping;
+        let bpb = cfg.bytes_per_burst();
+        let mut dram = DramSystem::new(cfg);
+        let bursts = 2048u64;
+        let (mut issued, mut done, mut last, mut ps) = (0u64, 0u64, 0u64, 0u64);
+        while done < bursts {
+            while issued < bursts
+                && dram.enqueue(DramRequest::read(issued, issued * bpb)).is_ok()
+            {
+                issued += 1;
+            }
+            ps += 100_000;
+            dram.advance_to_ps(ps);
+            while let Some(c) = dram.pop_completion() {
+                done += 1;
+                last = last.max(c.done_ps);
+            }
+            assert!(ps < 10_000_000_000, "stream stalled");
+        }
+        bursts as f64 * bpb as f64 / (last as f64 / 1e12) / 1e9
+    };
+    for (name, mapping) in [
+        ("RoBaRaCoCh (interleaved)", AddressMapping::RoBaRaCoCh),
+        ("RoRaBaChCo (page-interleaved)", AddressMapping::RoRaBaChCo),
+        ("ChRaBaRoCo (linear)", AddressMapping::ChRaBaRoCo),
+    ] {
+        println!("ablation datum: 4-channel sequential read, {name}: {:.1} GB/s", run(mapping));
+    }
+    let mut group = c.benchmark_group("ablation_dram_mapping");
+    group.sample_size(10);
+    group.bench_function("interleaved_stream", |b| {
+        b.iter(|| black_box(run(AddressMapping::RoBaRaCoCh)))
+    });
+    group.bench_function("linear_stream", |b| {
+        b.iter(|| black_box(run(AddressMapping::ChRaBaRoCo)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_noc,
+    ablation_spill,
+    ablation_bursts_and_ordering,
+    ablation_dram_mapping
+);
+criterion_main!(benches);

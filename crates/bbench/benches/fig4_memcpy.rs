@@ -1,0 +1,34 @@
+//! Criterion bench for the Figure 4 memcpy variants.
+//!
+//! Each benchmark simulates one 64 KiB copy under a methodology's
+//! transaction shaping; the simulated bandwidth (the figure's y-axis) is
+//! printed once per variant, and criterion tracks the harness cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bkernels::memcpy::{run_memcpy, MemcpyVariant};
+
+fn bench_variants(c: &mut Criterion) {
+    let bytes = 64 * 1024;
+    let mut group = c.benchmark_group("fig4_memcpy_64KiB");
+    group.sample_size(10);
+    for variant in MemcpyVariant::ALL {
+        // Print the figure datum once, so `cargo bench` output doubles as
+        // a Figure 4 regeneration.
+        let result = run_memcpy(variant, bytes);
+        println!(
+            "fig4 datum: {:<22} {:>8.2} GB/s ({} simulated cycles)",
+            variant.label(),
+            result.gbps,
+            result.cycles
+        );
+        group.bench_function(variant.label(), |b| {
+            b.iter(|| black_box(run_memcpy(variant, black_box(bytes))).cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

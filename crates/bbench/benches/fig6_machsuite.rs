@@ -1,0 +1,33 @@
+//! Criterion bench for the Figure 6 MachSuite kernels (single-core,
+//! reduced sizes). Prints each kernel's simulated throughput datum and
+//! benchmarks the end-to-end harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bbench::fig6::{run_one, Fig6Scale};
+use bkernels::machsuite::Bench;
+
+fn bench_kernels(c: &mut Criterion) {
+    let scale = Fig6Scale { cap_cores: 2, cmds_per_core: 1, ..Fig6Scale::small() };
+    let mut group = c.benchmark_group("fig6_machsuite_small");
+    group.sample_size(10);
+    for bench in Bench::ALL {
+        let row = run_one(bench, &scale);
+        println!(
+            "fig6 datum: {:<10} HLS {:>10.1}/s  Beethoven(1c) {:>10.1}/s  measured[{} cores] {:>10.1}/s",
+            bench.name(),
+            row.hls,
+            row.beethoven_1core,
+            row.n_cores,
+            row.measured
+        );
+        group.bench_function(bench.name(), |b| {
+            b.iter(|| black_box(run_one(black_box(bench), &scale)).measured)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

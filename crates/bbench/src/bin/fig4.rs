@@ -1,0 +1,11 @@
+//! Regenerates Figure 4 (memcpy bandwidth by methodology).
+
+fn main() {
+    let sizes = if bbench::small_requested() {
+        bbench::fig4::small_sizes()
+    } else {
+        bbench::fig4::default_sizes()
+    };
+    let rows = bbench::fig4::run(&sizes);
+    print!("{}", bbench::fig4::render(&rows));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 5 (AXI transaction timelines, 4 KiB memcpy).
+
+fn main() {
+    let fig = bbench::fig5::run();
+    print!("{}", bbench::fig5::render(&fig));
+    match bbench::fig5::write_vcds(std::path::Path::new(".")) {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("wrote waveform {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("could not write VCD waveforms: {e}"),
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table I (MachSuite benchmark selection).
+
+fn main() {
+    print!("{}", bbench::table1::render());
+}

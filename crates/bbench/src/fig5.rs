@@ -1,0 +1,107 @@
+//! Figure 5: annotated AXI transaction timelines for a 4 KiB memcpy.
+//!
+//! Reproduces the paper's three panels: (a) HLS — 4 requests @ 16 beats,
+//! all on one AXI ID; (b) Beethoven — 4 requests @ 16 beats on different
+//! IDs; (c) hand-written RTL — 1 request @ 64 beats.
+
+use bkernels::memcpy::{render_timeline, run_memcpy_traced, MemcpyVariant};
+use bsim::Tracer;
+
+/// The three panels, rendered.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// Panel (a): HLS.
+    pub hls: String,
+    /// Panel (b): Beethoven (16-beat, multi-ID — the paper's comparison
+    /// point for panel a).
+    pub beethoven: String,
+    /// Panel (c): hand-written RTL.
+    pub pure_hdl: String,
+    /// Completion cycles per panel `(hls, beethoven, hdl)`.
+    pub finish_cycles: (u64, u64, u64),
+}
+
+/// Reconstructs a [`Tracer`] from a traced result's events (for VCD and
+/// timeline rendering).
+pub fn tracer_of(result: &bkernels::memcpy::MemcpyResult) -> Tracer {
+    let tracer = Tracer::enabled();
+    for e in &result.trace {
+        tracer.record(e.cycle, &e.channel, e.id, e.detail.clone());
+    }
+    tracer
+}
+
+/// Runs the three traced copies and writes `fig5_<variant>.vcd` waveform
+/// files into `dir`; returns the written paths.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_vcds(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let bytes = 4096;
+    let mut written = Vec::new();
+    for (label, variant) in [
+        ("hls", MemcpyVariant::Hls),
+        ("beethoven", MemcpyVariant::Beethoven16Beat),
+        ("pure_hdl", MemcpyVariant::PureHdl),
+    ] {
+        let result = run_memcpy_traced(variant, bytes);
+        let vcd = tracer_of(&result).to_vcd(4_000); // 250 MHz fabric
+        let path = dir.join(format!("fig5_{label}.vcd"));
+        std::fs::write(&path, vcd)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Runs the three traced 4 KiB copies and renders their timelines.
+pub fn run() -> Fig5 {
+    let bytes = 4096;
+    let width = 120;
+    let hls = run_memcpy_traced(MemcpyVariant::Hls, bytes);
+    let beethoven = run_memcpy_traced(MemcpyVariant::Beethoven16Beat, bytes);
+    let hdl = run_memcpy_traced(MemcpyVariant::PureHdl, bytes);
+    let cols = |r: &bkernels::memcpy::MemcpyResult| (r.cycles / width as u64).max(1);
+    Fig5 {
+        finish_cycles: (hls.cycles, beethoven.cycles, hdl.cycles),
+        hls: render_timeline(&hls, cols(&hls), width),
+        beethoven: render_timeline(&beethoven, cols(&beethoven), width),
+        pure_hdl: render_timeline(&hdl, cols(&hdl), width),
+    }
+}
+
+/// Renders all three panels with captions.
+pub fn render(fig: &Fig5) -> String {
+    format!(
+        "Figure 5: AXI timelines, 4KiB memcpy (one row per channel[id]; # = activity)\n\n\
+         (a) HLS: 4 requests @16 beats, same AXI ID — finished in {} cycles\n{}\n\
+         (b) Beethoven: 4 requests @16 beats, different AXI IDs — finished in {} cycles\n{}\n\
+         (c) Hand-written RTL: 1 request @64 beats — finished in {} cycles\n{}\n",
+        fig.finish_cycles.0,
+        fig.hls,
+        fig.finish_cycles.1,
+        fig.beethoven,
+        fig.finish_cycles.2,
+        fig.pure_hdl
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_render_and_multi_id_wins() {
+        let fig = run();
+        assert!(fig.hls.contains("AR"));
+        assert!(fig.beethoven.contains("AR"));
+        assert!(fig.pure_hdl.contains("AR"));
+        let (hls, beethoven, _hdl) = fig.finish_cycles;
+        assert!(
+            beethoven <= hls,
+            "multi-ID 16-beat copy ({beethoven}) should finish no later than same-ID ({hls})"
+        );
+        let rendered = render(&fig);
+        assert!(rendered.contains("(a) HLS"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # bbench — experiment harnesses regenerating every table and figure
+//!
+//! One module per artifact of the paper's evaluation (§III):
+//!
+//! | Artifact | Module | Binary |
+//! |----------|--------|--------|
+//! | Figure 4 (memcpy bandwidth) | [`fig4`] | `cargo run -p bbench --release --bin fig4` |
+//! | Figure 5 (AXI timelines) | [`fig5`] | `... --bin fig5` |
+//! | Table I (benchmark selection) | [`table1`] | `... --bin table1` |
+//! | Figure 6 (MachSuite speedups) | [`fig6`] | `... --bin fig6` |
+//! | Figure 7 (A³ structure) | [`a3`] | `... --bin fig7` |
+//! | Figure 8 (A³ floorplan) | [`a3`] | `... --bin fig8` |
+//! | Table II (A³ utilization) | [`a3`] | `... --bin table2` |
+//! | Table III (throughput/energy) | [`a3`] | `... --bin table3` |
+//!
+//! Binaries default to the paper's problem sizes; pass `--small` for a
+//! quick, scaled-down run (used by the test suite, which cannot afford
+//! paper-scale cycle counts in debug builds).
+
+#![warn(missing_docs)]
+
+pub mod a3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table1;
+
+/// Returns true when `--small` was passed on the command line.
+pub fn small_requested() -> bool {
+    std::env::args().any(|a| a == "--small")
+}

@@ -1,0 +1,37 @@
+//! Table I: the MachSuite benchmark selection.
+
+use bkernels::machsuite::Bench;
+
+/// Renders Table I.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("Table I: MachSuite benchmarks selected for the evaluation\n\n");
+    out.push_str(&format!(
+        "{:<12} {:<48} {:<18} {}\n",
+        "Benchmark", "Kernel", "Data Size", "Parallelism"
+    ));
+    out.push_str(&"-".repeat(92));
+    out.push('\n');
+    for bench in Bench::ALL {
+        out.push_str(&format!(
+            "{:<12} {:<48} {:<18} {}\n",
+            bench.name(),
+            bench.description(),
+            bench.paper_size(),
+            bench.parallelism()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_lists_all_five() {
+        let t = super::render();
+        for name in ["GeMM", "NW", "Stencil2D", "Stencil3D", "MD-KNN"] {
+            assert!(t.contains(name));
+        }
+        assert!(t.contains("N = 1024"));
+    }
+}

@@ -1,0 +1,287 @@
+//! The developer-facing core abstraction: [`AcceleratorCore`] and
+//! [`CoreContext`].
+//!
+//! A Beethoven *Core* (§II-A) is "a custom functional unit that the
+//! developer implements". In this reproduction a core is a cycle-ticked
+//! state machine: each fabric cycle the harness calls
+//! [`AcceleratorCore::tick`] with a [`CoreContext`] exposing the command
+//! queue, the response port, and every memory primitive the core's
+//! configuration declared.
+
+use std::collections::BTreeMap;
+
+use bsim::{Cycle, Receiver, Sender, Stats};
+
+use crate::command::{RoccResponse, UnpackedCommand};
+use crate::intracore::{RemoteWritePort, RemoteWriteSink};
+use crate::primitives::{Reader, Scratchpad, Writer};
+
+/// A user-implemented accelerator core.
+///
+/// Implementations receive a `tick` per fabric cycle. A typical core:
+///
+/// 1. calls [`CoreContext::take_command`] when idle,
+/// 2. drives its [`Reader`]s / [`Writer`]s / [`Scratchpad`]s,
+/// 3. calls [`CoreContext::respond`] when the command completes.
+pub trait AcceleratorCore {
+    /// Advances the core by one cycle.
+    fn tick(&mut self, ctx: &mut CoreContext);
+}
+
+/// Everything a core can touch during a tick: its identity, its clock, its
+/// declared memory primitives, and its command/response IO.
+pub struct CoreContext {
+    system_id: u16,
+    core_id: u16,
+    now: Cycle,
+    readers: BTreeMap<String, Vec<Reader>>,
+    writers: BTreeMap<String, Vec<Writer>>,
+    scratchpads: BTreeMap<String, Scratchpad>,
+    intra_outs: BTreeMap<String, RemoteWritePort>,
+    intra_sinks: Vec<RemoteWriteSink>,
+    cmd_rx: Receiver<UnpackedCommand>,
+    resp_tx: Sender<RoccResponse>,
+    stats: Stats,
+}
+
+impl CoreContext {
+    /// Assembles a context (called by the elaborator).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        system_id: u16,
+        core_id: u16,
+        readers: BTreeMap<String, Vec<Reader>>,
+        writers: BTreeMap<String, Vec<Writer>>,
+        scratchpads: BTreeMap<String, Scratchpad>,
+        cmd_rx: Receiver<UnpackedCommand>,
+        resp_tx: Sender<RoccResponse>,
+        stats: Stats,
+    ) -> Self {
+        Self {
+            system_id,
+            core_id,
+            now: 0,
+            readers,
+            writers,
+            scratchpads,
+            intra_outs: BTreeMap::new(),
+            intra_sinks: Vec::new(),
+            cmd_rx,
+            resp_tx,
+            stats,
+        }
+    }
+
+    /// Installs the core-to-core plumbing (called by the elaborator).
+    pub(crate) fn set_intracore(
+        &mut self,
+        outs: BTreeMap<String, RemoteWritePort>,
+        sinks: Vec<RemoteWriteSink>,
+    ) {
+        self.intra_outs = outs;
+        self.intra_sinks = sinks;
+    }
+
+    /// This core's system id.
+    pub fn system_id(&self) -> u16 {
+        self.system_id
+    }
+
+    /// This core's index within its system.
+    pub fn core_id(&self) -> u16 {
+        self.core_id
+    }
+
+    /// The current fabric cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Shared stats bag for custom core counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Takes the next pending command, if any (the `io.req.fire` moment of
+    /// the paper's Figure 2).
+    pub fn take_command(&mut self) -> Option<UnpackedCommand> {
+        let cmd = self.cmd_rx.recv(self.now);
+        if cmd.is_some() {
+            self.stats.incr("commands_accepted");
+        }
+        cmd
+    }
+
+    /// Sends the command response (`io.resp.fire`). Returns false if the
+    /// response channel is momentarily full — retry next cycle.
+    pub fn respond(&mut self, data: u64) -> bool {
+        if !self.resp_tx.can_send() {
+            return false;
+        }
+        self.resp_tx.send(
+            self.now,
+            RoccResponse { system_id: self.system_id, core_id: self.core_id, data },
+        );
+        self.stats.incr("responses_sent");
+        true
+    }
+
+    /// The paper's `getReaderModule(name)`: channel 0 of a read stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name was not declared in the configuration — that is
+    /// a programming error in the core, as in the real framework.
+    pub fn reader(&mut self, name: &str) -> &mut Reader {
+        self.reader_at(name, 0)
+    }
+
+    /// `getReaderModule(name, idx)`: a specific channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown name or index.
+    pub fn reader_at(&mut self, name: &str, idx: usize) -> &mut Reader {
+        self.readers
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no read channel named '{name}'"))
+            .get_mut(idx)
+            .unwrap_or_else(|| panic!("read channel '{name}' has no index {idx}"))
+    }
+
+    /// `getWriterModule(name)`: channel 0 of a write stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name was not declared.
+    pub fn writer(&mut self, name: &str) -> &mut Writer {
+        self.writer_at(name, 0)
+    }
+
+    /// `getWriterModule(name, idx)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown name or index.
+    pub fn writer_at(&mut self, name: &str, idx: usize) -> &mut Writer {
+        self.writers
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no write channel named '{name}'"))
+            .get_mut(idx)
+            .unwrap_or_else(|| panic!("write channel '{name}' has no index {idx}"))
+    }
+
+    /// `getScratchpad(name)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name was not declared.
+    pub fn scratchpad(&mut self, name: &str) -> &mut Scratchpad {
+        self.scratchpads
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no scratchpad named '{name}'"))
+    }
+
+    /// The appendix's `getIntraCoreMemOut(name)`: the write port into a
+    /// remote core's scratchpad.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name was not declared.
+    pub fn intra_out(&mut self, name: &str) -> &mut RemoteWritePort {
+        self.intra_outs
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no intra-core out port named '{name}'"))
+    }
+
+    /// Borrows a scratchpad and a reader simultaneously (needed by
+    /// scratchpad init loops, which drive one with the other).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names.
+    pub fn scratchpad_and_reader(
+        &mut self,
+        sp_name: &str,
+        reader_name: &str,
+    ) -> (&mut Scratchpad, &mut Reader) {
+        let sp = self
+            .scratchpads
+            .get_mut(sp_name)
+            .unwrap_or_else(|| panic!("no scratchpad named '{sp_name}'"));
+        let reader = self
+            .readers
+            .get_mut(reader_name)
+            .unwrap_or_else(|| panic!("no read channel named '{reader_name}'"))
+            .get_mut(0)
+            .expect("channel 0 exists");
+        (sp, reader)
+    }
+
+    /// Applies remote writes that have arrived over the intra-accelerator
+    /// network (called by the harness before the core's tick, so a core
+    /// observes writes with the modelled network latency).
+    pub(crate) fn drain_remote_writes(&mut self, now: Cycle) {
+        for sink in &mut self.intra_sinks {
+            let sp = self
+                .scratchpads
+                .get_mut(&sink.scratchpad)
+                .unwrap_or_else(|| panic!("intra-core sink targets unknown scratchpad '{}'", sink.scratchpad));
+            while let Some(write) = sink.rx.recv(now) {
+                sp.write(write.idx as usize, write.data);
+            }
+        }
+    }
+
+    /// Ticks every primitive (called by the harness after the core's tick).
+    pub(crate) fn tick_primitives(&mut self, now: Cycle) {
+        self.now = now;
+        for readers in self.readers.values_mut() {
+            for reader in readers {
+                reader.tick(now);
+            }
+        }
+        for writers in self.writers.values_mut() {
+            for writer in writers {
+                writer.tick(now);
+            }
+        }
+    }
+
+    pub(crate) fn set_now(&mut self, now: Cycle) {
+        self.now = now;
+    }
+}
+
+impl std::fmt::Debug for CoreContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreContext")
+            .field("system_id", &self.system_id)
+            .field("core_id", &self.core_id)
+            .field("now", &self.now)
+            .field("readers", &self.readers.len())
+            .field("writers", &self.writers.len())
+            .field("scratchpads", &self.scratchpads.len())
+            .finish()
+    }
+}
+
+/// The component wrapper that ticks a core and its context inside the SoC
+/// simulation.
+pub(crate) struct CoreHarness {
+    pub(crate) core: Box<dyn AcceleratorCore>,
+    pub(crate) ctx: CoreContext,
+}
+
+impl bsim::Component for CoreHarness {
+    fn tick(&mut self, now: Cycle) {
+        self.ctx.set_now(now);
+        self.ctx.drain_remote_writes(now);
+        self.core.tick(&mut self.ctx);
+        self.ctx.tick_primitives(now);
+    }
+
+    fn name(&self) -> &str {
+        "core-harness"
+    }
+}

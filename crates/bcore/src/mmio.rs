@@ -1,0 +1,197 @@
+//! The MMIO Command/Response System (paper Figure 1a).
+//!
+//! "Commands are sent from the host to the accelerator over a Memory-Mapped
+//! IO (MMIO) interface to the MMIO Command/Response System, which converts
+//! the system bus protocol into RoCC instructions" (§II-A). The host sees
+//! 32-bit registers; each RoCC instruction crosses the bus as a fixed
+//! five-word frame, and responses come back as three-word frames.
+//!
+//! Frame formats (little-endian words):
+//!
+//! ```text
+//! command:  [header] [rs1.lo] [rs1.hi] [rs2.lo] [rs2.hi]
+//!   header: system_id[31:24] | core_id[23:12] | beat[11:6] | total[5:1] | xd[0]
+//! response: [header] [data.lo] [data.hi]
+//!   header: system_id[31:24] | core_id[23:12] | reserved
+//! ```
+
+use crate::command::{RoccCommand, RoccResponse};
+
+/// Words per command frame.
+pub const CMD_FRAME_WORDS: usize = 5;
+/// Words per response frame.
+pub const RESP_FRAME_WORDS: usize = 3;
+
+/// Register map offsets of the command/response system, as the generated
+/// platform header would declare them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmioRegister {
+    /// Write: next command word.
+    CmdFifo,
+    /// Read: free command-FIFO slots.
+    CmdStatus,
+    /// Read: next response word.
+    RespFifo,
+    /// Read: response words available.
+    RespStatus,
+}
+
+impl MmioRegister {
+    /// Byte offset within the MMIO window.
+    pub fn offset(&self) -> u64 {
+        match self {
+            MmioRegister::CmdFifo => 0x00,
+            MmioRegister::CmdStatus => 0x04,
+            MmioRegister::RespFifo => 0x08,
+            MmioRegister::RespStatus => 0x0C,
+        }
+    }
+}
+
+/// Encodes one RoCC command beat as its five-word MMIO frame.
+pub fn encode_command(cmd: &RoccCommand) -> [u32; CMD_FRAME_WORDS] {
+    assert!(cmd.core_id < (1 << 12), "core id exceeds the 12-bit header field");
+    assert!(cmd.system_id < (1 << 8), "system id exceeds the 8-bit header field");
+    assert!(cmd.beat < 32 && cmd.total_beats <= 32, "beat fields exceed 5/6 bits");
+    let header = (u32::from(cmd.system_id) << 24)
+        | (u32::from(cmd.core_id) << 12)
+        | (u32::from(cmd.beat) << 6)
+        | (u32::from(cmd.total_beats) << 1)
+        | u32::from(cmd.expects_response);
+    [
+        header,
+        cmd.rs1 as u32,
+        (cmd.rs1 >> 32) as u32,
+        cmd.rs2 as u32,
+        (cmd.rs2 >> 32) as u32,
+    ]
+}
+
+/// Decodes a five-word MMIO frame back into a RoCC command beat.
+pub fn decode_command(frame: &[u32; CMD_FRAME_WORDS]) -> RoccCommand {
+    let header = frame[0];
+    RoccCommand {
+        system_id: (header >> 24) as u16,
+        core_id: ((header >> 12) & 0xFFF) as u16,
+        beat: ((header >> 6) & 0x3F) as u8,
+        total_beats: ((header >> 1) & 0x1F) as u8,
+        rs1: u64::from(frame[1]) | (u64::from(frame[2]) << 32),
+        rs2: u64::from(frame[3]) | (u64::from(frame[4]) << 32),
+        expects_response: header & 1 == 1,
+    }
+}
+
+/// Encodes a response as its three-word frame.
+pub fn encode_response(resp: &RoccResponse) -> [u32; RESP_FRAME_WORDS] {
+    let header = (u32::from(resp.system_id) << 24) | (u32::from(resp.core_id) << 12);
+    [header, resp.data as u32, (resp.data >> 32) as u32]
+}
+
+/// Decodes a three-word response frame.
+pub fn decode_response(frame: &[u32; RESP_FRAME_WORDS]) -> RoccResponse {
+    RoccResponse {
+        system_id: (frame[0] >> 24) as u16,
+        core_id: ((frame[0] >> 12) & 0xFFF) as u16,
+        data: u64::from(frame[1]) | (u64::from(frame[2]) << 32),
+    }
+}
+
+/// The frontend's word-reassembly state machine: words in, RoCC beats out.
+#[derive(Debug, Default)]
+pub struct MmioDecoder {
+    partial: Vec<u32>,
+}
+
+impl MmioDecoder {
+    /// A fresh decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one word written to `CMD_FIFO`; returns a command when a frame
+    /// completes.
+    pub fn push_word(&mut self, word: u32) -> Option<RoccCommand> {
+        self.partial.push(word);
+        if self.partial.len() == CMD_FRAME_WORDS {
+            let frame: [u32; CMD_FRAME_WORDS] =
+                self.partial.as_slice().try_into().expect("length checked");
+            self.partial.clear();
+            Some(decode_command(&frame))
+        } else {
+            None
+        }
+    }
+
+    /// Words of the in-progress frame.
+    pub fn pending_words(&self) -> usize {
+        self.partial.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn register_map_is_word_spaced() {
+        assert_eq!(MmioRegister::CmdFifo.offset(), 0x0);
+        assert_eq!(MmioRegister::RespStatus.offset(), 0xC);
+    }
+
+    #[test]
+    fn decoder_reassembles_across_partial_frames() {
+        let cmd = RoccCommand {
+            system_id: 3,
+            core_id: 17,
+            beat: 1,
+            total_beats: 2,
+            rs1: 0xDEAD_BEEF_1234_5678,
+            rs2: 0x0BAD_F00D_8765_4321,
+            expects_response: true,
+        };
+        let frame = encode_command(&cmd);
+        let mut decoder = MmioDecoder::new();
+        for &word in &frame[..4] {
+            assert!(decoder.push_word(word).is_none());
+        }
+        assert_eq!(decoder.pending_words(), 4);
+        let decoded = decoder.push_word(frame[4]).expect("frame complete");
+        assert_eq!(decoded, cmd);
+        assert_eq!(decoder.pending_words(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn command_frames_roundtrip(
+            system_id in 0u16..256,
+            core_id in 0u16..4096,
+            beat in 0u8..32,
+            total in 1u8..32,
+            rs1 in any::<u64>(),
+            rs2 in any::<u64>(),
+            xd in any::<bool>(),
+        ) {
+            let cmd = RoccCommand {
+                system_id,
+                core_id,
+                beat,
+                total_beats: total,
+                rs1,
+                rs2,
+                expects_response: xd,
+            };
+            prop_assert_eq!(decode_command(&encode_command(&cmd)), cmd);
+        }
+
+        #[test]
+        fn response_frames_roundtrip(
+            system_id in 0u16..256,
+            core_id in 0u16..4096,
+            data in any::<u64>(),
+        ) {
+            let resp = RoccResponse { system_id, core_id, data };
+            prop_assert_eq!(decode_response(&encode_response(&resp)), resp);
+        }
+    }
+}

@@ -1,0 +1,844 @@
+//! Memory stream primitives: [`Reader`], [`Writer`], [`Scratchpad`].
+//!
+//! These are the paper's §II-B abstractions: a core declares logically
+//! separate memory streams; Beethoven generates the machinery that turns
+//! them into efficient AXI traffic. The key performance feature is
+//! *transaction-level parallelism* (TLP): a long stream is emitted as
+//! multiple concurrent AXI transactions on **different IDs**, letting the
+//! memory controller reorder across them, with prefetched data reassembled
+//! in stream order inside the Reader.
+
+use std::collections::VecDeque;
+
+use baxi::{ArFlit, AwFlit, AxiMasterPort, WFlit};
+use bsim::{Cycle, Stats};
+
+/// Returned when a stream request is issued while a previous one is still
+/// active (hardware would deassert `ready`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusyError;
+
+impl std::fmt::Display for BusyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "previous stream request still active")
+    }
+}
+
+impl std::error::Error for BusyError {}
+
+/// Tuning of a [`Reader`] (derived from [`crate::ReadChannelConfig`] and
+/// platform knobs at elaboration).
+#[derive(Debug, Clone)]
+pub struct ReaderConfig {
+    /// Stream name (for stats and reports).
+    pub name: String,
+    /// Core-side port width in bytes (the paper's `dataBytes`).
+    pub data_bytes: u32,
+    /// Memory-bus beat width in bytes (platform property).
+    pub bus_bytes: u32,
+    /// Beats per AXI transaction (64 on the paper's F1 target).
+    pub burst_beats: u32,
+    /// Maximum concurrent AXI transactions (the TLP degree; 1 = no TLP).
+    pub max_inflight: u32,
+    /// AXI IDs this reader may use (assigned by the elaborator). TLP
+    /// rotates across them; a single entry reproduces the No-TLP ablation.
+    pub ids: Vec<u32>,
+    /// Prefetch buffer capacity in bytes (on-chip memory backing the
+    /// reader; bounds outstanding-data).
+    pub prefetch_bytes: usize,
+}
+
+impl ReaderConfig {
+    /// A reasonable default for a given port width on an F1-like bus.
+    pub fn new(name: impl Into<String>, data_bytes: u32) -> Self {
+        Self {
+            name: name.into(),
+            data_bytes,
+            bus_bytes: 64,
+            burst_beats: 64,
+            max_inflight: 4,
+            ids: vec![0, 1, 2, 3],
+            prefetch_bytes: 4 * 4096,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ReadTxn {
+    id: u32,
+    /// Bytes of useful payload expected (after skip).
+    take: usize,
+    /// Prefix bytes of the first beat to discard (alignment).
+    skip: usize,
+    received: Vec<u8>,
+    complete: bool,
+    /// Bytes already moved to the stream.
+    drained: usize,
+}
+
+/// A streaming read port into external memory.
+///
+/// Lifecycle: `request(addr, len)` → (internally: AR bursts, R beats,
+/// reassembly) → `pop_chunk()` yields `data_bytes`-sized chunks in stream
+/// order. `busy()` is false once all data has been delivered.
+#[derive(Debug)]
+pub struct Reader {
+    cfg: ReaderConfig,
+    port: AxiMasterPort,
+    /// (next_fetch_addr, bytes_left_to_fetch) of the active request.
+    fetch: Option<(u64, u64)>,
+    txns: VecDeque<ReadTxn>,
+    stream: VecDeque<u8>,
+    next_id: usize,
+    outstanding_bytes: usize,
+    stats: Stats,
+}
+
+impl Reader {
+    /// Creates a reader over its AXI master port.
+    pub fn new(cfg: ReaderConfig, port: AxiMasterPort) -> Self {
+        assert!(!cfg.ids.is_empty(), "reader needs at least one AXI id");
+        assert!(cfg.data_bytes > 0 && cfg.burst_beats > 0);
+        Self {
+            cfg,
+            port,
+            fetch: None,
+            txns: VecDeque::new(),
+            stream: VecDeque::new(),
+            next_id: 0,
+            outstanding_bytes: 0,
+            stats: Stats::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ReaderConfig {
+        &self.cfg
+    }
+
+    /// Starts streaming `len` bytes from `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusyError`] if a request is already active.
+    pub fn request(&mut self, addr: u64, len: u64) -> Result<(), BusyError> {
+        if self.busy() {
+            return Err(BusyError);
+        }
+        if len == 0 {
+            return Ok(());
+        }
+        self.fetch = Some((addr, len));
+        self.stats.add("requested_bytes", len);
+        Ok(())
+    }
+
+    /// Whether a request is still fetching or undelivered data remains.
+    pub fn busy(&self) -> bool {
+        self.fetch.is_some() || !self.txns.is_empty() || !self.stream.is_empty()
+    }
+
+    /// Whether a new `request` would be accepted.
+    pub fn ready(&self) -> bool {
+        !self.busy()
+    }
+
+    /// Bytes currently available to pop.
+    pub fn available(&self) -> usize {
+        self.stream.len()
+    }
+
+    /// Pops one `data_bytes` chunk if available.
+    pub fn pop_chunk(&mut self) -> Option<Vec<u8>> {
+        let n = self.cfg.data_bytes as usize;
+        if self.stream.len() < n {
+            return None;
+        }
+        Some(self.stream.drain(..n).collect())
+    }
+
+    /// Pops a little-endian u32 (requires `data_bytes >= 4`; narrower
+    /// streams should use [`Reader::pop_chunk`]).
+    pub fn pop_u32(&mut self) -> Option<u32> {
+        if self.stream.len() < 4 {
+            return None;
+        }
+        let bytes: Vec<u8> = self.stream.drain(..4).collect();
+        Some(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    /// Advances the reader one fabric cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        self.issue_ar(now);
+        self.collect_r(now);
+        self.drain_to_stream();
+    }
+
+    fn issue_ar(&mut self, now: Cycle) {
+        while let Some((addr, remaining)) = self.fetch {
+            if self.txns.len() >= self.cfg.max_inflight as usize {
+                return;
+            }
+            if !self.port.ar.can_send() {
+                return;
+            }
+            let bus = u64::from(self.cfg.bus_bytes);
+            let aligned = addr & !(bus - 1);
+            let skip = (addr - aligned) as usize;
+            // Stay within burst_beats, the remaining length, and the 4 KiB
+            // AXI boundary.
+            let max_bytes = u64::from(self.cfg.burst_beats) * bus;
+            let to_4k = 4096 - (aligned & 0xFFF);
+            let span = (skip as u64 + remaining).min(max_bytes).min(to_4k);
+            let beats = span.div_ceil(bus) as u32;
+            let fetch_bytes = u64::from(beats) * bus;
+            let take = (remaining.min(fetch_bytes - skip as u64)) as usize;
+            if self.outstanding_bytes + self.stream.len() + take > self.cfg.prefetch_bytes {
+                return; // prefetch buffer full
+            }
+            let id = self.cfg.ids[self.next_id % self.cfg.ids.len()];
+            self.next_id += 1;
+            self.port.ar.send(now, ArFlit { id, addr: aligned, beats });
+            self.txns.push_back(ReadTxn {
+                id,
+                take,
+                skip,
+                received: Vec::with_capacity(fetch_bytes as usize),
+                complete: false,
+                drained: 0,
+            });
+            self.outstanding_bytes += take;
+            self.stats.incr("ar_issued");
+            let consumed = take as u64;
+            if consumed >= remaining {
+                self.fetch = None;
+            } else {
+                self.fetch = Some((addr + consumed, remaining - consumed));
+            }
+        }
+    }
+
+    fn collect_r(&mut self, now: Cycle) {
+        while let Some(r) = self.port.r.recv(now) {
+            let txn = self
+                .txns
+                .iter_mut()
+                .find(|t| t.id == r.id && !t.complete)
+                .expect("R beat for unknown transaction");
+            txn.received.extend_from_slice(&r.data);
+            if r.last {
+                txn.complete = true;
+            }
+            self.stats.incr("r_beats");
+        }
+    }
+
+    fn drain_to_stream(&mut self) {
+        while let Some(front) = self.txns.front_mut() {
+            let usable = front.received.len().saturating_sub(front.skip);
+            let deliverable = usable.min(front.take);
+            if deliverable > front.drained {
+                let start = front.skip + front.drained;
+                let end = front.skip + deliverable;
+                self.stream.extend(&front.received[start..end]);
+                self.outstanding_bytes -= deliverable - front.drained;
+                front.drained = deliverable;
+            }
+            if front.complete && front.drained == front.take {
+                self.txns.pop_front();
+            } else {
+                break; // stream order: wait for the head
+            }
+        }
+    }
+
+    /// Reader statistics (`ar_issued`, `r_beats`, `requested_bytes`).
+    pub fn stats(&self) -> Stats {
+        self.stats.clone()
+    }
+}
+
+/// Tuning of a [`Writer`].
+#[derive(Debug, Clone)]
+pub struct WriterConfig {
+    /// Stream name.
+    pub name: String,
+    /// Core-side port width in bytes.
+    pub data_bytes: u32,
+    /// Memory-bus beat width in bytes.
+    pub bus_bytes: u32,
+    /// Beats per AXI transaction.
+    pub burst_beats: u32,
+    /// Maximum concurrent write transactions (TLP degree).
+    pub max_inflight: u32,
+    /// AXI IDs available.
+    pub ids: Vec<u32>,
+    /// Staging buffer capacity in bytes.
+    pub staging_bytes: usize,
+}
+
+impl WriterConfig {
+    /// A reasonable default for a given port width on an F1-like bus.
+    pub fn new(name: impl Into<String>, data_bytes: u32) -> Self {
+        Self {
+            name: name.into(),
+            data_bytes,
+            bus_bytes: 64,
+            burst_beats: 64,
+            max_inflight: 4,
+            ids: vec![0, 1, 2, 3],
+            staging_bytes: 4 * 4096,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct WriteBurst {
+    id: u32,
+    addr: u64,
+    beats: u32,
+    beats_sent: u32,
+    data: Vec<u8>,
+    valid_bytes: usize,
+}
+
+/// A streaming write port into external memory.
+///
+/// Lifecycle: `request(addr, len)` → `push_chunk(..)` until `len` bytes are
+/// supplied → `done()` turns true once every burst is acknowledged.
+#[derive(Debug)]
+pub struct Writer {
+    cfg: WriterConfig,
+    port: AxiMasterPort,
+    /// (next_write_addr, bytes_not_yet_bursted) of the active request.
+    emit: Option<(u64, u64)>,
+    /// Bytes the core still owes us via push_chunk.
+    unpushed: u64,
+    staging: VecDeque<u8>,
+    current: Option<WriteBurst>,
+    inflight_bs: usize,
+    stats: Stats,
+}
+
+impl Writer {
+    /// Creates a writer over its AXI master port.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty id list or zero widths.
+    pub fn new(cfg: WriterConfig, port: AxiMasterPort) -> Self {
+        assert!(!cfg.ids.is_empty(), "writer needs at least one AXI id");
+        assert!(cfg.data_bytes > 0 && cfg.burst_beats > 0);
+        Self {
+            cfg,
+            port,
+            emit: None,
+            unpushed: 0,
+            staging: VecDeque::new(),
+            current: None,
+            inflight_bs: 0,
+            stats: Stats::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WriterConfig {
+        &self.cfg
+    }
+
+    /// Starts a write of `len` bytes to `addr` (beat-aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusyError`] while a previous request is still active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not aligned to the bus beat width.
+    pub fn request(&mut self, addr: u64, len: u64) -> Result<(), BusyError> {
+        if self.busy() {
+            return Err(BusyError);
+        }
+        assert_eq!(
+            addr % u64::from(self.cfg.bus_bytes),
+            0,
+            "writer addresses must be bus-aligned"
+        );
+        if len == 0 {
+            return Ok(());
+        }
+        self.emit = Some((addr, len));
+        self.unpushed = len;
+        self.stats.add("requested_bytes", len);
+        Ok(())
+    }
+
+    /// Whether the writer still owns an unfinished request.
+    pub fn busy(&self) -> bool {
+        self.emit.is_some()
+            || self.unpushed > 0
+            || !self.staging.is_empty()
+            || self.current.is_some()
+            || self.inflight_bs > 0
+    }
+
+    /// Whether a new request would be accepted.
+    pub fn ready(&self) -> bool {
+        !self.busy()
+    }
+
+    /// Whether all requested data has been written and acknowledged.
+    pub fn done(&self) -> bool {
+        !self.busy()
+    }
+
+    /// Room left in the staging buffer, bytes.
+    pub fn staging_room(&self) -> usize {
+        self.cfg.staging_bytes - self.staging.len()
+    }
+
+    /// Whether a chunk of the port width can be pushed now.
+    pub fn can_push(&self) -> bool {
+        self.unpushed > 0 && self.staging_room() >= self.cfg.data_bytes as usize
+    }
+
+    /// Pushes one chunk of stream data (`data_bytes` wide, except possibly
+    /// the final chunk of a request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more data is pushed than the request declared, or the
+    /// staging buffer would overflow (callers must check
+    /// [`Writer::can_push`]).
+    pub fn push_chunk(&mut self, data: &[u8]) {
+        assert!(
+            data.len() as u64 <= self.unpushed,
+            "writer '{}' got more data than requested",
+            self.cfg.name
+        );
+        assert!(
+            self.staging.len() + data.len() <= self.cfg.staging_bytes,
+            "writer '{}' staging overflow",
+            self.cfg.name
+        );
+        self.staging.extend(data.iter().copied());
+        self.unpushed -= data.len() as u64;
+    }
+
+    /// Pushes a little-endian u32.
+    pub fn push_u32(&mut self, value: u32) {
+        self.push_chunk(&value.to_le_bytes());
+    }
+
+    /// Advances the writer one fabric cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        self.collect_b(now);
+        self.start_burst(now);
+        self.stream_w(now);
+    }
+
+    fn collect_b(&mut self, now: Cycle) {
+        while self.port.b.recv(now).is_some() {
+            self.inflight_bs -= 1;
+            self.stats.incr("b_received");
+        }
+    }
+
+    fn start_burst(&mut self, now: Cycle) {
+        if self.current.is_some() {
+            return;
+        }
+        let Some((addr, remaining)) = self.emit else { return };
+        if self.inflight_bs >= self.cfg.max_inflight as usize {
+            return;
+        }
+        if !self.port.aw.can_send() {
+            return;
+        }
+        let bus = u64::from(self.cfg.bus_bytes);
+        let max_bytes = u64::from(self.cfg.burst_beats) * bus;
+        let to_4k = 4096 - (addr & 0xFFF);
+        let span = remaining.min(max_bytes).min(to_4k);
+        // Need the whole burst's data staged (store-and-forward keeps the
+        // W channel dense, as real DMA engines do).
+        if (self.staging.len() as u64) < span {
+            return;
+        }
+        let beats = span.div_ceil(bus) as u32;
+        let id = self.cfg.ids[(self.stats.get("aw_issued") as usize) % self.cfg.ids.len()];
+        self.port.aw.send(now, AwFlit { id, addr, beats });
+        let data: Vec<u8> = self.staging.drain(..span as usize).collect();
+        self.current = Some(WriteBurst {
+            id,
+            addr,
+            beats,
+            beats_sent: 0,
+            data,
+            valid_bytes: span as usize,
+        });
+        self.stats.incr("aw_issued");
+        if span >= remaining {
+            self.emit = None;
+        } else {
+            self.emit = Some((addr + span, remaining - span));
+        }
+    }
+
+    fn stream_w(&mut self, now: Cycle) {
+        let Some(burst) = &mut self.current else { return };
+        if !self.port.w.can_send() {
+            return;
+        }
+        let bus = self.cfg.bus_bytes as usize;
+        let beat = burst.beats_sent as usize;
+        let start = beat * bus;
+        let end = ((beat + 1) * bus).min(burst.valid_bytes);
+        let mut data = vec![0u8; bus];
+        data[..end - start].copy_from_slice(&burst.data[start..end]);
+        let strb = if end - start == bus {
+            None
+        } else {
+            let mut s = vec![false; bus];
+            s[..end - start].fill(true);
+            Some(s)
+        };
+        let last = burst.beats_sent + 1 == burst.beats;
+        self.port.w.send(now, WFlit { data, strb, last });
+        burst.beats_sent += 1;
+        self.stats.incr("w_beats");
+        if last {
+            let _ = burst.addr; // kept for debugging
+            let _ = burst.id;
+            self.current = None;
+            self.inflight_bs += 1;
+        }
+    }
+
+    /// Writer statistics (`aw_issued`, `w_beats`, `b_received`).
+    pub fn stats(&self) -> Stats {
+        self.stats.clone()
+    }
+}
+
+/// An on-chip memory with an initialization routine (§II-B): storage plus
+/// a DMA-style fill that streams operands in through a [`Reader`].
+#[derive(Debug)]
+pub struct Scratchpad {
+    name: String,
+    width_bits: u32,
+    storage: Vec<u64>,
+    /// Words filled so far by an active init.
+    init_progress: Option<usize>,
+    /// Configured access latency (cycles); cores model their pipelines
+    /// against this value.
+    pub latency: u32,
+}
+
+impl Scratchpad {
+    /// Creates a zeroed scratchpad of `n_datas` words of `width_bits` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits` is 0 or exceeds 64.
+    pub fn new(name: impl Into<String>, width_bits: u32, n_datas: usize, latency: u32) -> Self {
+        assert!((1..=64).contains(&width_bits), "scratchpad words limited to 64 bits");
+        Self {
+            name: name.into(),
+            width_bits,
+            storage: vec![0; n_datas],
+            init_progress: None,
+            latency,
+        }
+    }
+
+    /// The scratchpad name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Whether the scratchpad has zero words.
+    pub fn is_empty(&self) -> bool {
+        self.storage.is_empty()
+    }
+
+    /// Word width in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// Bytes each word occupies in memory during init.
+    pub fn word_bytes(&self) -> usize {
+        (self.width_bits as usize).div_ceil(8)
+    }
+
+    /// Reads word `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn read(&self, idx: usize) -> u64 {
+        self.storage[idx]
+    }
+
+    /// Writes word `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range or the value exceeds the word width.
+    pub fn write(&mut self, idx: usize, value: u64) {
+        let bits = self.width_bits;
+        assert!(bits == 64 || value >> bits == 0, "value wider than scratchpad word");
+        self.storage[idx] = value;
+    }
+
+    /// Begins filling the scratchpad from memory via `reader`: issues the
+    /// stream request covering `len()` words starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reader's [`BusyError`].
+    pub fn start_init(&mut self, reader: &mut Reader, addr: u64) -> Result<(), BusyError> {
+        reader.request(addr, (self.len() * self.word_bytes()) as u64)?;
+        self.init_progress = Some(0);
+        Ok(())
+    }
+
+    /// Moves any data the reader has delivered into storage. Call once per
+    /// cycle during initialization.
+    pub fn service_init(&mut self, reader: &mut Reader) {
+        let Some(mut filled) = self.init_progress else { return };
+        let wb = self.word_bytes();
+        while filled < self.storage.len() && reader.available() >= wb {
+            let mut word = [0u8; 8];
+            let bytes = reader.pop_bytes(wb).expect("availability checked");
+            word[..wb].copy_from_slice(&bytes);
+            self.storage[filled] = u64::from_le_bytes(word);
+            filled += 1;
+        }
+        self.init_progress = if filled == self.storage.len() { None } else { Some(filled) };
+    }
+
+    /// Whether an initialization is still in progress.
+    pub fn initializing(&self) -> bool {
+        self.init_progress.is_some()
+    }
+}
+
+impl Reader {
+    /// Pops exactly `n` bytes from the assembled stream, if available.
+    pub fn pop_bytes(&mut self, n: usize) -> Option<Vec<u8>> {
+        if self.stream.len() < n {
+            return None;
+        }
+        Some(self.stream.drain(..n).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baxi::{axi_link, AxiMemoryController, ControllerConfig, PortDepths, SharedMemory};
+    use bdram::{DramConfig, DramSystem};
+    use bsim::{Component, Simulation, SparseMemory};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A harness: one reader and one writer wired straight to a controller.
+    struct Rig {
+        sim: Simulation,
+        reader: bsim::Shared<Reader>,
+        writer: bsim::Shared<Writer>,
+        memory: SharedMemory,
+    }
+
+    struct TickPrim<T>(bsim::Shared<T>, fn(&mut T, Cycle));
+
+    impl<T> Component for TickPrim<T> {
+        fn tick(&mut self, now: Cycle) {
+            (self.1)(&mut self.0.borrow_mut(), now);
+        }
+    }
+
+    fn rig(reader_cfg: ReaderConfig, writer_cfg: WriterConfig) -> Rig {
+        // Two independent AXI links, two controllers sharing one memory
+        // image (keeps the unit test free of the interconnect, which is
+        // exercised in interconnect.rs).
+        let memory: SharedMemory = Rc::new(RefCell::new(SparseMemory::new()));
+        let mut sim = Simulation::new();
+
+        let (rd_master, rd_slave) = axi_link(PortDepths { ar: 8, r: 64, aw: 8, w: 64, b: 8 });
+        let ctrl_r = AxiMemoryController::new(
+            ControllerConfig::default(),
+            DramSystem::new(DramConfig::ddr4_2400()),
+            rd_slave,
+            Rc::clone(&memory),
+        );
+        sim.add(ctrl_r);
+        let reader = bsim::Shared::new(Reader::new(reader_cfg, rd_master));
+        sim.add(TickPrim(reader.clone(), |r, now| r.tick(now)));
+
+        let (wr_master, wr_slave) = axi_link(PortDepths { ar: 8, r: 64, aw: 8, w: 64, b: 8 });
+        let ctrl_w = AxiMemoryController::new(
+            ControllerConfig::default(),
+            DramSystem::new(DramConfig::ddr4_2400()),
+            wr_slave,
+            Rc::clone(&memory),
+        );
+        sim.add(ctrl_w);
+        let writer = bsim::Shared::new(Writer::new(writer_cfg, wr_master));
+        sim.add(TickPrim(writer.clone(), |w, now| w.tick(now)));
+
+        Rig { sim, reader, writer, memory }
+    }
+
+    #[test]
+    fn reader_streams_a_buffer_in_order() {
+        let mut r = rig(ReaderConfig::new("in", 4), WriterConfig::new("out", 4));
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 256) as u8).collect();
+        r.memory.borrow_mut().write(0x10_000, &data);
+        r.reader.borrow_mut().request(0x10_000, 4096).unwrap();
+        let mut got = Vec::new();
+        while got.len() < 4096 {
+            r.sim.step();
+            while let Some(chunk) = r.reader.borrow_mut().pop_chunk() {
+                got.extend(chunk);
+            }
+            assert!(r.sim.now() < 100_000, "reader stalled");
+        }
+        assert_eq!(got, data);
+        assert!(!r.reader.borrow().busy());
+    }
+
+    #[test]
+    fn reader_handles_unaligned_addresses() {
+        let mut r = rig(ReaderConfig::new("in", 4), WriterConfig::new("out", 4));
+        let data: Vec<u8> = (0..100).collect();
+        r.memory.borrow_mut().write(0x10_004, &data);
+        r.reader.borrow_mut().request(0x10_004, 100).unwrap();
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            r.sim.step();
+            while let Some(b) = r.reader.borrow_mut().pop_bytes(4) {
+                got.extend(b);
+            }
+            assert!(r.sim.now() < 100_000);
+        }
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn reader_rejects_overlapping_requests() {
+        let mut r = rig(ReaderConfig::new("in", 4), WriterConfig::new("out", 4));
+        r.reader.borrow_mut().request(0, 64).unwrap();
+        assert!(r.reader.borrow_mut().request(64, 64).is_err());
+        r.sim.run_for(1);
+    }
+
+    #[test]
+    fn reader_tlp_uses_multiple_ids() {
+        let mut cfg = ReaderConfig::new("in", 64);
+        cfg.burst_beats = 16;
+        cfg.max_inflight = 4;
+        let mut r = rig(cfg, WriterConfig::new("out", 4));
+        r.reader.borrow_mut().request(0, 16384).unwrap();
+        let mut drained = 0usize;
+        while drained < 16384 {
+            r.sim.step();
+            while let Some(c) = r.reader.borrow_mut().pop_chunk() {
+                drained += c.len();
+            }
+            assert!(r.sim.now() < 100_000);
+        }
+        assert!(r.reader.borrow().stats().get("ar_issued") >= 4);
+    }
+
+    #[test]
+    fn writer_roundtrip_through_memory() {
+        let mut r = rig(ReaderConfig::new("in", 4), WriterConfig::new("out", 4));
+        r.writer.borrow_mut().request(0x20_000, 1024).unwrap();
+        let mut pushed = 0u32;
+        while !r.writer.borrow().done() {
+            {
+                let mut w = r.writer.borrow_mut();
+                while pushed < 256 && w.can_push() {
+                    w.push_u32(pushed * 7);
+                    pushed += 1;
+                }
+            }
+            r.sim.step();
+            assert!(r.sim.now() < 100_000, "writer never finished");
+        }
+        let out = r.memory.borrow().read_u32_slice(0x20_000, 256);
+        let expect: Vec<u32> = (0..256).map(|i| i * 7).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn writer_partial_tail_beat_is_strobed() {
+        let mut r = rig(ReaderConfig::new("in", 4), WriterConfig::new("out", 4));
+        // Pre-fill so we can detect clobbering beyond the 100-byte write.
+        r.memory.borrow_mut().write(0x30_000, &[0xEE; 256]);
+        r.writer.borrow_mut().request(0x30_000, 100).unwrap();
+        let mut pushed = 0usize;
+        while !r.writer.borrow().done() {
+            {
+                let mut w = r.writer.borrow_mut();
+                while pushed < 100 && w.can_push() {
+                    let n = 4.min(100 - pushed);
+                    let chunk: Vec<u8> = (pushed..pushed + n).map(|i| i as u8).collect();
+                    w.push_chunk(&chunk);
+                    pushed += n;
+                }
+            }
+            r.sim.step();
+            assert!(r.sim.now() < 100_000);
+        }
+        let out = r.memory.borrow().read_vec(0x30_000, 101);
+        for (i, item) in out.iter().enumerate().take(100) {
+            assert_eq!(*item, i as u8);
+        }
+        assert_eq!(out[100], 0xEE, "bytes beyond the write must survive");
+    }
+
+    #[test]
+    fn scratchpad_init_from_memory() {
+        let mut r = rig(ReaderConfig::new("spin", 4), WriterConfig::new("out", 4));
+        let words: Vec<u32> = (0..320).map(|i| i * 3 + 1).collect();
+        r.memory.borrow_mut().write_u32_slice(0x40_000, &words);
+        let mut sp = Scratchpad::new("keys", 32, 320, 2);
+        sp.start_init(&mut r.reader.borrow_mut(), 0x40_000).unwrap();
+        while sp.initializing() {
+            r.sim.step();
+            sp.service_init(&mut r.reader.borrow_mut());
+            assert!(r.sim.now() < 100_000, "init stalled");
+        }
+        for (i, &w) in words.iter().enumerate() {
+            assert_eq!(sp.read(i), u64::from(w));
+        }
+    }
+
+    #[test]
+    fn scratchpad_write_width_checked() {
+        let mut sp = Scratchpad::new("s", 8, 4, 1);
+        sp.write(0, 255);
+        assert_eq!(sp.read(0), 255);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sp.write(1, 256);
+        }));
+        assert!(result.is_err(), "over-wide write should panic");
+    }
+
+    #[test]
+    fn zero_length_request_is_a_noop() {
+        let r = rig(ReaderConfig::new("in", 4), WriterConfig::new("out", 4));
+        r.reader.borrow_mut().request(0, 0).unwrap();
+        assert!(!r.reader.borrow().busy());
+        r.writer.borrow_mut().request(0, 0).unwrap();
+        assert!(r.writer.borrow().done());
+    }
+}

@@ -1,0 +1,145 @@
+//! Elaboration reports: the Table-II-style resource breakdown, floorplan,
+//! and generated artifacts.
+
+use bplatform::ResourceVector;
+
+use crate::bindings::GeneratedBindings;
+
+/// One row of the resource table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportRow {
+    /// Component name.
+    pub name: String,
+    /// Indentation level in the rendered table (0 = top level).
+    pub indent: usize,
+    /// Resources attributed to the component.
+    pub resources: ResourceVector,
+    /// Free-form note (e.g. "BRAM-mapped" / "URAM-mapped").
+    pub note: String,
+}
+
+/// NoC summary numbers for the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NocSummary {
+    /// Internal buffer nodes.
+    pub buffers: usize,
+    /// SLR crossing stages.
+    pub crossings: usize,
+    /// Worst endpoint-to-root latency, cycles.
+    pub worst_latency: u64,
+    /// Resource cost of the network.
+    pub cost: ResourceVector,
+}
+
+/// Everything the elaborator reports about a composed SoC.
+#[derive(Debug, Clone)]
+pub struct SocReport {
+    /// Platform name.
+    pub platform: String,
+    /// Device name.
+    pub device: String,
+    /// Fabric clock in MHz.
+    pub fabric_mhz: u64,
+    /// Resource rows (systems, cores, components).
+    pub rows: Vec<ReportRow>,
+    /// Total user-design resources (everything Beethoven placed).
+    pub total: ResourceVector,
+    /// Shell resources.
+    pub shell: ResourceVector,
+    /// Per-SLR worst-axis utilization (including shell).
+    pub slr_utilization: Vec<f64>,
+    /// Cores per SLR.
+    pub cores_per_slr: Vec<usize>,
+    /// Rendered ASCII floorplan (Figure 8 style).
+    pub floorplan_ascii: String,
+    /// Emitted placement constraints.
+    pub constraints: String,
+    /// Command NoC summary.
+    pub cmd_noc: NocSummary,
+    /// Memory NoC summary.
+    pub mem_noc: NocSummary,
+    /// Generated host bindings.
+    pub bindings: GeneratedBindings,
+    /// Structural netlist of the composed SoC (Verilog-flavoured summary
+    /// of what the real framework would emit as RTL).
+    pub netlist: String,
+}
+
+impl SocReport {
+    /// Renders the Table-II-style utilization table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<34} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6}\n",
+            "Component", "CLB", "LUT", "FF", "BRAM", "URAM", "DSP"
+        ));
+        out.push_str(&"-".repeat(88));
+        out.push('\n');
+        for row in &self.rows {
+            let name = format!("{}{}", "  ".repeat(row.indent), row.name);
+            out.push_str(&format!(
+                "{:<34} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6}  {}\n",
+                name,
+                row.resources.clb,
+                row.resources.lut,
+                row.resources.ff,
+                row.resources.bram,
+                row.resources.uram,
+                row.resources.dsp,
+                row.note
+            ));
+        }
+        out.push_str(&"-".repeat(88));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<34} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6}\n",
+            "Total (user design)",
+            self.total.clb,
+            self.total.lut,
+            self.total.ff,
+            self.total.bram,
+            self.total.uram,
+            self.total.dsp
+        ));
+        out.push_str(&format!(
+            "{:<34} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6}\n",
+            "Shell",
+            self.shell.clb,
+            self.shell.lut,
+            self.shell.ff,
+            self.shell.bram,
+            self.shell.uram,
+            self.shell.dsp
+        ));
+        for (slr, util) in self.slr_utilization.iter().enumerate() {
+            out.push_str(&format!(
+                "SLR{slr}: {:.1}% worst-axis utilization, {} cores\n",
+                util * 100.0,
+                self.cores_per_slr.get(slr).copied().unwrap_or(0)
+            ));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for SocReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "== Beethoven SoC on {} ({} @ {} MHz) ==",
+            self.platform, self.device, self.fabric_mhz
+        )?;
+        write!(f, "{}", self.render_table())?;
+        writeln!(
+            f,
+            "cmd NoC: {} buffers, {} crossings, worst latency {} cycles",
+            self.cmd_noc.buffers, self.cmd_noc.crossings, self.cmd_noc.worst_latency
+        )?;
+        writeln!(
+            f,
+            "mem NoC: {} buffers, {} crossings, worst latency {} cycles",
+            self.mem_noc.buffers, self.mem_noc.crossings, self.mem_noc.worst_latency
+        )?;
+        writeln!(f, "\nFloorplan:\n{}", self.floorplan_ascii)
+    }
+}

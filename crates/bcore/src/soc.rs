@@ -1,0 +1,366 @@
+//! The composed, runnable SoC: what [`crate::elaborate()`](crate::elaborate()) produces.
+//!
+//! [`SocSim`] is the device side of the paper's Figure 1: every core, the
+//! command/response plumbing, the memory interconnect, the AXI memory
+//! controller, and the DRAM model, all ticking on the fabric clock. The
+//! host runtime (`bruntime`) drives it through [`SocSim::send_command`] /
+//! [`SocSim::poll`] and owns all host-side timing (MMIO latency, the
+//! runtime server lock).
+
+use std::collections::{HashMap, VecDeque};
+
+use baxi::AxiMemoryController;
+use bplatform::Platform;
+use bsim::{ClockDomain, Cycle, Receiver, Sender, Shared, Simulation, Stats, Tracer};
+
+use crate::command::{
+    pack_command, unpack_command, AccelCommandSpec, CommandArgs, CommandPackError, RoccCommand,
+    RoccResponse, UnpackedCommand,
+};
+use crate::mmio::{encode_command, MmioDecoder};
+use crate::report::SocReport;
+
+/// Identifies one in-flight command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CommandToken {
+    /// System the command went to.
+    pub system: u16,
+    /// Core the command went to.
+    pub core: u16,
+    seq: u64,
+}
+
+/// Errors from [`SocSim::send_command`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// Unknown system id.
+    NoSuchSystem(u16),
+    /// Core index out of range for the system.
+    NoSuchCore {
+        /// System id.
+        system: u16,
+        /// Requested core.
+        core: u16,
+        /// Cores in the system.
+        n_cores: u16,
+    },
+    /// The core's command queue is full; retry after advancing time.
+    QueueFull,
+    /// Argument packing failed.
+    Pack(CommandPackError),
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::NoSuchSystem(id) => write!(f, "no system with id {id}"),
+            SendError::NoSuchCore { system, core, n_cores } => {
+                write!(f, "system {system} has {n_cores} cores; no core {core}")
+            }
+            SendError::QueueFull => write!(f, "core command queue full"),
+            SendError::Pack(e) => write!(f, "bad command arguments: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+impl From<CommandPackError> for SendError {
+    fn from(e: CommandPackError) -> Self {
+        SendError::Pack(e)
+    }
+}
+
+/// Per-core plumbing the elaborator hands to the SoC.
+pub(crate) struct CoreLink {
+    pub cmd_tx: Sender<UnpackedCommand>,
+    pub resp_rx: Receiver<RoccResponse>,
+}
+
+/// The composed SoC simulation.
+pub struct SocSim {
+    pub(crate) sim: Simulation,
+    pub(crate) memory: baxi::SharedMemory,
+    pub(crate) platform: Platform,
+    pub(crate) fabric: ClockDomain,
+    /// Indexed `[system][core]`.
+    pub(crate) links: Vec<Vec<CoreLink>>,
+    pub(crate) specs: Vec<AccelCommandSpec>,
+    pub(crate) system_names: Vec<String>,
+    /// One controller per platform memory port.
+    pub(crate) controllers: Vec<Shared<AxiMemoryController>>,
+    pub(crate) interconnect_stats: Stats,
+    pub(crate) report: SocReport,
+    outstanding: Vec<Vec<VecDeque<u64>>>,
+    completed: HashMap<(u16, u16, u64), u64>,
+    next_seq: u64,
+    /// Word-level reassembly of the MMIO command FIFO.
+    mmio_decoder: MmioDecoder,
+    /// Per-target multi-beat command assembly (the command subsystem's
+    /// beat buffer in Figure 1a).
+    beat_assembly: HashMap<(u16, u16), Vec<RoccCommand>>,
+    /// Total words that crossed the MMIO command FIFO.
+    mmio_cmd_words: u64,
+}
+
+impl SocSim {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        sim: Simulation,
+        memory: baxi::SharedMemory,
+        platform: Platform,
+        links: Vec<Vec<CoreLink>>,
+        specs: Vec<AccelCommandSpec>,
+        system_names: Vec<String>,
+        controllers: Vec<Shared<AxiMemoryController>>,
+        interconnect_stats: Stats,
+        report: SocReport,
+    ) -> Self {
+        let fabric = ClockDomain::from_mhz(platform.fabric_mhz);
+        let outstanding = links
+            .iter()
+            .map(|cores| cores.iter().map(|_| VecDeque::new()).collect())
+            .collect();
+        Self {
+            sim,
+            memory,
+            platform,
+            fabric,
+            links,
+            specs,
+            system_names,
+            controllers,
+            interconnect_stats,
+            report,
+            outstanding,
+            completed: HashMap::new(),
+            next_seq: 0,
+            mmio_decoder: MmioDecoder::new(),
+            beat_assembly: HashMap::new(),
+            mmio_cmd_words: 0,
+        }
+    }
+
+    /// The elaboration report (resources, floorplan, bindings).
+    pub fn report(&self) -> &SocReport {
+        &self.report
+    }
+
+    /// The platform this SoC was elaborated for.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The fabric clock domain.
+    pub fn clock(&self) -> ClockDomain {
+        self.fabric
+    }
+
+    /// The functional device memory image.
+    pub fn memory(&self) -> baxi::SharedMemory {
+        std::rc::Rc::clone(&self.memory)
+    }
+
+    /// Current fabric cycle.
+    pub fn now(&self) -> Cycle {
+        self.sim.now()
+    }
+
+    /// Elapsed simulated time in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.fabric.cycles_to_secs(self.sim.now())
+    }
+
+    /// Advances the fabric one cycle.
+    pub fn step(&mut self) {
+        self.sim.step();
+    }
+
+    /// Advances `cycles` fabric cycles.
+    pub fn run_for(&mut self, cycles: Cycle) {
+        self.sim.run_for(cycles);
+    }
+
+    /// Looks up a system id by name.
+    pub fn system_id(&self, name: &str) -> Option<u16> {
+        self.system_names.iter().position(|n| n == name).map(|i| i as u16)
+    }
+
+    /// Number of cores in `system`.
+    pub fn cores_in(&self, system: u16) -> u16 {
+        self.links.get(system as usize).map_or(0, |c| c.len() as u16)
+    }
+
+    /// Whether `(system, core)`'s command queue can take another command.
+    pub fn can_send(&self, system: u16, core: u16) -> bool {
+        self.links
+            .get(system as usize)
+            .and_then(|c| c.get(core as usize))
+            .is_some_and(|l| l.cmd_tx.can_send())
+    }
+
+    /// Sends a command; returns a token to poll for the response.
+    ///
+    /// Arguments are validated by round-tripping through the RoCC packing
+    /// path — exactly the transformation the generated bindings and the
+    /// MMIO frontend perform in the real system.
+    ///
+    /// # Errors
+    ///
+    /// See [`SendError`].
+    pub fn send_command(
+        &mut self,
+        system: u16,
+        core: u16,
+        args: &CommandArgs,
+    ) -> Result<CommandToken, SendError> {
+        let spec = self
+            .specs
+            .get(system as usize)
+            .ok_or(SendError::NoSuchSystem(system))?;
+        let cores = &self.links[system as usize];
+        if core as usize >= cores.len() {
+            return Err(SendError::NoSuchCore {
+                system,
+                core,
+                n_cores: cores.len() as u16,
+            });
+        }
+        if !self.links[system as usize][core as usize].cmd_tx.can_send() {
+            return Err(SendError::QueueFull);
+        }
+        // The full host→MMIO→RoCC→core path: pack the arguments onto RoCC
+        // beats, serialize each beat as its five-word MMIO frame, and push
+        // the words through the command subsystem's decoder — the wire
+        // protocol is load-bearing, exactly as in the generated hardware.
+        let packed = pack_command(spec, system, core, args)?;
+        for beat in &packed.beats {
+            for word in encode_command(beat) {
+                self.mmio_write_cmd_word(word);
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.outstanding[system as usize][core as usize].push_back(seq);
+        Ok(CommandToken { system, core, seq })
+    }
+
+    /// Pushes one word into the MMIO command FIFO; completed frames become
+    /// RoCC beats, and completed beat sequences dispatch to their core.
+    pub fn mmio_write_cmd_word(&mut self, word: u32) {
+        self.mmio_cmd_words += 1;
+        let Some(beat) = self.mmio_decoder.push_word(word) else { return };
+        let key = (beat.system_id, beat.core_id);
+        let total = beat.total_beats as usize;
+        let beats = self.beat_assembly.entry(key).or_default();
+        beats.push(beat);
+        if beats.len() < total {
+            return;
+        }
+        let beats = self.beat_assembly.remove(&key).expect("just inserted");
+        let spec = &self.specs[key.0 as usize];
+        let unpacked = unpack_command(spec, &beats);
+        let link = &self.links[key.0 as usize][key.1 as usize];
+        assert!(
+            link.cmd_tx.can_send(),
+            "command FIFO overrun: host must check CMD_STATUS before writing"
+        );
+        link.cmd_tx.send(self.sim.now(), unpacked);
+    }
+
+    /// Total 32-bit words the host has pushed through the command FIFO.
+    pub fn mmio_cmd_words(&self) -> u64 {
+        self.mmio_cmd_words
+    }
+
+    fn drain_responses(&mut self) {
+        let now = self.sim.now();
+        for (sys, cores) in self.links.iter().enumerate() {
+            for (core, link) in cores.iter().enumerate() {
+                while let Some(resp) = link.resp_rx.recv(now) {
+                    let seq = self.outstanding[sys][core]
+                        .pop_front()
+                        .expect("response without outstanding command");
+                    self.completed
+                        .insert((sys as u16, core as u16, seq), resp.data);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking poll: returns the response payload if `token` has
+    /// completed (consumes it).
+    pub fn poll(&mut self, token: CommandToken) -> Option<u64> {
+        self.drain_responses();
+        self.completed.remove(&(token.system, token.core, token.seq))
+    }
+
+    /// Runs the fabric until `token` completes or `max_cycles` pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(cycles_run)` on timeout.
+    pub fn run_until_response(
+        &mut self,
+        token: CommandToken,
+        max_cycles: Cycle,
+    ) -> Result<u64, Cycle> {
+        let start = self.sim.now();
+        loop {
+            if let Some(data) = self.poll(token) {
+                return Ok(data);
+            }
+            if self.sim.now() - start >= max_cycles {
+                return Err(max_cycles);
+            }
+            self.sim.step();
+        }
+    }
+
+    /// Whether any command is still awaiting a response.
+    pub fn has_outstanding(&self) -> bool {
+        self.outstanding
+            .iter()
+            .any(|cores| cores.iter().any(|q| !q.is_empty()))
+    }
+
+    /// Memory port 0's controller stats bag (the port a single-core design
+    /// uses).
+    pub fn controller_stats(&self) -> Stats {
+        self.controllers[0].borrow().stats()
+    }
+
+    /// Memory port 0's AXI event tracer (for Figure-5 timelines).
+    pub fn tracer(&self) -> Tracer {
+        self.controllers[0].borrow().tracer()
+    }
+
+    /// Number of independent memory ports.
+    pub fn mem_ports(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// DRAM-side statistics, merged across memory ports.
+    pub fn dram_stats(&self) -> bdram::ChannelStats {
+        let mut total = bdram::ChannelStats::default();
+        for c in &self.controllers {
+            total.merge(c.borrow().dram_stats());
+        }
+        total
+    }
+
+    /// Interconnect statistics.
+    pub fn interconnect_stats(&self) -> Stats {
+        self.interconnect_stats.clone()
+    }
+}
+
+impl std::fmt::Debug for SocSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocSim")
+            .field("platform", &self.platform.name)
+            .field("systems", &self.system_names)
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}

@@ -1,0 +1,196 @@
+//! Physical address decoding.
+//!
+//! The mapping scheme decides which bits of a byte address select the
+//! channel, rank, bank, row, and column. The choice matters: interleaving
+//! consecutive bursts across channels/banks (the default `RoBaRaCoCh`)
+//! turns sequential streams into bank-parallel traffic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::DramConfig;
+
+/// A fully decoded DRAM coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecodedAddr {
+    /// Channel index.
+    pub channel: u64,
+    /// Rank index within the channel.
+    pub rank: u64,
+    /// Bank group index within the rank.
+    pub bank_group: u64,
+    /// Bank index within the bank group.
+    pub bank: u64,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Column index within the row (in bus-width units, burst-aligned).
+    pub column: u64,
+}
+
+impl DecodedAddr {
+    /// A flat bank identifier unique within the channel.
+    pub fn flat_bank(&self, cfg: &DramConfig) -> u64 {
+        ((self.rank * cfg.bank_groups) + self.bank_group) * cfg.banks_per_group + self.bank
+    }
+}
+
+/// Bit-field orderings from least-significant to most-significant field.
+///
+/// Names read most-significant-first, DRAMSim3 style: `RoBaRaCoCh` means
+/// address bits are (low→high) channel, column, rank, bank, row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddressMapping {
+    /// Row | Bank | Rank | Column | Channel (channel-interleaved bursts,
+    /// good streaming parallelism). The default.
+    RoBaRaCoCh,
+    /// Row | Rank | Bank | Channel | Column (page-interleaved channels).
+    RoRaBaChCo,
+    /// Channel | Rank | Bank | Row | Column (linear: one channel owns a
+    /// contiguous region; poor streaming parallelism, useful as a baseline).
+    ChRaBaRoCo,
+}
+
+fn take(value: &mut u64, count: u64) -> u64 {
+    if count <= 1 {
+        return 0;
+    }
+    debug_assert!(count.is_power_of_two(), "field sizes must be powers of two");
+    let bits = count.trailing_zeros();
+    let field = *value & (count - 1);
+    *value >>= bits;
+    field
+}
+
+impl AddressMapping {
+    /// Decodes a byte address into DRAM coordinates under `cfg`.
+    ///
+    /// Addresses beyond the configured capacity wrap (high bits ignored),
+    /// mirroring real controllers' modulo decoding.
+    pub fn decode(&self, addr: u64, cfg: &DramConfig) -> DecodedAddr {
+        // The lowest bits select the byte within a burst and never reach the
+        // decoder.
+        let mut v = addr / cfg.bytes_per_burst();
+        let bursts_per_row = cfg.columns / cfg.timings.burst_length;
+        let (channel, column, rank, bank_group, bank, row);
+        match self {
+            AddressMapping::RoBaRaCoCh => {
+                channel = take(&mut v, cfg.channels);
+                column = take(&mut v, bursts_per_row);
+                rank = take(&mut v, cfg.ranks);
+                bank_group = take(&mut v, cfg.bank_groups);
+                bank = take(&mut v, cfg.banks_per_group);
+                row = v % cfg.rows;
+            }
+            AddressMapping::RoRaBaChCo => {
+                column = take(&mut v, bursts_per_row);
+                channel = take(&mut v, cfg.channels);
+                bank_group = take(&mut v, cfg.bank_groups);
+                bank = take(&mut v, cfg.banks_per_group);
+                rank = take(&mut v, cfg.ranks);
+                row = v % cfg.rows;
+            }
+            AddressMapping::ChRaBaRoCo => {
+                column = take(&mut v, bursts_per_row);
+                row = take(&mut v, cfg.rows);
+                bank = take(&mut v, cfg.banks_per_group);
+                bank_group = take(&mut v, cfg.bank_groups);
+                rank = take(&mut v, cfg.ranks);
+                channel = v % cfg.channels;
+            }
+        }
+        DecodedAddr {
+            channel,
+            rank,
+            bank_group,
+            bank,
+            row,
+            // Column in bus-width units, aligned to the burst.
+            column: column * cfg.timings.burst_length,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+    use proptest::prelude::*;
+
+    #[test]
+    fn consecutive_bursts_interleave_channels_under_default() {
+        let mut cfg = DramConfig::ddr4_2400();
+        cfg.channels = 4;
+        let m = AddressMapping::RoBaRaCoCh;
+        let bpb = cfg.bytes_per_burst();
+        let channels: Vec<u64> = (0..4).map(|i| m.decode(i * bpb, &cfg).channel).collect();
+        assert_eq!(channels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn same_row_until_row_stride() {
+        let cfg = DramConfig::ddr4_2400();
+        let m = cfg.mapping;
+        let a = m.decode(0, &cfg);
+        let b = m.decode(cfg.row_bytes() - 1, &cfg);
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.flat_bank(&cfg), b.flat_bank(&cfg));
+        let c = m.decode(cfg.row_stride_bytes(), &cfg);
+        assert_eq!(a.flat_bank(&cfg), c.flat_bank(&cfg));
+        assert_eq!(c.row, a.row + 1);
+    }
+
+    #[test]
+    fn linear_mapping_keeps_channel_for_contiguous_region() {
+        let mut cfg = DramConfig::ddr4_2400();
+        cfg.channels = 2;
+        let m = AddressMapping::ChRaBaRoCo;
+        for addr in (0..1 << 20).step_by(4096) {
+            assert_eq!(m.decode(addr, &cfg).channel, 0);
+        }
+    }
+
+    #[test]
+    fn decoded_fields_within_bounds() {
+        let cfg = DramConfig::ddr4_2400_quad();
+        for mapping in [
+            AddressMapping::RoBaRaCoCh,
+            AddressMapping::RoRaBaChCo,
+            AddressMapping::ChRaBaRoCo,
+        ] {
+            for addr in [0u64, 64, 4096, 1 << 20, 1 << 30, u64::MAX / 2] {
+                let d = mapping.decode(addr, &cfg);
+                assert!(d.channel < cfg.channels);
+                assert!(d.rank < cfg.ranks);
+                assert!(d.bank_group < cfg.bank_groups);
+                assert!(d.bank < cfg.banks_per_group);
+                assert!(d.row < cfg.rows);
+                assert!(d.column < cfg.columns);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn decode_is_injective_within_capacity(burst_a in 0u64..1_000_000, burst_b in 0u64..1_000_000) {
+            let cfg = DramConfig::ddr4_2400();
+            let m = cfg.mapping;
+            let a = m.decode(burst_a * cfg.bytes_per_burst(), &cfg);
+            let b = m.decode(burst_b * cfg.bytes_per_burst(), &cfg);
+            if burst_a != burst_b {
+                prop_assert_ne!(a, b, "distinct bursts must decode to distinct coordinates");
+            } else {
+                prop_assert_eq!(a, b);
+            }
+        }
+
+        #[test]
+        fn same_burst_same_decode_regardless_of_byte_offset(
+            burst in 0u64..1_000_000, off in 0u64..64
+        ) {
+            let cfg = DramConfig::ddr4_2400();
+            let m = cfg.mapping;
+            let base = m.decode(burst * 64, &cfg);
+            let with_off = m.decode(burst * 64 + off, &cfg);
+            prop_assert_eq!(base, with_off);
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! A single DRAM channel: FR-FCFS scheduling, shared data bus, refresh.
+
+use std::collections::VecDeque;
+
+use crate::addr::DecodedAddr;
+use crate::bank::{Bank, NextCommand};
+use crate::config::{DramConfig, PagePolicy};
+use crate::DramRequest;
+
+/// Counters exposed by a channel (merged across channels by
+/// [`crate::DramSystem::stats`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Column reads issued.
+    pub reads: u64,
+    /// Column writes issued.
+    pub writes: u64,
+    /// Row activations issued.
+    pub activates: u64,
+    /// Precharges issued.
+    pub precharges: u64,
+    /// Column accesses that hit an already-open row.
+    pub row_hits: u64,
+    /// Refresh commands issued.
+    pub refreshes: u64,
+    /// DRAM cycles during which the data bus carried data.
+    pub data_bus_busy_cycles: u64,
+}
+
+impl ChannelStats {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: ChannelStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.row_hits += other.row_hits;
+        self.refreshes += other.refreshes;
+        self.data_bus_busy_cycles += other.data_bus_busy_cycles;
+    }
+
+    /// Row-hit rate over all column accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let cols = self.reads + self.writes;
+        if cols == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / cols as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    request: DramRequest,
+    decoded: DecodedAddr,
+    /// Whether this request needed its own row activation (row miss).
+    needed_act: bool,
+    /// Once the column command has issued, the cycle the data finishes.
+    done_at: Option<u64>,
+}
+
+/// One channel's command scheduler and banks.
+pub struct DramChannel {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    queue: Vec<Entry>,
+    completions: VecDeque<(DramRequest, u64)>,
+    /// Cycle until which the shared data bus is claimed.
+    data_bus_free_at: u64,
+    /// Most recent data-bus op was a write (for turnaround penalties).
+    last_was_write: bool,
+    /// Next refresh deadline.
+    next_refresh_at: u64,
+    /// While Some, the channel is refreshing until this cycle.
+    refreshing_until: Option<u64>,
+    /// Recent ACT issue cycles, for tFAW (keep last 4).
+    recent_activates: VecDeque<u64>,
+    /// (cycle, bank_group) of the most recent column command, for the
+    /// rank-level tCCD_S / tCCD_L constraint.
+    last_column: Option<(u64, u64)>,
+    /// Banks awaiting an auto-precharge (closed-page policy).
+    auto_precharge: Vec<usize>,
+    stats: ChannelStats,
+}
+
+impl DramChannel {
+    /// Creates an idle channel.
+    pub fn new(config: DramConfig) -> Self {
+        let next_refresh_at = config.timings.t_refi;
+        let banks = (0..config.banks_per_channel()).map(|_| Bank::new()).collect();
+        Self {
+            config,
+            banks,
+            queue: Vec::new(),
+            completions: VecDeque::new(),
+            data_bus_free_at: 0,
+            last_was_write: false,
+            next_refresh_at,
+            refreshing_until: None,
+            recent_activates: VecDeque::new(),
+            last_column: None,
+            auto_precharge: Vec::new(),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Whether another request fits in the scheduler queue.
+    pub fn can_accept(&self) -> bool {
+        self.queue.len() < self.config.queue_depth
+    }
+
+    /// Enqueues a pre-decoded request.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(request)` when the queue is full.
+    pub fn enqueue(
+        &mut self,
+        request: DramRequest,
+        decoded: DecodedAddr,
+    ) -> Result<(), DramRequest> {
+        if !self.can_accept() {
+            return Err(request);
+        }
+        self.queue.push(Entry { request, decoded, needed_act: false, done_at: None });
+        Ok(())
+    }
+
+    /// Whether work remains queued or in flight.
+    pub fn is_busy(&self) -> bool {
+        !self.queue.is_empty() || !self.completions.is_empty()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Pops a (request, done_cycle) completion.
+    pub fn pop_completion(&mut self) -> Option<(DramRequest, u64)> {
+        self.completions.pop_front()
+    }
+
+    /// Advances one DRAM command-clock cycle.
+    pub fn tick(&mut self, now: u64) {
+        self.retire(now);
+        self.service_auto_precharge(now);
+        if self.handle_refresh(now) {
+            return;
+        }
+        self.issue_one_command(now);
+    }
+
+    /// Closed-page policy: close banks whose access finished, unless a
+    /// queued request still wants the open row (then it is a free hit).
+    fn service_auto_precharge(&mut self, now: u64) {
+        if self.auto_precharge.is_empty() {
+            return;
+        }
+        let t = self.config.timings.clone();
+        let mut remaining = Vec::new();
+        for bank_idx in std::mem::take(&mut self.auto_precharge) {
+            let open = self.banks[bank_idx].open_row();
+            let still_wanted = open.is_some()
+                && self.queue.iter().any(|e| {
+                    e.done_at.is_none()
+                        && e.decoded.flat_bank(&self.config) as usize == bank_idx
+                        && Some(e.decoded.row) == open
+                });
+            if open.is_none() || still_wanted {
+                continue; // already closed, or a pending hit cancels it
+            }
+            if self.banks[bank_idx].can_precharge(now) {
+                self.banks[bank_idx].precharge(now, &t);
+                self.stats.precharges += 1;
+            } else {
+                remaining.push(bank_idx);
+            }
+        }
+        self.auto_precharge = remaining;
+    }
+
+    /// Moves finished entries to the completion queue.
+    fn retire(&mut self, now: u64) {
+        let mut i = 0;
+        while i < self.queue.len() {
+            if let Some(done) = self.queue[i].done_at {
+                if done <= now {
+                    let entry = self.queue.remove(i);
+                    self.completions.push_back((entry.request, done));
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Refresh state machine: returns true if the channel is stalled by
+    /// refresh this cycle.
+    fn handle_refresh(&mut self, now: u64) -> bool {
+        if let Some(until) = self.refreshing_until {
+            if now < until {
+                return true;
+            }
+            self.refreshing_until = None;
+            self.next_refresh_at = now + self.config.timings.t_refi;
+            return false;
+        }
+        if now >= self.next_refresh_at {
+            // All-bank refresh: precharge-all first (close any open banks
+            // that are allowed to close; if some cannot yet, try next cycle).
+            let t = self.config.timings.clone();
+            let all_closable = self
+                .banks
+                .iter()
+                .all(|b| b.open_row().is_none() || b.can_precharge(now));
+            if !all_closable {
+                return false; // keep draining; refresh pending
+            }
+            for bank in &mut self.banks {
+                if bank.open_row().is_some() {
+                    bank.precharge(now, &t);
+                    self.stats.precharges += 1;
+                }
+            }
+            let until = now + t.t_rfc;
+            for bank in &mut self.banks {
+                bank.block_until(until);
+            }
+            self.refreshing_until = Some(until);
+            self.stats.refreshes += 1;
+            return true;
+        }
+        false
+    }
+
+    /// tFAW check: may a fourth-plus ACT issue at `now`?
+    fn faw_allows(&self, now: u64) -> bool {
+        if self.recent_activates.len() < 4 {
+            return true;
+        }
+        let oldest = self.recent_activates[self.recent_activates.len() - 4];
+        now >= oldest + self.config.timings.t_faw
+    }
+
+    /// Chooses and issues at most one command, FR-FCFS: first any ready
+    /// column access (row hit, bus free), oldest first; otherwise the oldest
+    /// request's preparatory command (ACT or PRE).
+    fn issue_one_command(&mut self, now: u64) {
+        let t = self.config.timings.clone();
+
+        // Pass 1: ready column accesses (row hits) in age order.
+        let mut col_candidate: Option<usize> = None;
+        for (idx, entry) in self.queue.iter().enumerate() {
+            if entry.done_at.is_some() {
+                continue;
+            }
+            let bank = &self.banks[entry.decoded.flat_bank(&self.config) as usize];
+            if bank.next_command_for(entry.decoded.row) != NextCommand::Column {
+                continue;
+            }
+            let col_ok = if entry.request.is_write { bank.can_write(now) } else { bank.can_read(now) };
+            if !col_ok {
+                continue;
+            }
+            // Rank-level column-to-column spacing: tCCD_L within a bank
+            // group, tCCD_S across groups (DDR4's bank-group architecture).
+            if let Some((last, group)) = self.last_column {
+                let gap = if group == entry.decoded.bank_group { t.t_ccd_l } else { t.t_ccd };
+                if now < last + gap {
+                    continue;
+                }
+            }
+            // The data burst must win the shared bus; include turnaround.
+            let turnaround =
+                if self.last_was_write != entry.request.is_write { t.t_wtr.min(4) } else { 0 };
+            let earliest_data =
+                now + if entry.request.is_write { t.cwl } else { t.cl };
+            if earliest_data < self.data_bus_free_at + turnaround {
+                continue;
+            }
+            col_candidate = Some(idx);
+            break;
+        }
+
+        if let Some(idx) = col_candidate {
+            let (is_write, flat_bank) = {
+                let e = &self.queue[idx];
+                (e.request.is_write, e.decoded.flat_bank(&self.config) as usize)
+            };
+            let bank = &mut self.banks[flat_bank];
+            let (start, end) =
+                if is_write { bank.write(now, &t) } else { bank.read(now, &t) };
+            self.last_column = Some((now, self.queue[idx].decoded.bank_group));
+            self.data_bus_free_at = end;
+            self.last_was_write = is_write;
+            self.stats.data_bus_busy_cycles += end - start;
+            if !self.queue[idx].needed_act {
+                self.stats.row_hits += 1;
+            }
+            if is_write {
+                self.stats.writes += 1;
+            } else {
+                self.stats.reads += 1;
+            }
+            self.queue[idx].done_at = Some(end);
+            if self.config.page_policy == PagePolicy::Closed
+                && !self.auto_precharge.contains(&flat_bank)
+            {
+                self.auto_precharge.push(flat_bank);
+            }
+            return;
+        }
+
+        // Pass 2: preparatory command for the oldest request that needs one.
+        for idx in 0..self.queue.len() {
+            if self.queue[idx].done_at.is_some() {
+                continue;
+            }
+            let (row, flat_bank) = {
+                let e = &self.queue[idx];
+                (e.decoded.row, e.decoded.flat_bank(&self.config) as usize)
+            };
+            match self.banks[flat_bank].next_command_for(row) {
+                NextCommand::Activate => {
+                    if self.banks[flat_bank].can_activate(now) && self.faw_allows(now) {
+                        self.queue[idx].needed_act = true;
+                        self.banks[flat_bank].activate(now, row, &t);
+                        // tRRD to all other banks in the rank (we apply
+                        // channel-wide; conservative).
+                        for (b, bank) in self.banks.iter_mut().enumerate() {
+                            if b != flat_bank {
+                                bank.delay_activate_until(now + t.t_rrd);
+                            }
+                        }
+                        self.recent_activates.push_back(now);
+                        if self.recent_activates.len() > 8 {
+                            self.recent_activates.pop_front();
+                        }
+                        self.stats.activates += 1;
+                        return;
+                    }
+                }
+                NextCommand::Precharge => {
+                    // Only close a row no *older* queued request still wants.
+                    let open = self.banks[flat_bank].open_row();
+                    let wanted_by_older = self.queue[..idx].iter().any(|e| {
+                        e.done_at.is_none()
+                            && e.decoded.flat_bank(&self.config) as usize == flat_bank
+                            && Some(e.decoded.row) == open
+                    });
+                    if !wanted_by_older && self.banks[flat_bank].can_precharge(now) {
+                        self.banks[flat_bank].precharge(now, &t);
+                        self.stats.precharges += 1;
+                        return;
+                    }
+                }
+                NextCommand::Column => {
+                    // Column not ready this cycle (timing or bus); wait.
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for DramChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DramChannel")
+            .field("queued", &self.queue.len())
+            .field("banks", &self.banks.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+
+    fn decoded(cfg: &DramConfig, addr: u64) -> DecodedAddr {
+        cfg.mapping.decode(addr, cfg)
+    }
+
+    fn drain(ch: &mut DramChannel, upto: u64) -> Vec<(DramRequest, u64)> {
+        let mut out = Vec::new();
+        for now in 0..upto {
+            ch.tick(now);
+            while let Some(c) = ch.pop_completion() {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn read_latency_decomposes_into_act_cas_burst() {
+        let cfg = DramConfig::ddr4_2400();
+        let t = cfg.timings.clone();
+        let mut ch = DramChannel::new(cfg.clone());
+        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0)).unwrap();
+        let done = drain(&mut ch, 500);
+        assert_eq!(done.len(), 1);
+        // ACT at 0, RD at tRCD, data ends at tRCD + CL + BL/2.
+        assert_eq!(done[0].1, t.t_rcd + t.cl + t.burst_cycles());
+    }
+
+    #[test]
+    fn bank_parallelism_beats_single_bank_conflicts() {
+        let cfg = DramConfig::ddr4_2400();
+        // Same bank, different rows: serialized by tRAS+tRP.
+        let mut ch = DramChannel::new(cfg.clone());
+        let stride = cfg.row_stride_bytes();
+        for i in 0..4u64 {
+            ch.enqueue(DramRequest::read(i, i * stride), decoded(&cfg, i * stride)).unwrap();
+        }
+        let conflict_done = drain(&mut ch, 4000).iter().map(|c| c.1).max().unwrap();
+
+        // Different banks: overlapped activations.
+        let mut ch = DramChannel::new(cfg.clone());
+        let bank_stride = cfg.row_bytes(); // next bank under RoBaRaCoCh (after columns come rank/bank bits)
+        for i in 0..4u64 {
+            let addr = i * bank_stride;
+            ch.enqueue(DramRequest::read(i, addr), decoded(&cfg, addr)).unwrap();
+        }
+        let parallel_done = drain(&mut ch, 4000).iter().map(|c| c.1).max().unwrap();
+        assert!(
+            parallel_done < conflict_done,
+            "bank-parallel ({parallel_done}) should beat same-bank conflicts ({conflict_done})"
+        );
+    }
+
+    #[test]
+    fn refresh_fires_periodically() {
+        let cfg = DramConfig::ddr4_2400();
+        let trefi = cfg.timings.t_refi;
+        let mut ch = DramChannel::new(cfg);
+        for now in 0..(trefi * 3 + 100) {
+            ch.tick(now);
+        }
+        assert!(ch.stats().refreshes >= 2, "refreshes = {}", ch.stats().refreshes);
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_row_hits() {
+        let cfg = DramConfig::ddr4_2400();
+        let mut ch = DramChannel::new(cfg.clone());
+        let stride = cfg.row_stride_bytes();
+        // Oldest request conflicts (different row, same bank as #1 after it);
+        // the row-hit to the already-open row should still be served quickly.
+        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0)).unwrap();
+        let done1 = drain(&mut ch, 200);
+        assert_eq!(done1.len(), 1);
+        // Row 0 is now open. Queue a conflict and a hit.
+        ch.enqueue(DramRequest::read(1, stride), decoded(&cfg, stride)).unwrap();
+        ch.enqueue(DramRequest::read(2, 64), decoded(&cfg, 64)).unwrap();
+        let done = drain(&mut ch, 2000);
+        assert_eq!(done.len(), 2);
+        let hit = done.iter().find(|c| c.0.id == 2).unwrap().1;
+        let conflict = done.iter().find(|c| c.0.id == 1).unwrap().1;
+        assert!(hit < conflict, "row hit ({hit}) should finish before conflict ({conflict})");
+    }
+
+    #[test]
+    fn closed_page_policy_precharges_after_access() {
+        let mut cfg = DramConfig::ddr4_2400();
+        cfg.page_policy = PagePolicy::Closed;
+        let mut ch = DramChannel::new(cfg.clone());
+        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0)).unwrap();
+        drain(&mut ch, 500);
+        // After the access retires, the bank must be closed again.
+        let stats = ch.stats();
+        assert_eq!(stats.precharges, 1, "auto-precharge should have fired");
+    }
+
+    #[test]
+    fn closed_page_speeds_up_row_conflicts() {
+        // Alternating rows of one bank: closed-page pre-pays tRP during
+        // idle time; open-page pays PRE on the critical path.
+        let run = |policy: PagePolicy| {
+            let mut cfg = DramConfig::ddr4_2400();
+            cfg.page_policy = policy;
+            let stride = cfg.row_stride_bytes();
+            let mut ch = DramChannel::new(cfg.clone());
+            let mut done_at = 0;
+            for i in 0..6u64 {
+                let addr = (i % 2) * stride;
+                ch.enqueue(DramRequest::read(i, addr), decoded(&cfg, addr)).unwrap();
+                // Idle gap between arrivals lets closed-page hide tRP.
+                let completions = drain(&mut ch, 200);
+                done_at += 200;
+                let _ = completions;
+            }
+            let _ = done_at;
+            ch.stats()
+        };
+        let closed = run(PagePolicy::Closed);
+        let open = run(PagePolicy::Open);
+        // Closed-page turns every access into a (pre-opened) miss but
+        // never pays a demand precharge; with alternating rows both do
+        // the same activations, and closed does its precharges early.
+        assert_eq!(closed.reads, open.reads);
+        assert!(closed.precharges >= open.precharges);
+    }
+
+    #[test]
+    fn closed_page_keeps_pending_hits_open() {
+        let mut cfg = DramConfig::ddr4_2400();
+        cfg.page_policy = PagePolicy::Closed;
+        let mut ch = DramChannel::new(cfg.clone());
+        // Two same-row requests queued together: the auto-precharge must
+        // not fire between them.
+        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0)).unwrap();
+        ch.enqueue(DramRequest::read(1, 64), decoded(&cfg, 64)).unwrap();
+        drain(&mut ch, 500);
+        let stats = ch.stats();
+        assert_eq!(stats.activates, 1, "second access should still row-hit");
+        assert_eq!(stats.row_hits, 1);
+    }
+
+    #[test]
+    fn bank_group_spacing_tccd_l_vs_tccd_s() {
+        let cfg = DramConfig::ddr4_2400();
+        let t = cfg.timings.clone();
+        // Same bank group, same row: column commands spaced by tCCD_L.
+        let mut ch = DramChannel::new(cfg.clone());
+        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0)).unwrap();
+        ch.enqueue(DramRequest::read(1, 64), decoded(&cfg, 64)).unwrap();
+        let done = drain(&mut ch, 500);
+        let same_group_gap = done[1].1 - done[0].1;
+        assert_eq!(same_group_gap, t.t_ccd_l.max(t.burst_cycles()));
+
+        // Different bank groups with both rows already open (warm-up reads
+        // first so no ACT is in the way): tCCD_S applies.
+        let mut ch = DramChannel::new(cfg.clone());
+        // Under RoBaRaCoCh the bank-group bits sit above the column bits.
+        let other_group = cfg.row_bytes();
+        let d0 = decoded(&cfg, 0);
+        let d1 = decoded(&cfg, other_group);
+        assert_ne!(d0.bank_group, d1.bank_group, "addresses must differ in bank group");
+        ch.enqueue(DramRequest::read(100, 0), d0).unwrap();
+        ch.enqueue(DramRequest::read(101, other_group), d1).unwrap();
+        drain(&mut ch, 500);
+        ch.enqueue(DramRequest::read(0, 64), decoded(&cfg, 64)).unwrap();
+        ch.enqueue(DramRequest::read(1, other_group + 64), decoded(&cfg, other_group + 64))
+            .unwrap();
+        let done = drain(&mut ch, 1000);
+        let cross_group_gap = done[1].1 - done[0].1;
+        assert_eq!(cross_group_gap, t.t_ccd.max(t.burst_cycles()));
+        assert!(cross_group_gap < same_group_gap);
+    }
+
+    #[test]
+    fn stats_count_hits_and_activates() {
+        let cfg = DramConfig::ddr4_2400();
+        let mut ch = DramChannel::new(cfg.clone());
+        for i in 0..8u64 {
+            ch.enqueue(DramRequest::read(i, i * 64), decoded(&cfg, i * 64)).unwrap();
+        }
+        drain(&mut ch, 2000);
+        let s = ch.stats();
+        assert_eq!(s.reads, 8);
+        assert_eq!(s.activates, 1, "one row serves all eight bursts");
+        // The first access misses (it triggered the ACT); the rest hit.
+        assert_eq!(s.row_hits, 7);
+        assert!(s.row_hit_rate() > 0.85);
+    }
+}

@@ -1,0 +1,309 @@
+//! # bdram — a cycle-accurate DRAM timing model
+//!
+//! Plays the role DRAMSim3 plays in the paper's simulation platform
+//! (§II-D): the Beethoven memory controller hands it single-burst requests
+//! and it decides *when* each completes, modelling banks, row buffers,
+//! per-bank timing constraints (tRCD/tRP/tRAS/CL/…), the shared data bus,
+//! FR-FCFS scheduling, and periodic refresh.
+//!
+//! The model is time-driven in its own clock domain: callers advance it to
+//! an absolute picosecond timestamp with [`DramSystem::advance_to_ps`], and
+//! completions are reported with picosecond timestamps, so fabric and DRAM
+//! clocks need not be related.
+//!
+//! ```rust
+//! use bdram::{DramConfig, DramRequest, DramSystem};
+//!
+//! let mut dram = DramSystem::new(DramConfig::ddr4_2400());
+//! dram.enqueue(DramRequest::read(1, 0x0)).unwrap();
+//! dram.advance_to_ps(1_000_000); // run 1 us
+//! let done = dram.pop_completion().expect("read completes within 1 us");
+//! assert_eq!(done.id, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod addr;
+mod bank;
+mod channel;
+mod config;
+
+pub use addr::{AddressMapping, DecodedAddr};
+pub use channel::{ChannelStats, DramChannel};
+pub use config::{DramConfig, DramTimings, PagePolicy};
+
+use std::collections::VecDeque;
+
+/// A single-burst DRAM request (one BL8 column access worth of data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramRequest {
+    /// Caller-chosen identifier returned with the completion.
+    pub id: u64,
+    /// Byte address.
+    pub addr: u64,
+    /// Whether this is a write.
+    pub is_write: bool,
+}
+
+impl DramRequest {
+    /// Creates a read request.
+    pub fn read(id: u64, addr: u64) -> Self {
+        Self { id, addr, is_write: false }
+    }
+
+    /// Creates a write request.
+    pub fn write(id: u64, addr: u64) -> Self {
+        Self { id, addr, is_write: true }
+    }
+}
+
+/// A completed request and the picosecond time its data finished on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramCompletion {
+    /// The id passed in the request.
+    pub id: u64,
+    /// Byte address of the request.
+    pub addr: u64,
+    /// Whether it was a write.
+    pub is_write: bool,
+    /// Absolute completion time in picoseconds.
+    pub done_ps: u64,
+}
+
+/// A multi-channel DRAM subsystem.
+///
+/// Requests are routed to channels by the configured address mapping; each
+/// channel schedules independently (FR-FCFS) and shares nothing but the
+/// caller's clock.
+pub struct DramSystem {
+    config: DramConfig,
+    channels: Vec<DramChannel>,
+    completions: VecDeque<DramCompletion>,
+    /// DRAM cycles simulated so far.
+    dram_cycle: u64,
+}
+
+impl DramSystem {
+    /// Creates a DRAM system from a configuration.
+    pub fn new(config: DramConfig) -> Self {
+        let channels = (0..config.channels)
+            .map(|_| DramChannel::new(config.clone()))
+            .collect();
+        Self { config, channels, completions: VecDeque::new(), dram_cycle: 0 }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Attempts to enqueue a request; fails (returning it) if the target
+    /// channel's queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(request)` when the channel command queue is at capacity;
+    /// the caller should retry after advancing time (backpressure).
+    pub fn enqueue(&mut self, request: DramRequest) -> Result<(), DramRequest> {
+        let decoded = self.config.mapping.decode(request.addr, &self.config);
+        let channel = &mut self.channels[decoded.channel as usize];
+        channel.enqueue(request, decoded)
+    }
+
+    /// Whether the channel that `addr` maps to can accept another request.
+    pub fn can_accept(&self, addr: u64) -> bool {
+        let decoded = self.config.mapping.decode(addr, &self.config);
+        self.channels[decoded.channel as usize].can_accept()
+    }
+
+    /// Advances the DRAM clock so that all cycles beginning strictly before
+    /// `ps` have been simulated, collecting completions.
+    pub fn advance_to_ps(&mut self, ps: u64) {
+        let target_cycle = ps / self.config.timings.tck_ps;
+        while self.dram_cycle < target_cycle {
+            for channel in &mut self.channels {
+                channel.tick(self.dram_cycle);
+                while let Some((req, done_cycle)) = channel.pop_completion() {
+                    self.completions.push_back(DramCompletion {
+                        id: req.id,
+                        addr: req.addr,
+                        is_write: req.is_write,
+                        done_ps: done_cycle * self.config.timings.tck_ps,
+                    });
+                }
+            }
+            self.dram_cycle += 1;
+        }
+    }
+
+    /// Pops the oldest completion, if any.
+    pub fn pop_completion(&mut self) -> Option<DramCompletion> {
+        self.completions.pop_front()
+    }
+
+    /// Whether any requests are still queued or in flight.
+    pub fn is_busy(&self) -> bool {
+        self.channels.iter().any(DramChannel::is_busy) || !self.completions.is_empty()
+    }
+
+    /// Aggregated statistics across channels.
+    pub fn stats(&self) -> ChannelStats {
+        let mut total = ChannelStats::default();
+        for channel in &self.channels {
+            total.merge(channel.stats());
+        }
+        total
+    }
+
+    /// Bytes transferred per burst (bus width × burst length).
+    pub fn bytes_per_burst(&self) -> u64 {
+        self.config.bytes_per_burst()
+    }
+}
+
+impl std::fmt::Debug for DramSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DramSystem")
+            .field("channels", &self.channels.len())
+            .field("dram_cycle", &self.dram_cycle)
+            .field("pending_completions", &self.completions.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_one(mut dram: DramSystem, req: DramRequest) -> DramCompletion {
+        dram.enqueue(req).unwrap();
+        dram.advance_to_ps(10_000_000);
+        dram.pop_completion().expect("request should complete")
+    }
+
+    #[test]
+    fn single_read_completes_with_activation_latency() {
+        let cfg = DramConfig::ddr4_2400();
+        let t = cfg.timings.clone();
+        let done = run_one(DramSystem::new(cfg), DramRequest::read(7, 0));
+        assert_eq!(done.id, 7);
+        // Must include at least tRCD + CL + burst time.
+        let min_ps = (t.t_rcd + t.cl + t.burst_cycles()) * t.tck_ps;
+        assert!(done.done_ps >= min_ps, "{} < {}", done.done_ps, min_ps);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_row_miss() {
+        let cfg = DramConfig::ddr4_2400();
+        let mut dram = DramSystem::new(cfg.clone());
+        // Two reads to the same row: second should be a row hit.
+        dram.enqueue(DramRequest::read(1, 0)).unwrap();
+        dram.enqueue(DramRequest::read(2, 64)).unwrap();
+        dram.advance_to_ps(10_000_000);
+        let first = dram.pop_completion().unwrap();
+        let second = dram.pop_completion().unwrap();
+        let hit_gap = second.done_ps - first.done_ps;
+
+        // Two reads to different rows of the same bank: row conflict.
+        let mut dram = DramSystem::new(cfg.clone());
+        let row_stride = cfg.row_stride_bytes();
+        dram.enqueue(DramRequest::read(1, 0)).unwrap();
+        dram.enqueue(DramRequest::read(2, row_stride)).unwrap();
+        dram.advance_to_ps(10_000_000);
+        let first = dram.pop_completion().unwrap();
+        let second = dram.pop_completion().unwrap();
+        let conflict_gap = second.done_ps - first.done_ps;
+
+        assert!(
+            conflict_gap > hit_gap,
+            "row conflict ({conflict_gap} ps) should exceed row hit ({hit_gap} ps)"
+        );
+    }
+
+    #[test]
+    fn sequential_stream_reaches_high_bus_utilization() {
+        let cfg = DramConfig::ddr4_2400();
+        let bpb = cfg.bytes_per_burst();
+        let mut dram = DramSystem::new(cfg.clone());
+        let bursts = 512u64;
+        let mut issued = 0u64;
+        let mut completed = 0u64;
+        let mut last_done = 0u64;
+        let mut ps = 0u64;
+        while completed < bursts {
+            while issued < bursts {
+                if dram.enqueue(DramRequest::read(issued, issued * bpb)).is_ok() {
+                    issued += 1;
+                } else {
+                    break;
+                }
+            }
+            ps += 100_000;
+            dram.advance_to_ps(ps);
+            while let Some(c) = dram.pop_completion() {
+                completed += 1;
+                last_done = last_done.max(c.done_ps);
+            }
+            assert!(ps < 1_000_000_000, "stream did not finish");
+        }
+        let bytes = bursts * bpb;
+        let secs = last_done as f64 / 1e12;
+        let bw = bytes as f64 / secs;
+        let peak = cfg.peak_bandwidth_bytes_per_sec();
+        assert!(
+            bw > 0.5 * peak,
+            "sequential read bandwidth {bw:.2e} should be >50% of peak {peak:.2e}"
+        );
+    }
+
+    #[test]
+    fn writes_complete_too() {
+        let done = run_one(
+            DramSystem::new(DramConfig::ddr4_2400()),
+            DramRequest::write(3, 0x1000),
+        );
+        assert!(done.is_write);
+        assert_eq!(done.id, 3);
+    }
+
+    #[test]
+    fn backpressure_when_queue_full() {
+        let mut cfg = DramConfig::ddr4_2400();
+        cfg.queue_depth = 2;
+        let mut dram = DramSystem::new(cfg);
+        assert!(dram.enqueue(DramRequest::read(0, 0)).is_ok());
+        assert!(dram.enqueue(DramRequest::read(1, 64)).is_ok());
+        assert!(dram.enqueue(DramRequest::read(2, 128)).is_err());
+        assert!(!dram.can_accept(128));
+    }
+
+    #[test]
+    fn multi_channel_requests_all_complete() {
+        let mut cfg = DramConfig::ddr4_2400();
+        cfg.channels = 2;
+        let mut dram = DramSystem::new(cfg);
+        for i in 0..8 {
+            dram.enqueue(DramRequest::read(i, i * 64)).unwrap();
+        }
+        dram.advance_to_ps(10_000_000);
+        let stats = dram.stats();
+        assert_eq!(stats.reads, 8);
+        let mut seen = 0;
+        while dram.pop_completion().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, 8);
+    }
+
+    #[test]
+    fn is_busy_reflects_outstanding_work() {
+        let mut dram = DramSystem::new(DramConfig::ddr4_2400());
+        assert!(!dram.is_busy());
+        dram.enqueue(DramRequest::read(0, 0)).unwrap();
+        assert!(dram.is_busy());
+        dram.advance_to_ps(10_000_000);
+        assert!(dram.is_busy(), "completion not yet popped");
+        dram.pop_completion();
+        assert!(!dram.is_busy());
+    }
+}

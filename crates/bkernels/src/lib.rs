@@ -1,0 +1,18 @@
+//! # bkernels — accelerator kernels built on the Beethoven framework
+//!
+//! The workloads of the paper's evaluation (§III), implemented as real
+//! [`bcore::AcceleratorCore`]s that compute correct results through the
+//! simulated memory system:
+//!
+//! * [`vecadd`] — the running example of Figures 2/3.
+//! * [`memcpy`] — the §III-A microbenchmark, with the Pure-HDL /
+//!   Beethoven / Beethoven-No-TLP / HLS variants of Figures 4/5.
+//! * [`machsuite`] — the Table I subset (GeMM, NW, Stencil2D, Stencil3D,
+//!   MD-KNN) with software references and the Vitis-HLS / Spatial
+//!   comparator models used to regenerate Figure 6.
+
+#![warn(missing_docs)]
+
+pub mod machsuite;
+pub mod memcpy;
+pub mod vecadd;

@@ -1,0 +1,237 @@
+//! Comparator timing models for Vitis HLS and Spatial (Figure 6's
+//! baselines).
+//!
+//! The paper runs closed-source toolchains (Vitis HLS) and a compiler we
+//! cannot rebuild faithfully (Spatial) on real FPGAs. Per the reproduction's
+//! substitution rule, we model the *mechanisms* the paper identifies as
+//! driving their performance:
+//!
+//! * **Vitis HLS** selects its clock at synthesis (we assume the 250 MHz it
+//!   achieves on these small kernels), pipelines loops at an initiation
+//!   interval II ≥ 1, and unrolls by pragma factors — but cannot pipeline
+//!   through loop-carried dependencies (NW's DP recurrence gets a long II
+//!   covering the read→max→write chain through BRAM).
+//! * **Spatial** runs at the default 125 MHz and achieves similar loop
+//!   parallelism, with the paper noting its DSE-optimal points often failed
+//!   routing — we model the conservative factors that do route.
+//!
+//! Both models charge the same streaming-memory term (one 64-byte bus beat
+//! per cycle) the Beethoven implementation pays.
+//!
+//! All factors are listed in [`model`] and printed by the Figure 6 harness
+//! so the assumptions are visible next to the results.
+
+use super::Bench;
+
+/// A comparison methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Vitis HLS with tuned pragmas.
+    VitisHls,
+    /// The Spatial DSL at its default 125 MHz.
+    Spatial,
+}
+
+impl Method {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::VitisHls => "Vitis HLS",
+            Method::Spatial => "Spatial",
+        }
+    }
+}
+
+/// The paper's problem sizes (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperParams {
+    /// GeMM matrix dimension.
+    pub gemm_n: usize,
+    /// NW sequence length.
+    pub nw_n: usize,
+    /// Stencil2D grid dimension.
+    pub s2d_n: usize,
+    /// Stencil3D grid dimension.
+    pub s3d_n: usize,
+    /// MD-KNN atom count.
+    pub md_n: usize,
+    /// MD-KNN neighbours per atom.
+    pub md_k: usize,
+}
+
+impl Default for PaperParams {
+    fn default() -> Self {
+        Self { gemm_n: 256, nw_n: 256, s2d_n: 256, s3d_n: 32, md_n: 1024, md_k: 32 }
+    }
+}
+
+/// One methodology's modelled execution of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleModel {
+    /// Methodology.
+    pub method: Method,
+    /// Kernel clock, MHz.
+    pub clock_mhz: u64,
+    /// Compute cycles per invocation.
+    pub compute_cycles: u64,
+    /// Memory streaming cycles per invocation (64 B per cycle).
+    pub memory_cycles: u64,
+    /// The loop unroll factor assumed.
+    pub unroll: u64,
+    /// The initiation interval assumed for the inner loop.
+    pub ii: u64,
+}
+
+impl CycleModel {
+    /// Total cycles (compute and streaming overlap imperfectly; we charge
+    /// the max plus 10% of the min, the usual dataflow-overlap estimate).
+    pub fn total_cycles(&self) -> u64 {
+        let hi = self.compute_cycles.max(self.memory_cycles);
+        let lo = self.compute_cycles.min(self.memory_cycles);
+        hi + lo / 10
+    }
+
+    /// Seconds per kernel invocation.
+    pub fn seconds_per_invocation(&self) -> f64 {
+        self.total_cycles() as f64 / (self.clock_mhz as f64 * 1e6)
+    }
+
+    /// Invocations per second.
+    pub fn invocations_per_sec(&self) -> f64 {
+        1.0 / self.seconds_per_invocation()
+    }
+}
+
+/// Bytes streamed per invocation (inputs + outputs), shared by every
+/// methodology.
+pub fn bytes_per_invocation(bench: Bench, p: &PaperParams) -> u64 {
+    match bench {
+        Bench::Gemm => (3 * p.gemm_n * p.gemm_n * 4) as u64,
+        Bench::Nw => (2 * p.nw_n + 4 * p.nw_n) as u64,
+        Bench::Stencil2d => (2 * p.s2d_n * p.s2d_n * 4 + 36) as u64,
+        Bench::Stencil3d => (2 * p.s3d_n * p.s3d_n * p.s3d_n * 4) as u64,
+        Bench::MdKnn => ((3 * p.md_n + p.md_n * p.md_k + 3 * p.md_n) * 4) as u64,
+    }
+}
+
+/// The comparator model for `method` on `bench` at the paper's sizes.
+pub fn model(method: Method, bench: Bench, p: &PaperParams) -> CycleModel {
+    // (unroll, ii) assumptions per (method, bench); see module docs.
+    let (unroll, ii) = match (method, bench) {
+        // GeMM pipelines beautifully in both tools.
+        (Method::VitisHls, Bench::Gemm) => (16, 1),
+        (Method::Spatial, Bench::Gemm) => (16, 1),
+        // NW: loop-carried dependency defeats pragmas. HLS's read→compare→
+        // write chain through BRAM yields II≈4; Spatial schedules a
+        // slightly tighter II≈3.
+        (Method::VitisHls, Bench::Nw) => (1, 4),
+        (Method::Spatial, Bench::Nw) => (1, 3),
+        // Stencils unroll moderately before routing congestion bites.
+        (Method::VitisHls, Bench::Stencil2d) => (8, 1),
+        (Method::Spatial, Bench::Stencil2d) => (8, 1),
+        (Method::VitisHls, Bench::Stencil3d) => (8, 1),
+        (Method::Spatial, Bench::Stencil3d) => (8, 1),
+        // MD-KNN: the f32 divide chain limits II even unrolled.
+        (Method::VitisHls, Bench::MdKnn) => (4, 2),
+        (Method::Spatial, Bench::MdKnn) => (4, 2),
+    };
+    let inner_iters: u64 = match bench {
+        Bench::Gemm => (p.gemm_n * p.gemm_n * p.gemm_n) as u64,
+        Bench::Nw => (p.nw_n * p.nw_n) as u64,
+        Bench::Stencil2d => (p.s2d_n * p.s2d_n * 9) as u64,
+        Bench::Stencil3d => (p.s3d_n * p.s3d_n * p.s3d_n * 8) as u64,
+        Bench::MdKnn => (p.md_n * p.md_k) as u64,
+    };
+    let clock_mhz = match method {
+        Method::VitisHls => 250,
+        Method::Spatial => 125,
+    };
+    CycleModel {
+        method,
+        clock_mhz,
+        compute_cycles: inner_iters * ii / unroll,
+        memory_cycles: bytes_per_invocation(bench, p) / 64,
+        unroll,
+        ii,
+    }
+}
+
+/// The Beethoven core's loop-parallelism factor for each benchmark.
+///
+/// §III-B: only GeMM is the medium-effort, parameterized kernel "identical
+/// to the loop parallelism factors in Vitis HLS or Spatial"; the rest are
+/// the low-effort afternoon implementations that "do not take advantage of
+/// loop parallelism" beyond their natural datapath width — single-core
+/// they sit at or below the HLS baseline (NW excepted, where II=1 wins),
+/// and the multi-core composition provides the speedup.
+pub fn beethoven_parallelism(bench: Bench) -> usize {
+    match bench {
+        Bench::Gemm => 16,     // medium effort: matches the HLS/Spatial unroll
+        Bench::Nw => 1,        // low effort: one DP cell per cycle, II = 1
+        Bench::Stencil2d => 2, // low effort: a 2-cell-wide datapath
+        Bench::Stencil3d => 2,
+        Bench::MdKnn => 4,     // low effort: 4 interactions per cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_exist_for_all_benchmarks() {
+        let p = PaperParams::default();
+        for bench in Bench::ALL {
+            for method in [Method::VitisHls, Method::Spatial] {
+                let m = model(method, bench, &p);
+                assert!(m.total_cycles() > 0);
+                assert!(m.invocations_per_sec() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn nw_is_ii_limited_for_both_tools() {
+        let p = PaperParams::default();
+        let hls = model(Method::VitisHls, Bench::Nw, &p);
+        assert_eq!(hls.unroll, 1);
+        assert!(hls.ii >= 3, "NW's loop-carried dep must inflate the II");
+    }
+
+    #[test]
+    fn beethoven_nw_single_core_beats_hls_by_about_2x() {
+        // Beethoven NW: II=1 at 125 MHz; HLS: II=4 at 250 MHz. Per-cell
+        // rates: 125e6 vs 62.5e6 → 2×, the paper's §III-B.1 observation.
+        let p = PaperParams::default();
+        let hls = model(Method::VitisHls, Bench::Nw, &p);
+        let cells = (p.nw_n * p.nw_n) as f64;
+        let beethoven_secs = cells / 125e6; // II=1 at 125 MHz, compute-dominated
+        let ratio = hls.seconds_per_invocation() / beethoven_secs;
+        assert!(
+            (1.5..3.0).contains(&ratio),
+            "single-core NW speedup {ratio:.2} should be near the paper's 2x"
+        );
+    }
+
+    #[test]
+    fn spatial_is_slower_than_hls_at_equal_unroll() {
+        let p = PaperParams::default();
+        for bench in [Bench::Gemm, Bench::Stencil2d, Bench::Stencil3d] {
+            let hls = model(Method::VitisHls, bench, &p);
+            let spatial = model(Method::Spatial, bench, &p);
+            assert!(
+                spatial.seconds_per_invocation() > hls.seconds_per_invocation(),
+                "{}: 125 MHz Spatial can't beat 250 MHz HLS at the same unroll",
+                bench.name()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_term_matters_for_gemm() {
+        let p = PaperParams::default();
+        let m = model(Method::VitisHls, Bench::Gemm, &p);
+        assert!(m.memory_cycles > 0);
+        assert!(m.compute_cycles > m.memory_cycles, "GeMM is compute bound");
+    }
+}

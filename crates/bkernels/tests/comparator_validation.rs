@@ -1,0 +1,91 @@
+//! Cross-validation of the Figure 6 comparator models against the
+//! simulation substrate.
+//!
+//! The Vitis HLS / Spatial numbers in Figure 6 come from analytic cycle
+//! models (we cannot run the closed toolchains). These tests check the
+//! models aren't unmoored from the substrate: running the *same kernel*
+//! through the simulator with HLS-like transaction shaping and the same
+//! unroll factor must land within a small factor of the analytic count.
+
+use bcore::elaborate::{elaborate_with, ElaborationOptions};
+use bkernels::machsuite::baselines::{model, Method, PaperParams};
+use bkernels::machsuite::{gemm, stencil3d, Bench};
+use bplatform::Platform;
+
+fn hls_like_platform() -> Platform {
+    let mut p = Platform::aws_f1();
+    p.fabric_mhz = 250; // HLS synthesizes at 250 in the model
+    p.host_link.mmio_latency_ns = 0;
+    p
+}
+
+/// HLS-like memory shaping: 16-beat bursts, one AXI ID.
+fn hls_like_opts() -> ElaborationOptions {
+    ElaborationOptions {
+        burst_beats: 16,
+        ids_per_port: 1,
+        reader_inflight: 8,
+        writer_inflight: 8,
+        ..ElaborationOptions::default()
+    }
+}
+
+#[test]
+fn gemm_substrate_run_matches_analytic_model_within_2x() {
+    let n = 32;
+    let unroll = 16; // the model's assumed HLS unroll for GeMM
+    let mut soc = elaborate_with(gemm::config(1, n, unroll), &hls_like_platform(), hls_like_opts())
+        .unwrap();
+    let (a, b) = gemm::workload(n, 1);
+    {
+        let mem = soc.memory();
+        let mut mem = mem.borrow_mut();
+        mem.write_u32_slice(0x1_0000, &a.iter().map(|&x| x as u32).collect::<Vec<_>>());
+        mem.write_u32_slice(0x9_0000, &b.iter().map(|&x| x as u32).collect::<Vec<_>>());
+    }
+    let start = soc.now();
+    let token = soc.send_command(0, 0, &gemm::args(0x1_0000, 0x9_0000, 0x20_0000, n)).unwrap();
+    soc.run_until_response(token, 50_000_000).unwrap();
+    let simulated = (soc.now() - start) as f64;
+
+    let params = PaperParams { gemm_n: n, ..PaperParams::default() };
+    let analytic = model(Method::VitisHls, Bench::Gemm, &params).total_cycles() as f64;
+    let ratio = simulated / analytic;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "substrate {simulated} cycles vs analytic {analytic}: ratio {ratio:.2} outside 2x band"
+    );
+}
+
+#[test]
+fn stencil3d_substrate_run_matches_analytic_model_within_2x() {
+    let n = 8;
+    // The analytic model's "unroll 8" spreads across the 8 taps of one
+    // cell (one output cell per cycle); the substrate core's parallelism
+    // parameter counts *cells* per cycle, so the equivalent is p = 1.
+    let cells_per_cycle = 1;
+    let mut soc = elaborate_with(
+        stencil3d::config(1, n, cells_per_cycle),
+        &hls_like_platform(),
+        hls_like_opts(),
+    )
+    .unwrap();
+    let grid = stencil3d::workload(n, 2);
+    soc.memory()
+        .borrow_mut()
+        .write_u32_slice(0x1_0000, &grid.iter().map(|&x| x as u32).collect::<Vec<_>>());
+    let start = soc.now();
+    let token = soc
+        .send_command(0, 0, &stencil3d::args(0x1_0000, 0x8_0000, n, 2, -1))
+        .unwrap();
+    soc.run_until_response(token, 50_000_000).unwrap();
+    let simulated = (soc.now() - start) as f64;
+
+    let params = PaperParams { s3d_n: n, ..PaperParams::default() };
+    let analytic = model(Method::VitisHls, Bench::Stencil3d, &params).total_cycles() as f64;
+    let ratio = simulated / analytic;
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "substrate {simulated} cycles vs analytic {analytic}: ratio {ratio:.2} outside band"
+    );
+}

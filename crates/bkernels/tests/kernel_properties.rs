@@ -1,0 +1,129 @@
+//! Property-based tests on the MachSuite kernels: hardware-vs-reference
+//! equality at randomized sizes, and algebraic invariants of the software
+//! references themselves.
+
+use bcore::elaborate;
+use bkernels::machsuite::{gemm, mdknn, nw, stencil2d, stencil3d};
+use bplatform::Platform;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// GeMM through the full SoC equals the reference for arbitrary small
+    /// sizes, parallelism factors, and inputs.
+    #[test]
+    fn gemm_device_matches_reference(
+        n_quarter in 1usize..5, // n = 4, 8, 12, 16
+        p_log in 0u32..4,       // p = 1, 2, 4, 8
+        seed in any::<u64>(),
+    ) {
+        let n = n_quarter * 4;
+        let p = 1 << p_log;
+        let mut soc = elaborate(gemm::config(1, n, p), &Platform::sim()).unwrap();
+        let (a, b) = gemm::workload(n, seed);
+        {
+            let mem = soc.memory();
+            let mut mem = mem.borrow_mut();
+            mem.write_u32_slice(0x1_0000, &a.iter().map(|&x| x as u32).collect::<Vec<_>>());
+            mem.write_u32_slice(0x8_0000, &b.iter().map(|&x| x as u32).collect::<Vec<_>>());
+        }
+        let token = soc.send_command(0, 0, &gemm::args(0x1_0000, 0x8_0000, 0x10_0000, n)).unwrap();
+        soc.run_until_response(token, 20_000_000).expect("gemm completes");
+        let got: Vec<i32> = soc
+            .memory()
+            .borrow()
+            .read_u32_slice(0x10_0000, n * n)
+            .into_iter()
+            .map(|v| v as i32)
+            .collect();
+        prop_assert_eq!(got, gemm::reference(&a, &b, n));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// NW reference invariants: stripping gaps from the aligned outputs
+    /// recovers the inputs (reversed), gap columns never align two gaps,
+    /// and the alignment length is within [n, 2n].
+    #[test]
+    fn nw_reference_alignment_invariants(n in 2usize..48, seed in any::<u64>()) {
+        let (a, b) = nw::workload(n, seed);
+        let (out_a, out_b) = nw::reference(&a, &b, n);
+        let strip = |s: &[u8]| -> Vec<u8> {
+            let mut v: Vec<u8> = s.iter().copied().filter(|&c| c != b'-' && c != nw::PAD).collect();
+            v.reverse();
+            v
+        };
+        prop_assert_eq!(strip(&out_a), a);
+        prop_assert_eq!(strip(&out_b), b);
+        let mut len = 0;
+        for (&ca, &cb) in out_a.iter().zip(out_b.iter()) {
+            if ca == nw::PAD {
+                prop_assert_eq!(cb, nw::PAD, "padding must be aligned");
+                continue;
+            }
+            len += 1;
+            prop_assert!(!(ca == b'-' && cb == b'-'), "two gaps can never align");
+        }
+        prop_assert!((n..=2 * n).contains(&len), "alignment length {len} outside [n, 2n]");
+    }
+
+    /// The stencil is linear in the grid for a fixed filter (over wrapping
+    /// integer arithmetic): S(a + b) = S(a) + S(b).
+    #[test]
+    fn stencil2d_reference_is_linear(n in 4usize..20, seed in any::<u64>()) {
+        let (grid_a, filter) = stencil2d::workload(n, seed);
+        let (grid_b, _) = stencil2d::workload(n, seed.wrapping_add(1));
+        let summed: Vec<i32> = grid_a
+            .iter()
+            .zip(grid_b.iter())
+            .map(|(&x, &y)| x.wrapping_add(y))
+            .collect();
+        let lhs = stencil2d::reference(&summed, &filter, n);
+        let sa = stencil2d::reference(&grid_a, &filter, n);
+        let sb = stencil2d::reference(&grid_b, &filter, n);
+        let rhs: Vec<i32> = sa.iter().zip(sb.iter()).map(|(&x, &y)| x.wrapping_add(y)).collect();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Zero filter annihilates the stencil.
+    #[test]
+    fn stencil2d_zero_filter_gives_zero(n in 4usize..16, seed in any::<u64>()) {
+        let (grid, _) = stencil2d::workload(n, seed);
+        let sol = stencil2d::reference(&grid, &[0; 9], n);
+        prop_assert!(sol.iter().all(|&v| v == 0));
+    }
+
+    /// Stencil3D with c0 = 1, c1 = 0 is the identity on the interior and
+    /// the boundary passes through regardless of coefficients.
+    #[test]
+    fn stencil3d_identity_coefficients(n in 3usize..10, seed in any::<u64>()) {
+        let grid = stencil3d::workload(n, seed);
+        let sol = stencil3d::reference(&grid, n, 1, 0);
+        prop_assert_eq!(sol, grid);
+    }
+
+    /// MD-KNN forces are finite for any workload and identical for
+    /// identical (position, neighbour-list) inputs regardless of how the
+    /// lists were generated.
+    #[test]
+    fn mdknn_reference_is_total_and_deterministic(
+        n_quarter in 2usize..12,
+        k_log in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let n = n_quarter * 4;
+        let k = 1usize << k_log;
+        prop_assume!(k < n);
+        let (pos, nl) = mdknn::workload(n, k, seed);
+        let f1 = mdknn::reference(&pos, &nl, n, k);
+        let f2 = mdknn::reference(&pos, &nl, n, k);
+        prop_assert_eq!(f1.len(), 3 * n);
+        for (a, b) in f1.iter().zip(f2.iter()) {
+            prop_assert!(a.is_finite());
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! # bnoc — SLR-aware on-chip network generation
+//!
+//! Beethoven "constructs a subnetwork for endpoints on the same SLR and
+//! then connects these subnetworks with appropriate buffering to account
+//! for the high cross-SLR delays. Each subnetwork is itself a tree
+//! structure where the internal nodes are buffers. The fanout and buffering
+//! parameters that dictate the construction of this network are
+//! configurable using the platform development interfaces." (§II-B,
+//! Multi-Die Designs.)
+//!
+//! [`NetworkBuilder::build_slr_aware`] reproduces that construction;
+//! [`NetworkBuilder::build_flat`] builds the naive single-tree network used
+//! as the ablation baseline (un-buffered SLR crossings count as timing
+//! violations, matching the paper's observation that the same RTL without
+//! placement awareness "consistently yielded poorer quality results and
+//! failed timing").
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use bplatform::{DeviceModel, ResourceVector, SlrId};
+
+/// What a network node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The root (external interface side).
+    Root,
+    /// An internal fanout buffer.
+    Buffer,
+    /// A dedicated SLR-crossing register stage.
+    Crossing,
+    /// A leaf endpoint (a core's command port or memory port).
+    Endpoint(usize),
+}
+
+/// One node of the generated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocNode {
+    /// The die this node is placed on.
+    pub slr: SlrId,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Parent node index (`None` for the root).
+    pub parent: Option<usize>,
+}
+
+/// An endpoint to be connected: an id and its placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Endpoint {
+    /// Caller-meaningful id (e.g. global core index).
+    pub id: usize,
+    /// The SLR the endpoint lives on.
+    pub slr: SlrId,
+}
+
+/// Construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocParams {
+    /// Maximum children per node (crossbar degree limit).
+    pub max_fanout: usize,
+    /// Pipeline latency of each buffer hop, cycles.
+    pub buffer_latency: u64,
+    /// Extra latency of a properly buffered SLR crossing, cycles.
+    pub crossing_latency: u64,
+    /// Resource cost of one buffer node (scaled by channel width upstream).
+    pub buffer_cost: ResourceVector,
+    /// Resource cost of one crossing stage.
+    pub crossing_cost: ResourceVector,
+}
+
+impl Default for NocParams {
+    fn default() -> Self {
+        Self {
+            max_fanout: 4,
+            buffer_latency: 1,
+            crossing_latency: 2,
+            buffer_cost: ResourceVector::new(20, 150, 600, 0, 0, 0),
+            crossing_cost: ResourceVector::new(30, 100, 1200, 0, 0, 0),
+        }
+    }
+}
+
+/// A generated network.
+#[derive(Debug, Clone)]
+pub struct Network {
+    nodes: Vec<NocNode>,
+    endpoint_node: HashMap<usize, usize>,
+    params: NocParams,
+}
+
+impl Network {
+    /// All nodes (root first).
+    pub fn nodes(&self) -> &[NocNode] {
+        &self.nodes
+    }
+
+    /// Number of internal buffer nodes.
+    pub fn buffer_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind == NodeKind::Buffer).count()
+    }
+
+    /// Number of crossing stages.
+    pub fn crossing_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind == NodeKind::Crossing).count()
+    }
+
+    /// Total resource cost of the network's internal nodes.
+    pub fn cost(&self) -> ResourceVector {
+        let mut total = ResourceVector::ZERO;
+        for node in &self.nodes {
+            match node.kind {
+                NodeKind::Buffer => total += self.params.buffer_cost,
+                NodeKind::Crossing => total += self.params.crossing_cost,
+                _ => {}
+            }
+        }
+        total
+    }
+
+    /// Latency, in cycles, from `endpoint` to the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint id is unknown.
+    pub fn latency_to_root(&self, endpoint: usize) -> u64 {
+        let mut node = self.endpoint_node[&endpoint];
+        let mut latency = 0;
+        while let Some(parent) = self.nodes[node].parent {
+            latency += match self.nodes[node].kind {
+                NodeKind::Crossing => self.params.crossing_latency,
+                _ => self.params.buffer_latency,
+            };
+            node = parent;
+        }
+        latency
+    }
+
+    /// The largest endpoint-to-root latency.
+    pub fn worst_latency(&self) -> u64 {
+        self.endpoint_node
+            .keys()
+            .map(|&e| self.latency_to_root(e))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Parent→child hops that change SLR *without* a crossing stage: each
+    /// is a long unregistered wire, i.e. a timing hazard. SLR-aware
+    /// networks have zero.
+    pub fn timing_violations(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| {
+                if n.kind == NodeKind::Crossing {
+                    return false;
+                }
+                match n.parent {
+                    Some(p) => {
+                        let parent = &self.nodes[p];
+                        parent.slr != n.slr && parent.kind != NodeKind::Crossing
+                    }
+                    None => false,
+                }
+            })
+            .count()
+    }
+
+    /// Checks the fanout constraint; returns the max observed degree.
+    pub fn max_degree(&self) -> usize {
+        let mut degree = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            if let Some(p) = node.parent {
+                degree[p] += 1;
+            }
+        }
+        degree.into_iter().max().unwrap_or(0)
+    }
+
+    /// Number of endpoints attached.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoint_node.len()
+    }
+}
+
+/// Builds networks over a device.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkBuilder {
+    /// Construction parameters.
+    pub params: NocParams,
+}
+
+impl NetworkBuilder {
+    /// A builder with the given parameters.
+    pub fn new(params: NocParams) -> Self {
+        Self { params }
+    }
+
+    /// Builds a fanout-limited tree over `children` node indices, adding
+    /// buffer layers on `slr` until a single node remains; returns its index.
+    fn reduce_layer(&self, nodes: &mut Vec<NocNode>, mut layer: Vec<usize>, slr: SlrId) -> usize {
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for chunk in layer.chunks(self.params.max_fanout) {
+                let buffer = nodes.len();
+                nodes.push(NocNode { slr, kind: NodeKind::Buffer, parent: None });
+                for &child in chunk {
+                    nodes[child].parent = Some(buffer);
+                }
+                next.push(buffer);
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// The paper's construction: a buffered tree per SLR, subtree roots
+    /// chained through explicit crossing stages to the root on `root_slr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints` is empty or an endpoint names a nonexistent SLR.
+    pub fn build_slr_aware(
+        &self,
+        device: &DeviceModel,
+        root_slr: SlrId,
+        endpoints: &[Endpoint],
+    ) -> Network {
+        assert!(!endpoints.is_empty(), "network needs at least one endpoint");
+        let mut nodes = vec![NocNode { slr: root_slr, kind: NodeKind::Root, parent: None }];
+        let mut endpoint_node = HashMap::new();
+
+        let mut subtree_roots: Vec<usize> = Vec::new();
+        for slr_idx in 0..device.num_slrs() {
+            let slr = SlrId(slr_idx);
+            let leaves: Vec<usize> = endpoints
+                .iter()
+                .filter(|e| e.slr == slr)
+                .map(|e| {
+                    assert!(e.slr.0 < device.num_slrs(), "endpoint on unknown SLR");
+                    let idx = nodes.len();
+                    nodes.push(NocNode { slr, kind: NodeKind::Endpoint(e.id), parent: None });
+                    endpoint_node.insert(e.id, idx);
+                    idx
+                })
+                .collect();
+            if leaves.is_empty() {
+                continue;
+            }
+            let mut subtree = self.reduce_layer(&mut nodes, leaves, slr);
+            // Walk the subtree root home through crossing stages.
+            let mut at = slr_idx as isize;
+            let home = root_slr.0 as isize;
+            while at != home {
+                let step = if at > home { at - 1 } else { at + 1 };
+                let crossing = nodes.len();
+                nodes.push(NocNode {
+                    slr: SlrId(step as usize),
+                    kind: NodeKind::Crossing,
+                    parent: None,
+                });
+                nodes[subtree].parent = Some(crossing);
+                subtree = crossing;
+                at = step;
+            }
+            subtree_roots.push(subtree);
+        }
+        let top = self.reduce_layer(&mut nodes, subtree_roots, root_slr);
+        if top != 0 {
+            nodes[top].parent = Some(0);
+        }
+        Network { nodes, endpoint_node, params: self.params }
+    }
+
+    /// The ablation baseline: one tree over all endpoints ignoring dies.
+    /// Hops that happen to span SLRs carry no crossing stage.
+    pub fn build_flat(&self, root_slr: SlrId, endpoints: &[Endpoint]) -> Network {
+        assert!(!endpoints.is_empty(), "network needs at least one endpoint");
+        let mut nodes = vec![NocNode { slr: root_slr, kind: NodeKind::Root, parent: None }];
+        let mut endpoint_node = HashMap::new();
+        let leaves: Vec<usize> = endpoints
+            .iter()
+            .map(|e| {
+                let idx = nodes.len();
+                nodes.push(NocNode { slr: e.slr, kind: NodeKind::Endpoint(e.id), parent: None });
+                endpoint_node.insert(e.id, idx);
+                idx
+            })
+            .collect();
+        // Buffers placed naively on the root SLR (what an unconstrained
+        // placer often does when external interfaces anchor there).
+        let top = self.reduce_layer(&mut nodes, leaves, root_slr);
+        if top != 0 {
+            nodes[top].parent = Some(0);
+        }
+        Network { nodes, endpoint_node, params: self.params }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn u200() -> DeviceModel {
+        DeviceModel::alveo_u200()
+    }
+
+    fn spread_endpoints(n: usize) -> Vec<Endpoint> {
+        (0..n).map(|id| Endpoint { id, slr: SlrId(id % 3) }).collect()
+    }
+
+    #[test]
+    fn all_endpoints_reachable() {
+        let net = NetworkBuilder::default().build_slr_aware(&u200(), SlrId(0), &spread_endpoints(23));
+        assert_eq!(net.endpoint_count(), 23);
+        for id in 0..23 {
+            assert!(net.latency_to_root(id) >= 1);
+        }
+    }
+
+    #[test]
+    fn fanout_constraint_holds() {
+        let builder = NetworkBuilder::default();
+        let net = builder.build_slr_aware(&u200(), SlrId(0), &spread_endpoints(64));
+        assert!(net.max_degree() <= builder.params.max_fanout);
+    }
+
+    #[test]
+    fn slr_aware_network_has_no_timing_violations() {
+        let net = NetworkBuilder::default().build_slr_aware(&u200(), SlrId(0), &spread_endpoints(23));
+        assert_eq!(net.timing_violations(), 0);
+        assert!(net.crossing_count() > 0, "remote SLRs require crossings");
+    }
+
+    #[test]
+    fn flat_network_violates_timing_across_dies() {
+        let net = NetworkBuilder::default().build_flat(SlrId(0), &spread_endpoints(23));
+        assert!(net.timing_violations() > 0, "flat build should have raw die crossings");
+        assert_eq!(net.crossing_count(), 0);
+    }
+
+    #[test]
+    fn remote_endpoints_pay_crossing_latency() {
+        let builder = NetworkBuilder::default();
+        let endpoints =
+            vec![Endpoint { id: 0, slr: SlrId(0) }, Endpoint { id: 1, slr: SlrId(2) }];
+        let net = builder.build_slr_aware(&u200(), SlrId(0), &endpoints);
+        assert!(
+            net.latency_to_root(1) >= net.latency_to_root(0) + 2 * builder.params.crossing_latency,
+            "SLR2 endpoint should pay two crossings: {} vs {}",
+            net.latency_to_root(1),
+            net.latency_to_root(0)
+        );
+    }
+
+    #[test]
+    fn cost_scales_with_endpoints() {
+        let builder = NetworkBuilder::default();
+        let small = builder.build_slr_aware(&u200(), SlrId(0), &spread_endpoints(4)).cost();
+        let large = builder.build_slr_aware(&u200(), SlrId(0), &spread_endpoints(64)).cost();
+        assert!(large.lut > small.lut);
+        assert!(large.ff > small.ff);
+    }
+
+    #[test]
+    fn single_endpoint_network_is_minimal() {
+        let builder = NetworkBuilder::default();
+        let net = builder
+            .build_slr_aware(&u200(), SlrId(0), &[Endpoint { id: 7, slr: SlrId(0) }]);
+        assert_eq!(net.buffer_count(), 0);
+        assert_eq!(net.crossing_count(), 0);
+        assert_eq!(net.latency_to_root(7), builder.params.buffer_latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one endpoint")]
+    fn empty_endpoint_list_panics() {
+        NetworkBuilder::default().build_slr_aware(&u200(), SlrId(0), &[]);
+    }
+
+    proptest! {
+        #[test]
+        fn latencies_bounded_by_log_depth_plus_crossings(n in 1usize..200) {
+            let builder = NetworkBuilder::default();
+            let endpoints = spread_endpoints(n);
+            let net = builder.build_slr_aware(&u200(), SlrId(0), &endpoints);
+            prop_assert_eq!(net.timing_violations(), 0);
+            prop_assert!(net.max_degree() <= builder.params.max_fanout);
+            // Depth bound: ceil(log4(n)) buffer layers per SLR + 2 crossings
+            // + a top layer; be generous.
+            let bound = 4 * (n as f64).log(4.0).ceil() as u64 + 12;
+            prop_assert!(net.worst_latency() <= bound,
+                "worst latency {} exceeds bound {}", net.worst_latency(), bound);
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! SLR-aware floorplanning and constraint emission.
+//!
+//! "Beethoven first places accelerator cores across SLRs … and produces
+//! constraint files that enforce the placement of all components onto the
+//! intended SLRs" (§II-B). This module reproduces the placement pass and
+//! the constraint artifact, plus the ASCII floorplan used to regenerate
+//! Figure 8.
+
+use crate::device::{DeviceModel, SlrId};
+use crate::resources::ResourceVector;
+
+/// Placement failure description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementError {
+    /// Cores successfully placed before failure.
+    pub placed: usize,
+    /// Cores requested.
+    pub requested: usize,
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "placed only {} of {} cores before exhausting the device", self.placed, self.requested)
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// A completed placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Floorplan {
+    /// Per-core SLR assignment (index = core id).
+    pub assignments: Vec<SlrId>,
+    /// Resources used by placed cores per SLR (excluding shell).
+    pub used: Vec<ResourceVector>,
+}
+
+impl Floorplan {
+    /// Cores on each SLR.
+    pub fn cores_per_slr(&self, num_slrs: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_slrs];
+        for slr in &self.assignments {
+            counts[slr.0] += 1;
+        }
+        counts
+    }
+
+    /// Worst-axis utilization per SLR, including the shell.
+    pub fn utilization(&self, device: &DeviceModel) -> Vec<f64> {
+        self.used
+            .iter()
+            .zip(&device.slrs)
+            .map(|(used, slr)| (*used + slr.shell).utilization_against(&slr.capacity))
+            .collect()
+    }
+
+    /// Emits Vivado-flavoured placement constraints (pblock per SLR).
+    pub fn emit_constraints(&self, device: &DeviceModel, cell_prefix: &str) -> String {
+        let mut out = String::new();
+        for slr in 0..device.num_slrs() {
+            out.push_str(&format!(
+                "create_pblock pblock_SLR{slr}\nresize_pblock pblock_SLR{slr} -add SLR{slr}\n"
+            ));
+        }
+        for (core, slr) in self.assignments.iter().enumerate() {
+            out.push_str(&format!(
+                "add_cells_to_pblock pblock_SLR{} [get_cells {cell_prefix}_{core}]\n",
+                slr.0
+            ));
+        }
+        out
+    }
+
+    /// Renders a Figure-8-style ASCII floorplan: one box per SLR listing
+    /// its cores, highest SLR index leftmost (matching the paper's figure).
+    pub fn ascii_art(&self, device: &DeviceModel) -> String {
+        let n = device.num_slrs();
+        let counts = self.cores_per_slr(n);
+        let mut lines: Vec<String> = Vec::new();
+        let mut per_slr: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (core, slr) in self.assignments.iter().enumerate() {
+            per_slr[slr.0].push(core);
+        }
+        let col_width = 24usize;
+        let rows = per_slr.iter().map(|v| v.len().div_ceil(4)).max().unwrap_or(0).max(1);
+        let border = "+".to_owned() + &("-".repeat(col_width) + "+").repeat(n);
+        lines.push(border.clone());
+        for row in 0..rows {
+            let mut line = String::from("|");
+            for slr in (0..n).rev() {
+                let chunk: Vec<String> = per_slr[slr]
+                    .iter()
+                    .skip(row * 4)
+                    .take(4)
+                    .map(|c| format!("{c:>3}"))
+                    .collect();
+                line.push_str(&format!("{:^col_width$}|", chunk.join(" ")));
+            }
+            lines.push(line);
+        }
+        let mut legend = String::from("|");
+        for slr in (0..n).rev() {
+            let label = format!("SLR {slr} ({} cores)", counts[slr]);
+            legend.push_str(&format!("{label:^col_width$}|"));
+        }
+        lines.push(border.clone());
+        lines.push(legend);
+        lines.push(border);
+        lines.join("\n") + "\n"
+    }
+}
+
+/// The placement pass.
+#[derive(Debug, Clone, Default)]
+pub struct Floorplanner {
+    /// Fraction of each SLR's free resources the planner may fill
+    /// (leaves routing headroom; the A³ design routed at 96% CLB, so the
+    /// default is 0.97).
+    pub fill_limit: f64,
+}
+
+impl Floorplanner {
+    /// Creates a planner with the default fill limit.
+    pub fn new() -> Self {
+        Self { fill_limit: 0.97 }
+    }
+
+    fn budget(&self, device: &DeviceModel, slr: usize) -> ResourceVector {
+        let free = device.slrs[slr].free();
+        ResourceVector {
+            clb: (free.clb as f64 * self.fill_limit) as u64,
+            lut: (free.lut as f64 * self.fill_limit) as u64,
+            ff: (free.ff as f64 * self.fill_limit) as u64,
+            bram: (free.bram as f64 * self.fill_limit) as u64,
+            uram: (free.uram as f64 * self.fill_limit) as u64,
+            dsp: (free.dsp as f64 * self.fill_limit) as u64,
+        }
+    }
+
+    /// Places `n_cores` identical cores of footprint `core` onto `device`,
+    /// filling the emptiest SLR first (the shell-free SLR2 on the U200
+    /// naturally takes the most cores, as in the paper's Figure 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError`] when the device cannot hold all cores.
+    pub fn place(
+        &self,
+        device: &DeviceModel,
+        core: ResourceVector,
+        n_cores: usize,
+    ) -> Result<Floorplan, PlacementError> {
+        let n = device.num_slrs();
+        let budgets: Vec<ResourceVector> = (0..n).map(|s| self.budget(device, s)).collect();
+        let mut used = vec![ResourceVector::ZERO; n];
+        let mut assignments = Vec::with_capacity(n_cores);
+        for _ in 0..n_cores {
+            // Candidate SLRs that can still fit the core, least-utilized first.
+            let mut best: Option<(usize, f64)> = None;
+            for slr in 0..n {
+                let after = used[slr] + core;
+                if !after.fits_in(&budgets[slr]) {
+                    continue;
+                }
+                let util = after.utilization_against(&budgets[slr]);
+                if best.is_none_or(|(_, b)| util < b) {
+                    best = Some((slr, util));
+                }
+            }
+            match best {
+                Some((slr, _)) => {
+                    used[slr] += core;
+                    assignments.push(SlrId(slr));
+                }
+                None => {
+                    return Err(PlacementError { placed: assignments.len(), requested: n_cores })
+                }
+            }
+        }
+        Ok(Floorplan { assignments, used })
+    }
+
+    /// Places a heterogeneous list of cores (one footprint each), same
+    /// greedy balance as [`Floorplanner::place`]. `cores[i]` becomes core
+    /// id `i` in the resulting assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError`] when the device cannot hold all cores.
+    pub fn place_heterogeneous(
+        &self,
+        device: &DeviceModel,
+        cores: &[ResourceVector],
+    ) -> Result<Floorplan, PlacementError> {
+        let n = device.num_slrs();
+        let budgets: Vec<ResourceVector> = (0..n).map(|s| self.budget(device, s)).collect();
+        let mut used = vec![ResourceVector::ZERO; n];
+        let mut assignments = Vec::with_capacity(cores.len());
+        for core in cores {
+            let mut best: Option<(usize, f64)> = None;
+            for slr in 0..n {
+                let after = used[slr] + *core;
+                if !after.fits_in(&budgets[slr]) {
+                    continue;
+                }
+                let util = after.utilization_against(&budgets[slr]);
+                if best.is_none_or(|(_, b)| util < b) {
+                    best = Some((slr, util));
+                }
+            }
+            match best {
+                Some((slr, _)) => {
+                    used[slr] += *core;
+                    assignments.push(SlrId(slr));
+                }
+                None => {
+                    return Err(PlacementError {
+                        placed: assignments.len(),
+                        requested: cores.len(),
+                    })
+                }
+            }
+        }
+        Ok(Floorplan { assignments, used })
+    }
+
+    /// The largest number of `core`-sized cores this device can hold.
+    pub fn max_cores(&self, device: &DeviceModel, core: ResourceVector) -> usize {
+        let mut count = 0usize;
+        for slr in 0..device.num_slrs() {
+            let budget = self.budget(device, slr);
+            let mut fit = usize::MAX;
+            for (cap, need) in [
+                (budget.clb, core.clb),
+                (budget.lut, core.lut),
+                (budget.ff, core.ff),
+                (budget.bram, core.bram),
+                (budget.uram, core.uram),
+                (budget.dsp, core.dsp),
+            ] {
+                if let Some(per) = cap.checked_div(need) {
+                    if need > 0 {
+                        fit = fit.min(per as usize);
+                    }
+                }
+            }
+            count += if fit == usize::MAX { 0 } else { fit };
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceModel;
+
+    fn a3_core() -> ResourceVector {
+        // Table II: one A³ core ≈ 4K CLB / 27K LUT / 27K FF / 45 BRAM / 32 URAM.
+        ResourceVector::new(4_000, 27_000, 27_000, 45, 24, 0)
+    }
+
+    #[test]
+    fn u200_fits_about_23_a3_cores() {
+        let planner = Floorplanner::new();
+        let max = planner.max_cores(&DeviceModel::alveo_u200(), a3_core());
+        assert!(
+            (20..=30).contains(&max),
+            "expected ~23 cores (paper's A3 build), planner says {max}"
+        );
+    }
+
+    #[test]
+    fn shell_free_slr_takes_the_most_cores() {
+        let planner = Floorplanner::new();
+        let device = DeviceModel::alveo_u200();
+        let plan = planner.place(&device, a3_core(), 23).unwrap();
+        let counts = plan.cores_per_slr(3);
+        assert_eq!(counts.iter().sum::<usize>(), 23);
+        assert!(
+            counts[2] >= counts[0],
+            "SLR2 (no shell) should hold at least as many cores as SLR0: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn placement_fails_gracefully_when_oversubscribed() {
+        let planner = Floorplanner::new();
+        let device = DeviceModel::alveo_u200();
+        let err = planner.place(&device, a3_core(), 500).unwrap_err();
+        assert!(err.placed > 0 && err.placed < 500);
+        assert!(err.to_string().contains("500"));
+    }
+
+    #[test]
+    fn constraints_mention_every_core() {
+        let planner = Floorplanner::new();
+        let device = DeviceModel::alveo_u200();
+        let plan = planner.place(&device, a3_core(), 5).unwrap();
+        let xdc = plan.emit_constraints(&device, "beethoven_core");
+        for core in 0..5 {
+            assert!(xdc.contains(&format!("beethoven_core_{core}")));
+        }
+        assert!(xdc.contains("create_pblock pblock_SLR2"));
+    }
+
+    #[test]
+    fn ascii_art_shows_all_slrs() {
+        let planner = Floorplanner::new();
+        let device = DeviceModel::alveo_u200();
+        let plan = planner.place(&device, a3_core(), 8).unwrap();
+        let art = plan.ascii_art(&device);
+        for slr in 0..3 {
+            assert!(art.contains(&format!("SLR {slr}")));
+        }
+    }
+
+    #[test]
+    fn utilization_includes_shell() {
+        let planner = Floorplanner::new();
+        let device = DeviceModel::alveo_u200();
+        let plan = planner.place(&device, a3_core(), 3).unwrap();
+        let utils = plan.utilization(&device);
+        assert_eq!(utils.len(), 3);
+        // SLR0 carries the shell, so its utilization should be nonzero even
+        // with few cores.
+        assert!(utils[0] > 0.1);
+    }
+
+    #[test]
+    fn single_die_kria_places_linearly() {
+        let planner = Floorplanner::new();
+        let device = DeviceModel::kria_k26();
+        let tiny = ResourceVector::new(500, 4_000, 4_000, 4, 0, 8);
+        let plan = planner.place(&device, tiny, 10).unwrap();
+        assert!(plan.assignments.iter().all(|s| s.0 == 0));
+    }
+}

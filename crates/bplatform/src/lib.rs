@@ -1,0 +1,38 @@
+//! # bplatform — device and platform models
+//!
+//! Beethoven's "separation of concerns" hinges on a platform description
+//! that tells the elaborator everything device-specific (§II-B "Platform
+//! Development"): whether the target is an FPGA or ASIC, the external
+//! memory system, the host link, how many dies (SLRs) the fabric spans and
+//! what each can hold, and how on-chip memories map to physical cells.
+//!
+//! This crate provides:
+//!
+//! * [`ResourceVector`] / [`SlrModel`] — per-die resource accounting
+//!   (CLB/LUT/FF/BRAM/URAM/DSP).
+//! * [`Platform`] — the full platform description, with constructors
+//!   mirroring the paper's targets: [`Platform::aws_f1`],
+//!   [`Platform::kria`], [`Platform::sim`], [`Platform::asap7_asic`].
+//! * [`MemoryCellMapper`] — the resource-aware on-chip-memory mapper with
+//!   the 80% spill rule the paper credits for routing the 23-core A³
+//!   design (§III-C).
+//! * [`SramCompiler`] — the ASIC memory-compiler-like utility that cascades
+//!   and banks technology-library SRAM macros (§II-D).
+//! * [`Floorplanner`] — SLR-aware core placement and constraint-file
+//!   emission (§II-B "Multi-Die Designs", Figure 8).
+
+#![warn(missing_docs)]
+
+mod device;
+mod floorplan;
+mod memmap;
+mod platform;
+mod resources;
+mod sram;
+
+pub use device::{DeviceModel, SlrId, SlrModel};
+pub use floorplan::{Floorplan, Floorplanner, PlacementError};
+pub use memmap::{blocks_for, CellKind, MapError, MappedMemory, MemoryCellMapper, MemoryRequest};
+pub use platform::{AddressSpace, HostLink, Platform, PlatformKind};
+pub use resources::ResourceVector;
+pub use sram::{SramCompiler, SramError, SramMacro, SramPlan};

@@ -1,0 +1,324 @@
+//! Resource-aware on-chip memory mapping.
+//!
+//! FPGA toolchains map memories to BRAM or URAM cells; duplicating a core
+//! that over-uses one cell type fails placement even when a mixed mapping
+//! would succeed. Beethoven's Xilinx backend monitors per-SLR utilization
+//! during generation and **spills to the other cell type above 80%
+//! utilization** (§II-B "Scratchpads and On-Chip Memory", §III-C). This
+//! module reproduces that mapper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::{DeviceModel, SlrId};
+
+/// The physical cell type a memory was mapped to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// 36 Kb block RAM.
+    Bram,
+    /// 288 Kb UltraRAM.
+    Uram,
+    /// LUT-based distributed RAM (tiny memories).
+    Lutram,
+}
+
+impl std::fmt::Display for CellKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellKind::Bram => write!(f, "BRAM"),
+            CellKind::Uram => write!(f, "URAM"),
+            CellKind::Lutram => write!(f, "LUTRAM"),
+        }
+    }
+}
+
+/// A logical memory to be mapped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryRequest {
+    /// Human-readable name (scratchpad/reader buffer name).
+    pub name: String,
+    /// Word width in bits.
+    pub width_bits: u64,
+    /// Number of words.
+    pub depth: u64,
+}
+
+impl MemoryRequest {
+    /// Creates a request.
+    pub fn new(name: impl Into<String>, width_bits: u64, depth: u64) -> Self {
+        Self { name: name.into(), width_bits, depth }
+    }
+
+    /// Total bits stored.
+    pub fn bits(&self) -> u64 {
+        self.width_bits * self.depth
+    }
+}
+
+/// The outcome of mapping one memory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappedMemory {
+    /// Chosen cell type.
+    pub kind: CellKind,
+    /// Number of cells consumed.
+    pub blocks: u64,
+    /// If LUTRAM, the LUTs consumed instead of blocks.
+    pub luts: u64,
+}
+
+/// BRAM36 programmable aspect ratios: (depth, width).
+const BRAM_ASPECTS: &[(u64, u64)] = &[(512, 72), (1024, 36), (2048, 18), (4096, 9), (8192, 4)];
+/// URAM has a fixed 4096 × 72 geometry.
+const URAM_ASPECT: (u64, u64) = (4096, 72);
+
+/// Cells of `kind` needed for a request.
+pub fn blocks_for(kind: CellKind, req: &MemoryRequest) -> u64 {
+    match kind {
+        CellKind::Bram => BRAM_ASPECTS
+            .iter()
+            .map(|&(d, w)| req.depth.div_ceil(d) * req.width_bits.div_ceil(w))
+            .min()
+            .expect("aspect table non-empty"),
+        CellKind::Uram => {
+            let (d, w) = URAM_ASPECT;
+            req.depth.div_ceil(d) * req.width_bits.div_ceil(w)
+        }
+        CellKind::Lutram => 0,
+    }
+}
+
+/// Per-SLR cell usage tracker implementing the 80% spill rule.
+#[derive(Debug, Clone)]
+pub struct MemoryCellMapper {
+    /// Spill threshold as a fraction (the paper uses 0.8).
+    pub threshold: f64,
+    bram_used: Vec<u64>,
+    uram_used: Vec<u64>,
+    bram_cap: Vec<u64>,
+    uram_cap: Vec<u64>,
+    /// Memories small enough for LUTRAM (total bits below this go to LUTs).
+    pub lutram_bits_threshold: u64,
+}
+
+/// Why a memory could not be mapped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapError {
+    /// The request that failed.
+    pub name: String,
+    /// The SLR it was targeted at.
+    pub slr: SlrId,
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no BRAM or URAM capacity left on {} for memory '{}'", self.slr, self.name)
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl MemoryCellMapper {
+    /// Creates a mapper over a device's free (post-shell) memory cells.
+    pub fn new(device: &DeviceModel) -> Self {
+        Self {
+            threshold: 0.8,
+            bram_used: vec![0; device.num_slrs()],
+            uram_used: vec![0; device.num_slrs()],
+            bram_cap: device.slrs.iter().map(|s| s.free().bram).collect(),
+            uram_cap: device.slrs.iter().map(|s| s.free().uram).collect(),
+            lutram_bits_threshold: 1024,
+        }
+    }
+
+    /// Current utilization of `kind` on `slr` (0.0–1.0+).
+    pub fn utilization(&self, slr: SlrId, kind: CellKind) -> f64 {
+        let (used, cap) = match kind {
+            CellKind::Bram => (self.bram_used[slr.0], self.bram_cap[slr.0]),
+            CellKind::Uram => (self.uram_used[slr.0], self.uram_cap[slr.0]),
+            CellKind::Lutram => return 0.0,
+        };
+        if cap == 0 {
+            if used == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            used as f64 / cap as f64
+        }
+    }
+
+    fn fits(&self, slr: SlrId, kind: CellKind, blocks: u64) -> bool {
+        match kind {
+            CellKind::Bram => self.bram_used[slr.0] + blocks <= self.bram_cap[slr.0],
+            CellKind::Uram => self.uram_used[slr.0] + blocks <= self.uram_cap[slr.0],
+            CellKind::Lutram => true,
+        }
+    }
+
+    fn under_threshold_after(&self, slr: SlrId, kind: CellKind, blocks: u64) -> bool {
+        let (used, cap) = match kind {
+            CellKind::Bram => (self.bram_used[slr.0] + blocks, self.bram_cap[slr.0]),
+            CellKind::Uram => (self.uram_used[slr.0] + blocks, self.uram_cap[slr.0]),
+            CellKind::Lutram => return true,
+        };
+        cap > 0 && (used as f64) <= self.threshold * cap as f64
+    }
+
+    fn commit(&mut self, slr: SlrId, kind: CellKind, blocks: u64) {
+        match kind {
+            CellKind::Bram => self.bram_used[slr.0] += blocks,
+            CellKind::Uram => self.uram_used[slr.0] += blocks,
+            CellKind::Lutram => {}
+        }
+    }
+
+    /// Maps a memory on `slr`.
+    ///
+    /// Preference order: LUTRAM for tiny memories; otherwise the cell type
+    /// wasting fewer bits — but if committing it would push that type past
+    /// the 80% threshold on this SLR while the other type has headroom,
+    /// spill to the other type (the paper's mixed BRAM/URAM mappings in
+    /// Table II come from exactly this rule).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] when neither cell type has capacity.
+    pub fn map(&mut self, slr: SlrId, req: &MemoryRequest) -> Result<MappedMemory, MapError> {
+        if req.bits() <= self.lutram_bits_threshold {
+            // Roughly 64 bits of storage per LUT configured as RAM64.
+            return Ok(MappedMemory {
+                kind: CellKind::Lutram,
+                blocks: 0,
+                luts: req.bits().div_ceil(64).max(1),
+            });
+        }
+        let bram_blocks = blocks_for(CellKind::Bram, req);
+        let uram_blocks = blocks_for(CellKind::Uram, req);
+        // Efficiency: the mapping that consumes the smaller fraction of
+        // this SLR's budget for that cell type wins (ties go to BRAM).
+        let frac = |blocks: u64, cap: u64| {
+            if cap == 0 {
+                f64::INFINITY
+            } else {
+                blocks as f64 / cap as f64
+            }
+        };
+        let bram_frac = frac(bram_blocks, self.bram_cap[slr.0]);
+        let uram_frac = frac(uram_blocks, self.uram_cap[slr.0]);
+        let (pref, alt) = if bram_frac <= uram_frac {
+            ((CellKind::Bram, bram_blocks), (CellKind::Uram, uram_blocks))
+        } else {
+            ((CellKind::Uram, uram_blocks), (CellKind::Bram, bram_blocks))
+        };
+        for &(kind, blocks) in [&pref, &alt] {
+            if self.under_threshold_after(slr, kind, blocks) {
+                self.commit(slr, kind, blocks);
+                return Ok(MappedMemory { kind, blocks, luts: 0 });
+            }
+        }
+        // Both past threshold: fall back to whichever still physically fits.
+        for &(kind, blocks) in [&pref, &alt] {
+            if self.fits(slr, kind, blocks) {
+                self.commit(slr, kind, blocks);
+                return Ok(MappedMemory { kind, blocks, luts: 0 });
+            }
+        }
+        Err(MapError { name: req.name.clone(), slr })
+    }
+
+    /// Cells of `kind` used so far on `slr`.
+    pub fn used(&self, slr: SlrId, kind: CellKind) -> u64 {
+        match kind {
+            CellKind::Bram => self.bram_used[slr.0],
+            CellKind::Uram => self.uram_used[slr.0],
+            CellKind::Lutram => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceModel;
+
+    fn mapper() -> MemoryCellMapper {
+        MemoryCellMapper::new(&DeviceModel::alveo_u200())
+    }
+
+    #[test]
+    fn tiny_memory_goes_to_lutram() {
+        let mut m = mapper();
+        let mapped = m.map(SlrId(0), &MemoryRequest::new("small", 8, 64)).unwrap();
+        assert_eq!(mapped.kind, CellKind::Lutram);
+        assert!(mapped.luts >= 1);
+    }
+
+    #[test]
+    fn medium_memory_prefers_bram() {
+        let mut m = mapper();
+        // 1024 × 36b fits exactly one BRAM36.
+        let mapped = m.map(SlrId(0), &MemoryRequest::new("buf", 36, 1024)).unwrap();
+        assert_eq!(mapped.kind, CellKind::Bram);
+        assert_eq!(mapped.blocks, 1);
+    }
+
+    #[test]
+    fn deep_wide_memory_prefers_uram() {
+        let mut m = mapper();
+        // 16384 deep × 72b = 1.1 Mb: 4 URAM vs 32 BRAM; URAM wastes less.
+        let mapped = m.map(SlrId(0), &MemoryRequest::new("deep", 72, 16384)).unwrap();
+        assert_eq!(mapped.kind, CellKind::Uram);
+        assert_eq!(mapped.blocks, 4);
+    }
+
+    #[test]
+    fn spills_to_uram_past_80_percent() {
+        let mut m = mapper();
+        let req = MemoryRequest::new("sp", 72, 512); // 1 BRAM-preferred memory
+        let cap = m.bram_cap[0];
+        let spill_point = (0.8 * cap as f64) as u64;
+        let mut first_spill = None;
+        for i in 0..cap {
+            let mapped = m.map(SlrId(0), &req).unwrap();
+            if mapped.kind == CellKind::Uram && first_spill.is_none() {
+                first_spill = Some(i);
+                break;
+            }
+        }
+        let spilled_at = first_spill.expect("mapper should eventually spill to URAM");
+        assert!(
+            spilled_at.abs_diff(spill_point) <= 1,
+            "spill at {spilled_at}, expected near {spill_point}"
+        );
+    }
+
+    #[test]
+    fn exhaustion_reports_error() {
+        let mut device = DeviceModel::alveo_u200();
+        device.slrs[0].capacity.bram = 1;
+        device.slrs[0].capacity.uram = 1;
+        let mut m = MemoryCellMapper::new(&device);
+        // Shell already eats more than that: immediately exhausted.
+        let big = MemoryRequest::new("big", 72, 1 << 20);
+        let err = m.map(SlrId(0), &big).unwrap_err();
+        assert!(err.to_string().contains("big"));
+    }
+
+    #[test]
+    fn per_slr_accounting_is_independent() {
+        let mut m = mapper();
+        let req = MemoryRequest::new("x", 36, 1024);
+        m.map(SlrId(0), &req).unwrap();
+        assert_eq!(m.used(SlrId(0), CellKind::Bram), 1);
+        assert_eq!(m.used(SlrId(2), CellKind::Bram), 0);
+    }
+
+    #[test]
+    fn blocks_for_uses_best_bram_aspect() {
+        // 4096 × 9b fits one BRAM36 via the 4096×9 aspect.
+        assert_eq!(blocks_for(CellKind::Bram, &MemoryRequest::new("a", 9, 4096)), 1);
+        // 512 × 72b fits one BRAM36 via the 512×72 aspect.
+        assert_eq!(blocks_for(CellKind::Bram, &MemoryRequest::new("b", 72, 512)), 1);
+    }
+}

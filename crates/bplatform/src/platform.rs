@@ -1,0 +1,260 @@
+//! The full platform description handed to the Beethoven elaborator.
+
+use serde::{Deserialize, Serialize};
+
+use bdram::DramConfig;
+
+use crate::device::DeviceModel;
+
+/// How the accelerator's memory relates to the host's (§II-C.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddressSpace {
+    /// Embedded platforms (Zynq/Kria): one shared, coherent address space;
+    /// `copy_to_fpga`/`copy_from_fpga` are no-ops.
+    Shared,
+    /// Discrete platforms (AWS F1): device memory is separate; DMA moves
+    /// data over the host link.
+    Discrete,
+}
+
+/// The host↔accelerator link and its costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostLink {
+    /// One-way MMIO register access latency, nanoseconds (a PCIe round trip
+    /// on discrete platforms, an AXI-Lite hop on embedded ones).
+    pub mmio_latency_ns: u64,
+    /// DMA bandwidth for bulk copies, bytes per second.
+    pub dma_bytes_per_sec: u64,
+    /// Fixed DMA setup cost per transfer, nanoseconds.
+    pub dma_setup_ns: u64,
+}
+
+/// What kind of target this is (affects internal latency choices, §II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// A field-programmable device.
+    Fpga,
+    /// An application-specific IC flow (ChipKIT-style).
+    Asic,
+    /// The simulation platform (Verilator/VCS + DRAMSim3 in the paper).
+    Simulation,
+}
+
+/// A complete platform description.
+///
+/// Construct with one of the presets and customize fields as needed; this
+/// mirrors the paper's `KriaPlatform()` / `AWSF1Platform()` configuration
+/// objects (Figure 3a).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Platform {
+    /// Platform name (used in generated artifacts).
+    pub name: String,
+    /// FPGA / ASIC / simulation.
+    pub kind: PlatformKind,
+    /// The die model (SLRs, capacities, shell).
+    pub device: DeviceModel,
+    /// Fabric clock in MHz.
+    pub fabric_mhz: u64,
+    /// External memory configuration (one controller's worth; the device
+    /// exposes `mem_ports` independent controllers).
+    pub dram: DramConfig,
+    /// Independent memory controller ports (the U200 carries four DDR4
+    /// DIMMs, each behind its own AXI interface).
+    pub mem_ports: u32,
+    /// Memory-bus data width in bytes (AXI beat size).
+    pub mem_bus_bytes: u32,
+    /// AXI ID bits available on the memory bus.
+    pub mem_id_bits: u32,
+    /// Address bits.
+    pub addr_bits: u32,
+    /// Shared or discrete address space.
+    pub address_space: AddressSpace,
+    /// Host link costs.
+    pub host_link: HostLink,
+    /// Base address of the accelerator's usable memory region.
+    pub mem_base: u64,
+    /// Size of the accelerator's usable memory region in bytes.
+    pub mem_size: u64,
+}
+
+impl Platform {
+    /// The AWS F1 / Alveo U200 discrete data-center platform of §III.
+    pub fn aws_f1() -> Self {
+        Platform {
+            name: "aws-f1".to_owned(),
+            kind: PlatformKind::Fpga,
+            device: DeviceModel::alveo_u200(),
+            fabric_mhz: 250,
+            dram: DramConfig::ddr4_2400(),
+            mem_ports: 4, // four DDR4-2400 DIMMs, 19.2 GB/s each
+            mem_bus_bytes: 64,
+            mem_id_bits: 4,
+            addr_bits: 64,
+            address_space: AddressSpace::Discrete,
+            host_link: HostLink {
+                mmio_latency_ns: 800,
+                dma_bytes_per_sec: 12_000_000_000, // PCIe gen3 x16 effective
+                dma_setup_ns: 4_000,
+            },
+            mem_base: 0,
+            mem_size: 16 << 30,
+        }
+    }
+
+    /// The Kria KV260 embedded platform (shared, coherent memory).
+    pub fn kria() -> Self {
+        Platform {
+            name: "kria".to_owned(),
+            kind: PlatformKind::Fpga,
+            device: DeviceModel::kria_k26(),
+            fabric_mhz: 100,
+            dram: DramConfig::lpddr4_embedded(),
+            mem_ports: 1,
+            mem_bus_bytes: 16,
+            mem_id_bits: 6,
+            addr_bits: 40,
+            address_space: AddressSpace::Shared,
+            host_link: HostLink {
+                mmio_latency_ns: 150,
+                dma_bytes_per_sec: u64::MAX, // shared memory: no copies
+                dma_setup_ns: 0,
+            },
+            mem_base: 0x4000_0000,
+            mem_size: 2 << 30,
+        }
+    }
+
+    /// The simulation platform: U200-like fabric with ideal host link
+    /// latencies, mirroring the paper's Verilator+DRAMSim3 environment.
+    pub fn sim() -> Self {
+        let mut p = Self::aws_f1();
+        p.name = "sim".to_owned();
+        p.kind = PlatformKind::Simulation;
+        p.host_link = HostLink {
+            mmio_latency_ns: 0,
+            dma_bytes_per_sec: u64::MAX,
+            dma_setup_ns: 0,
+        };
+        p
+    }
+
+    /// The Alveo U280 HBM platform: the same discrete-card flow as the
+    /// U200 but with an HBM2 stack (8 modelled channels per port, 2 ports)
+    /// instead of DDR4 DIMMs.
+    pub fn u280_hbm() -> Self {
+        Platform {
+            name: "u280-hbm".to_owned(),
+            kind: PlatformKind::Fpga,
+            device: DeviceModel::alveo_u280(),
+            fabric_mhz: 250,
+            dram: DramConfig::hbm2(),
+            mem_ports: 2,
+            mem_bus_bytes: 64,
+            mem_id_bits: 4,
+            addr_bits: 64,
+            address_space: AddressSpace::Discrete,
+            host_link: HostLink {
+                mmio_latency_ns: 800,
+                dma_bytes_per_sec: 12_000_000_000,
+                dma_setup_ns: 4_000,
+            },
+            mem_base: 0,
+            mem_size: 8 << 30,
+        }
+    }
+
+    /// An ASAP7-class ASIC target (ChipKIT-style): 1 GHz, HBM2 memory,
+    /// SRAM provided by the [`crate::SramCompiler`].
+    pub fn asap7_asic() -> Self {
+        Platform {
+            name: "asap7".to_owned(),
+            kind: PlatformKind::Asic,
+            device: DeviceModel::asic_die(),
+            fabric_mhz: 1000,
+            dram: DramConfig::hbm2(),
+            mem_ports: 2,
+            mem_bus_bytes: 32,
+            mem_id_bits: 6,
+            addr_bits: 48,
+            address_space: AddressSpace::Discrete,
+            host_link: HostLink {
+                mmio_latency_ns: 100,
+                dma_bytes_per_sec: 32_000_000_000,
+                dma_setup_ns: 500,
+            },
+            mem_base: 0,
+            mem_size: 8 << 30,
+        }
+    }
+
+    /// The fabric clock as a [`bsim`-style] period in picoseconds.
+    ///
+    /// [`bsim`-style]: bdram::DramTimings::tck_ps
+    pub fn fabric_period_ps(&self) -> u64 {
+        1_000_000 / self.fabric_mhz
+    }
+
+    /// Whether DMA copies are required to move data to the accelerator.
+    pub fn needs_dma(&self) -> bool {
+        self.address_space == AddressSpace::Discrete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        for p in [
+            Platform::aws_f1(),
+            Platform::kria(),
+            Platform::sim(),
+            Platform::asap7_asic(),
+            Platform::u280_hbm(),
+        ] {
+            assert!(p.fabric_mhz > 0);
+            assert!(p.mem_bus_bytes.is_power_of_two());
+            assert!(p.mem_size > 0);
+            assert!(!p.device.slrs.is_empty());
+            assert!(p.mem_ports >= 1);
+        }
+    }
+
+    #[test]
+    fn f1_exposes_four_memory_ports() {
+        assert_eq!(Platform::aws_f1().mem_ports, 4);
+        assert_eq!(Platform::kria().mem_ports, 1);
+    }
+
+    #[test]
+    fn u280_brings_hbm_bandwidth() {
+        let u280 = Platform::u280_hbm();
+        let f1 = Platform::aws_f1();
+        let hbm_bw = u280.dram.peak_bandwidth_bytes_per_sec() * f64::from(u280.mem_ports);
+        let ddr_bw = f1.dram.peak_bandwidth_bytes_per_sec() * f64::from(f1.mem_ports);
+        assert!(hbm_bw > ddr_bw, "HBM platform must out-bandwidth the DDR4 card");
+        assert_eq!(u280.device.num_slrs(), 3);
+    }
+
+    #[test]
+    fn f1_is_discrete_kria_is_shared() {
+        assert!(Platform::aws_f1().needs_dma());
+        assert!(!Platform::kria().needs_dma());
+    }
+
+    #[test]
+    fn sim_has_free_host_link() {
+        let p = Platform::sim();
+        assert_eq!(p.host_link.mmio_latency_ns, 0);
+        assert_eq!(p.kind, PlatformKind::Simulation);
+    }
+
+    #[test]
+    fn asic_runs_at_1ghz() {
+        let p = Platform::asap7_asic();
+        assert_eq!(p.fabric_mhz, 1000);
+        assert_eq!(p.fabric_period_ps(), 1000);
+        assert_eq!(p.kind, PlatformKind::Asic);
+    }
+}

@@ -1,0 +1,198 @@
+//! FPGA resource vectors.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A bundle of FPGA resource counts (also used, loosely, for ASIC area
+/// proxies). All fields are plain counts; fractional BRAM halves are scaled
+/// by 2 at the call sites that need them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceVector {
+    /// Configurable logic blocks.
+    pub clb: u64,
+    /// Lookup tables.
+    pub lut: u64,
+    /// Flip-flops / CLB registers.
+    pub ff: u64,
+    /// BRAM36 blocks (count ×2 to express 18Kb halves).
+    pub bram: u64,
+    /// UltraRAM blocks.
+    pub uram: u64,
+    /// DSP slices.
+    pub dsp: u64,
+}
+
+impl ResourceVector {
+    /// The zero vector.
+    pub const ZERO: ResourceVector =
+        ResourceVector { clb: 0, lut: 0, ff: 0, bram: 0, uram: 0, dsp: 0 };
+
+    /// A convenience constructor for the common fields.
+    pub fn new(clb: u64, lut: u64, ff: u64, bram: u64, uram: u64, dsp: u64) -> Self {
+        Self { clb, lut, ff, bram, uram, dsp }
+    }
+
+    /// Whether `self` fits within `capacity` on every axis.
+    pub fn fits_in(&self, capacity: &ResourceVector) -> bool {
+        self.clb <= capacity.clb
+            && self.lut <= capacity.lut
+            && self.ff <= capacity.ff
+            && self.bram <= capacity.bram
+            && self.uram <= capacity.uram
+            && self.dsp <= capacity.dsp
+    }
+
+    /// Element-wise saturating subtraction.
+    pub fn saturating_sub(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector {
+            clb: self.clb.saturating_sub(other.clb),
+            lut: self.lut.saturating_sub(other.lut),
+            ff: self.ff.saturating_sub(other.ff),
+            bram: self.bram.saturating_sub(other.bram),
+            uram: self.uram.saturating_sub(other.uram),
+            dsp: self.dsp.saturating_sub(other.dsp),
+        }
+    }
+
+    /// The maximum utilization fraction across axes against `capacity`
+    /// (axes with zero capacity are ignored unless used, in which case
+    /// the result is infinite).
+    pub fn utilization_against(&self, capacity: &ResourceVector) -> f64 {
+        fn axis(used: u64, cap: u64) -> f64 {
+            if cap == 0 {
+                if used == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                used as f64 / cap as f64
+            }
+        }
+        [
+            axis(self.clb, capacity.clb),
+            axis(self.lut, capacity.lut),
+            axis(self.ff, capacity.ff),
+            axis(self.bram, capacity.bram),
+            axis(self.uram, capacity.uram),
+            axis(self.dsp, capacity.dsp),
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+}
+
+impl Add for ResourceVector {
+    type Output = ResourceVector;
+
+    fn add(self, rhs: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            clb: self.clb + rhs.clb,
+            lut: self.lut + rhs.lut,
+            ff: self.ff + rhs.ff,
+            bram: self.bram + rhs.bram,
+            uram: self.uram + rhs.uram,
+            dsp: self.dsp + rhs.dsp,
+        }
+    }
+}
+
+impl AddAssign for ResourceVector {
+    fn add_assign(&mut self, rhs: ResourceVector) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for ResourceVector {
+    type Output = ResourceVector;
+
+    /// Element-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow; use
+    /// [`ResourceVector::saturating_sub`] when clamping is intended.
+    fn sub(self, rhs: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            clb: self.clb - rhs.clb,
+            lut: self.lut - rhs.lut,
+            ff: self.ff - rhs.ff,
+            bram: self.bram - rhs.bram,
+            uram: self.uram - rhs.uram,
+            dsp: self.dsp - rhs.dsp,
+        }
+    }
+}
+
+impl Mul<u64> for ResourceVector {
+    type Output = ResourceVector;
+
+    fn mul(self, n: u64) -> ResourceVector {
+        ResourceVector {
+            clb: self.clb * n,
+            lut: self.lut * n,
+            ff: self.ff * n,
+            bram: self.bram * n,
+            uram: self.uram * n,
+            dsp: self.dsp * n,
+        }
+    }
+}
+
+impl std::fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CLB {} | LUT {} | FF {} | BRAM {} | URAM {} | DSP {}",
+            self.clb, self.lut, self.ff, self.bram, self.uram, self.dsp
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = ResourceVector::new(1, 2, 3, 4, 5, 6);
+        let b = ResourceVector::new(10, 20, 30, 40, 50, 60);
+        assert_eq!((a + b).lut, 22);
+        assert_eq!((b - a).bram, 36);
+        assert_eq!((a * 3).dsp, 18);
+        let mut c = a;
+        c += a;
+        assert_eq!(c, a * 2);
+    }
+
+    #[test]
+    fn fits_and_saturating() {
+        let small = ResourceVector::new(1, 1, 1, 1, 1, 1);
+        let big = ResourceVector::new(2, 2, 2, 2, 2, 2);
+        assert!(small.fits_in(&big));
+        assert!(!big.fits_in(&small));
+        assert_eq!(small.saturating_sub(&big), ResourceVector::ZERO);
+    }
+
+    #[test]
+    fn utilization_takes_worst_axis() {
+        let cap = ResourceVector::new(100, 100, 100, 100, 100, 100);
+        let used = ResourceVector::new(10, 90, 20, 30, 40, 50);
+        assert!((used.utilization_against(&cap) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_axis_with_usage_is_infinite() {
+        let cap = ResourceVector::new(100, 100, 100, 0, 100, 100);
+        let used = ResourceVector::new(0, 0, 0, 1, 0, 0);
+        assert!(used.utilization_against(&cap).is_infinite());
+    }
+
+    #[test]
+    fn display_mentions_all_axes() {
+        let s = ResourceVector::new(1, 2, 3, 4, 5, 6).to_string();
+        for label in ["CLB", "LUT", "FF", "BRAM", "URAM", "DSP"] {
+            assert!(s.contains(label));
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! ASIC SRAM macro compilation: cascading and banking library cells.
+//!
+//! ASIC toolchains require SRAM macros to be instantiated by hand from a
+//! technology library. Beethoven provides "a memory compiler-like utility
+//! that cascades and banks the SRAM cells available in the technology
+//! library to produce the memory requested by the developer" (§II-D).
+
+use serde::{Deserialize, Serialize};
+
+/// One SRAM macro shape available in a technology library.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SramMacro {
+    /// Library cell name.
+    pub name: String,
+    /// Words per macro.
+    pub depth: u64,
+    /// Bits per word.
+    pub width_bits: u64,
+    /// Area in square micrometres (single-port variant).
+    pub area_um2: f64,
+    /// Access ports supported by the macro itself.
+    pub ports: u32,
+}
+
+impl SramMacro {
+    /// Bits stored by one macro instance.
+    pub fn bits(&self) -> u64 {
+        self.depth * self.width_bits
+    }
+}
+
+/// A compiled memory: which macro, arranged how.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SramPlan {
+    /// Chosen macro.
+    pub macro_cell: SramMacro,
+    /// Depth-wise banks (address-decoded groups).
+    pub banks: u64,
+    /// Width-wise cascade (macros abutted to widen the word).
+    pub cascade: u64,
+    /// Total macro instances (`banks × cascade`).
+    pub instances: u64,
+    /// Estimated area in square micrometres, including port multiplier and
+    /// banking mux overhead.
+    pub area_um2: f64,
+    /// Extra cycles of access latency added by bank decoding.
+    pub extra_latency: u64,
+}
+
+/// Errors from [`SramCompiler::compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SramError {
+    /// No macro in the library can implement the request.
+    NoViableMacro {
+        /// Requested depth.
+        depth: u64,
+        /// Requested width.
+        width_bits: u64,
+    },
+    /// Zero-sized request.
+    EmptyRequest,
+}
+
+impl std::fmt::Display for SramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SramError::NoViableMacro { depth, width_bits } => {
+                write!(f, "no library macro can implement a {depth}x{width_bits}b memory")
+            }
+            SramError::EmptyRequest => write!(f, "memory request has zero depth or width"),
+        }
+    }
+}
+
+impl std::error::Error for SramError {}
+
+/// A memory compiler over a macro library.
+#[derive(Debug, Clone)]
+pub struct SramCompiler {
+    macros: Vec<SramMacro>,
+    /// Area multiplier for each port beyond the macro's native count.
+    pub extra_port_area_factor: f64,
+}
+
+impl SramCompiler {
+    /// Creates a compiler over an explicit library.
+    pub fn new(macros: Vec<SramMacro>) -> Self {
+        Self { macros, extra_port_area_factor: 1.8 }
+    }
+
+    /// An ASAP7-flavoured library (areas extrapolated from the predictive
+    /// PDK's published SRAM studies; shapes typical of academic compilers).
+    pub fn asap7() -> Self {
+        let m = |name: &str, depth, width, area| SramMacro {
+            name: name.to_owned(),
+            depth,
+            width_bits: width,
+            area_um2: area,
+            ports: 1,
+        };
+        Self::new(vec![
+            m("sram_64x32", 64, 32, 180.0),
+            m("sram_256x32", 256, 32, 520.0),
+            m("sram_256x64", 256, 64, 980.0),
+            m("sram_512x64", 512, 64, 1_750.0),
+            m("sram_1024x32", 1024, 32, 1_700.0),
+            m("sram_1024x64", 1024, 64, 3_200.0),
+            m("sram_2048x64", 2048, 64, 6_100.0),
+        ])
+    }
+
+    /// The macro shapes available.
+    pub fn macros(&self) -> &[SramMacro] {
+        &self.macros
+    }
+
+    /// Compiles a `depth × width_bits` memory with `ports` access ports,
+    /// choosing the macro arrangement with minimum estimated area.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError`] if the request is empty or no macro works.
+    pub fn compile(&self, depth: u64, width_bits: u64, ports: u32) -> Result<SramPlan, SramError> {
+        if depth == 0 || width_bits == 0 {
+            return Err(SramError::EmptyRequest);
+        }
+        let mut best: Option<SramPlan> = None;
+        for mac in &self.macros {
+            let banks = depth.div_ceil(mac.depth);
+            let cascade = width_bits.div_ceil(mac.width_bits);
+            let instances = banks * cascade;
+            let port_factor = if ports > mac.ports {
+                self.extra_port_area_factor * f64::from(ports - mac.ports)
+            } else {
+                1.0
+            };
+            // Banking needs an address decoder + output mux: ~3% area per
+            // extra bank, and one extra cycle of latency per 4× banking.
+            let mux_factor = 1.0 + 0.03 * (banks.saturating_sub(1)) as f64;
+            let area = instances as f64 * mac.area_um2 * port_factor * mux_factor;
+            let extra_latency = if banks <= 1 { 0 } else { (64 - (banks - 1).leading_zeros()) as u64 / 2 };
+            let plan = SramPlan {
+                macro_cell: mac.clone(),
+                banks,
+                cascade,
+                instances,
+                area_um2: area,
+                extra_latency,
+            };
+            if best.as_ref().is_none_or(|b| plan.area_um2 < b.area_um2) {
+                best = Some(plan);
+            }
+        }
+        best.ok_or(SramError::NoViableMacro { depth, width_bits })
+    }
+}
+
+impl Default for SramCompiler {
+    fn default() -> Self {
+        Self::asap7()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_uses_one_instance() {
+        let c = SramCompiler::asap7();
+        let plan = c.compile(512, 64, 1).unwrap();
+        assert_eq!(plan.instances, 1);
+        assert_eq!(plan.banks, 1);
+        assert_eq!(plan.cascade, 1);
+        assert_eq!(plan.extra_latency, 0);
+    }
+
+    #[test]
+    fn wide_memory_cascades() {
+        let c = SramCompiler::asap7();
+        let plan = c.compile(512, 256, 1).unwrap();
+        assert!(plan.cascade >= 2, "256b word needs cascading, got {:?}", plan);
+        assert_eq!(plan.banks * plan.cascade, plan.instances);
+    }
+
+    #[test]
+    fn deep_memory_banks_and_adds_latency() {
+        let c = SramCompiler::asap7();
+        let plan = c.compile(65536, 64, 1).unwrap();
+        assert!(plan.banks >= 16);
+        assert!(plan.extra_latency >= 1);
+    }
+
+    #[test]
+    fn capacity_covers_request() {
+        let c = SramCompiler::asap7();
+        for (d, w) in [(100, 17), (4096, 72), (320, 8), (10_000, 128)] {
+            let plan = c.compile(d, w, 1).unwrap();
+            assert!(plan.banks * plan.macro_cell.depth >= d);
+            assert!(plan.cascade * plan.macro_cell.width_bits >= w);
+        }
+    }
+
+    #[test]
+    fn dual_port_costs_more_area() {
+        let c = SramCompiler::asap7();
+        let single = c.compile(1024, 64, 1).unwrap();
+        let dual = c.compile(1024, 64, 2).unwrap();
+        assert!(dual.area_um2 > single.area_um2);
+    }
+
+    #[test]
+    fn empty_request_is_rejected() {
+        let c = SramCompiler::asap7();
+        assert_eq!(c.compile(0, 64, 1), Err(SramError::EmptyRequest));
+        assert_eq!(c.compile(64, 0, 1), Err(SramError::EmptyRequest));
+    }
+
+    #[test]
+    fn area_is_monotone_in_size() {
+        let c = SramCompiler::asap7();
+        let small = c.compile(512, 32, 1).unwrap().area_um2;
+        let large = c.compile(8192, 128, 1).unwrap().area_um2;
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,215 @@
+//! The device memory allocator (§II-C.2).
+//!
+//! On discrete platforms the runtime "provides an allocator for this
+//! discrete address space and maintains all states in the host's address
+//! space" so separate clients can allocate without conflicts. On embedded
+//! platforms allocations model hugepage-backed physical regions of the
+//! shared address space. Either way the allocator itself is the same
+//! first-fit free-list structure; only what the pointers *mean* differs.
+
+/// Allocation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// Not enough contiguous free space.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Largest satisfiable contiguous block.
+        largest_free: u64,
+    },
+    /// Zero-byte allocation.
+    ZeroSize,
+    /// Free of an address that was never allocated (double free included).
+    BadFree {
+        /// The offending address.
+        addr: u64,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested, largest_free } => write!(
+                f,
+                "out of device memory: requested {requested} bytes, largest free block {largest_free}"
+            ),
+            AllocError::ZeroSize => write!(f, "zero-byte allocation"),
+            AllocError::BadFree { addr } => write!(f, "free of unallocated address {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A first-fit free-list allocator over the accelerator memory region.
+///
+/// Allocations are aligned to 4 KiB (hugepage-style granularity on
+/// embedded platforms; DMA-friendly alignment on discrete ones).
+#[derive(Debug, Clone)]
+pub struct DeviceAllocator {
+    base: u64,
+    size: u64,
+    /// Sorted, coalesced free regions (addr, len).
+    free: Vec<(u64, u64)>,
+    /// Live allocations (addr -> len).
+    live: std::collections::BTreeMap<u64, u64>,
+}
+
+const ALIGN: u64 = 4096;
+
+impl DeviceAllocator {
+    /// An allocator over `[base, base + size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(base: u64, size: u64) -> Self {
+        assert!(size > 0, "allocator needs a nonzero region");
+        Self {
+            base,
+            size,
+            free: vec![(base, size)],
+            live: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Allocates `n_bytes` (rounded up to 4 KiB).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::ZeroSize`] or [`AllocError::OutOfMemory`].
+    pub fn malloc(&mut self, n_bytes: u64) -> Result<u64, AllocError> {
+        if n_bytes == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        let len = n_bytes.div_ceil(ALIGN) * ALIGN;
+        let slot = self.free.iter().position(|&(_, flen)| flen >= len);
+        match slot {
+            Some(i) => {
+                let (addr, flen) = self.free[i];
+                if flen == len {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (addr + len, flen - len);
+                }
+                self.live.insert(addr, len);
+                Ok(addr)
+            }
+            None => Err(AllocError::OutOfMemory {
+                requested: len,
+                largest_free: self.free.iter().map(|&(_, l)| l).max().unwrap_or(0),
+            }),
+        }
+    }
+
+    /// Frees an allocation, coalescing adjacent free regions.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::BadFree`] if `addr` is not a live allocation.
+    pub fn free(&mut self, addr: u64) -> Result<(), AllocError> {
+        let len = self.live.remove(&addr).ok_or(AllocError::BadFree { addr })?;
+        let pos = self.free.partition_point(|&(a, _)| a < addr);
+        self.free.insert(pos, (addr, len));
+        // Coalesce with neighbours.
+        if pos + 1 < self.free.len() && self.free[pos].0 + self.free[pos].1 == self.free[pos + 1].0
+        {
+            let (_, next_len) = self.free.remove(pos + 1);
+            self.free[pos].1 += next_len;
+        }
+        if pos > 0 && self.free[pos - 1].0 + self.free[pos - 1].1 == self.free[pos].0 {
+            let (_, cur_len) = self.free.remove(pos);
+            self.free[pos - 1].1 += cur_len;
+        }
+        Ok(())
+    }
+
+    /// Total bytes currently allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.live.values().sum()
+    }
+
+    /// Total bytes free.
+    pub fn free_bytes(&self) -> u64 {
+        self.free.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The managed region.
+    pub fn region(&self) -> (u64, u64) {
+        (self.base, self.size)
+    }
+
+    /// Length of the live allocation at `addr`, if any.
+    pub fn allocation_len(&self, addr: u64) -> Option<u64> {
+        self.live.get(&addr).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_aligned_and_disjoint() {
+        let mut a = DeviceAllocator::new(0x1000, 1 << 20);
+        let p1 = a.malloc(100).unwrap();
+        let p2 = a.malloc(5000).unwrap();
+        assert_eq!(p1 % ALIGN, 0);
+        assert_eq!(p2 % ALIGN, 0);
+        assert!(p2 >= p1 + 4096);
+        assert_eq!(a.live_allocations(), 2);
+    }
+
+    #[test]
+    fn free_coalesces() {
+        let mut a = DeviceAllocator::new(0, 1 << 20);
+        let p1 = a.malloc(4096).unwrap();
+        let p2 = a.malloc(4096).unwrap();
+        let p3 = a.malloc(4096).unwrap();
+        a.free(p2).unwrap();
+        a.free(p1).unwrap();
+        a.free(p3).unwrap();
+        assert_eq!(a.free_bytes(), 1 << 20);
+        assert_eq!(a.live_allocations(), 0);
+        // Whole region available again.
+        let big = a.malloc(1 << 20).unwrap();
+        assert_eq!(big, 0);
+    }
+
+    #[test]
+    fn oom_reports_largest_block() {
+        let mut a = DeviceAllocator::new(0, 16 * 4096);
+        a.malloc(8 * 4096).unwrap();
+        let err = a.malloc(12 * 4096).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { largest_free, .. } if largest_free == 8 * 4096));
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = DeviceAllocator::new(0, 1 << 20);
+        let p = a.malloc(4096).unwrap();
+        a.free(p).unwrap();
+        assert!(matches!(a.free(p), Err(AllocError::BadFree { .. })));
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut a = DeviceAllocator::new(0, 1 << 20);
+        assert_eq!(a.malloc(0), Err(AllocError::ZeroSize));
+    }
+
+    #[test]
+    fn reuse_after_free_first_fit() {
+        let mut a = DeviceAllocator::new(0, 1 << 20);
+        let p1 = a.malloc(2 * 4096).unwrap();
+        let _p2 = a.malloc(4096).unwrap();
+        a.free(p1).unwrap();
+        let p3 = a.malloc(4096).unwrap();
+        assert_eq!(p3, p1, "first fit reuses the freed hole");
+    }
+}

@@ -1,0 +1,627 @@
+//! [`FpgaHandle`]: the user-library + runtime-server pair of §II-C.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bcore::{CommandToken, SocSim};
+use bplatform::AddressSpace;
+use bsim::Cycle;
+
+use crate::alloc::{AllocError, DeviceAllocator};
+
+/// A pointer into accelerator-visible memory (the paper's `remote_ptr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemotePtr {
+    addr: u64,
+    len: u64,
+}
+
+impl RemotePtr {
+    /// The device address (what gets packed into `Address` command fields).
+    pub fn device_addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Allocation length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the allocation is zero-length (never true for live ptrs).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-range of this allocation, `offset` bytes in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the allocation.
+    pub fn offset(&self, offset: u64) -> RemotePtr {
+        assert!(offset <= self.len, "offset beyond allocation");
+        RemotePtr { addr: self.addr + offset, len: self.len - offset }
+    }
+}
+
+/// Host-side timing knobs for the runtime server model.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeOptions {
+    /// Cost of acquiring/releasing the runtime server lock per command
+    /// (mutex + queueing in the userspace server).
+    pub lock_overhead_ns: u64,
+    /// Interval between response-poll reads while blocked in `get()`.
+    pub poll_interval_ns: u64,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        Self { lock_overhead_ns: 400, poll_interval_ns: 500 }
+    }
+}
+
+/// Aggregate runtime statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RuntimeStats {
+    /// Commands submitted.
+    pub commands: u64,
+    /// Responses retrieved.
+    pub responses: u64,
+    /// DMA bytes moved host→device.
+    pub dma_to_device_bytes: u64,
+    /// DMA bytes moved device→host.
+    pub dma_from_device_bytes: u64,
+    /// Host nanoseconds spent inside the serialized runtime server
+    /// (lock + MMIO) — the Figure-6 contention term.
+    pub server_busy_ns: u64,
+}
+
+/// Errors from [`FpgaHandle::call`] and friends.
+#[derive(Debug)]
+pub enum CallError {
+    /// No system with that name exists on the device.
+    UnknownSystem(String),
+    /// The underlying send failed (bad core index or arguments).
+    Send(bcore::soc::SendError),
+    /// Allocation failed.
+    Alloc(AllocError),
+    /// A blocking `get` exceeded its cycle budget.
+    Timeout {
+        /// Cycles waited.
+        waited: Cycle,
+    },
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::UnknownSystem(name) => write!(f, "no system named '{name}'"),
+            CallError::Send(e) => write!(f, "command send failed: {e}"),
+            CallError::Alloc(e) => write!(f, "allocation failed: {e}"),
+            CallError::Timeout { waited } => write!(f, "response timed out after {waited} cycles"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+impl From<AllocError> for CallError {
+    fn from(e: AllocError) -> Self {
+        CallError::Alloc(e)
+    }
+}
+
+struct Inner {
+    soc: SocSim,
+    allocator: DeviceAllocator,
+    /// Host-side shadow buffers for discrete platforms.
+    host_shadow: HashMap<u64, Vec<u8>>,
+    opts: RuntimeOptions,
+    stats: RuntimeStats,
+    /// Default budget for blocking `get`s, fabric cycles.
+    get_timeout_cycles: Cycle,
+}
+
+impl Inner {
+    /// Advances the device while `ns` of host time passes.
+    fn advance_ns(&mut self, ns: u64) {
+        let cycles = self.soc.clock().ps_to_cycles(ns * 1000);
+        self.soc.run_for(cycles);
+    }
+}
+
+/// The paper's `fpga_handle_t`: owns the device simulation, the allocator,
+/// and the (serialized) runtime server. Clone freely — clones share state,
+/// like multiple library handles talking to one runtime server.
+#[derive(Clone)]
+pub struct FpgaHandle {
+    inner: Rc<RefCell<Inner>>,
+}
+
+/// The paper's `response_handle<T>`: poll or block for a command's
+/// completion.
+#[derive(Clone)]
+pub struct ResponseHandle {
+    inner: Rc<RefCell<Inner>>,
+    token: CommandToken,
+    resolved: Rc<RefCell<Option<u64>>>,
+}
+
+impl FpgaHandle {
+    /// Opens a handle over a composed SoC.
+    pub fn new(soc: SocSim) -> Self {
+        Self::with_options(soc, RuntimeOptions::default())
+    }
+
+    /// Opens a handle with explicit runtime timing options.
+    pub fn with_options(soc: SocSim, opts: RuntimeOptions) -> Self {
+        let platform = soc.platform().clone();
+        let allocator = DeviceAllocator::new(platform.mem_base.max(4096), platform.mem_size);
+        Self {
+            inner: Rc::new(RefCell::new(Inner {
+                soc,
+                allocator,
+                host_shadow: HashMap::new(),
+                opts,
+                stats: RuntimeStats::default(),
+                get_timeout_cycles: 2_000_000_000,
+            })),
+        }
+    }
+
+    /// Allocates accelerator-visible memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures.
+    pub fn malloc(&self, n_bytes: u64) -> Result<RemotePtr, CallError> {
+        let mut inner = self.inner.borrow_mut();
+        let addr = inner.allocator.malloc(n_bytes)?;
+        let len = inner.allocator.allocation_len(addr).expect("just allocated");
+        if inner.soc.platform().address_space == AddressSpace::Discrete {
+            inner.host_shadow.insert(addr, vec![0u8; len as usize]);
+        }
+        Ok(RemotePtr { addr, len })
+    }
+
+    /// Releases an allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures (double free, foreign pointer).
+    pub fn free(&self, ptr: RemotePtr) -> Result<(), CallError> {
+        let mut inner = self.inner.borrow_mut();
+        inner.allocator.free(ptr.addr)?;
+        inner.host_shadow.remove(&ptr.addr);
+        Ok(())
+    }
+
+    /// Writes host data at `ptr + offset`. On embedded (shared-memory)
+    /// platforms this is immediately accelerator-visible; on discrete
+    /// platforms it lands in the host shadow until
+    /// [`FpgaHandle::copy_to_fpga`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the allocation.
+    pub fn write_at(&self, ptr: RemotePtr, offset: u64, data: &[u8]) {
+        assert!(offset + data.len() as u64 <= ptr.len, "write beyond allocation");
+        let mut inner = self.inner.borrow_mut();
+        match inner.soc.platform().address_space {
+            AddressSpace::Shared => {
+                inner.soc.memory().borrow_mut().write(ptr.addr + offset, data);
+            }
+            AddressSpace::Discrete => {
+                let base = ptr.addr;
+                let shadow = inner
+                    .host_shadow
+                    .get_mut(&base)
+                    .expect("live discrete allocation has a shadow");
+                let off = offset as usize;
+                shadow[off..off + data.len()].copy_from_slice(data);
+            }
+        }
+    }
+
+    /// Reads host-visible data at `ptr + offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the allocation.
+    pub fn read_at(&self, ptr: RemotePtr, offset: u64, len: usize) -> Vec<u8> {
+        assert!(offset + len as u64 <= ptr.len, "read beyond allocation");
+        let inner = self.inner.borrow();
+        match inner.soc.platform().address_space {
+            AddressSpace::Shared => inner.soc.memory().borrow().read_vec(ptr.addr + offset, len),
+            AddressSpace::Discrete => {
+                let shadow = &inner.host_shadow[&ptr.addr];
+                shadow[offset as usize..offset as usize + len].to_vec()
+            }
+        }
+    }
+
+    /// Convenience: write a `u32` slice at offset 0.
+    pub fn write_u32_slice(&self, ptr: RemotePtr, values: &[u32]) {
+        let mut bytes = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_at(ptr, 0, &bytes);
+    }
+
+    /// Convenience: read a `u32` slice from offset 0.
+    pub fn read_u32_slice(&self, ptr: RemotePtr, count: usize) -> Vec<u32> {
+        self.read_at(ptr, 0, count * 4)
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// DMA host→device (no-op on shared-memory platforms). Advances
+    /// simulated time by the platform's DMA cost model.
+    pub fn copy_to_fpga(&self, ptr: RemotePtr) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.soc.platform().address_space == AddressSpace::Shared {
+            return;
+        }
+        let data = inner.host_shadow[&ptr.addr].clone();
+        inner.soc.memory().borrow_mut().write(ptr.addr, &data);
+        let link = inner.soc.platform().host_link;
+        let ns = link.dma_setup_ns + data.len() as u64 * 1_000_000_000 / link.dma_bytes_per_sec;
+        inner.stats.dma_to_device_bytes += data.len() as u64;
+        inner.advance_ns(ns);
+    }
+
+    /// DMA device→host (no-op on shared-memory platforms).
+    pub fn copy_from_fpga(&self, ptr: RemotePtr) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.soc.platform().address_space == AddressSpace::Shared {
+            return;
+        }
+        let data = inner.soc.memory().borrow().read_vec(ptr.addr, ptr.len as usize);
+        let link = inner.soc.platform().host_link;
+        let ns = link.dma_setup_ns + data.len() as u64 * 1_000_000_000 / link.dma_bytes_per_sec;
+        inner.stats.dma_from_device_bytes += data.len() as u64;
+        inner.host_shadow.insert(ptr.addr, data);
+        inner.advance_ns(ns);
+    }
+
+    /// Sends a custom command through the runtime server. `args` are the
+    /// command's named fields (the generated bindings build this map).
+    ///
+    /// Models the serialized server: lock acquisition plus one MMIO write
+    /// per RoCC beat, during which the device keeps running.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::UnknownSystem`] or a packing/routing failure.
+    pub fn call(
+        &self,
+        system: &str,
+        core_idx: u16,
+        args: std::collections::BTreeMap<String, u64>,
+    ) -> Result<ResponseHandle, CallError> {
+        let mut inner = self.inner.borrow_mut();
+        let sys_id = inner
+            .soc
+            .system_id(system)
+            .ok_or_else(|| CallError::UnknownSystem(system.to_owned()))?;
+        let link = inner.soc.platform().host_link;
+        // Serialized server work: lock + MMIO writes (5 words per beat).
+        let server_ns = inner.opts.lock_overhead_ns + link.mmio_latency_ns;
+        inner.advance_ns(server_ns);
+        inner.stats.server_busy_ns += server_ns;
+        let token = loop {
+            match inner.soc.send_command(sys_id, core_idx, &args) {
+                Ok(t) => break t,
+                Err(bcore::soc::SendError::QueueFull) => {
+                    // Command FIFO full: the server spins on the MMIO
+                    // status register.
+                    let spin = inner.opts.poll_interval_ns.max(1);
+                    inner.advance_ns(spin);
+                    inner.stats.server_busy_ns += spin;
+                }
+                Err(e) => return Err(CallError::Send(e)),
+            }
+        };
+        inner.stats.commands += 1;
+        Ok(ResponseHandle {
+            inner: Rc::clone(&self.inner),
+            token,
+            resolved: Rc::new(RefCell::new(None)),
+        })
+    }
+
+    /// Runs the device for `cycles` fabric cycles (host idle).
+    pub fn run_for(&self, cycles: Cycle) {
+        self.inner.borrow_mut().soc.run_for(cycles);
+    }
+
+    /// Current fabric cycle.
+    pub fn now(&self) -> Cycle {
+        self.inner.borrow().soc.now()
+    }
+
+    /// Elapsed simulated wall-clock seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.inner.borrow().soc.elapsed_secs()
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        self.inner.borrow().stats
+    }
+
+    /// Borrows the device for direct inspection (stats, tracer, report).
+    pub fn with_soc<R>(&self, f: impl FnOnce(&mut SocSim) -> R) -> R {
+        f(&mut self.inner.borrow_mut().soc)
+    }
+
+    /// Sets the blocking-`get` budget in fabric cycles.
+    pub fn set_get_timeout(&self, cycles: Cycle) {
+        self.inner.borrow_mut().get_timeout_cycles = cycles;
+    }
+}
+
+impl std::fmt::Debug for FpgaHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("FpgaHandle")
+            .field("platform", &inner.soc.platform().name)
+            .field("now", &inner.soc.now())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl ResponseHandle {
+    /// Non-blocking check (the paper's `try_get()`), at one MMIO read cost.
+    pub fn try_get(&self) -> Option<u64> {
+        if let Some(v) = *self.resolved.borrow() {
+            return Some(v);
+        }
+        let mut inner = self.inner.borrow_mut();
+        let link_ns = inner.soc.platform().host_link.mmio_latency_ns;
+        inner.advance_ns(link_ns);
+        let polled = inner.soc.poll(self.token);
+        if let Some(v) = polled {
+            inner.stats.responses += 1;
+            *self.resolved.borrow_mut() = Some(v);
+        }
+        polled
+    }
+
+    /// Blocks (simulated) until the response arrives (the paper's
+    /// `get()`), polling the MMIO response FIFO at the configured interval.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::Timeout`] if the cycle budget set via
+    /// [`FpgaHandle::set_get_timeout`] is exceeded.
+    pub fn get(&self) -> Result<u64, CallError> {
+        if let Some(v) = *self.resolved.borrow() {
+            return Ok(v);
+        }
+        let start = self.inner.borrow().soc.now();
+        loop {
+            if let Some(v) = self.try_get() {
+                return Ok(v);
+            }
+            let mut inner = self.inner.borrow_mut();
+            let waited = inner.soc.now() - start;
+            if waited > inner.get_timeout_cycles {
+                return Err(CallError::Timeout { waited });
+            }
+            let interval = inner.opts.poll_interval_ns.max(1);
+            inner.advance_ns(interval);
+        }
+    }
+
+    /// The underlying command token.
+    pub fn token(&self) -> CommandToken {
+        self.token
+    }
+}
+
+impl std::fmt::Debug for ResponseHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseHandle")
+            .field("token", &self.token)
+            .field("resolved", &self.resolved.borrow().is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcore::{
+        elaborate, AccelCommandSpec, AcceleratorConfig, AcceleratorCore, CoreContext, FieldType,
+        ReadChannelConfig, SystemConfig, WriteChannelConfig,
+    };
+    use bplatform::Platform;
+
+    /// Minimal streaming doubler core for runtime tests.
+    struct DoubleCore {
+        remaining: u32,
+        active: bool,
+    }
+
+    impl AcceleratorCore for DoubleCore {
+        fn tick(&mut self, ctx: &mut CoreContext) {
+            if !self.active {
+                if let Some(cmd) = ctx.take_command() {
+                    let n = cmd.arg("n") as u32;
+                    let addr = cmd.arg("addr");
+                    self.remaining = n;
+                    self.active = true;
+                    ctx.reader("src").request(addr, u64::from(n) * 4).expect("idle");
+                    ctx.writer("dst").request(addr, u64::from(n) * 4).expect("idle");
+                }
+                return;
+            }
+            while self.remaining > 0 && ctx.writer("dst").can_push() {
+                let Some(v) = ctx.reader("src").pop_u32() else { break };
+                ctx.writer("dst").push_u32(v.wrapping_mul(2));
+                self.remaining -= 1;
+            }
+            if self.remaining == 0 && ctx.writer("dst").done() && ctx.respond(1) {
+                self.active = false;
+            }
+        }
+    }
+
+    fn make_handle(platform: &Platform, n_cores: u32) -> FpgaHandle {
+        let spec = AccelCommandSpec::new(
+            "double",
+            vec![
+                ("addr".to_owned(), FieldType::Address),
+                ("n".to_owned(), FieldType::U(24)),
+            ],
+        );
+        let cfg = AcceleratorConfig::new().with_system(
+            SystemConfig::new("Doubler", n_cores, spec, || {
+                Box::new(DoubleCore { remaining: 0, active: false })
+            })
+            .with_read(ReadChannelConfig::new("src", 4))
+            .with_write(WriteChannelConfig::new("dst", 4)),
+        );
+        FpgaHandle::new(elaborate(cfg, platform).expect("elaboration"))
+    }
+
+    fn call_args(addr: u64, n: u64) -> std::collections::BTreeMap<String, u64> {
+        [("addr".to_owned(), addr), ("n".to_owned(), n)].into_iter().collect()
+    }
+
+    #[test]
+    fn figure_3c_flow_on_discrete_platform() {
+        // The exact sequence of the paper's Figure 3c.
+        let handle = make_handle(&Platform::aws_f1(), 1);
+        let mem = handle.malloc(1024).unwrap();
+        let input: Vec<u32> = (0..256).collect();
+        handle.write_u32_slice(mem, &input);
+        handle.copy_to_fpga(mem);
+        let resp = handle.call("Doubler", 0, call_args(mem.device_addr(), 256)).unwrap();
+        assert_eq!(resp.get().unwrap(), 1);
+        handle.copy_from_fpga(mem);
+        let out = handle.read_u32_slice(mem, 256);
+        let expect: Vec<u32> = input.iter().map(|v| v * 2).collect();
+        assert_eq!(out, expect);
+        let stats = handle.stats();
+        assert_eq!(stats.commands, 1);
+        assert_eq!(stats.responses, 1);
+        assert!(stats.dma_to_device_bytes >= 1024);
+    }
+
+    #[test]
+    fn shared_platform_needs_no_dma() {
+        let handle = make_handle(&Platform::kria(), 1);
+        let mem = handle.malloc(1024).unwrap();
+        let input: Vec<u32> = (0..256).map(|v| v * 3).collect();
+        handle.write_u32_slice(mem, &input);
+        // No copy_to_fpga: the memory is shared and coherent.
+        let resp = handle.call("Doubler", 0, call_args(mem.device_addr(), 256)).unwrap();
+        resp.get().unwrap();
+        let out = handle.read_u32_slice(mem, 256);
+        assert_eq!(out[17], 17 * 3 * 2);
+        assert_eq!(handle.stats().dma_to_device_bytes, 0);
+    }
+
+    #[test]
+    fn discrete_writes_invisible_until_dma() {
+        let handle = make_handle(&Platform::aws_f1(), 1);
+        let mem = handle.malloc(64).unwrap();
+        handle.write_at(mem, 0, &[0xAB; 64]);
+        let device_view = handle.with_soc(|soc| soc.memory().borrow().read_vec(mem.device_addr(), 64));
+        assert_eq!(device_view, vec![0u8; 64], "host write must not leak before DMA");
+        handle.copy_to_fpga(mem);
+        let device_view = handle.with_soc(|soc| soc.memory().borrow().read_vec(mem.device_addr(), 64));
+        assert_eq!(device_view, vec![0xAB; 64]);
+    }
+
+    #[test]
+    fn try_get_is_nonblocking_then_resolves() {
+        let handle = make_handle(&Platform::sim(), 1);
+        let mem = handle.malloc(4096).unwrap();
+        handle.write_u32_slice(mem, &vec![1u32; 1024]);
+        let resp = handle.call("Doubler", 0, call_args(mem.device_addr(), 1024)).unwrap();
+        // Immediately after submission the kernel cannot be done.
+        assert!(resp.try_get().is_none());
+        assert_eq!(resp.get().unwrap(), 1);
+        // Subsequent gets return the cached value without advancing time.
+        let t = handle.now();
+        assert_eq!(resp.get().unwrap(), 1);
+        assert_eq!(handle.now(), t);
+    }
+
+    #[test]
+    fn commands_to_all_cores_overlap() {
+        let handle = make_handle(&Platform::sim(), 4);
+        let n = 4096u64;
+        let mut handles = Vec::new();
+        for core in 0..4u16 {
+            let mem = handle.malloc(n * 4).unwrap();
+            handle.write_u32_slice(mem, &vec![u32::from(core) + 1; n as usize]);
+            handle.copy_to_fpga(mem);
+            handles.push((core, mem, handle.call("Doubler", core, call_args(mem.device_addr(), n)).unwrap()));
+        }
+        for (core, mem, resp) in handles {
+            resp.get().unwrap();
+            handle.copy_from_fpga(mem);
+            let out = handle.read_u32_slice(mem, n as usize);
+            assert!(out.iter().all(|&v| v == (u32::from(core) + 1) * 2));
+        }
+        assert_eq!(handle.stats().responses, 4);
+    }
+
+    #[test]
+    fn unknown_system_and_bad_core_error() {
+        let handle = make_handle(&Platform::sim(), 1);
+        assert!(matches!(
+            handle.call("Nope", 0, call_args(0, 0)),
+            Err(CallError::UnknownSystem(_))
+        ));
+        assert!(matches!(
+            handle.call("Doubler", 7, call_args(0, 0)),
+            Err(CallError::Send(_))
+        ));
+    }
+
+    #[test]
+    fn malloc_free_cycle() {
+        let handle = make_handle(&Platform::sim(), 1);
+        let a = handle.malloc(1 << 20).unwrap();
+        handle.free(a).unwrap();
+        let b = handle.malloc(1 << 20).unwrap();
+        assert_eq!(a.device_addr(), b.device_addr());
+        // The stale ptr aliases b's live allocation, so this free succeeds
+        // (frees b); the next free of the same address must then fail.
+        handle.free(a).unwrap();
+        assert!(handle.free(b).is_err(), "double free of the same region");
+    }
+
+    #[test]
+    fn server_lock_serializes_submissions() {
+        // Submitting k commands costs at least k × (lock + mmio) of
+        // simulated host time even if the device is idle.
+        let handle = make_handle(&Platform::aws_f1(), 4);
+        let mem = handle.malloc(4096).unwrap();
+        handle.copy_to_fpga(mem);
+        let t0 = handle.elapsed_secs();
+        let mut responses = Vec::new();
+        for core in 0..4 {
+            responses.push(handle.call("Doubler", core, call_args(mem.device_addr(), 1)).unwrap());
+        }
+        let t1 = handle.elapsed_secs();
+        let link = 800e-9 + 400e-9; // mmio + lock for aws_f1 defaults
+        assert!(
+            t1 - t0 >= 4.0 * link * 0.9,
+            "4 submissions should cost ≥ 4×(lock+mmio): {} vs {}",
+            t1 - t0,
+            4.0 * link
+        );
+        for r in responses {
+            r.get().unwrap();
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Ready/valid ("Decoupled") channels between components.
+//!
+//! A channel is a bounded FIFO with a visibility latency: an item sent on
+//! cycle `n` can be received no earlier than cycle `n + latency`. The default
+//! latency of 1 models the output register every synchronous queue has, and
+//! makes simulation results independent of the order in which producer and
+//! consumer tick within a cycle (for the forward data path).
+//!
+//! Backpressure is modelled by capacity: [`Sender::can_send`] is the `ready`
+//! signal, [`Receiver::peek`] returning `Some` is the `valid` signal.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::time::Cycle;
+
+struct Inner<T> {
+    capacity: usize,
+    latency: u64,
+    queue: VecDeque<(Cycle, T)>,
+    total_sent: u64,
+    total_received: u64,
+}
+
+/// Observable occupancy information about a channel, shared by both ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelState {
+    /// Items currently buffered (visible or not).
+    pub occupancy: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Total items ever sent.
+    pub total_sent: u64,
+    /// Total items ever received.
+    pub total_received: u64,
+}
+
+/// The producer endpoint of a channel. See [`channel`].
+pub struct Sender<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+/// The consumer endpoint of a channel. See [`channel`].
+pub struct Receiver<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state();
+        f.debug_struct("Sender")
+            .field("occupancy", &s.occupancy)
+            .field("capacity", &s.capacity)
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state();
+        f.debug_struct("Receiver")
+            .field("occupancy", &s.occupancy)
+            .field("capacity", &s.capacity)
+            .finish()
+    }
+}
+
+/// Creates a bounded channel with the default visibility latency of 1 cycle.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    channel_with_latency(capacity, 1)
+}
+
+/// Creates a bounded channel whose items become visible `latency` cycles
+/// after they are sent. A latency of 0 gives combinational (same-cycle)
+/// visibility and makes results depend on component tick order — use it only
+/// within a single module.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn channel_with_latency<T>(capacity: usize, latency: u64) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "channel capacity must be nonzero");
+    let inner = Rc::new(RefCell::new(Inner {
+        capacity,
+        latency,
+        queue: VecDeque::with_capacity(capacity),
+        total_sent: 0,
+        total_received: 0,
+    }));
+    (Sender { inner: Rc::clone(&inner) }, Receiver { inner })
+}
+
+impl<T> Sender<T> {
+    /// Whether the channel can accept another item this cycle (the `ready`
+    /// signal seen by the producer).
+    pub fn can_send(&self) -> bool {
+        let inner = self.inner.borrow();
+        inner.queue.len() < inner.capacity
+    }
+
+    /// Number of additional items the channel can accept.
+    pub fn free_slots(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.capacity - inner.queue.len()
+    }
+
+    /// Enqueues `value` at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is full; callers must check [`Sender::can_send`]
+    /// first (matching the fire = ready && valid discipline of real RTL).
+    pub fn send(&self, now: Cycle, value: T) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            inner.queue.len() < inner.capacity,
+            "send on full channel (capacity {})",
+            inner.capacity
+        );
+        let visible = now + inner.latency;
+        inner.queue.push_back((visible, value));
+        inner.total_sent += 1;
+    }
+
+    /// Attempts to enqueue; returns `Err(value)` if the channel is full.
+    pub fn try_send(&self, now: Cycle, value: T) -> Result<(), T> {
+        if self.can_send() {
+            self.send(now, value);
+            Ok(())
+        } else {
+            Err(value)
+        }
+    }
+
+    /// Occupancy snapshot.
+    pub fn state(&self) -> ChannelState {
+        state_of(&self.inner)
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Returns whether an item is visible at cycle `now` (the `valid`
+    /// signal seen by the consumer).
+    pub fn has_data(&self, now: Cycle) -> bool {
+        let inner = self.inner.borrow();
+        inner.queue.front().is_some_and(|(vis, _)| *vis <= now)
+    }
+
+    /// Dequeues the front item if one is visible at cycle `now`.
+    pub fn recv(&self, now: Cycle) -> Option<T> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.queue.front().is_some_and(|(vis, _)| *vis <= now) {
+            inner.total_received += 1;
+            inner.queue.pop_front().map(|(_, v)| v)
+        } else {
+            None
+        }
+    }
+
+    /// Number of items visible at cycle `now` (occupancy of the visible
+    /// prefix of the queue).
+    pub fn visible_len(&self, now: Cycle) -> usize {
+        let inner = self.inner.borrow();
+        inner.queue.iter().take_while(|(vis, _)| *vis <= now).count()
+    }
+
+    /// Occupancy snapshot.
+    pub fn state(&self) -> ChannelState {
+        state_of(&self.inner)
+    }
+}
+
+impl<T: Clone> Receiver<T> {
+    /// Peeks at the front visible item without consuming it.
+    pub fn peek(&self, now: Cycle) -> Option<T> {
+        let inner = self.inner.borrow();
+        match inner.queue.front() {
+            Some((vis, v)) if *vis <= now => Some(v.clone()),
+            _ => None,
+        }
+    }
+}
+
+fn state_of<T>(inner: &Rc<RefCell<Inner<T>>>) -> ChannelState {
+    let inner = inner.borrow();
+    ChannelState {
+        occupancy: inner.queue.len(),
+        capacity: inner.capacity,
+        total_sent: inner.total_sent,
+        total_received: inner.total_received,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_hides_items_until_due() {
+        let (tx, rx) = channel::<u32>(2);
+        tx.send(5, 42);
+        assert!(!rx.has_data(5), "item must not be visible on its send cycle");
+        assert!(rx.has_data(6));
+        assert_eq!(rx.recv(6), Some(42));
+    }
+
+    #[test]
+    fn zero_latency_is_combinational() {
+        let (tx, rx) = channel_with_latency::<u32>(1, 0);
+        tx.send(3, 7);
+        assert_eq!(rx.recv(3), Some(7));
+    }
+
+    #[test]
+    fn capacity_backpressure() {
+        let (tx, rx) = channel::<u32>(2);
+        assert!(tx.try_send(0, 1).is_ok());
+        assert!(tx.try_send(0, 2).is_ok());
+        assert_eq!(tx.try_send(0, 3), Err(3));
+        assert!(!tx.can_send());
+        assert_eq!(rx.recv(1), Some(1));
+        assert!(tx.can_send());
+        assert_eq!(tx.free_slots(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn send_on_full_panics() {
+        let (tx, _rx) = channel::<u8>(1);
+        tx.send(0, 1);
+        tx.send(0, 2);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (tx, rx) = channel::<u32>(8);
+        for i in 0..8 {
+            tx.send(i, i as u32);
+        }
+        for i in 0..8 {
+            assert_eq!(rx.recv(100), Some(i));
+        }
+        assert_eq!(rx.recv(100), None);
+    }
+
+    #[test]
+    fn visible_len_respects_latency() {
+        let (tx, rx) = channel_with_latency::<u8>(4, 2);
+        tx.send(0, 1);
+        tx.send(1, 2);
+        assert_eq!(rx.visible_len(1), 0);
+        assert_eq!(rx.visible_len(2), 1);
+        assert_eq!(rx.visible_len(3), 2);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let (tx, rx) = channel::<u8>(1);
+        tx.send(0, 9);
+        assert_eq!(rx.peek(1), Some(9));
+        assert_eq!(rx.peek(1), Some(9));
+        assert_eq!(rx.recv(1), Some(9));
+        assert_eq!(rx.peek(1), None);
+    }
+
+    #[test]
+    fn counters_track_totals() {
+        let (tx, rx) = channel::<u8>(4);
+        tx.send(0, 1);
+        tx.send(0, 2);
+        rx.recv(1);
+        let s = tx.state();
+        assert_eq!(s.total_sent, 2);
+        assert_eq!(s.total_received, 1);
+        assert_eq!(s.occupancy, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        channel::<u8>(0);
+    }
+}

@@ -1,0 +1,305 @@
+//! The [`Component`] trait and the [`Simulation`] driver.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::time::Cycle;
+
+/// A hardware module with per-cycle behaviour.
+///
+/// `tick(now)` is called exactly once per cycle of the component's clock
+/// domain (see [`Simulation::add_with_divider`]). All communication with
+/// other components flows through [`crate::channel`]s, whose default
+/// 1-cycle visibility latency keeps results independent of tick order.
+pub trait Component {
+    /// Advances the component by one cycle of its own clock.
+    fn tick(&mut self, now: Cycle);
+
+    /// A human-readable name for traces and error messages.
+    fn name(&self) -> &str {
+        "component"
+    }
+}
+
+/// A shared, inspectable handle to a component that has been added to a
+/// [`Simulation`]. The simulation ticks it; the host can `borrow()` it
+/// between cycles to read results or inject stimuli.
+pub struct Shared<T: ?Sized>(Rc<RefCell<T>>);
+
+impl<T> Shared<T> {
+    /// Wraps a value for shared ownership between the host and a simulation.
+    pub fn new(value: T) -> Self {
+        Shared(Rc::new(RefCell::new(value)))
+    }
+
+    /// Immutably borrows the component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the simulation is inside this component's
+    /// `tick` (cannot happen from host code between `step`s).
+    pub fn borrow(&self) -> std::cell::Ref<'_, T> {
+        self.0.borrow()
+    }
+
+    /// Mutably borrows the component.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Shared::borrow`].
+    pub fn borrow_mut(&self) -> std::cell::RefMut<'_, T> {
+        self.0.borrow_mut()
+    }
+}
+
+impl<T: ?Sized> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared(Rc::clone(&self.0))
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shared({:?})", self.0.borrow())
+    }
+}
+
+impl<T: Component> Component for Shared<T> {
+    fn tick(&mut self, now: Cycle) {
+        self.0.borrow_mut().tick(now);
+    }
+
+    fn name(&self) -> &str {
+        // The borrow cannot outlive this call, so return a static label.
+        "shared"
+    }
+}
+
+struct Registered {
+    component: Box<dyn Component>,
+    /// Tick this component once every `divider` base-clock cycles, i.e. on
+    /// base cycles where `base % divider == phase`.
+    divider: u64,
+    /// Cycles of the component's own clock elapsed so far.
+    local_cycles: Cycle,
+}
+
+/// Owns a set of components and drives the base clock.
+///
+/// Components in slower clock domains are registered with a divider: they
+/// tick once every `divider` base cycles, and observe their *local* cycle
+/// count, so channel latencies stay meaningful within a domain.
+#[derive(Default)]
+pub struct Simulation {
+    components: Vec<Registered>,
+    now: Cycle,
+}
+
+impl Simulation {
+    /// Creates an empty simulation at cycle 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a component on the base clock.
+    pub fn add<C: Component + 'static>(&mut self, component: C) {
+        self.add_with_divider(component, 1);
+    }
+
+    /// Adds a component that ticks once every `divider` base cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divider` is zero.
+    pub fn add_with_divider<C: Component + 'static>(&mut self, component: C, divider: u64) {
+        assert!(divider > 0, "clock divider must be nonzero");
+        self.components.push(Registered {
+            component: Box::new(component),
+            divider,
+            local_cycles: 0,
+        });
+    }
+
+    /// Adds a component and returns a [`Shared`] handle for host inspection.
+    pub fn add_shared<C: Component + 'static>(&mut self, component: C) -> Shared<C> {
+        self.add_shared_with_divider(component, 1)
+    }
+
+    /// Combines [`Simulation::add_shared`] and
+    /// [`Simulation::add_with_divider`].
+    pub fn add_shared_with_divider<C: Component + 'static>(
+        &mut self,
+        component: C,
+        divider: u64,
+    ) -> Shared<C> {
+        let shared = Shared::new(component);
+        self.add_with_divider(shared.clone(), divider);
+        shared
+    }
+
+    /// The current base-clock cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of registered components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether no components are registered.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Advances the base clock by one cycle, ticking every component whose
+    /// divider divides the new cycle index.
+    pub fn step(&mut self) {
+        for reg in &mut self.components {
+            if self.now.is_multiple_of(reg.divider) {
+                reg.component.tick(reg.local_cycles);
+                reg.local_cycles += 1;
+            }
+        }
+        self.now += 1;
+    }
+
+    /// Runs for `cycles` base cycles.
+    pub fn run_for(&mut self, cycles: Cycle) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until `done()` returns true or `max_cycles` elapse, whichever is
+    /// first. Returns `Ok(cycles_elapsed)` on completion and
+    /// `Err(max_cycles)` on timeout. `done` is evaluated between cycles.
+    pub fn run_until(
+        &mut self,
+        max_cycles: Cycle,
+        mut done: impl FnMut() -> bool,
+    ) -> Result<Cycle, Cycle> {
+        let start = self.now;
+        while self.now - start < max_cycles {
+            if done() {
+                return Ok(self.now - start);
+            }
+            self.step();
+        }
+        if done() {
+            Ok(self.now - start)
+        } else {
+            Err(max_cycles)
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("components", &self.components.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chan::channel;
+
+    struct Counter {
+        ticks: u64,
+    }
+
+    impl Component for Counter {
+        fn tick(&mut self, _now: Cycle) {
+            self.ticks += 1;
+        }
+    }
+
+    #[test]
+    fn step_ticks_all_components() {
+        let mut sim = Simulation::new();
+        let a = sim.add_shared(Counter { ticks: 0 });
+        let b = sim.add_shared(Counter { ticks: 0 });
+        sim.run_for(10);
+        assert_eq!(a.borrow().ticks, 10);
+        assert_eq!(b.borrow().ticks, 10);
+        assert_eq!(sim.now(), 10);
+    }
+
+    #[test]
+    fn divider_slows_component() {
+        let mut sim = Simulation::new();
+        let fast = sim.add_shared(Counter { ticks: 0 });
+        let slow = sim.add_shared_with_divider(Counter { ticks: 0 }, 2);
+        sim.run_for(10);
+        assert_eq!(fast.borrow().ticks, 10);
+        assert_eq!(slow.borrow().ticks, 5);
+    }
+
+    #[test]
+    fn run_until_stops_on_predicate() {
+        let mut sim = Simulation::new();
+        let c = sim.add_shared(Counter { ticks: 0 });
+        let c2 = c.clone();
+        let elapsed = sim.run_until(1000, move || c2.borrow().ticks >= 7).unwrap();
+        assert_eq!(elapsed, 7);
+        assert_eq!(c.borrow().ticks, 7);
+    }
+
+    #[test]
+    fn run_until_times_out() {
+        let mut sim = Simulation::new();
+        sim.add(Counter { ticks: 0 });
+        assert_eq!(sim.run_until(5, || false), Err(5));
+    }
+
+    struct Pipe {
+        rx: crate::Receiver<u64>,
+        tx: crate::Sender<u64>,
+    }
+
+    impl Component for Pipe {
+        fn tick(&mut self, now: Cycle) {
+            if self.tx.can_send() {
+                if let Some(v) = self.rx.recv(now) {
+                    self.tx.send(now, v + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chained_pipes_accumulate_latency() {
+        // Three pipe stages each add a +1 and a cycle of channel latency.
+        let (tx0, rx0) = channel::<u64>(1);
+        let (tx1, rx1) = channel::<u64>(1);
+        let (tx2, rx2) = channel::<u64>(1);
+        let (tx3, rx3) = channel::<u64>(1);
+        let mut sim = Simulation::new();
+        sim.add(Pipe { rx: rx0, tx: tx1 });
+        sim.add(Pipe { rx: rx1, tx: tx2 });
+        sim.add(Pipe { rx: rx2, tx: tx3 });
+        tx0.send(0, 100);
+        let mut result = None;
+        for _ in 0..20 {
+            sim.step();
+            if let Some(v) = rx3.recv(sim.now()) {
+                result = Some((v, sim.now()));
+                break;
+            }
+        }
+        let (v, cycle) = result.expect("value should traverse the pipeline");
+        assert_eq!(v, 103);
+        assert!(cycle >= 3, "three stages imply at least three cycles, got {cycle}");
+    }
+
+    #[test]
+    fn empty_sim_is_empty() {
+        let sim = Simulation::new();
+        assert!(sim.is_empty());
+        assert_eq!(sim.len(), 0);
+    }
+}

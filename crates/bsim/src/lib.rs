@@ -1,0 +1,67 @@
+//! # bsim — cycle-driven hardware simulation kernel
+//!
+//! `bsim` is the substrate the Beethoven reproduction elaborates hardware
+//! into. It plays the role that Chisel + Verilator/VCS play in the paper:
+//! a way to describe communicating hardware modules and advance them one
+//! clock cycle at a time.
+//!
+//! The kernel is deliberately small:
+//!
+//! * [`Component`] — anything with per-cycle behaviour (`tick`).
+//! * [`channel`] / [`Sender`] / [`Receiver`] — ready/valid ("Decoupled" in
+//!   Chisel terms) bounded channels with register-like visibility latency.
+//! * [`Simulation`] — owns components and drives the clock, including
+//!   multi-clock-domain ticking via per-component dividers.
+//! * [`SparseMemory`] — a byte-addressable sparse backing store used as the
+//!   functional half of the DRAM model.
+//! * [`Stats`] — shared counters and histograms for instrumentation.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use bsim::{channel, Component, Cycle, Simulation};
+//!
+//! struct Producer { tx: bsim::Sender<u32>, next: u32 }
+//! impl Component for Producer {
+//!     fn tick(&mut self, now: Cycle) {
+//!         if self.tx.can_send() {
+//!             self.tx.send(now, self.next);
+//!             self.next += 1;
+//!         }
+//!     }
+//! }
+//!
+//! struct Consumer { rx: bsim::Receiver<u32>, sum: u64 }
+//! impl Component for Consumer {
+//!     fn tick(&mut self, now: Cycle) {
+//!         while let Some(v) = self.rx.recv(now) {
+//!             self.sum += u64::from(v);
+//!         }
+//!     }
+//! }
+//!
+//! let (tx, rx) = channel::<u32>(4);
+//! let mut sim = Simulation::new();
+//! sim.add(Producer { tx, next: 0 });
+//! let consumer = sim.add_shared(Consumer { rx, sum: 0 });
+//! sim.run_for(100);
+//! assert!(consumer.borrow().sum > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod chan;
+mod component;
+mod mem;
+mod stats;
+mod time;
+mod trace;
+mod vcd;
+
+pub use chan::{channel, channel_with_latency, ChannelState, Receiver, Sender};
+pub use component::{Component, Shared, Simulation};
+pub use mem::SparseMemory;
+pub use stats::{Histogram, Stats};
+pub use time::{ClockDomain, Cycle, Picoseconds, PICOS_PER_SEC};
+pub use trace::{TraceEvent, Tracer};
+pub use vcd::{SignalId, VcdRecorder};

@@ -1,0 +1,192 @@
+//! Counters and histograms shared between components and the host.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A latency/occupancy histogram with power-of-two buckets.
+#[derive(Debug, Default, Clone)]
+pub struct Histogram {
+    /// bucket\[i\] counts samples in `[2^(i-1), 2^i)`; bucket\[0\] counts 0..1.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { min: u64::MAX, ..Self::default() }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value == 0 { 0 } else { 64 - value.leading_zeros() as usize };
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A shared, cloneable bag of named counters and histograms.
+///
+/// Components hold clones and increment counters during `tick`; the host
+/// reads them after the run. Single-threaded by design (`Rc`), matching the
+/// simulation kernel.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    inner: Rc<RefCell<StatsInner>>,
+}
+
+impl Stats {
+    /// Creates an empty stats bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name`, creating it at zero if needed.
+    pub fn add(&self, name: &str, delta: u64) {
+        *self.inner.borrow_mut().counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of counter `name` (zero if never written).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a histogram sample under `name`.
+    pub fn record(&self, name: &str, value: u64) {
+        self.inner
+            .borrow_mut()
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// A snapshot of histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.borrow().histograms.get(name).cloned()
+    }
+
+    /// All counters as sorted (name, value) pairs.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner
+            .borrow()
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let stats = Stats::new();
+        let clone = stats.clone();
+        stats.incr("reads");
+        clone.add("reads", 4);
+        assert_eq!(stats.get("reads"), 5);
+        assert_eq!(stats.get("never"), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_extremes_and_mean() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(4));
+        assert!((h.mean() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_via_stats() {
+        let stats = Stats::new();
+        stats.record("latency", 10);
+        stats.record("latency", 30);
+        let h = stats.histogram("latency").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 40);
+        assert!(stats.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn counters_listing_is_sorted() {
+        let stats = Stats::new();
+        stats.incr("b");
+        stats.incr("a");
+        let names: Vec<String> = stats.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn zero_sample_lands_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(0));
+    }
+}

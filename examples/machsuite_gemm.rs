@@ -1,0 +1,72 @@
+//! Multi-core matrix multiply: the paper's medium-effort MachSuite GeMM
+//! kernel scaled across cores, with ideal-vs-measured scaling printed —
+//! a small Figure 6 for one benchmark.
+//!
+//! ```text
+//! cargo run --release --example machsuite_gemm
+//! ```
+
+use beethoven::core::elaborate;
+use beethoven::kernels::machsuite::gemm;
+use beethoven::platform::Platform;
+use beethoven::runtime::FpgaHandle;
+
+fn main() {
+    let n = 64usize; // matrix dimension (paper uses 256; keep the example snappy)
+    let p = 16usize; // loop parallelism factor, as in §III-B
+
+    let single = run(1, n, p);
+    let quad = run(4, n, p);
+    println!("GeMM {n}x{n}, parallelism {p}:");
+    println!("  1 core : {:.0} invocations/s", single);
+    println!("  4 cores: {:.0} invocations/s ({:.2}x, ideal 4.00x)", quad, quad / single);
+}
+
+fn run(n_cores: u16, n: usize, p: usize) -> f64 {
+    let soc = elaborate(gemm::config(u32::from(n_cores), n, p), &Platform::aws_f1())
+        .expect("gemm elaborates");
+    let handle = FpgaHandle::new(soc);
+
+    // One workload per core, each verified against the software reference.
+    let mut work = Vec::new();
+    for core in 0..n_cores {
+        let (a, b) = gemm::workload(n, u64::from(core));
+        let pa = handle.malloc((n * n * 4) as u64).unwrap();
+        let pb = handle.malloc((n * n * 4) as u64).unwrap();
+        let pc = handle.malloc((n * n * 4) as u64).unwrap();
+        handle.write_u32_slice(pa, &a.iter().map(|&x| x as u32).collect::<Vec<_>>());
+        handle.write_u32_slice(pb, &b.iter().map(|&x| x as u32).collect::<Vec<_>>());
+        handle.copy_to_fpga(pa);
+        handle.copy_to_fpga(pb);
+        work.push((core, a, b, pa, pb, pc));
+    }
+
+    let t0 = handle.elapsed_secs();
+    let responses: Vec<_> = work
+        .iter()
+        .map(|(core, _, _, pa, pb, pc)| {
+            handle
+                .call(
+                    gemm::SYSTEM,
+                    *core,
+                    gemm::args(pa.device_addr(), pb.device_addr(), pc.device_addr(), n),
+                )
+                .expect("gemm call")
+        })
+        .collect();
+    for r in responses {
+        r.get().expect("gemm completes");
+    }
+    let elapsed = handle.elapsed_secs() - t0;
+
+    for (core, a, b, _, _, pc) in &work {
+        handle.copy_from_fpga(*pc);
+        let got: Vec<i32> = handle
+            .read_u32_slice(*pc, n * n)
+            .into_iter()
+            .map(|v| v as i32)
+            .collect();
+        assert_eq!(got, gemm::reference(a, b, n), "core {core} result mismatch");
+    }
+    f64::from(n_cores) / elapsed
+}

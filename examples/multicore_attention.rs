@@ -1,0 +1,110 @@
+//! The A³ attention accelerator case study (paper §III-C) at reduced
+//! scale: composes a multi-core approximate-attention accelerator, loads
+//! stationary K/V matrices into every core, streams query batches, and
+//! checks the fixed-point results against the float reference.
+//!
+//! ```text
+//! cargo run --release --example multicore_attention
+//! ```
+
+use beethoven::attention::{
+    a3_config, attend_args, fixed, load_kv_args, AttentionParams, SYSTEM,
+};
+use beethoven::core::elaborate;
+use beethoven::platform::Platform;
+use beethoven::runtime::FpgaHandle;
+
+fn main() {
+    let params = AttentionParams { dim: 64, keys: 128 };
+    let n_cores = 4u16;
+    let queries_per_core = 32usize;
+
+    let soc = elaborate(a3_config(u32::from(n_cores), params), &Platform::aws_f1())
+        .expect("A3 fits");
+    println!("{}", soc.report());
+    let clock_hz = soc.clock().freq_hz();
+    let handle = FpgaHandle::new(soc);
+
+    let (queries, keys, values) = fixed::workload(&params, queries_per_core, 7);
+    let as_bytes = |v: &[i8]| v.iter().map(|&b| b as u8).collect::<Vec<u8>>();
+
+    // Stationary K/V.
+    let pk = handle.malloc((params.keys * params.dim) as u64).unwrap();
+    let pv = handle.malloc((params.keys * params.dim) as u64).unwrap();
+    handle.write_at(pk, 0, &as_bytes(&keys));
+    handle.write_at(pv, 0, &as_bytes(&values));
+    handle.copy_to_fpga(pk);
+    handle.copy_to_fpga(pv);
+    let loads: Vec<_> = (0..n_cores)
+        .map(|core| {
+            handle
+                .call(SYSTEM, core, load_kv_args(pk.device_addr(), pv.device_addr(), params.keys))
+                .expect("load_kv")
+        })
+        .collect();
+    for l in loads {
+        l.get().expect("K/V loaded");
+    }
+
+    // Stream queries to every core.
+    let qbytes = (queries_per_core * params.dim) as u64;
+    let buffers: Vec<_> = (0..n_cores)
+        .map(|_| {
+            let pq = handle.malloc(qbytes).unwrap();
+            let po = handle.malloc(qbytes).unwrap();
+            handle.write_at(pq, 0, &as_bytes(&queries));
+            handle.copy_to_fpga(pq);
+            (pq, po)
+        })
+        .collect();
+    let t0 = handle.elapsed_secs();
+    let work: Vec<_> = buffers
+        .iter()
+        .enumerate()
+        .map(|(core, (pq, po))| {
+            handle
+                .call(
+                    SYSTEM,
+                    core as u16,
+                    attend_args(pq.device_addr(), po.device_addr(), queries_per_core),
+                )
+                .expect("attend")
+        })
+        .collect();
+    for w in work {
+        w.get().expect("attention completes");
+    }
+    let elapsed = handle.elapsed_secs() - t0;
+
+    // Verify core 0's outputs against both references.
+    let (pq0, po0) = buffers[0];
+    let _ = pq0;
+    handle.copy_from_fpga(po0);
+    let out = handle.read_at(po0, 0, queries_per_core * params.dim);
+    let lut = fixed::exp_lut();
+    let mut worst_err = 0.0f64;
+    for q in 0..queries_per_core {
+        let query = &queries[q * params.dim..(q + 1) * params.dim];
+        let got: Vec<i8> = out[q * params.dim..(q + 1) * params.dim]
+            .iter()
+            .map(|&b| b as i8)
+            .collect();
+        let exact = fixed::attention_fixed(&params, &lut, query, &keys, &values);
+        assert_eq!(got, exact, "hardware must match the fixed-point spec exactly");
+        let float = fixed::attention_float(&params, query, &keys, &values);
+        for (a, b) in got.iter().zip(float.iter()) {
+            worst_err = worst_err.max((f64::from(*a) - b).abs());
+        }
+    }
+
+    let total_ops = u64::from(n_cores) as f64 * queries_per_core as f64;
+    println!(
+        "attention OK: {} ops across {} cores in {:.1} us -> {:.2} Mops/s @ {:.0} MHz",
+        total_ops,
+        n_cores,
+        elapsed * 1e6,
+        total_ops / elapsed / 1e6,
+        clock_hz / 1e6
+    );
+    println!("worst |fixed - float| error: {worst_err:.2} (of an i8 output range)");
+}

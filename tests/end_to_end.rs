@@ -1,0 +1,199 @@
+//! Cross-crate integration tests: full host→runtime→SoC→DRAM flows.
+
+use beethoven::core::elaborate;
+use beethoven::core::elaborate::{elaborate_with, ElaborationOptions};
+use beethoven::kernels::machsuite::{gemm, nw};
+use beethoven::kernels::{memcpy, vecadd};
+use beethoven::platform::Platform;
+use beethoven::runtime::FpgaHandle;
+
+#[test]
+fn quickstart_flow_matches_reference() {
+    let soc = elaborate(vecadd::config(1), &Platform::kria()).unwrap();
+    let handle = FpgaHandle::new(soc);
+    let input: Vec<u32> = (0..777).map(|v| v * 5 + 1).collect();
+    let mem = handle.malloc(777 * 4).unwrap();
+    handle.write_u32_slice(mem, &input);
+    let resp = handle.call(vecadd::SYSTEM, 0, vecadd::args(41, mem.device_addr(), 777)).unwrap();
+    resp.get().unwrap();
+    assert_eq!(handle.read_u32_slice(mem, 777), vecadd::reference(&input, 41));
+}
+
+#[test]
+fn two_systems_coexist_on_one_accelerator() {
+    // "The developer may instantiate multiple Beethoven Systems if they
+    // desire multiple functions on their accelerator" (§II-A).
+    let mut config = vecadd::config(2);
+    let memcpy_sys = memcpy::config().systems.remove(0);
+    config = config.with_system(memcpy_sys);
+    let mut soc = elaborate(config, &Platform::sim()).unwrap();
+
+    let input: Vec<u32> = (0..256).collect();
+    soc.memory().borrow_mut().write_u32_slice(0x1_0000, &input);
+
+    // System 0: vecadd in place at 0x1_0000.
+    let vec_args = vecadd::args(100, 0x1_0000, 256);
+    let t_vec = soc.send_command(0, 0, &vec_args).unwrap();
+    soc.run_until_response(t_vec, 1_000_000).unwrap();
+
+    // System 1: memcpy the result elsewhere.
+    let cp_args = [
+        ("src".to_owned(), 0x1_0000u64),
+        ("dst".to_owned(), 0x9_0000u64),
+        ("len".to_owned(), 1024u64),
+    ]
+    .into_iter()
+    .collect();
+    let t_cp = soc.send_command(1, 0, &cp_args).unwrap();
+    soc.run_until_response(t_cp, 1_000_000).unwrap();
+
+    let out = soc.memory().borrow().read_u32_slice(0x9_0000, 256);
+    assert_eq!(out, vecadd::reference(&input, 100));
+}
+
+#[test]
+fn gemm_through_discrete_runtime_with_dma() {
+    let n = 16;
+    let soc = elaborate(gemm::config(1, n, 4), &Platform::aws_f1()).unwrap();
+    let handle = FpgaHandle::new(soc);
+    let (a, b) = gemm::workload(n, 3);
+    let pa = handle.malloc((n * n * 4) as u64).unwrap();
+    let pb = handle.malloc((n * n * 4) as u64).unwrap();
+    let pc = handle.malloc((n * n * 4) as u64).unwrap();
+    handle.write_u32_slice(pa, &a.iter().map(|&x| x as u32).collect::<Vec<_>>());
+    handle.write_u32_slice(pb, &b.iter().map(|&x| x as u32).collect::<Vec<_>>());
+    handle.copy_to_fpga(pa);
+    handle.copy_to_fpga(pb);
+    let resp = handle
+        .call(gemm::SYSTEM, 0, gemm::args(pa.device_addr(), pb.device_addr(), pc.device_addr(), n))
+        .unwrap();
+    resp.get().unwrap();
+    handle.copy_from_fpga(pc);
+    let got: Vec<i32> = handle.read_u32_slice(pc, n * n).into_iter().map(|v| v as i32).collect();
+    assert_eq!(got, gemm::reference(&a, &b, n));
+    assert!(handle.stats().dma_to_device_bytes >= 2 * (n * n * 4) as u64);
+}
+
+#[test]
+fn nw_multicore_distinct_alignments() {
+    let n = 24;
+    let mut soc = elaborate(nw::config(2, n), &Platform::sim()).unwrap();
+    let mut expected = Vec::new();
+    for core in 0..2u64 {
+        let (a, b) = nw::workload(n, core + 10);
+        let base = 0x10_000 + core * 0x10_000;
+        soc.memory().borrow_mut().write(base, &a);
+        soc.memory().borrow_mut().write(base + 0x1000, &b);
+        expected.push((base, nw::reference(&a, &b, n)));
+    }
+    let tokens: Vec<_> = (0..2u16)
+        .map(|core| {
+            let base = 0x10_000 + u64::from(core) * 0x10_000;
+            soc.send_command(0, core, &nw::args(base, base + 0x1000, base + 0x2000, n)).unwrap()
+        })
+        .collect();
+    for t in tokens {
+        soc.run_until_response(t, 10_000_000).unwrap();
+    }
+    for (core, (base, (ref_a, ref_b))) in expected.into_iter().enumerate() {
+        let got_a = soc.memory().borrow().read_vec(base + 0x2000, 2 * n);
+        let got_b = soc.memory().borrow().read_vec(base + 0x2000 + (2 * n) as u64, 2 * n);
+        assert_eq!(got_a, ref_a, "core {core} aligned A");
+        assert_eq!(got_b, ref_b, "core {core} aligned B");
+    }
+}
+
+#[test]
+fn no_tlp_ablation_is_slower_on_long_copies() {
+    use beethoven::kernels::memcpy::{run_memcpy, MemcpyVariant};
+    let bytes = 128 * 1024;
+    let tlp = run_memcpy(MemcpyVariant::Beethoven, bytes);
+    let no_tlp = run_memcpy(MemcpyVariant::BeethovenNoTlp, bytes);
+    assert!(
+        tlp.gbps > no_tlp.gbps,
+        "TLP ({:.2} GB/s) must outperform No-TLP ({:.2} GB/s)",
+        tlp.gbps,
+        no_tlp.gbps
+    );
+}
+
+#[test]
+fn same_id_reorder_window_ablation() {
+    // Widening the controller's same-ID window (a reorder buffer) narrows
+    // the TLP advantage — evidence the ordering rule is what TLP sidesteps.
+    let run = |same_id_inflight: usize| {
+        let mut platform = Platform::aws_f1();
+        platform.fabric_mhz = 250;
+        platform.host_link.mmio_latency_ns = 0;
+        let opts = ElaborationOptions {
+            burst_beats: 64,
+            ids_per_port: 1,
+            reader_inflight: 4,
+            writer_inflight: 4,
+            same_id_inflight,
+            ..ElaborationOptions::default()
+        };
+        let mut soc = elaborate_with(memcpy::config(), &platform, opts).unwrap();
+        let bytes = 64 * 1024u64;
+        let payload = vec![0x5Au8; bytes as usize];
+        soc.memory().borrow_mut().write(0x10_0000, &payload);
+        let args = [
+            ("src".to_owned(), 0x10_0000u64),
+            ("dst".to_owned(), 0x80_0000u64),
+            ("len".to_owned(), bytes),
+        ]
+        .into_iter()
+        .collect();
+        let t = soc.send_command(0, 0, &args).unwrap();
+        soc.run_until_response(t, 10_000_000).unwrap();
+        soc.now()
+    };
+    let strict = run(1);
+    let relaxed = run(4);
+    assert!(
+        relaxed < strict,
+        "a same-ID reorder window ({relaxed}) should beat strict ordering ({strict})"
+    );
+}
+
+#[test]
+fn report_artifacts_are_complete() {
+    let soc = elaborate(vecadd::config(3), &Platform::aws_f1()).unwrap();
+    let report = soc.report();
+    assert!(report.bindings.cpp_header.contains("my_accel"));
+    assert!(report.bindings.rust_module.contains("my_accel"));
+    assert!(report.constraints.contains("pblock"));
+    assert!(report.floorplan_ascii.contains("SLR"));
+    assert_eq!(report.cores_per_slr.iter().sum::<usize>(), 3);
+    assert!(report.cmd_noc.worst_latency >= 1);
+    assert!(report.mem_noc.worst_latency >= 1);
+    // The structural netlist covers the whole hierarchy.
+    assert!(report.netlist.contains("module BeethovenTop"));
+    assert!(report.netlist.contains("module Core_MyAcceleratorSystem"));
+    assert!(report.netlist.contains("Reader #(DATA_BYTES=4) vec_in"));
+}
+
+#[test]
+fn commands_cross_the_mmio_wire_protocol() {
+    // Every command beat crosses the MMIO FIFO as a five-word frame; the
+    // vecadd command packs into one beat.
+    let mut soc = elaborate(vecadd::config(1), &Platform::sim()).unwrap();
+    soc.memory().borrow_mut().write_u32_slice(0x1000, &[1, 2, 3, 4]);
+    assert_eq!(soc.mmio_cmd_words(), 0);
+    let token = soc.send_command(0, 0, &vecadd::args(1, 0x1000, 4)).unwrap();
+    assert_eq!(soc.mmio_cmd_words(), 5, "one beat = five MMIO words");
+    soc.run_until_response(token, 1_000_000).unwrap();
+    // A wider command (memcpy: two addresses + length = 160 bits) takes
+    // two beats = ten words.
+    let mut soc2 = elaborate(memcpy::config(), &Platform::sim()).unwrap();
+    let args = [
+        ("src".to_owned(), 0u64),
+        ("dst".to_owned(), 4096u64),
+        ("len".to_owned(), 64u64),
+    ]
+    .into_iter()
+    .collect();
+    let token = soc2.send_command(0, 0, &args).unwrap();
+    assert_eq!(soc2.mmio_cmd_words(), 10, "two beats = ten MMIO words");
+    soc2.run_until_response(token, 1_000_000).unwrap();
+}

@@ -1,0 +1,139 @@
+//! Portability tests: the same configurations elaborate and run correctly
+//! on every supported platform — the paper's Figure 3a claim.
+
+use beethoven::core::elaborate;
+use beethoven::kernels::machsuite::{mdknn, stencil2d, stencil3d};
+use beethoven::kernels::vecadd;
+use beethoven::platform::Platform;
+use beethoven::runtime::FpgaHandle;
+
+fn platforms() -> Vec<Platform> {
+    vec![Platform::kria(), Platform::aws_f1(), Platform::sim(), Platform::asap7_asic()]
+}
+
+#[test]
+fn vecadd_runs_on_every_platform() {
+    for platform in platforms() {
+        let soc = elaborate(vecadd::config(1), &platform)
+            .unwrap_or_else(|e| panic!("{}: {e}", platform.name));
+        let handle = FpgaHandle::new(soc);
+        let input: Vec<u32> = (0..128).collect();
+        let mem = handle.malloc(512).unwrap();
+        handle.write_u32_slice(mem, &input);
+        handle.copy_to_fpga(mem);
+        let resp = handle
+            .call(vecadd::SYSTEM, 0, vecadd::args(9, mem.device_addr(), 128))
+            .unwrap();
+        resp.get().unwrap_or_else(|e| panic!("{}: {e}", platform.name));
+        handle.copy_from_fpga(mem);
+        assert_eq!(
+            handle.read_u32_slice(mem, 128),
+            vecadd::reference(&input, 9),
+            "platform {}",
+            platform.name
+        );
+    }
+}
+
+#[test]
+fn stencil2d_correct_on_embedded_and_discrete() {
+    for platform in [Platform::kria(), Platform::aws_f1()] {
+        let n = 12;
+        let soc = elaborate(stencil2d::config(1, n, 2), &platform).unwrap();
+        let handle = FpgaHandle::new(soc);
+        let (grid, filter) = stencil2d::workload(n, 4);
+        let pg = handle.malloc((n * n * 4) as u64).unwrap();
+        let pf = handle.malloc(64).unwrap();
+        let ps = handle.malloc((n * n * 4) as u64).unwrap();
+        handle.write_u32_slice(pg, &grid.iter().map(|&x| x as u32).collect::<Vec<_>>());
+        handle.write_u32_slice(pf, &filter.iter().map(|&x| x as u32).collect::<Vec<_>>());
+        handle.copy_to_fpga(pg);
+        handle.copy_to_fpga(pf);
+        let resp = handle
+            .call(
+                stencil2d::SYSTEM,
+                0,
+                stencil2d::args(pg.device_addr(), pf.device_addr(), ps.device_addr(), n),
+            )
+            .unwrap();
+        resp.get().unwrap();
+        handle.copy_from_fpga(ps);
+        let got: Vec<i32> =
+            handle.read_u32_slice(ps, n * n).into_iter().map(|v| v as i32).collect();
+        assert_eq!(got, stencil2d::reference(&grid, &filter, n), "platform {}", platform.name);
+    }
+}
+
+#[test]
+fn stencil3d_correct_on_asic_at_1ghz() {
+    let n = 6;
+    let soc = elaborate(stencil3d::config(1, n, 2), &Platform::asap7_asic()).unwrap();
+    assert_eq!(soc.platform().fabric_mhz, 1000);
+    let handle = FpgaHandle::new(soc);
+    let grid = stencil3d::workload(n, 8);
+    let pg = handle.malloc((n * n * n * 4) as u64).unwrap();
+    let ps = handle.malloc((n * n * n * 4) as u64).unwrap();
+    handle.write_u32_slice(pg, &grid.iter().map(|&x| x as u32).collect::<Vec<_>>());
+    handle.copy_to_fpga(pg);
+    let resp = handle
+        .call(stencil3d::SYSTEM, 0, stencil3d::args(pg.device_addr(), ps.device_addr(), n, 3, 1))
+        .unwrap();
+    resp.get().unwrap();
+    handle.copy_from_fpga(ps);
+    let got: Vec<i32> =
+        handle.read_u32_slice(ps, n * n * n).into_iter().map(|v| v as i32).collect();
+    assert_eq!(got, stencil3d::reference(&grid, n, 3, 1));
+}
+
+#[test]
+fn mdknn_bit_exact_on_kria() {
+    let (n, k) = (16, 4);
+    let soc = elaborate(mdknn::config(1, n, k, 2), &Platform::kria()).unwrap();
+    let handle = FpgaHandle::new(soc);
+    let (pos, nl) = mdknn::workload(n, k, 6);
+    let pp = handle.malloc((3 * n * 4) as u64).unwrap();
+    let pn = handle.malloc((n * k * 4) as u64).unwrap();
+    let pf = handle.malloc((3 * n * 4) as u64).unwrap();
+    handle.write_u32_slice(pp, &pos.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    handle.write_u32_slice(pn, &nl);
+    let resp = handle
+        .call(
+            mdknn::SYSTEM,
+            0,
+            mdknn::args(pp.device_addr(), pn.device_addr(), pf.device_addr(), n, k),
+        )
+        .unwrap();
+    resp.get().unwrap();
+    let got: Vec<f32> = handle.read_u32_slice(pf, 3 * n).into_iter().map(f32::from_bits).collect();
+    let expect = mdknn::reference(&pos, &nl, n, k);
+    for (a, b) in got.iter().zip(expect.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
+fn fabric_clock_changes_wall_time_not_results() {
+    // The same kernel at 1 GHz (ASIC) finishes in fewer wall-clock seconds
+    // than at 100 MHz (Kria), with identical output.
+    let run = |platform: Platform| -> (f64, Vec<u32>) {
+        let soc = elaborate(vecadd::config(1), &platform).unwrap();
+        let handle = FpgaHandle::new(soc);
+        let input: Vec<u32> = (0..2048).collect();
+        let mem = handle.malloc(8192).unwrap();
+        handle.write_u32_slice(mem, &input);
+        handle.copy_to_fpga(mem);
+        let t0 = handle.elapsed_secs();
+        let resp = handle.call(vecadd::SYSTEM, 0, vecadd::args(1, mem.device_addr(), 2048)).unwrap();
+        resp.get().unwrap();
+        let elapsed = handle.elapsed_secs() - t0;
+        handle.copy_from_fpga(mem);
+        (elapsed, handle.read_u32_slice(mem, 2048))
+    };
+    let (kria_time, kria_out) = run(Platform::kria());
+    let (asic_time, asic_out) = run(Platform::asap7_asic());
+    assert_eq!(kria_out, asic_out);
+    assert!(
+        asic_time < kria_time,
+        "1 GHz ASIC ({asic_time:.2e}s) must beat 100 MHz Kria ({kria_time:.2e}s)"
+    );
+}

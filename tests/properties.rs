@@ -1,0 +1,107 @@
+//! Property-based integration tests: invariants of the full stack under
+//! randomized inputs.
+
+use beethoven::core::elaborate;
+use beethoven::kernels::{memcpy, vecadd};
+use beethoven::platform::Platform;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// memcpy must be byte-exact for arbitrary lengths and (aligned)
+    /// offsets, including lengths that are not multiples of the bus width.
+    #[test]
+    fn memcpy_is_byte_exact(
+        len in 1u64..6000,
+        src_block in 0u64..8,
+        dst_block in 8u64..16,
+        seed in any::<u64>(),
+    ) {
+        let mut soc = elaborate(memcpy::config(), &Platform::sim()).unwrap();
+        let src = 0x10_0000 + src_block * 0x1_0000;
+        let dst = 0x10_0000 + dst_block * 0x1_0000;
+        let mut state = seed;
+        let payload: Vec<u8> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        // Canary bytes around the destination.
+        soc.memory().borrow_mut().write(dst - 8, &[0xEE; 8]);
+        soc.memory().borrow_mut().write(dst + len, &[0xDD; 8]);
+        soc.memory().borrow_mut().write(src, &payload);
+        let args = [
+            ("src".to_owned(), src),
+            ("dst".to_owned(), dst),
+            ("len".to_owned(), len),
+        ]
+        .into_iter()
+        .collect();
+        let token = soc.send_command(0, 0, &args).unwrap();
+        soc.run_until_response(token, 10_000_000).expect("memcpy completes");
+        prop_assert_eq!(soc.memory().borrow().read_vec(dst, len as usize), payload);
+        prop_assert_eq!(soc.memory().borrow().read_vec(dst - 8, 8), vec![0xEE; 8]);
+        prop_assert_eq!(soc.memory().borrow().read_vec(dst + len, 8), vec![0xDD; 8]);
+    }
+
+    /// vecadd with arbitrary addend and element count matches the
+    /// reference, for any (word-aligned) buffer address.
+    #[test]
+    fn vecadd_matches_reference(
+        n in 1u32..600,
+        addend in any::<u32>(),
+        addr_block in 0u64..32,
+    ) {
+        let mut soc = elaborate(vecadd::config(1), &Platform::sim()).unwrap();
+        let addr = 0x10_0000 + addr_block * 0x1_0000;
+        let input: Vec<u32> = (0..n).map(|i| i.wrapping_mul(2654435761)).collect();
+        soc.memory().borrow_mut().write_u32_slice(addr, &input);
+        let token = soc.send_command(0, 0, &vecadd::args(addend, addr, n)).unwrap();
+        soc.run_until_response(token, 10_000_000).expect("vecadd completes");
+        let out = soc.memory().borrow().read_u32_slice(addr, n as usize);
+        prop_assert_eq!(out, vecadd::reference(&input, addend));
+    }
+
+    /// Command round trips survive arbitrary field values (the generated
+    /// bindings' contract with the hardware decoder).
+    #[test]
+    fn command_pack_roundtrip_via_soc(addend in any::<u32>(), n in 0u64..(1 << 20)) {
+        use beethoven::core::command::{pack_command, unpack_command};
+        let spec = vecadd::command_spec();
+        let args = vecadd::args(addend, 0xABCD_EF00, n as u32);
+        let packed = pack_command(&spec, 0, 0, &args).unwrap();
+        let unpacked = unpack_command(&spec, &packed.beats);
+        prop_assert_eq!(unpacked.arg("addend"), u64::from(addend));
+        prop_assert_eq!(unpacked.arg("vec_addr"), 0xABCD_EF00u64);
+        prop_assert_eq!(unpacked.arg("n_eles"), n);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// The fixed-point A³ attention stays within a bounded error of the
+    /// float softmax for arbitrary workload seeds.
+    #[test]
+    fn attention_error_is_bounded(seed in any::<u64>()) {
+        use beethoven::attention::fixed::{
+            attention_fixed, attention_float, exp_lut, workload, AttentionParams,
+        };
+        let params = AttentionParams { dim: 32, keys: 48 };
+        let lut = exp_lut();
+        let (queries, keys, values) = workload(&params, 2, seed);
+        for q in 0..2 {
+            let query = &queries[q * params.dim..(q + 1) * params.dim];
+            let fixed = attention_fixed(&params, &lut, query, &keys, &values);
+            let float = attention_float(&params, query, &keys, &values);
+            for (a, b) in fixed.iter().zip(float.iter()) {
+                prop_assert!(
+                    (f64::from(*a) - b).abs() <= 3.0,
+                    "fixed {} vs float {:.3}", a, b
+                );
+            }
+        }
+    }
+}
