@@ -217,6 +217,12 @@ impl A3Core {
 }
 
 impl AcceleratorCore for A3Core {
+    // In Mode::Idle a tick only polls the command queue, which the harness
+    // watches through the queue's visibility clock — safe to fast-forward.
+    fn idle(&self) -> bool {
+        self.mode == Mode::Idle
+    }
+
     fn tick(&mut self, ctx: &mut CoreContext) {
         match self.mode {
             Mode::Idle => {
@@ -224,7 +230,10 @@ impl AcceleratorCore for A3Core {
                     match cmd.arg("mode") {
                         MODE_LOAD_KV => {
                             self.n_keys = cmd.arg("n") as usize;
-                            assert!(self.n_keys <= self.max_keys, "n_keys exceeds configured capacity");
+                            assert!(
+                                self.n_keys <= self.max_keys,
+                                "n_keys exceeds configured capacity"
+                            );
                             assert!(
                                 self.n_keys * self.dim <= ctx.scratchpad("keys").len(),
                                 "n_keys exceeds scratchpad capacity"
@@ -345,12 +354,23 @@ pub fn a3_config(n_cores: u32, params: AttentionParams) -> AcceleratorConfig {
         // Score/weight FIFOs between the stages (two queries deep each).
         .with_scratchpad(ScratchpadConfig::new("score_fifo", 32, 2 * keys))
         .with_scratchpad(ScratchpadConfig::new("weight_fifo", 32, 2 * keys))
-        .with_core_logic(ResourceVector::new(2_200, 16_900, 8_200, 0, 0, 2 * dim as u64)),
+        .with_core_logic(ResourceVector::new(
+            2_200,
+            16_900,
+            8_200,
+            0,
+            0,
+            2 * dim as u64,
+        )),
     )
 }
 
 /// Argument map for the `load_kv` command.
-pub fn load_kv_args(keys: u64, values: u64, n_keys: usize) -> std::collections::BTreeMap<String, u64> {
+pub fn load_kv_args(
+    keys: u64,
+    values: u64,
+    n_keys: usize,
+) -> std::collections::BTreeMap<String, u64> {
     [
         ("mode".to_owned(), MODE_LOAD_KV),
         ("a".to_owned(), keys),
@@ -394,13 +414,20 @@ mod tests {
             mem.write_i8_slice(v_addr, &values);
             mem.write_i8_slice(q_addr, &queries);
         }
-        let load = soc.send_command(0, 0, &load_kv_args(k_addr, v_addr, params.keys)).unwrap();
+        let load = soc
+            .send_command(0, 0, &load_kv_args(k_addr, v_addr, params.keys))
+            .unwrap();
         soc.run_until_response(load, 10_000_000).expect("load_kv");
         let start = soc.now();
-        let attend = soc.send_command(0, 0, &attend_args(q_addr, o_addr, n_queries)).unwrap();
+        let attend = soc
+            .send_command(0, 0, &attend_args(q_addr, o_addr, n_queries))
+            .unwrap();
         soc.run_until_response(attend, 100_000_000).expect("attend");
         let cycles = soc.now() - start;
-        let out = soc.memory().borrow().read_i8_slice(o_addr, n_queries * params.dim);
+        let out = soc
+            .memory()
+            .borrow()
+            .read_i8_slice(o_addr, n_queries * params.dim);
         (queries, keys, values, out, cycles)
     }
 
@@ -442,7 +469,10 @@ mod tests {
 
     #[test]
     fn bert_parameterization_elaborates() {
-        let params = AttentionParams { dim: BERT_DIM, keys: BERT_KEYS };
+        let params = AttentionParams {
+            dim: BERT_DIM,
+            keys: BERT_KEYS,
+        };
         let soc = elaborate(a3_config(2, params), &Platform::aws_f1()).unwrap();
         assert_eq!(soc.report().cores_per_slr.iter().sum::<usize>(), 2);
     }

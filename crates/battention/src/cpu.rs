@@ -26,7 +26,14 @@ pub struct CpuBaselineResult {
 
 /// One FP32 attention op (single query row against n×d keys/values),
 /// matching Table III's op definition.
-fn attention_f32(query: &[f32], keys: &[f32], values: &[f32], dim: usize, n: usize, out: &mut [f32]) {
+fn attention_f32(
+    query: &[f32],
+    keys: &[f32],
+    values: &[f32],
+    dim: usize,
+    n: usize,
+    out: &mut [f32],
+) {
     let mut scores = vec![0f32; n];
     let mut max = f32::MIN;
     for (i, s) in scores.iter_mut().enumerate() {
@@ -64,8 +71,12 @@ pub fn cpu_attention_throughput(
 ) -> CpuBaselineResult {
     let dim = params.dim;
     let n = params.keys;
-    let keys: Vec<f32> = (0..n * dim).map(|i| ((i * 37 % 255) as f32 - 127.0) / 64.0).collect();
-    let values: Vec<f32> = (0..n * dim).map(|i| ((i * 53 % 255) as f32 - 127.0) / 64.0).collect();
+    let keys: Vec<f32> = (0..n * dim)
+        .map(|i| ((i * 37 % 255) as f32 - 127.0) / 64.0)
+        .collect();
+    let values: Vec<f32> = (0..n * dim)
+        .map(|i| ((i * 53 % 255) as f32 - 127.0) / 64.0)
+        .collect();
     let counter = AtomicUsize::new(0);
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -124,7 +135,10 @@ mod tests {
         let mut out = vec![0f32; dim];
         attention_f32(&query, &keys, &values, dim, n, &mut out);
         for v in out {
-            assert!((v - 3.0).abs() < 1e-5, "constant values must yield the constant");
+            assert!(
+                (v - 3.0).abs() < 1e-5,
+                "constant values must yield the constant"
+            );
         }
     }
 

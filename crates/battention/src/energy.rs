@@ -68,11 +68,20 @@ impl EnergyModel {
                 + resources.uram as f64 * self.per_uram_w
                 + resources.dsp as f64 * self.per_dsp_w);
         let baseline = self.static_w + self.shell_w;
-        PowerBreakdown { baseline_w: baseline, dynamic_w: dynamic, total_w: baseline + dynamic }
+        PowerBreakdown {
+            baseline_w: baseline,
+            dynamic_w: dynamic,
+            total_w: baseline + dynamic,
+        }
     }
 
     /// Energy per operation in joules given throughput in ops/second.
-    pub fn energy_per_op(&self, resources: &ResourceVector, clock_mhz: u64, ops_per_sec: f64) -> f64 {
+    pub fn energy_per_op(
+        &self,
+        resources: &ResourceVector,
+        clock_mhz: u64,
+        ops_per_sec: f64,
+    ) -> f64 {
         self.power(resources, clock_mhz).total_w / ops_per_sec
     }
 }

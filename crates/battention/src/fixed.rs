@@ -129,10 +129,16 @@ pub fn attention_float(
 }
 
 /// Deterministic workload generator for attention tests and benches.
-pub fn workload(params: &AttentionParams, n_queries: usize, seed: u64) -> (Vec<i8>, Vec<i8>, Vec<i8>) {
+pub fn workload(
+    params: &AttentionParams,
+    n_queries: usize,
+    seed: u64,
+) -> (Vec<i8>, Vec<i8>, Vec<i8>) {
     let mut state = seed.wrapping_add(0x1234_5678);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as u8 as i8) / 4 // small-ish i8s keep logits sane
     };
     let queries: Vec<i8> = (0..n_queries * params.dim).map(|_| next()).collect();
@@ -170,7 +176,10 @@ mod tests {
                 .map(|(&a, &b)| (f64::from(a) - b).abs())
                 .sum::<f64>()
                 / params.dim as f64;
-            assert!(mean_err < 2.0, "query {q}: mean abs error {mean_err:.3} too high");
+            assert!(
+                mean_err < 2.0,
+                "query {q}: mean abs error {mean_err:.3} too high"
+            );
         }
     }
 
@@ -209,7 +218,11 @@ mod tests {
             values[i * 4] = 40 * (i as i8 - 1); // column 0: -40, 0, 40, 80
         }
         let out = attention_fixed(&params, &lut, &query, &keys, &values);
-        assert!((i32::from(out[0]) - 20).abs() <= 1, "mean of column 0 is 20, got {}", out[0]);
+        assert!(
+            (i32::from(out[0]) - 20).abs() <= 1,
+            "mean of column 0 is 20, got {}",
+            out[0]
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn bigger_batch_amortizes_overhead() {
-        let small = GpuModel { batch: 64, ..GpuModel::default() };
+        let small = GpuModel {
+            batch: 64,
+            ..GpuModel::default()
+        };
         let large = GpuModel::default();
         assert!(large.ops_per_sec(&bert()) >= small.ops_per_sec(&bert()));
     }
@@ -122,6 +125,9 @@ mod tests {
         let p = bert();
         let compute_s = m.flops_per_op(&p) / (m.peak_flops * m.efficiency);
         let memory_s = m.bytes_per_op(&p) / m.mem_bandwidth;
-        assert!(compute_s > memory_s, "the calibrated model is effective-compute bound");
+        assert!(
+            compute_s > memory_s,
+            "the calibrated model is effective-compute bound"
+        );
     }
 }

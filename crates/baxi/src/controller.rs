@@ -164,6 +164,13 @@ impl AxiMemoryController {
         self.read_txns.is_empty() && self.write_txns.is_empty()
     }
 
+    /// Forces the DRAM model's idle-cycle skipping on or off (it defaults
+    /// to on unless `BSIM_NAIVE` is set). Cycle-exact either way; exposed
+    /// so equivalence tests can pin each mode explicitly.
+    pub fn set_event_driven(&mut self, enabled: bool) {
+        self.dram.set_event_driven(enabled);
+    }
+
     /// Bytes per DRAM sub-burst.
     fn dram_burst(&self) -> u64 {
         self.dram.bytes_per_burst()
@@ -194,7 +201,9 @@ impl AxiMemoryController {
         if self.read_txns.len() >= self.config.max_outstanding_reads {
             return;
         }
-        let Some(ar) = self.port.ar.recv(now) else { return };
+        let Some(ar) = self.port.ar.recv(now) else {
+            return;
+        };
         validate_burst(&self.config.axi, ar.id, ar.addr, ar.beats)
             .unwrap_or_else(|e| panic!("protocol violation on AR: {e}"));
         let bytes = u64::from(ar.beats) * u64::from(self.config.axi.data_bytes);
@@ -215,14 +224,21 @@ impl AxiMemoryController {
         );
         self.read_order.entry(ar.id).or_default().push_back(seq);
         self.stats.incr("ar_accepted");
-        self.tracer.record(now, "AR", ar.id, format!("addr={:#x} beats={}", ar.addr, ar.beats));
+        self.tracer.record(
+            now,
+            "AR",
+            ar.id,
+            format!("addr={:#x} beats={}", ar.addr, ar.beats),
+        );
     }
 
     fn accept_aw(&mut self, now: Cycle) {
         if self.write_txns.len() >= self.config.max_outstanding_writes {
             return;
         }
-        let Some(aw) = self.port.aw.recv(now) else { return };
+        let Some(aw) = self.port.aw.recv(now) else {
+            return;
+        };
         validate_burst(&self.config.axi, aw.id, aw.addr, aw.beats)
             .unwrap_or_else(|e| panic!("protocol violation on AW: {e}"));
         let bytes = u64::from(aw.beats) * u64::from(self.config.axi.data_bytes);
@@ -247,7 +263,12 @@ impl AxiMemoryController {
         self.write_order.entry(aw.id).or_default().push_back(seq);
         self.w_data_order.push_back(seq);
         self.stats.incr("aw_accepted");
-        self.tracer.record(now, "AW", aw.id, format!("addr={:#x} beats={}", aw.addr, aw.beats));
+        self.tracer.record(
+            now,
+            "AW",
+            aw.id,
+            format!("addr={:#x} beats={}", aw.addr, aw.beats),
+        );
     }
 
     fn accept_w(&mut self, now: Cycle) {
@@ -255,8 +276,13 @@ impl AxiMemoryController {
             // No open write burst: leave beats queued in the channel.
             return;
         };
-        let Some(w) = self.port.w.recv(now) else { return };
-        let txn = self.write_txns.get_mut(&seq).expect("w_data_order points at live txn");
+        let Some(w) = self.port.w.recv(now) else {
+            return;
+        };
+        let txn = self
+            .write_txns
+            .get_mut(&seq)
+            .expect("w_data_order points at live txn");
         let db = self.config.axi.data_bytes as usize;
         assert_eq!(w.data.len(), db, "W beat width mismatch");
         let off = txn.beats_recv as usize * db;
@@ -287,7 +313,8 @@ impl AxiMemoryController {
             self.w_data_order.pop_front();
         }
         self.stats.incr("w_beats");
-        self.tracer.record(now, "W", id, if w.last { "last" } else { "beat" });
+        self.tracer
+            .record(now, "W", id, if w.last { "last" } else { "beat" });
     }
 
     /// Issues DRAM traffic for eligible transactions.
@@ -374,7 +401,11 @@ impl AxiMemoryController {
                 let sub = txn.subs_issued;
                 let addr = txn.addr + sub as u64 * burst;
                 let dram_id = self.next_dram_id;
-                if self.dram.enqueue(DramRequest::write(dram_id, addr)).is_err() {
+                if self
+                    .dram
+                    .enqueue(DramRequest::write(dram_id, addr))
+                    .is_err()
+                {
                     return;
                 }
                 self.next_dram_id += 1;
@@ -433,7 +464,8 @@ impl AxiMemoryController {
         let id = txn.id;
         self.port.r.send(now, RFlit { id, data, last });
         self.stats.incr("r_beats");
-        self.tracer.record(now, "R", id, if last { "last" } else { "beat" });
+        self.tracer
+            .record(now, "R", id, if last { "last" } else { "beat" });
         let txn = self.read_txns.get_mut(&seq).expect("current_r live");
         txn.beats_sent += 1;
         if last {
@@ -468,14 +500,16 @@ impl AxiMemoryController {
         assert_eq!(q.pop_front(), Some(seq));
         self.port.b.send(now, BFlit { id: txn.id });
         self.stats.incr("b_sent");
-        self.stats.record("write_latency_cycles", now - txn.accepted_at);
+        self.stats
+            .record("write_latency_cycles", now - txn.accepted_at);
         self.tracer.record(now, "B", txn.id, "resp");
     }
 }
 
 impl Component for AxiMemoryController {
     fn tick(&mut self, now: Cycle) {
-        self.dram.advance_to_ps(self.config.fabric.cycles_to_ps(now));
+        self.dram
+            .advance_to_ps(self.config.fabric.cycles_to_ps(now));
         self.collect_dram(now);
         self.accept_ar(now);
         self.accept_aw(now);
@@ -487,6 +521,35 @@ impl Component for AxiMemoryController {
 
     fn name(&self) -> &str {
         "axi-memory-controller"
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.is_idle() {
+            return Some(now + 1);
+        }
+        // Idle on the AXI side: wake when a request flit becomes visible...
+        let mut wake = Cycle::MAX;
+        for vis in [
+            self.port.ar.next_visible_at(),
+            self.port.aw.next_visible_at(),
+            self.port.w.next_visible_at(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            wake = wake.min(vis.max(now + 1));
+        }
+        // ...or when the DRAM clock has scheduled work (refresh): a tick at
+        // fabric cycle n advances DRAM to cycles strictly before
+        // n * period / tck, so the first fabric cycle covering the DRAM
+        // event at `event_ps` is ceil((event_ps + tck) / period). Waking
+        // there keeps refresh counts identical to the naive loop at every
+        // host observation point.
+        let event_ps = self.dram.next_event_ps();
+        let tck = self.dram.config().timings.tck_ps;
+        let period = self.config.fabric.period_ps();
+        let dram_wake = (event_ps.saturating_add(tck)).div_ceil(period).max(now + 1);
+        Some(wake.min(dram_wake))
     }
 }
 
@@ -507,8 +570,21 @@ mod tests {
     use bdram::DramConfig;
     use bsim::Simulation;
 
-    fn setup(cfg: ControllerConfig) -> (AxiMasterPort, bsim::Shared<AxiMemoryController>, Simulation, SharedMemory) {
-        let (master, slave) = axi_link(PortDepths { ar: 16, r: 128, aw: 16, w: 128, b: 16 });
+    fn setup(
+        cfg: ControllerConfig,
+    ) -> (
+        AxiMasterPort,
+        bsim::Shared<AxiMemoryController>,
+        Simulation,
+        SharedMemory,
+    ) {
+        let (master, slave) = axi_link(PortDepths {
+            ar: 16,
+            r: 128,
+            aw: 16,
+            w: 128,
+            b: 16,
+        });
         let memory: SharedMemory = Rc::new(RefCell::new(SparseMemory::new()));
         let dram = DramSystem::new(DramConfig::ddr4_2400());
         let ctrl = AxiMemoryController::new(cfg, dram, slave, Rc::clone(&memory));
@@ -522,7 +598,14 @@ mod tests {
         let (master, ctrl, mut sim, memory) = setup(ControllerConfig::default());
         let payload: Vec<u8> = (0..256).map(|i| (i % 251) as u8).collect();
         memory.borrow_mut().write(0x1000, &payload);
-        master.ar.send(0, ArFlit { id: 2, addr: 0x1000, beats: 4 });
+        master.ar.send(
+            0,
+            ArFlit {
+                id: 2,
+                addr: 0x1000,
+                beats: 4,
+            },
+        );
         let mut got = Vec::new();
         let mut saw_last = false;
         sim.run_until(10_000, || false).ok();
@@ -539,7 +622,14 @@ mod tests {
     #[test]
     fn single_write_lands_in_memory_and_acks() {
         let (master, ctrl, mut sim, memory) = setup(ControllerConfig::default());
-        master.aw.send(0, AwFlit { id: 1, addr: 0x2000, beats: 2 });
+        master.aw.send(
+            0,
+            AwFlit {
+                id: 1,
+                addr: 0x2000,
+                beats: 2,
+            },
+        );
         for beat in 0..2u8 {
             master.w.send(0, WFlit::full(vec![beat + 1; 64], beat == 1));
         }
@@ -563,8 +653,22 @@ mod tests {
         let mut strb = vec![false; 64];
         strb[0] = true;
         strb[63] = true;
-        master.aw.send(0, AwFlit { id: 0, addr: 0x3000, beats: 1 });
-        master.w.send(0, WFlit { data: vec![0xAA; 64], strb: Some(strb), last: true });
+        master.aw.send(
+            0,
+            AwFlit {
+                id: 0,
+                addr: 0x3000,
+                beats: 1,
+            },
+        );
+        master.w.send(
+            0,
+            WFlit {
+                data: vec![0xAA; 64],
+                strb: Some(strb),
+                last: true,
+            },
+        );
         loop {
             sim.step();
             if master.b.recv(sim.now()).is_some() {
@@ -585,7 +689,14 @@ mod tests {
         let run = |ids: [u32; 4]| -> Cycle {
             let (master, _ctrl, mut sim, _memory) = setup(ControllerConfig::default());
             for (i, id) in ids.into_iter().enumerate() {
-                master.ar.send(0, ArFlit { id, addr: 0x10000 + i as u64 * 1024, beats: 16 });
+                master.ar.send(
+                    0,
+                    ArFlit {
+                        id,
+                        addr: 0x10000 + i as u64 * 1024,
+                        beats: 16,
+                    },
+                );
             }
             let mut lasts = 0;
             let mut finish = 0;
@@ -612,7 +723,14 @@ mod tests {
     #[test]
     fn read_your_write() {
         let (master, _ctrl, mut sim, _memory) = setup(ControllerConfig::default());
-        master.aw.send(0, AwFlit { id: 0, addr: 0x4000, beats: 1 });
+        master.aw.send(
+            0,
+            AwFlit {
+                id: 0,
+                addr: 0x4000,
+                beats: 1,
+            },
+        );
         master.w.send(0, WFlit::full(vec![7u8; 64], true));
         loop {
             sim.step();
@@ -621,7 +739,14 @@ mod tests {
             }
             assert!(sim.now() < 10_000);
         }
-        master.ar.send(sim.now(), ArFlit { id: 0, addr: 0x4000, beats: 1 });
+        master.ar.send(
+            sim.now(),
+            ArFlit {
+                id: 0,
+                addr: 0x4000,
+                beats: 1,
+            },
+        );
         loop {
             sim.step();
             if let Some(r) = master.r.recv(sim.now()) {
@@ -636,14 +761,28 @@ mod tests {
     #[should_panic(expected = "protocol violation")]
     fn oversized_burst_panics() {
         let (master, _ctrl, mut sim, _memory) = setup(ControllerConfig::default());
-        master.ar.send(0, ArFlit { id: 0, addr: 0, beats: 65 });
+        master.ar.send(
+            0,
+            ArFlit {
+                id: 0,
+                addr: 0,
+                beats: 65,
+            },
+        );
         sim.run_for(5);
     }
 
     #[test]
     fn stats_count_traffic() {
         let (master, ctrl, mut sim, _memory) = setup(ControllerConfig::default());
-        master.ar.send(0, ArFlit { id: 0, addr: 0, beats: 4 });
+        master.ar.send(
+            0,
+            ArFlit {
+                id: 0,
+                addr: 0,
+                beats: 4,
+            },
+        );
         let mut lasts = 0;
         while lasts < 1 {
             sim.step();
@@ -664,7 +803,14 @@ mod tests {
     fn tracer_records_channel_events() {
         let (master, ctrl, mut sim, _memory) = setup(ControllerConfig::default());
         ctrl.borrow().tracer().set_enabled(true);
-        master.ar.send(0, ArFlit { id: 3, addr: 0, beats: 2 });
+        master.ar.send(
+            0,
+            ArFlit {
+                id: 3,
+                addr: 0,
+                beats: 2,
+            },
+        );
         let mut done = false;
         while !done {
             sim.step();

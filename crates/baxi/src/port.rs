@@ -21,7 +21,13 @@ pub struct PortDepths {
 
 impl Default for PortDepths {
     fn default() -> Self {
-        Self { ar: 4, r: 16, aw: 4, w: 16, b: 4 }
+        Self {
+            ar: 4,
+            r: 16,
+            aw: 4,
+            w: 16,
+            b: 4,
+        }
     }
 }
 
@@ -73,8 +79,20 @@ pub fn axi_link_with_latency(depths: PortDepths, latency: u64) -> (AxiMasterPort
     let (w_tx, w_rx) = cwl(depths.w.max(latency as usize), latency);
     let (b_tx, b_rx) = cwl(depths.b.max(latency as usize), latency);
     (
-        AxiMasterPort { ar: ar_tx, r: r_rx, aw: aw_tx, w: w_tx, b: b_rx },
-        AxiSlavePort { ar: ar_rx, r: r_tx, aw: aw_rx, w: w_rx, b: b_tx },
+        AxiMasterPort {
+            ar: ar_tx,
+            r: r_rx,
+            aw: aw_tx,
+            w: w_tx,
+            b: b_rx,
+        },
+        AxiSlavePort {
+            ar: ar_rx,
+            r: r_tx,
+            aw: aw_rx,
+            w: w_rx,
+            b: b_tx,
+        },
     )
 }
 
@@ -85,7 +103,14 @@ mod tests {
     #[test]
     fn link_moves_flits_with_one_cycle_latency() {
         let (master, slave) = axi_link(PortDepths::default());
-        master.ar.send(0, ArFlit { id: 1, addr: 0x40, beats: 4 });
+        master.ar.send(
+            0,
+            ArFlit {
+                id: 1,
+                addr: 0x40,
+                beats: 4,
+            },
+        );
         assert!(slave.ar.recv(0).is_none(), "not visible same cycle");
         let flit = slave.ar.recv(1).expect("visible next cycle");
         assert_eq!(flit.id, 1);
@@ -95,8 +120,21 @@ mod tests {
 
     #[test]
     fn depths_bound_each_channel() {
-        let (master, _slave) = axi_link(PortDepths { ar: 1, r: 1, aw: 1, w: 1, b: 1 });
-        master.ar.send(0, ArFlit { id: 0, addr: 0, beats: 1 });
+        let (master, _slave) = axi_link(PortDepths {
+            ar: 1,
+            r: 1,
+            aw: 1,
+            w: 1,
+            b: 1,
+        });
+        master.ar.send(
+            0,
+            ArFlit {
+                id: 0,
+                addr: 0,
+                beats: 1,
+            },
+        );
         assert!(!master.ar.can_send());
     }
 }

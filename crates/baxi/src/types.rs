@@ -20,12 +20,22 @@ impl AxiParams {
     /// The AWS F1 shell's DDR-facing AXI: 512-bit data, 16 IDs, 64-bit
     /// addresses, 64-beat bursts.
     pub fn aws_f1() -> Self {
-        Self { data_bytes: 64, id_bits: 4, addr_bits: 64, max_burst_beats: 64 }
+        Self {
+            data_bytes: 64,
+            id_bits: 4,
+            addr_bits: 64,
+            max_burst_beats: 64,
+        }
     }
 
     /// A Zynq/Kria HP port: 128-bit data, 6 IDs bits, 40-bit addresses.
     pub fn kria_hp() -> Self {
-        Self { data_bytes: 16, id_bits: 6, addr_bits: 40, max_burst_beats: 64 }
+        Self {
+            data_bytes: 16,
+            id_bits: 6,
+            addr_bits: 40,
+            max_burst_beats: 64,
+        }
     }
 
     /// Number of distinct AXI IDs.
@@ -88,7 +98,10 @@ impl std::fmt::Display for AxiBurstError {
                 write!(f, "axi id {id} out of range (bus has {num_ids} ids)")
             }
             AxiBurstError::Crosses4k { addr, bytes } => {
-                write!(f, "burst at {addr:#x} of {bytes} bytes crosses a 4KiB boundary")
+                write!(
+                    f,
+                    "burst at {addr:#x} of {bytes} bytes crosses a 4KiB boundary"
+                )
             }
             AxiBurstError::Misaligned { addr, align } => {
                 write!(f, "address {addr:#x} not aligned to {align}-byte beat")
@@ -148,7 +161,11 @@ pub struct WFlit {
 impl WFlit {
     /// A full-width beat with all bytes enabled.
     pub fn full(data: Vec<u8>, last: bool) -> Self {
-        Self { data, strb: None, last }
+        Self {
+            data,
+            strb: None,
+            last,
+        }
     }
 }
 
@@ -171,13 +188,22 @@ pub fn validate_burst(
     beats: u32,
 ) -> Result<(), AxiBurstError> {
     if beats == 0 || beats > params.max_burst_beats {
-        return Err(AxiBurstError::TooManyBeats { beats, max: params.max_burst_beats });
+        return Err(AxiBurstError::TooManyBeats {
+            beats,
+            max: params.max_burst_beats,
+        });
     }
     if id >= params.num_ids() {
-        return Err(AxiBurstError::BadId { id, num_ids: params.num_ids() });
+        return Err(AxiBurstError::BadId {
+            id,
+            num_ids: params.num_ids(),
+        });
     }
     if !addr.is_multiple_of(u64::from(params.data_bytes)) {
-        return Err(AxiBurstError::Misaligned { addr, align: params.data_bytes });
+        return Err(AxiBurstError::Misaligned {
+            addr,
+            align: params.data_bytes,
+        });
     }
     let bytes = u64::from(beats) * u64::from(params.data_bytes);
     if (addr & !0xFFF) != ((addr + bytes - 1) & !0xFFF) {
@@ -219,7 +245,10 @@ mod tests {
     #[test]
     fn validate_rejects_bad_id() {
         let p = AxiParams::aws_f1();
-        assert!(matches!(validate_burst(&p, 16, 0, 1), Err(AxiBurstError::BadId { .. })));
+        assert!(matches!(
+            validate_burst(&p, 16, 0, 1),
+            Err(AxiBurstError::BadId { .. })
+        ));
     }
 
     #[test]
@@ -243,7 +272,10 @@ mod tests {
 
     #[test]
     fn error_display_is_descriptive() {
-        let e = AxiBurstError::TooManyBeats { beats: 100, max: 64 };
+        let e = AxiBurstError::TooManyBeats {
+            beats: 100,
+            max: 64,
+        };
         assert!(e.to_string().contains("100"));
     }
 }

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use baxi::{
-    axi_link, ArFlit, AwFlit, AxiMemoryController, AxiMasterPort, ControllerConfig, PortDepths,
+    axi_link, ArFlit, AwFlit, AxiMasterPort, AxiMemoryController, ControllerConfig, PortDepths,
     SharedMemory, WFlit,
 };
 use bdram::{DramConfig, DramSystem};
@@ -21,7 +21,13 @@ struct Rig {
 }
 
 fn rig() -> (Rig, SharedMemory) {
-    let (master, slave) = axi_link(PortDepths { ar: 16, r: 256, aw: 16, w: 256, b: 16 });
+    let (master, slave) = axi_link(PortDepths {
+        ar: 16,
+        r: 256,
+        aw: 16,
+        w: 256,
+        b: 16,
+    });
     let memory: SharedMemory = Rc::new(RefCell::new(SparseMemory::new()));
     let ctrl = AxiMemoryController::new(
         ControllerConfig::default(),

@@ -7,6 +7,8 @@
 //! 3. **Same-ID reorder window** — the controller ordering rule the TLP
 //!    mechanism routes around.
 //! 4. **Burst length sweep** — the Figure 4 control experiment.
+//! 5. **Idle-skipping scheduler vs naive stepper** — host wall-clock on an
+//!    idle-heavy workload (cycle counts are identical by construction).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -14,12 +16,16 @@ use std::hint::black_box;
 use bdram::{AddressMapping, DramConfig, DramRequest, DramSystem};
 use bkernels::memcpy::{run_memcpy, MemcpyVariant};
 use bnoc::{Endpoint, NetworkBuilder};
-use bplatform::{CellKind, DeviceModel, MemoryCellMapper, MemoryRequest, SlrId};
+use bplatform::{CellKind, DeviceModel, MemoryCellMapper, MemoryRequest, Platform, SlrId};
 
 fn ablation_noc(c: &mut Criterion) {
     let device = DeviceModel::alveo_u200();
-    let endpoints: Vec<Endpoint> =
-        (0..92).map(|id| Endpoint { id, slr: SlrId(id % 3) }).collect();
+    let endpoints: Vec<Endpoint> = (0..92)
+        .map(|id| Endpoint {
+            id,
+            slr: SlrId(id % 3),
+        })
+        .collect();
     let builder = NetworkBuilder::default();
 
     let aware = builder.build_slr_aware(&device, SlrId(0), &endpoints);
@@ -152,7 +158,9 @@ fn ablation_dram_mapping(c: &mut Criterion) {
         let (mut issued, mut done, mut last, mut ps) = (0u64, 0u64, 0u64, 0u64);
         while done < bursts {
             while issued < bursts
-                && dram.enqueue(DramRequest::read(issued, issued * bpb)).is_ok()
+                && dram
+                    .enqueue(DramRequest::read(issued, issued * bpb))
+                    .is_ok()
             {
                 issued += 1;
             }
@@ -171,7 +179,10 @@ fn ablation_dram_mapping(c: &mut Criterion) {
         ("RoRaBaChCo (page-interleaved)", AddressMapping::RoRaBaChCo),
         ("ChRaBaRoCo (linear)", AddressMapping::ChRaBaRoCo),
     ] {
-        println!("ablation datum: 4-channel sequential read, {name}: {:.1} GB/s", run(mapping));
+        println!(
+            "ablation datum: 4-channel sequential read, {name}: {:.1} GB/s",
+            run(mapping)
+        );
     }
     let mut group = c.benchmark_group("ablation_dram_mapping");
     group.sample_size(10);
@@ -184,11 +195,62 @@ fn ablation_dram_mapping(c: &mut Criterion) {
     group.finish();
 }
 
+/// Idle-skipping scheduler vs the naive stepper on an idle-heavy workload:
+/// one 16 KiB memcpy command, then a long quiescent stretch where only DRAM
+/// refresh has work. Simulated cycle counts are identical in both modes
+/// (the lockstep tests guard that); the datum here is host wall-clock.
+fn ablation_scheduler(c: &mut Criterion) {
+    const SRC: u64 = 0x10_0000;
+    const DST: u64 = 0x80_0000;
+    const BYTES: u64 = 16 * 1024;
+    const IDLE_GAP_CYCLES: u64 = 1_000_000;
+
+    let drive = |event_driven: bool| -> bsim::SimRate {
+        let timer = bsim::SimRateTimer::starting_at(0);
+        let mut soc = bcore::elaborate(bkernels::memcpy::config(), &Platform::aws_f1())
+            .expect("memcpy elaborates");
+        soc.set_event_driven(event_driven);
+        let payload: Vec<u8> = (0..BYTES).map(|i| (i % 251) as u8).collect();
+        soc.memory().borrow_mut().write(SRC, &payload);
+        let args = [
+            ("src".to_owned(), SRC),
+            ("dst".to_owned(), DST),
+            ("len".to_owned(), BYTES),
+        ]
+        .into_iter()
+        .collect();
+        let token = soc.send_command(0, 0, &args).expect("send");
+        soc.run_until_response(token, 100_000_000)
+            .expect("copy completes");
+        soc.run_for(IDLE_GAP_CYCLES);
+        timer.finish(soc.now())
+    };
+
+    let naive = drive(false);
+    let skipping = drive(true);
+    println!("ablation datum: naive stepper : {}", naive.render());
+    println!("ablation datum: idle-skipping : {}", skipping.render());
+    println!(
+        "ablation datum: scheduler speedup: {:.1}x host wall-clock over {} idle-heavy cycles",
+        naive.host_seconds / skipping.host_seconds,
+        naive.cycles
+    );
+
+    let mut group = c.benchmark_group("ablation_scheduler");
+    group.sample_size(3);
+    group.bench_function("naive_idle_heavy", |b| b.iter(|| black_box(drive(false))));
+    group.bench_function("idle_skipping_idle_heavy", |b| {
+        b.iter(|| black_box(drive(true)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     ablation_noc,
     ablation_spill,
     ablation_bursts_and_ordering,
-    ablation_dram_mapping
+    ablation_dram_mapping,
+    ablation_scheduler
 );
 criterion_main!(benches);

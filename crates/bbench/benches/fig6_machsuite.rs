@@ -9,7 +9,11 @@ use bbench::fig6::{run_one, Fig6Scale};
 use bkernels::machsuite::Bench;
 
 fn bench_kernels(c: &mut Criterion) {
-    let scale = Fig6Scale { cap_cores: 2, cmds_per_core: 1, ..Fig6Scale::small() };
+    let scale = Fig6Scale {
+        cap_cores: 2,
+        cmds_per_core: 1,
+        ..Fig6Scale::small()
+    };
     let mut group = c.benchmark_group("fig6_machsuite_small");
     group.sample_size(10);
     for bench in Bench::ALL {

@@ -14,7 +14,10 @@ fn bench_attention(c: &mut Criterion) {
     group.sample_size(10);
 
     // FPGA: single small core, simulated.
-    let scale = A3Scale { n_cores: 1, ..A3Scale::small() };
+    let scale = A3Scale {
+        n_cores: 1,
+        ..A3Scale::small()
+    };
     let (ops, cycles) = measure_beethoven(&scale, &Platform::sim());
     println!("table3 datum: A3 1-core sim {ops:.1} ops/s ({cycles:.0} cycles/query)");
     group.bench_function("a3_core_sim", |b| {
@@ -24,7 +27,10 @@ fn bench_attention(c: &mut Criterion) {
     // CPU: the real multithreaded kernel.
     let params = AttentionParams { dim: 64, keys: 320 };
     let cpu = cpu_attention_throughput(&params, 2, 64);
-    println!("table3 datum: CPU {:.3e} ops/s measured here", cpu.measured_ops_per_sec);
+    println!(
+        "table3 datum: CPU {:.3e} ops/s measured here",
+        cpu.measured_ops_per_sec
+    );
     group.bench_function("cpu_attention_64ops", |b| {
         b.iter(|| black_box(cpu_attention_throughput(black_box(&params), 2, 64)))
     });
@@ -47,7 +53,10 @@ fn bench_attention(c: &mut Criterion) {
 
     // The GPU model is closed-form; print its datum for completeness.
     let gpu = GpuModel::default();
-    println!("table3 datum: GPU model {:.3e} ops/s", gpu.ops_per_sec(&params));
+    println!(
+        "table3 datum: GPU model {:.3e} ops/s",
+        gpu.ops_per_sec(&params)
+    );
 }
 
 criterion_group!(benches, bench_attention);

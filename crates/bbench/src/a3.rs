@@ -70,14 +70,23 @@ pub fn a3_soc(scale: &A3Scale) -> SocSim {
 /// Measures multi-core attention throughput (ops/s) through the runtime.
 /// Returns `(ops_per_sec, per_core_cycles_per_query)`.
 pub fn measure_beethoven(scale: &A3Scale, platform: &Platform) -> (f64, f64) {
-    let soc =
-        bcore::elaborate::elaborate_with(a3_config(scale.n_cores, scale.params), platform, a3_options())
-            .expect("A3 elaborates");
+    let (ops, cycles_per_query, _) = measure_beethoven_timed(scale, platform);
+    (ops, cycles_per_query)
+}
+
+/// [`measure_beethoven`], also reporting the total simulated fabric cycles
+/// of the run (for the binaries' sim-rate footer).
+fn measure_beethoven_timed(scale: &A3Scale, platform: &Platform) -> (f64, f64, u64) {
+    let soc = bcore::elaborate::elaborate_with(
+        a3_config(scale.n_cores, scale.params),
+        platform,
+        a3_options(),
+    )
+    .expect("A3 elaborates");
     let clock_hz = soc.clock().freq_hz();
     let handle = FpgaHandle::new(soc);
     let p = scale.params;
-    let (queries, keys, values) =
-        battention::fixed::workload(&p, scale.queries_per_core, 99);
+    let (queries, keys, values) = battention::fixed::workload(&p, scale.queries_per_core, 99);
 
     // Stationary K/V, one copy per core (each core owns its scratchpads).
     let pk = handle.malloc((p.keys * p.dim) as u64).unwrap();
@@ -90,7 +99,11 @@ pub fn measure_beethoven(scale: &A3Scale, platform: &Platform) -> (f64, f64) {
     for core in 0..scale.n_cores as u16 {
         loads.push(
             handle
-                .call(SYSTEM, core, load_kv_args(pk.device_addr(), pv.device_addr(), p.keys))
+                .call(
+                    SYSTEM,
+                    core,
+                    load_kv_args(pk.device_addr(), pv.device_addr(), p.keys),
+                )
                 .expect("load_kv"),
         );
     }
@@ -128,12 +141,15 @@ pub fn measure_beethoven(scale: &A3Scale, platform: &Platform) -> (f64, f64) {
     let total_ops = (scale.n_cores as usize * scale.queries_per_core) as f64;
     let ops_per_sec = total_ops / elapsed;
     let cycles_per_query = elapsed * clock_hz / (scale.queries_per_core as f64);
-    (ops_per_sec, cycles_per_query)
+    (ops_per_sec, cycles_per_query, handle.now())
 }
 
 /// Figure 7: renders the core structure and its measured pipeline rate.
 pub fn fig7(scale: &A3Scale) -> String {
-    let single = A3Scale { n_cores: 1, ..*scale };
+    let single = A3Scale {
+        n_cores: 1,
+        ..*scale
+    };
     let (_, cycles_per_query) = measure_beethoven(&single, &Platform::aws_f1());
     format!(
         "Figure 7: A3 core structure (as composed from Beethoven primitives)\n\
@@ -177,7 +193,11 @@ pub fn fig8(scale: &A3Scale) -> String {
 /// Table II: the resource report of the composed design.
 pub fn table2(scale: &A3Scale) -> String {
     let soc = a3_soc(scale);
-    format!("Table II: resource utilization of the {}-core A3 design\n\n{}", scale.n_cores, soc.report().render_table())
+    format!(
+        "Table II: resource utilization of the {}-core A3 design\n\n{}",
+        scale.n_cores,
+        soc.report().render_table()
+    )
 }
 
 /// One Table III row.
@@ -197,6 +217,13 @@ pub struct Table3Row {
 
 /// Table III: throughput and energy across platforms.
 pub fn table3(scale: &A3Scale) -> Vec<Table3Row> {
+    table3_timed(scale).0
+}
+
+/// [`table3`], also reporting the total simulated fabric cycles across the
+/// FPGA and ASIC runs (for the binaries' sim-rate footer).
+pub fn table3_timed(scale: &A3Scale) -> (Vec<Table3Row>, u64) {
+    let mut total_cycles = 0u64;
     let mut rows = Vec::new();
 
     // CPU: real measurement on this host, plus the paper's constant.
@@ -232,7 +259,8 @@ pub fn table3(scale: &A3Scale) -> Vec<Table3Row> {
     let total_resources = soc.report().total;
     let fabric_mhz = soc.platform().fabric_mhz;
     drop(soc);
-    let (fpga_ops, _) = measure_beethoven(scale, &Platform::aws_f1());
+    let (fpga_ops, _, fpga_cycles) = measure_beethoven_timed(scale, &Platform::aws_f1());
+    total_cycles += fpga_cycles;
     let energy = EnergyModel::default();
     let power = energy.power(&total_resources, fabric_mhz);
     rows.push(Table3Row {
@@ -245,8 +273,12 @@ pub fn table3(scale: &A3Scale) -> Vec<Table3Row> {
 
     // The original 1-core ASIC at 1 GHz (we re-simulate it on the ASIC
     // platform; the paper quotes 2.94e6 ops/s).
-    let asic_scale = A3Scale { n_cores: 1, ..*scale };
-    let (asic_ops, _) = measure_beethoven(&asic_scale, &Platform::asap7_asic());
+    let asic_scale = A3Scale {
+        n_cores: 1,
+        ..*scale
+    };
+    let (asic_ops, _, asic_cycles) = measure_beethoven_timed(&asic_scale, &Platform::asap7_asic());
+    total_cycles += asic_cycles;
     rows.push(Table3Row {
         label: "1-Core ASIC @1GHz".to_owned(),
         ops_per_sec: asic_ops,
@@ -254,7 +286,7 @@ pub fn table3(scale: &A3Scale) -> Vec<Table3Row> {
         power_w: f64::NAN,
         provenance: "our core on the ASIC platform model; paper quotes 2.94e6".to_owned(),
     });
-    rows
+    (rows, total_cycles)
 }
 
 /// Renders Table III.
@@ -283,7 +315,10 @@ mod tests {
     #[test]
     fn small_a3_pipeline_rate_near_keys_per_query() {
         let scale = A3Scale::small();
-        let single = A3Scale { n_cores: 1, ..scale };
+        let single = A3Scale {
+            n_cores: 1,
+            ..scale
+        };
         let (ops, cycles_per_query) = measure_beethoven(&single, &Platform::sim());
         assert!(ops > 0.0);
         assert!(
@@ -296,7 +331,10 @@ mod tests {
     #[test]
     fn multicore_scales_attention_throughput() {
         let small = A3Scale::small();
-        let single = A3Scale { n_cores: 1, ..small };
+        let single = A3Scale {
+            n_cores: 1,
+            ..small
+        };
         let (one, _) = measure_beethoven(&single, &Platform::sim());
         let (three, _) = measure_beethoven(&small, &Platform::sim());
         assert!(

@@ -3,18 +3,34 @@
 
 fn main() {
     let small = bbench::small_requested();
-    let fig6_scale =
-        if small { bbench::fig6::Fig6Scale::small() } else { bbench::fig6::Fig6Scale::paper() };
-    let a3_scale = if small { bbench::a3::A3Scale::small() } else { bbench::a3::A3Scale::paper() };
-    let sizes =
-        if small { bbench::fig4::small_sizes() } else { bbench::fig4::default_sizes() };
+    let fig6_scale = if small {
+        bbench::fig6::Fig6Scale::small()
+    } else {
+        bbench::fig6::Fig6Scale::paper()
+    };
+    let a3_scale = if small {
+        bbench::a3::A3Scale::small()
+    } else {
+        bbench::a3::A3Scale::paper()
+    };
+    let sizes = if small {
+        bbench::fig4::small_sizes()
+    } else {
+        bbench::fig4::default_sizes()
+    };
 
     println!("{}\n", bbench::fig4::render(&bbench::fig4::run(&sizes)));
     println!("{}\n", bbench::fig5::render(&bbench::fig5::run()));
     println!("{}\n", bbench::table1::render());
-    println!("{}\n", bbench::fig6::render(&bbench::fig6::run(&fig6_scale)));
+    println!(
+        "{}\n",
+        bbench::fig6::render(&bbench::fig6::run(&fig6_scale))
+    );
     println!("{}\n", bbench::a3::fig7(&a3_scale));
     println!("{}\n", bbench::a3::fig8(&a3_scale));
     println!("{}\n", bbench::a3::table2(&a3_scale));
-    println!("{}", bbench::a3::render_table3(&bbench::a3::table3(&a3_scale)));
+    println!(
+        "{}",
+        bbench::a3::render_table3(&bbench::a3::table3(&a3_scale))
+    );
 }

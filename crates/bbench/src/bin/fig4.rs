@@ -6,6 +6,9 @@ fn main() {
     } else {
         bbench::fig4::default_sizes()
     };
-    let rows = bbench::fig4::run(&sizes);
-    print!("{}", bbench::fig4::render(&rows));
+    bbench::with_sim_rate(|| {
+        let (rows, cycles) = bbench::fig4::run_timed(&sizes);
+        print!("{}", bbench::fig4::render(&rows));
+        ((), cycles)
+    });
 }

@@ -1,14 +1,18 @@
 //! Regenerates Figure 5 (AXI transaction timelines, 4 KiB memcpy).
 
 fn main() {
-    let fig = bbench::fig5::run();
-    print!("{}", bbench::fig5::render(&fig));
-    match bbench::fig5::write_vcds(std::path::Path::new(".")) {
-        Ok(paths) => {
-            for p in paths {
-                eprintln!("wrote waveform {}", p.display());
+    bbench::with_sim_rate(|| {
+        let fig = bbench::fig5::run();
+        print!("{}", bbench::fig5::render(&fig));
+        match bbench::fig5::write_vcds(std::path::Path::new(".")) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("wrote waveform {}", p.display());
+                }
             }
+            Err(e) => eprintln!("could not write VCD waveforms: {e}"),
         }
-        Err(e) => eprintln!("could not write VCD waveforms: {e}"),
-    }
+        let (hls, beethoven, hdl) = fig.finish_cycles;
+        ((), hls + beethoven + hdl)
+    });
 }

@@ -1,10 +1,17 @@
 //! Regenerates Figure 6 (MachSuite speedups over Vitis HLS).
 
-use bbench::fig6::{render, run, Fig6Scale};
+use bbench::fig6::{render, run_timed, Fig6Scale};
 
 fn main() {
-    let scale = if bbench::small_requested() { Fig6Scale::small() } else { Fig6Scale::paper() };
+    let scale = if bbench::small_requested() {
+        Fig6Scale::small()
+    } else {
+        Fig6Scale::paper()
+    };
     eprintln!("running Figure 6 at scale {scale:?} (use --small for a quick run)");
-    let rows = run(&scale);
-    print!("{}", render(&rows));
+    bbench::with_sim_rate(|| {
+        let (rows, cycles) = run_timed(&scale);
+        print!("{}", render(&rows));
+        ((), cycles)
+    });
 }

@@ -3,6 +3,10 @@
 use bbench::a3::{table2, A3Scale};
 
 fn main() {
-    let scale = if bbench::small_requested() { A3Scale::small() } else { A3Scale::paper() };
+    let scale = if bbench::small_requested() {
+        A3Scale::small()
+    } else {
+        A3Scale::paper()
+    };
     print!("{}", table2(&scale));
 }

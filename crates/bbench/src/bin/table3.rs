@@ -1,10 +1,17 @@
 //! Regenerates Table III (attention throughput and energy).
 
-use bbench::a3::{render_table3, table3, A3Scale};
+use bbench::a3::{render_table3, table3_timed, A3Scale};
 
 fn main() {
-    let scale = if bbench::small_requested() { A3Scale::small() } else { A3Scale::paper() };
+    let scale = if bbench::small_requested() {
+        A3Scale::small()
+    } else {
+        A3Scale::paper()
+    };
     eprintln!("running Table III at scale {scale:?} (use --small for a quick run)");
-    let rows = table3(&scale);
-    print!("{}", render_table3(&rows));
+    bbench::with_sim_rate(|| {
+        let (rows, cycles) = table3_timed(&scale);
+        print!("{}", render_table3(&rows));
+        ((), cycles)
+    });
 }

@@ -23,19 +23,28 @@ pub fn small_sizes() -> Vec<u64> {
 
 /// Runs the full sweep.
 pub fn run(sizes: &[u64]) -> Vec<Fig4Row> {
-    MemcpyVariant::ALL
+    run_timed(sizes).0
+}
+
+/// [`run`], also reporting the total simulated fabric cycles (for the
+/// binaries' sim-rate footer).
+pub fn run_timed(sizes: &[u64]) -> (Vec<Fig4Row>, u64) {
+    let mut total_cycles = 0u64;
+    let rows = MemcpyVariant::ALL
         .into_iter()
         .map(|variant| Fig4Row {
             label: variant.label(),
             series: sizes
                 .iter()
                 .map(|&bytes| {
-                    let MemcpyResult { gbps, .. } = run_memcpy(variant, bytes);
+                    let MemcpyResult { gbps, cycles, .. } = run_memcpy(variant, bytes);
+                    total_cycles += cycles;
                     (bytes, gbps)
                 })
                 .collect(),
         })
-        .collect()
+        .collect();
+    (rows, total_cycles)
 }
 
 /// Renders the figure as a table plus the §III-A lines-of-code footer.

@@ -220,7 +220,7 @@ fn drivers(scale: &Fig6Scale) -> Vec<Driver> {
     ]
 }
 
-fn run_driver(driver: &Driver, scale: &Fig6Scale) -> Fig6Row {
+fn run_driver(driver: &Driver, scale: &Fig6Scale) -> (Fig6Row, u64) {
     let platform = beethoven_platform();
     let opts = ElaborationOptions::default();
 
@@ -238,13 +238,16 @@ fn run_driver(driver: &Driver, scale: &Fig6Scale) -> Fig6Row {
     resp.get().expect("single-core invocation completes");
     let single_secs = handle.elapsed_secs() - t0;
     let beethoven_1core = 1.0 / single_secs;
+    let single_cycles = handle.now();
 
     // Multi-core measured throughput.
     let soc = elaborate_with((driver.config)(n_cores as u32), &platform, opts)
         .expect("multi-core elaborates");
     let handle = FpgaHandle::new(soc);
     let total_cmds = n_cores * scale.cmds_per_core;
-    let prepared: Vec<Args> = (0..total_cmds).map(|i| (driver.setup)(&handle, i)).collect();
+    let prepared: Vec<Args> = (0..total_cmds)
+        .map(|i| (driver.setup)(&handle, i))
+        .collect();
     let t0 = handle.elapsed_secs();
     let mut responses = Vec::with_capacity(total_cmds);
     for (i, args) in prepared.into_iter().enumerate() {
@@ -255,9 +258,10 @@ fn run_driver(driver: &Driver, scale: &Fig6Scale) -> Fig6Row {
         resp.get().expect("multi-core invocation completes");
     }
     let measured = total_cmds as f64 / (handle.elapsed_secs() - t0);
+    let cycles = single_cycles + handle.now();
 
     let params = scale.comparator_params();
-    Fig6Row {
+    let row = Fig6Row {
         bench: driver.bench,
         hls: model(Method::VitisHls, driver.bench, &params).invocations_per_sec(),
         spatial: model(Method::Spatial, driver.bench, &params).invocations_per_sec(),
@@ -265,19 +269,35 @@ fn run_driver(driver: &Driver, scale: &Fig6Scale) -> Fig6Row {
         n_cores,
         ideal: beethoven_1core * n_cores as f64,
         measured,
-    }
+    };
+    (row, cycles)
 }
 
 /// Runs the whole figure at the given scale.
 pub fn run(scale: &Fig6Scale) -> Vec<Fig6Row> {
-    drivers(scale).iter().map(|d| run_driver(d, scale)).collect()
+    run_timed(scale).0
+}
+
+/// [`run`], also reporting the total simulated fabric cycles (for the
+/// binaries' sim-rate footer).
+pub fn run_timed(scale: &Fig6Scale) -> (Vec<Fig6Row>, u64) {
+    let mut total_cycles = 0u64;
+    let rows = drivers(scale)
+        .iter()
+        .map(|d| {
+            let (row, cycles) = run_driver(d, scale);
+            total_cycles += cycles;
+            row
+        })
+        .collect();
+    (rows, total_cycles)
 }
 
 /// Runs a single benchmark (used by tests and the criterion benches).
 pub fn run_one(bench: Bench, scale: &Fig6Scale) -> Fig6Row {
     let ds = drivers(scale);
     let driver = ds.iter().find(|d| d.bench == bench).expect("driver exists");
-    run_driver(driver, scale)
+    run_driver(driver, scale).0
 }
 
 /// Renders the figure: speedups normalized to Vitis HLS, with bar labels.
@@ -321,7 +341,11 @@ mod tests {
 
     #[test]
     fn small_scale_nw_beats_hls_even_single_core() {
-        let scale = Fig6Scale { cap_cores: 2, cmds_per_core: 1, ..Fig6Scale::small() };
+        let scale = Fig6Scale {
+            cap_cores: 2,
+            cmds_per_core: 1,
+            ..Fig6Scale::small()
+        };
         let row = run_one(Bench::Nw, &scale);
         assert!(
             row.beethoven_1core > row.hls,
@@ -330,12 +354,19 @@ mod tests {
             row.hls
         );
         assert!(row.measured > row.hls, "multi-core must also win");
-        assert!(row.measured <= row.ideal * 1.05, "measured cannot beat ideal");
+        assert!(
+            row.measured <= row.ideal * 1.05,
+            "measured cannot beat ideal"
+        );
     }
 
     #[test]
     fn small_scale_stencil3d_multicore_wins() {
-        let scale = Fig6Scale { cap_cores: 4, cmds_per_core: 2, ..Fig6Scale::small() };
+        let scale = Fig6Scale {
+            cap_cores: 4,
+            cmds_per_core: 2,
+            ..Fig6Scale::small()
+        };
         let row = run_one(Bench::Stencil3d, &scale);
         assert!(row.n_cores >= 2);
         assert!(

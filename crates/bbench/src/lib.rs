@@ -29,3 +29,14 @@ pub mod table1;
 pub fn small_requested() -> bool {
     std::env::args().any(|a| a == "--small")
 }
+
+/// Runs `f` under a host-clock timer and prints a `sim rate:` footer from
+/// the simulated cycle total `f` reports next to its result. Binaries wrap
+/// their figure runs in this so every artifact records the kernel's
+/// simulation rate (see `bsim::SimRate`).
+pub fn with_sim_rate<R>(f: impl FnOnce() -> (R, u64)) -> R {
+    let timer = bsim::SimRateTimer::starting_at(0);
+    let (result, cycles) = f();
+    println!("{}", timer.finish(cycles).render());
+    result
+}

@@ -95,7 +95,11 @@ impl AccelCommandSpec {
             );
             assert!(seen.insert(fname.clone()), "duplicate field name '{fname}'");
         }
-        Self { name, fields, expects_response: true }
+        Self {
+            name,
+            fields,
+            expects_response: true,
+        }
     }
 
     /// Declares that the command produces no response payload.
@@ -128,7 +132,10 @@ pub struct AccelResponseSpec {
 impl AccelResponseSpec {
     /// The empty response.
     pub fn empty() -> Self {
-        Self { name: "EmptyAccelResponse".to_owned(), bits: 0 }
+        Self {
+            name: "EmptyAccelResponse".to_owned(),
+            bits: 0,
+        }
     }
 
     /// A response carrying `bits` (≤64) of payload.
@@ -138,7 +145,10 @@ impl AccelResponseSpec {
     /// Panics if `bits > 64`.
     pub fn with_bits(name: impl Into<String>, bits: u32) -> Self {
         assert!(bits <= 64, "response payload limited to 64 bits");
-        Self { name: name.into(), bits }
+        Self {
+            name: name.into(),
+            bits,
+        }
     }
 }
 
@@ -200,7 +210,10 @@ impl std::fmt::Display for CommandPackError {
         match self {
             CommandPackError::MissingField(name) => write!(f, "missing argument '{name}'"),
             CommandPackError::ValueTooWide { field, value, bits } => {
-                write!(f, "value {value:#x} does not fit field '{field}' of {bits} bits")
+                write!(
+                    f,
+                    "value {value:#x} does not fit field '{field}' of {bits} bits"
+                )
             }
             CommandPackError::UnknownField(name) => write!(f, "unknown argument '{name}'"),
         }
@@ -217,7 +230,10 @@ struct BitWriter {
 
 impl BitWriter {
     fn new() -> Self {
-        Self { words: vec![0], bit: 0 }
+        Self {
+            words: vec![0],
+            bit: 0,
+        }
     }
 
     fn push(&mut self, value: u64, bits: u32) {
@@ -230,7 +246,11 @@ impl BitWriter {
                 self.words.push(0);
             }
             let take = remaining.min(64 - offset);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             self.words[word] |= (value & mask) << offset;
             value = if take == 64 { 0 } else { value >> take };
             self.bit += take;
@@ -258,7 +278,11 @@ impl<'a> BitReader<'a> {
             let offset = self.bit % 64;
             let take = remaining.min(64 - offset);
             let chunk = if word < self.words.len() {
-                let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+                let mask = if take == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << take) - 1
+                };
                 (self.words[word] >> offset) & mask
             } else {
                 0
@@ -297,7 +321,11 @@ pub fn pack_command(
             .ok_or_else(|| CommandPackError::MissingField(name.clone()))?;
         let bits = ty.bits();
         if bits < 64 && value >> bits != 0 {
-            return Err(CommandPackError::ValueTooWide { field: name.clone(), value, bits });
+            return Err(CommandPackError::ValueTooWide {
+                field: name.clone(),
+                value,
+                bits,
+            });
         }
         writer.push(value, bits);
     }
@@ -385,7 +413,11 @@ mod tests {
     #[test]
     fn roundtrip_preserves_values() {
         let spec = vecadd_spec();
-        let a = args(&[("addend", 0xDEAD_BEEF), ("vec_addr", 0x0123_4567_89AB_CDEF), ("n_eles", 0xFFFFF)]);
+        let a = args(&[
+            ("addend", 0xDEAD_BEEF),
+            ("vec_addr", 0x0123_4567_89AB_CDEF),
+            ("n_eles", 0xFFFFF),
+        ]);
         let packed = pack_command(&spec, 0, 0, &a).unwrap();
         let unpacked = unpack_command(&spec, &packed.beats);
         assert_eq!(unpacked.arg("addend"), 0xDEAD_BEEF);
@@ -416,8 +448,13 @@ mod tests {
     #[test]
     fn value_too_wide_is_rejected() {
         let spec = vecadd_spec();
-        let err = pack_command(&spec, 0, 0, &args(&[("addend", 1 << 40), ("vec_addr", 0), ("n_eles", 0)]))
-            .unwrap_err();
+        let err = pack_command(
+            &spec,
+            0,
+            0,
+            &args(&[("addend", 1 << 40), ("vec_addr", 0), ("n_eles", 0)]),
+        )
+        .unwrap_err();
         assert!(matches!(err, CommandPackError::ValueTooWide { .. }));
     }
 
@@ -454,7 +491,10 @@ mod tests {
     fn duplicate_fields_panic() {
         AccelCommandSpec::new(
             "dup",
-            vec![("x".to_owned(), FieldType::U(8)), ("x".to_owned(), FieldType::U(8))],
+            vec![
+                ("x".to_owned(), FieldType::U(8)),
+                ("x".to_owned(), FieldType::U(8)),
+            ],
         );
     }
 

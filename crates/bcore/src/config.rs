@@ -26,7 +26,11 @@ pub struct ReadChannelConfig {
 impl ReadChannelConfig {
     /// A single-channel read stream.
     pub fn new(name: impl Into<String>, data_bytes: u32) -> Self {
-        Self { name: name.into(), data_bytes, n_channels: 1 }
+        Self {
+            name: name.into(),
+            data_bytes,
+            n_channels: 1,
+        }
     }
 
     /// Sets the channel count.
@@ -50,7 +54,11 @@ pub struct WriteChannelConfig {
 impl WriteChannelConfig {
     /// A single-channel write stream.
     pub fn new(name: impl Into<String>, data_bytes: u32) -> Self {
-        Self { name: name.into(), data_bytes, n_channels: 1 }
+        Self {
+            name: name.into(),
+            data_bytes,
+            n_channels: 1,
+        }
     }
 
     /// Sets the channel count.
@@ -85,7 +93,14 @@ pub struct ScratchpadConfig {
 impl ScratchpadConfig {
     /// A single-port scratchpad with 1-cycle latency.
     pub fn new(name: impl Into<String>, data_width_bits: u32, n_datas: usize) -> Self {
-        Self { name: name.into(), data_width_bits, n_datas, n_ports: 1, latency: 1, copies: 1 }
+        Self {
+            name: name.into(),
+            data_width_bits,
+            n_datas,
+            n_ports: 1,
+            latency: 1,
+            copies: 1,
+        }
     }
 
     /// Sets the physical replication factor (see the `copies` field).
@@ -278,7 +293,10 @@ impl AcceleratorConfig {
 
     /// Looks up a system id by name.
     pub fn system_id(&self, name: &str) -> Option<u16> {
-        self.systems.iter().position(|s| s.name == name).map(|i| i as u16)
+        self.systems
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| i as u16)
     }
 
     /// Total cores across systems.

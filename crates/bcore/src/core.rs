@@ -26,6 +26,18 @@ use crate::primitives::{Reader, Scratchpad, Writer};
 pub trait AcceleratorCore {
     /// Advances the core by one cycle.
     fn tick(&mut self, ctx: &mut CoreContext);
+
+    /// Whether the core has no internal work pending and its next `tick`
+    /// would do nothing until a command or remote write arrives.
+    ///
+    /// The default is `false` — the harness then ticks the core every
+    /// cycle, which is always correct. Cores with an explicit idle state
+    /// can override this so the simulation fast-forwards across the gaps
+    /// between commands; an override must only return `true` when `tick`
+    /// is a provable no-op given unchanged inputs.
+    fn idle(&self) -> bool {
+        false
+    }
 }
 
 /// Everything a core can touch during a tick: its identity, its clock, its
@@ -120,7 +132,11 @@ impl CoreContext {
         }
         self.resp_tx.send(
             self.now,
-            RoccResponse { system_id: self.system_id, core_id: self.core_id, data },
+            RoccResponse {
+                system_id: self.system_id,
+                core_id: self.core_id,
+                data,
+            },
         );
         self.stats.incr("responses_sent");
         true
@@ -226,7 +242,12 @@ impl CoreContext {
             let sp = self
                 .scratchpads
                 .get_mut(&sink.scratchpad)
-                .unwrap_or_else(|| panic!("intra-core sink targets unknown scratchpad '{}'", sink.scratchpad));
+                .unwrap_or_else(|| {
+                    panic!(
+                        "intra-core sink targets unknown scratchpad '{}'",
+                        sink.scratchpad
+                    )
+                });
             while let Some(write) = sink.rx.recv(now) {
                 sp.write(write.idx as usize, write.data);
             }
@@ -250,6 +271,35 @@ impl CoreContext {
 
     pub(crate) fn set_now(&mut self, now: Cycle) {
         self.now = now;
+    }
+
+    /// Earliest cycle after `now` at which any primitive or inbound channel
+    /// needs a tick, or `None` when everything is quiescent. Only
+    /// meaningful while the core itself reports [`AcceleratorCore::idle`].
+    pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Scratchpad init is driven from the core's own tick; an idle()
+        // claim during init would be a core bug — stay awake regardless.
+        if self.scratchpads.values().any(Scratchpad::initializing) {
+            return Some(now + 1);
+        }
+        let mut wake: Option<Cycle> = None;
+        let mut consider = |e: Option<Cycle>| {
+            if let Some(e) = e {
+                let e = e.max(now + 1);
+                wake = Some(wake.map_or(e, |w: Cycle| w.min(e)));
+            }
+        };
+        for reader in self.readers.values().flatten() {
+            consider(reader.next_event(now));
+        }
+        for writer in self.writers.values().flatten() {
+            consider(writer.next_event(now));
+        }
+        consider(self.cmd_rx.next_visible_at());
+        for sink in &self.intra_sinks {
+            consider(sink.rx.next_visible_at());
+        }
+        wake
     }
 }
 
@@ -283,5 +333,12 @@ impl bsim::Component for CoreHarness {
 
     fn name(&self) -> &str {
         "core-harness"
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.core.idle() {
+            return Some(now + 1);
+        }
+        self.ctx.next_event(now)
     }
 }

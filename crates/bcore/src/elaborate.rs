@@ -69,7 +69,11 @@ impl std::fmt::Display for ElaborationError {
             }
             ElaborationError::Placement(e) => write!(f, "floorplanning failed: {e}"),
             ElaborationError::MemoryMap(e) => write!(f, "memory mapping failed: {e}"),
-            ElaborationError::BadIntraTarget { system, port, reason } => {
+            ElaborationError::BadIntraTarget {
+                system,
+                port,
+                reason,
+            } => {
                 write!(f, "intra-core port '{port}' of system '{system}': {reason}")
             }
         }
@@ -222,7 +226,10 @@ pub fn estimate_max_cores(
 /// # Errors
 ///
 /// See [`ElaborationError`].
-pub fn elaborate(config: AcceleratorConfig, platform: &Platform) -> Result<SocSim, ElaborationError> {
+pub fn elaborate(
+    config: AcceleratorConfig,
+    platform: &Platform,
+) -> Result<SocSim, ElaborationError> {
     elaborate_with(config, platform, ElaborationOptions::default())
 }
 
@@ -258,7 +265,9 @@ pub fn elaborate_with(
     // a matching In port.
     for sys in &config.systems {
         for ch in &sys.memory_channels {
-            let MemoryChannelConfig::IntraOut(out) = ch else { continue };
+            let MemoryChannelConfig::IntraOut(out) = ch else {
+                continue;
+            };
             let bad = |reason: String| ElaborationError::BadIntraTarget {
                 system: sys.name.clone(),
                 port: out.name.clone(),
@@ -269,9 +278,9 @@ pub fn elaborate_with(
                 .iter()
                 .find(|s| s.name == out.to_system)
                 .ok_or_else(|| bad(format!("no system named '{}'", out.to_system)))?;
-            let found = target.memory_channels.iter().any(|c| {
-                matches!(c, MemoryChannelConfig::IntraIn(i) if i.name == out.to_memory_port)
-            });
+            let found = target.memory_channels.iter().any(
+                |c| matches!(c, MemoryChannelConfig::IntraIn(i) if i.name == out.to_memory_port),
+            );
             if !found {
                 return Err(bad(format!(
                     "system '{}' has no In port named '{}'",
@@ -387,7 +396,11 @@ pub fn elaborate_with(
                 CellKind::Uram => mem.uram += mapped.blocks,
                 CellKind::Lutram => mem.lut += mapped.luts,
             }
-            notes.push(format!("{label}:{} x{}", mapped.kind, mapped.blocks.max(mapped.luts)));
+            notes.push(format!(
+                "{label}:{} x{}",
+                mapped.kind,
+                mapped.blocks.max(mapped.luts)
+            ));
         }
         core_mem.push(mem);
         core_notes.push(notes.join(" "));
@@ -407,12 +420,12 @@ pub fn elaborate_with(
     // (address-interleaved DDR channels on the real card).
     let mem_ports = platform.mem_ports.max(1) as usize;
     let mut slave_ports: Vec<Vec<AxiSlavePort>> = (0..mem_ports).map(|_| Vec::new()).collect();
-    let mut links: Vec<Vec<CoreLink>> =
-        (0..config.systems.len()).map(|_| Vec::new()).collect();
+    let mut links: Vec<Vec<CoreLink>> = (0..config.systems.len()).map(|_| Vec::new()).collect();
 
     // ---- Core-to-core links (appendix IntraCoreMemoryPort wiring) -------
     // flat index lookup for (system, core).
-    let mut flat_of: std::collections::HashMap<(usize, u16), usize> = std::collections::HashMap::new();
+    let mut flat_of: std::collections::HashMap<(usize, u16), usize> =
+        std::collections::HashMap::new();
     for (flat, &(sys_idx, core_idx)) in flat_cores.iter().enumerate() {
         flat_of.insert((sys_idx, core_idx), flat);
     }
@@ -429,7 +442,9 @@ pub fn elaborate_with(
         std::collections::HashMap::new();
     for (o_idx, o_sys) in config.systems.iter().enumerate() {
         for ch in &o_sys.memory_channels {
-            let MemoryChannelConfig::IntraOut(out) = ch else { continue };
+            let MemoryChannelConfig::IntraOut(out) = ch else {
+                continue;
+            };
             let (t_idx, t_sys) = config
                 .systems
                 .iter()
@@ -585,8 +600,13 @@ pub fn elaborate_with(
     let mut interconnect_stats = Stats::new();
     let mut controllers = Vec::with_capacity(mem_ports);
     for (port, port_slaves) in slave_ports.into_iter().enumerate() {
-        let (down_master, down_slave) =
-            axi_link(PortDepths { ar: 16, r: 256, aw: 16, w: 256, b: 16 });
+        let (down_master, down_slave) = axi_link(PortDepths {
+            ar: 16,
+            r: 256,
+            aw: 16,
+            w: 256,
+            b: 16,
+        });
         if port_slaves.is_empty() {
             // No core uses this port (fewer cores than ports): still
             // instantiate the controller so port indexing stays stable,
@@ -637,8 +657,8 @@ pub fn elaborate_with(
         worst_latency: mem_net.worst_latency(),
         cost: mem_net.cost(),
     };
-    let interconnect_cost = cmd_summary.cost + mem_summary.cost
-        + ResourceVector::new(500, 4_000, 3_000, 0, 0, 0); // MMIO frontend
+    let interconnect_cost =
+        cmd_summary.cost + mem_summary.cost + ResourceVector::new(500, 4_000, 3_000, 0, 0, 0); // MMIO frontend
     rows.push(ReportRow {
         name: "Interconnect".to_owned(),
         indent: 1,
@@ -739,7 +759,11 @@ mod tests {
 
     impl VecAddCore {
         fn new() -> Self {
-            Self { addend: 0, remaining: 0, active: false }
+            Self {
+                addend: 0,
+                remaining: 0,
+                active: false,
+            }
         }
     }
 
@@ -753,8 +777,12 @@ mod tests {
                     self.remaining = n;
                     self.active = true;
                     let bytes = u64::from(n) * 4;
-                    ctx.reader("vec_in").request(addr, bytes).expect("reader idle");
-                    ctx.writer("vec_out").request(addr, bytes).expect("writer idle");
+                    ctx.reader("vec_in")
+                        .request(addr, bytes)
+                        .expect("reader idle");
+                    ctx.writer("vec_out")
+                        .request(addr, bytes)
+                        .expect("writer idle");
                 }
                 return;
             }
@@ -764,7 +792,9 @@ mod tests {
                 if !can_write {
                     break;
                 }
-                let Some(v) = ctx.reader("vec_in").pop_u32() else { break };
+                let Some(v) = ctx.reader("vec_in").pop_u32() else {
+                    break;
+                };
                 let out = v.wrapping_add(self.addend);
                 ctx.writer("vec_out").push_u32(out);
                 self.remaining -= 1;
@@ -808,8 +838,11 @@ mod tests {
         let mut soc = elaborate(vecadd_config(1), &Platform::sim()).unwrap();
         let input: Vec<u32> = (0..1024u32).collect();
         soc.memory().borrow_mut().write_u32_slice(0x1_0000, &input);
-        let token = soc.send_command(0, 0, &args(0xCAFE, 0x1_0000, 1024)).unwrap();
-        soc.run_until_response(token, 200_000).expect("vecadd finishes");
+        let token = soc
+            .send_command(0, 0, &args(0xCAFE, 0x1_0000, 1024))
+            .unwrap();
+        soc.run_until_response(token, 200_000)
+            .expect("vecadd finishes");
         let out = soc.memory().borrow().read_u32_slice(0x1_0000, 1024);
         let expect: Vec<u32> = input.iter().map(|v| v + 0xCAFE).collect();
         assert_eq!(out, expect);
@@ -824,11 +857,16 @@ mod tests {
             let base = 0x10_0000 + u64::from(core) * 0x1_0000;
             let input: Vec<u32> = (0..n as u32).map(|v| v * (u32::from(core) + 1)).collect();
             soc.memory().borrow_mut().write_u32_slice(base, &input);
-            tokens.push((core, base, soc.send_command(0, core, &args(7, base, n)).unwrap()));
+            tokens.push((
+                core,
+                base,
+                soc.send_command(0, core, &args(7, base, n)).unwrap(),
+            ));
         }
         // Run until all four respond.
         for (_, _, token) in &tokens {
-            soc.run_until_response(*token, 500_000).expect("core finishes");
+            soc.run_until_response(*token, 500_000)
+                .expect("core finishes");
         }
         for (core, base, _) in tokens {
             let out = soc.memory().borrow().read_u32_slice(base, n as usize);
@@ -884,12 +922,9 @@ mod tests {
             Err(ElaborationError::NoSystems)
         ));
         let spec = AccelCommandSpec::new("x", vec![]);
-        let cfg = AcceleratorConfig::new().with_system(SystemConfig::new(
-            "empty",
-            0,
-            spec,
-            || Box::new(VecAddCore::new()),
-        ));
+        let cfg = AcceleratorConfig::new().with_system(SystemConfig::new("empty", 0, spec, || {
+            Box::new(VecAddCore::new())
+        }));
         assert!(matches!(
             elaborate(cfg, &Platform::sim()),
             Err(ElaborationError::EmptySystem(_))
@@ -941,7 +976,10 @@ mod tests {
         let regs = elaborate_with(
             vecadd_config(1),
             &Platform::aws_f1(),
-            ElaborationOptions { buffers_in_registers: true, ..Default::default() },
+            ElaborationOptions {
+                buffers_in_registers: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(regs.report().total.bram < sram.report().total.bram);

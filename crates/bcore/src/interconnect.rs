@@ -51,7 +51,10 @@ impl AxiInterconnect {
     ///
     /// Panics if `masters` is empty or `num_ids` is zero.
     pub fn new(masters: Vec<AxiSlavePort>, downstream: AxiMasterPort, num_ids: u32) -> Self {
-        assert!(!masters.is_empty(), "interconnect needs at least one master");
+        assert!(
+            !masters.is_empty(),
+            "interconnect needs at least one master"
+        );
         assert!(num_ids > 0, "interconnect needs at least one id");
         Self {
             masters,
@@ -87,9 +90,14 @@ impl AxiInterconnect {
             let flit = self.downstream.r.recv(now).expect("peeked");
             let last = flit.last;
             let ctrl_id = flit.id;
-            self.masters[master]
-                .r
-                .send(now, RFlit { id: orig_id, data: flit.data, last });
+            self.masters[master].r.send(
+                now,
+                RFlit {
+                    id: orig_id,
+                    data: flit.data,
+                    last,
+                },
+            );
             if last {
                 let entry = self.read_map.get_mut(&ctrl_id).expect("mapped");
                 entry.2 -= 1;
@@ -130,7 +138,9 @@ impl AxiInterconnect {
         let n = self.masters.len();
         for offset in 0..n {
             let m = (self.rr_ar + offset) % n;
-            let Some(peeked) = self.masters[m].ar.peek(now) else { continue };
+            let Some(peeked) = self.masters[m].ar.peek(now) else {
+                continue;
+            };
             let ctrl_id = match self.read_alloc.get(&(m, peeked.id)) {
                 Some(&id) => id,
                 None => {
@@ -160,7 +170,9 @@ impl AxiInterconnect {
         let n = self.masters.len();
         for offset in 0..n {
             let m = (self.rr_aw + offset) % n;
-            let Some(peeked) = self.masters[m].aw.peek(now) else { continue };
+            let Some(peeked) = self.masters[m].aw.peek(now) else {
+                continue;
+            };
             let ctrl_id = match self.write_alloc.get(&(m, peeked.id)) {
                 Some(&id) => id,
                 None => {
@@ -195,7 +207,9 @@ impl AxiInterconnect {
             if !self.downstream.w.can_send() {
                 return;
             }
-            let Some(w) = self.masters[master].w.recv(now) else { return };
+            let Some(w) = self.masters[master].w.recv(now) else {
+                return;
+            };
             let last = w.last;
             self.downstream.w.send(now, w);
             let front = self.w_route.front_mut().expect("non-empty");
@@ -219,6 +233,30 @@ impl Component for AxiInterconnect {
 
     fn name(&self) -> &str {
         "axi-interconnect"
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Any routed transaction still in flight keeps the mux active: R/B
+        // beats can arrive and W beats can stream on any cycle.
+        if !self.read_map.is_empty() || !self.write_map.is_empty() || !self.w_route.is_empty() {
+            return Some(now + 1);
+        }
+        // Otherwise wake when a request flit from a core (or a stray
+        // downstream response) becomes visible.
+        let mut wake: Option<Cycle> = None;
+        let mut consider = |vis: Option<Cycle>| {
+            if let Some(v) = vis {
+                let v = v.max(now + 1);
+                wake = Some(wake.map_or(v, |w: Cycle| w.min(v)));
+            }
+        };
+        for m in &self.masters {
+            consider(m.ar.next_visible_at());
+            consider(m.aw.next_visible_at());
+        }
+        consider(self.downstream.r.next_visible_at());
+        consider(self.downstream.b.next_visible_at());
+        wake
     }
 }
 
@@ -256,7 +294,9 @@ mod tests {
     }
 
     /// n readers and one writer share a single controller through the mux.
-    fn build(n_readers: usize) -> (
+    fn build(
+        n_readers: usize,
+    ) -> (
         Simulation,
         Vec<bsim::Shared<Reader>>,
         bsim::Shared<Writer>,
@@ -264,7 +304,13 @@ mod tests {
     ) {
         let memory: SharedMemory = Rc::new(RefCell::new(SparseMemory::new()));
         let mut sim = Simulation::new();
-        let depths = PortDepths { ar: 8, r: 64, aw: 8, w: 64, b: 8 };
+        let depths = PortDepths {
+            ar: 8,
+            r: 64,
+            aw: 8,
+            w: 64,
+            b: 8,
+        };
 
         let mut slave_ports = Vec::new();
         let mut readers = Vec::new();
@@ -284,8 +330,13 @@ mod tests {
         let writer = bsim::Shared::new(Writer::new(wcfg, wmaster));
         sim.add(TickWriter(writer.clone()));
 
-        let (down_master, down_slave) =
-            axi_link(PortDepths { ar: 16, r: 128, aw: 16, w: 128, b: 16 });
+        let (down_master, down_slave) = axi_link(PortDepths {
+            ar: 16,
+            r: 128,
+            aw: 16,
+            w: 128,
+            b: 16,
+        });
         sim.add(AxiInterconnect::new(slave_ports, down_master, 16));
         let ctrl = AxiMemoryController::new(
             ControllerConfig::default(),
@@ -302,7 +353,9 @@ mod tests {
         let (mut sim, readers, _writer, memory) = build(4);
         for i in 0..4u8 {
             let block: Vec<u8> = vec![i + 1; 2048];
-            memory.borrow_mut().write(0x10_000 + u64::from(i) * 0x1000, &block);
+            memory
+                .borrow_mut()
+                .write(0x10_000 + u64::from(i) * 0x1000, &block);
             readers[i as usize]
                 .borrow_mut()
                 .request(0x10_000 + u64::from(i) * 0x1000, 2048)
@@ -319,7 +372,10 @@ mod tests {
             assert!(sim.now() < 200_000, "readers stalled");
         }
         for (i, data) in collected.iter().enumerate() {
-            assert!(data.iter().all(|&b| b == i as u8 + 1), "reader {i} got foreign data");
+            assert!(
+                data.iter().all(|&b| b == i as u8 + 1),
+                "reader {i} got foreign data"
+            );
         }
     }
 

@@ -119,7 +119,11 @@ pub struct RemoteWritePort {
 
 impl RemoteWritePort {
     pub(crate) fn new(name: String, links: Vec<Sender<RemoteWrite>>, width_bits: u32) -> Self {
-        Self { name, links, width_bits }
+        Self {
+            name,
+            links,
+            width_bits,
+        }
     }
 
     /// Whether a write can be accepted this cycle (all downstream links

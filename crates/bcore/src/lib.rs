@@ -39,19 +39,19 @@ pub mod soc;
 
 pub use bindings::{generate_bindings, GeneratedBindings};
 pub use command::{
-    AccelCommandSpec, AccelResponseSpec, CommandPackError, FieldType, PackedCommand,
-    RoccCommand, RoccResponse, UnpackedCommand,
+    AccelCommandSpec, AccelResponseSpec, CommandPackError, FieldType, PackedCommand, RoccCommand,
+    RoccResponse, UnpackedCommand,
 };
 pub use config::{
     AcceleratorConfig, MemoryChannelConfig, ReadChannelConfig, ScratchpadConfig, SystemConfig,
     WriteChannelConfig,
 };
 pub use core::{AcceleratorCore, CoreContext};
+pub use elaborate::{elaborate, estimate_max_cores, ElaborationError};
 pub use intracore::{
     CommunicationDegree, IntraCoreMemoryPortInConfig, IntraCoreMemoryPortOutConfig, RemoteWrite,
     RemoteWritePort,
 };
-pub use elaborate::{elaborate, estimate_max_cores, ElaborationError};
 pub use primitives::{BusyError, Reader, ReaderConfig, Scratchpad, Writer, WriterConfig};
 pub use report::SocReport;
 pub use soc::{CommandToken, SocSim};

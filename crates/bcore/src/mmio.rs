@@ -50,9 +50,18 @@ impl MmioRegister {
 
 /// Encodes one RoCC command beat as its five-word MMIO frame.
 pub fn encode_command(cmd: &RoccCommand) -> [u32; CMD_FRAME_WORDS] {
-    assert!(cmd.core_id < (1 << 12), "core id exceeds the 12-bit header field");
-    assert!(cmd.system_id < (1 << 8), "system id exceeds the 8-bit header field");
-    assert!(cmd.beat < 32 && cmd.total_beats <= 32, "beat fields exceed 5/6 bits");
+    assert!(
+        cmd.core_id < (1 << 12),
+        "core id exceeds the 12-bit header field"
+    );
+    assert!(
+        cmd.system_id < (1 << 8),
+        "system id exceeds the 8-bit header field"
+    );
+    assert!(
+        cmd.beat < 32 && cmd.total_beats <= 32,
+        "beat fields exceed 5/6 bits"
+    );
     let header = (u32::from(cmd.system_id) << 24)
         | (u32::from(cmd.core_id) << 12)
         | (u32::from(cmd.beat) << 6)

@@ -198,7 +198,14 @@ impl Reader {
             }
             let id = self.cfg.ids[self.next_id % self.cfg.ids.len()];
             self.next_id += 1;
-            self.port.ar.send(now, ArFlit { id, addr: aligned, beats });
+            self.port.ar.send(
+                now,
+                ArFlit {
+                    id,
+                    addr: aligned,
+                    beats,
+                },
+            );
             self.txns.push_back(ReadTxn {
                 id,
                 take,
@@ -255,6 +262,18 @@ impl Reader {
     /// Reader statistics (`ar_issued`, `r_beats`, `requested_bytes`).
     pub fn stats(&self) -> Stats {
         self.stats.clone()
+    }
+
+    /// Earliest cycle after `now` at which [`Reader::tick`] can make
+    /// progress, or `None` while the reader only waits for a new request.
+    ///
+    /// Undelivered stream bytes do not keep the reader awake: popping is a
+    /// core-side action, not something `tick` advances.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.fetch.is_some() || !self.txns.is_empty() {
+            return Some(now + 1);
+        }
+        self.port.r.next_visible_at().map(|v| v.max(now + 1))
     }
 }
 
@@ -448,7 +467,9 @@ impl Writer {
         if self.current.is_some() {
             return;
         }
-        let Some((addr, remaining)) = self.emit else { return };
+        let Some((addr, remaining)) = self.emit else {
+            return;
+        };
         if self.inflight_bs >= self.cfg.max_inflight as usize {
             return;
         }
@@ -485,7 +506,9 @@ impl Writer {
     }
 
     fn stream_w(&mut self, now: Cycle) {
-        let Some(burst) = &mut self.current else { return };
+        let Some(burst) = &mut self.current else {
+            return;
+        };
         if !self.port.w.can_send() {
             return;
         }
@@ -518,6 +541,19 @@ impl Writer {
     pub fn stats(&self) -> Stats {
         self.stats.clone()
     }
+
+    /// Earliest cycle after `now` at which [`Writer::tick`] can make
+    /// progress, or `None` while the writer only waits for a new request.
+    ///
+    /// Outstanding B responses wake the writer through its B channel's
+    /// visibility horizon; the issuing controller stays active until it has
+    /// sent them, so the scheduler cannot skip past their arrival.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.emit.is_some() || self.current.is_some() || !self.staging.is_empty() {
+            return Some(now + 1);
+        }
+        self.port.b.next_visible_at().map(|v| v.max(now + 1))
+    }
 }
 
 /// An on-chip memory with an initialization routine (§II-B): storage plus
@@ -541,7 +577,10 @@ impl Scratchpad {
     ///
     /// Panics if `width_bits` is 0 or exceeds 64.
     pub fn new(name: impl Into<String>, width_bits: u32, n_datas: usize, latency: u32) -> Self {
-        assert!((1..=64).contains(&width_bits), "scratchpad words limited to 64 bits");
+        assert!(
+            (1..=64).contains(&width_bits),
+            "scratchpad words limited to 64 bits"
+        );
         Self {
             name: name.into(),
             width_bits,
@@ -592,7 +631,10 @@ impl Scratchpad {
     /// Panics if out of range or the value exceeds the word width.
     pub fn write(&mut self, idx: usize, value: u64) {
         let bits = self.width_bits;
-        assert!(bits == 64 || value >> bits == 0, "value wider than scratchpad word");
+        assert!(
+            bits == 64 || value >> bits == 0,
+            "value wider than scratchpad word"
+        );
         self.storage[idx] = value;
     }
 
@@ -611,7 +653,9 @@ impl Scratchpad {
     /// Moves any data the reader has delivered into storage. Call once per
     /// cycle during initialization.
     pub fn service_init(&mut self, reader: &mut Reader) {
-        let Some(mut filled) = self.init_progress else { return };
+        let Some(mut filled) = self.init_progress else {
+            return;
+        };
         let wb = self.word_bytes();
         while filled < self.storage.len() && reader.available() >= wb {
             let mut word = [0u8; 8];
@@ -620,7 +664,11 @@ impl Scratchpad {
             self.storage[filled] = u64::from_le_bytes(word);
             filled += 1;
         }
-        self.init_progress = if filled == self.storage.len() { None } else { Some(filled) };
+        self.init_progress = if filled == self.storage.len() {
+            None
+        } else {
+            Some(filled)
+        };
     }
 
     /// Whether an initialization is still in progress.
@@ -671,7 +719,13 @@ mod tests {
         let memory: SharedMemory = Rc::new(RefCell::new(SparseMemory::new()));
         let mut sim = Simulation::new();
 
-        let (rd_master, rd_slave) = axi_link(PortDepths { ar: 8, r: 64, aw: 8, w: 64, b: 8 });
+        let (rd_master, rd_slave) = axi_link(PortDepths {
+            ar: 8,
+            r: 64,
+            aw: 8,
+            w: 64,
+            b: 8,
+        });
         let ctrl_r = AxiMemoryController::new(
             ControllerConfig::default(),
             DramSystem::new(DramConfig::ddr4_2400()),
@@ -682,7 +736,13 @@ mod tests {
         let reader = bsim::Shared::new(Reader::new(reader_cfg, rd_master));
         sim.add(TickPrim(reader.clone(), |r, now| r.tick(now)));
 
-        let (wr_master, wr_slave) = axi_link(PortDepths { ar: 8, r: 64, aw: 8, w: 64, b: 8 });
+        let (wr_master, wr_slave) = axi_link(PortDepths {
+            ar: 8,
+            r: 64,
+            aw: 8,
+            w: 64,
+            b: 8,
+        });
         let ctrl_w = AxiMemoryController::new(
             ControllerConfig::default(),
             DramSystem::new(DramConfig::ddr4_2400()),
@@ -693,7 +753,12 @@ mod tests {
         let writer = bsim::Shared::new(Writer::new(writer_cfg, wr_master));
         sim.add(TickPrim(writer.clone(), |w, now| w.tick(now)));
 
-        Rig { sim, reader, writer, memory }
+        Rig {
+            sim,
+            reader,
+            writer,
+            memory,
+        }
     }
 
     #[test]

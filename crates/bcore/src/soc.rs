@@ -54,7 +54,11 @@ impl std::fmt::Display for SendError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SendError::NoSuchSystem(id) => write!(f, "no system with id {id}"),
-            SendError::NoSuchCore { system, core, n_cores } => {
+            SendError::NoSuchCore {
+                system,
+                core,
+                n_cores,
+            } => {
                 write!(f, "system {system} has {n_cores} cores; no core {core}")
             }
             SendError::QueueFull => write!(f, "core command queue full"),
@@ -106,7 +110,7 @@ pub struct SocSim {
 impl SocSim {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
-        sim: Simulation,
+        mut sim: Simulation,
         memory: baxi::SharedMemory,
         platform: Platform,
         links: Vec<Vec<CoreLink>>,
@@ -117,6 +121,15 @@ impl SocSim {
         report: SocReport,
     ) -> Self {
         let fabric = ClockDomain::from_mhz(platform.fabric_mhz);
+        // Response channels are drained by host code, not by a component,
+        // so the event-aware scheduler cannot see them through
+        // `next_event`. Register them as wake sources: fast-forward never
+        // jumps past the cycle a response becomes visible to the host.
+        for cores in &links {
+            for link in cores {
+                sim.watch_receiver(&link.resp_rx);
+            }
+        }
         let outstanding = links
             .iter()
             .map(|cores| cores.iter().map(|_| VecDeque::new()).collect())
@@ -176,6 +189,16 @@ impl SocSim {
         self.sim.step();
     }
 
+    /// Forces the event-aware scheduler (fabric fast-forward and DRAM
+    /// idle-cycle skipping) on or off across the whole SoC. Both modes are
+    /// cycle-exact; this exists so tests and benches can compare them.
+    pub fn set_event_driven(&mut self, enabled: bool) {
+        self.sim.set_event_driven(enabled);
+        for controller in &self.controllers {
+            controller.borrow_mut().set_event_driven(enabled);
+        }
+    }
+
     /// Advances `cycles` fabric cycles.
     pub fn run_for(&mut self, cycles: Cycle) {
         self.sim.run_for(cycles);
@@ -183,12 +206,17 @@ impl SocSim {
 
     /// Looks up a system id by name.
     pub fn system_id(&self, name: &str) -> Option<u16> {
-        self.system_names.iter().position(|n| n == name).map(|i| i as u16)
+        self.system_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as u16)
     }
 
     /// Number of cores in `system`.
     pub fn cores_in(&self, system: u16) -> u16 {
-        self.links.get(system as usize).map_or(0, |c| c.len() as u16)
+        self.links
+            .get(system as usize)
+            .map_or(0, |c| c.len() as u16)
     }
 
     /// Whether `(system, core)`'s command queue can take another command.
@@ -249,7 +277,9 @@ impl SocSim {
     /// RoCC beats, and completed beat sequences dispatch to their core.
     pub fn mmio_write_cmd_word(&mut self, word: u32) {
         self.mmio_cmd_words += 1;
-        let Some(beat) = self.mmio_decoder.push_word(word) else { return };
+        let Some(beat) = self.mmio_decoder.push_word(word) else {
+            return;
+        };
         let key = (beat.system_id, beat.core_id);
         let total = beat.total_beats as usize;
         let beats = self.beat_assembly.entry(key).or_default();
@@ -292,10 +322,16 @@ impl SocSim {
     /// completed (consumes it).
     pub fn poll(&mut self, token: CommandToken) -> Option<u64> {
         self.drain_responses();
-        self.completed.remove(&(token.system, token.core, token.seq))
+        self.completed
+            .remove(&(token.system, token.core, token.seq))
     }
 
     /// Runs the fabric until `token` completes or `max_cycles` pass.
+    ///
+    /// Drives the event-aware scheduler: when every component is quiescent
+    /// the simulation fast-forwards to the next due event instead of
+    /// ticking empty cycles, without changing the cycle at which the
+    /// response is observed.
     ///
     /// # Errors
     ///
@@ -305,15 +341,36 @@ impl SocSim {
         token: CommandToken,
         max_cycles: Cycle,
     ) -> Result<u64, Cycle> {
-        let start = self.sim.now();
-        loop {
-            if let Some(data) = self.poll(token) {
-                return Ok(data);
+        if let Some(data) = self.poll(token) {
+            return Ok(data);
+        }
+        let key = (token.system, token.core, token.seq);
+        let Self {
+            sim,
+            links,
+            outstanding,
+            completed,
+            ..
+        } = self;
+        let result = sim.run_until_strided(max_cycles, 1, |now| {
+            for (sys, cores) in links.iter().enumerate() {
+                for (core, link) in cores.iter().enumerate() {
+                    while let Some(resp) = link.resp_rx.recv(now) {
+                        let seq = outstanding[sys][core]
+                            .pop_front()
+                            .expect("response without outstanding command");
+                        completed.insert((sys as u16, core as u16, seq), resp.data);
+                    }
+                }
             }
-            if self.sim.now() - start >= max_cycles {
-                return Err(max_cycles);
-            }
-            self.sim.step();
+            completed.contains_key(&key)
+        });
+        match result {
+            Ok(_) => Ok(self
+                .completed
+                .remove(&key)
+                .expect("done() observed the response")),
+            Err(_) => Err(max_cycles),
         }
     }
 

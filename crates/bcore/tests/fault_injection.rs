@@ -19,7 +19,9 @@ impl AcceleratorCore for MisbehavingCore {
                 // 1: double-request a busy reader.
                 1 => {
                     ctx.reader("in").request(0, 64).unwrap();
-                    ctx.reader("in").request(64, 64).expect("second request on busy reader");
+                    ctx.reader("in")
+                        .request(64, 64)
+                        .expect("second request on busy reader");
                 }
                 // 2: push more data than the writer request declared.
                 2 => {
@@ -59,13 +61,19 @@ fn poke(mode: u64) {
 #[test]
 fn double_request_on_busy_reader_panics() {
     let result = std::panic::catch_unwind(|| poke(1));
-    assert!(result.is_err(), "re-requesting a busy reader must panic (ready was low)");
+    assert!(
+        result.is_err(),
+        "re-requesting a busy reader must panic (ready was low)"
+    );
 }
 
 #[test]
 fn over_pushing_a_writer_panics() {
     let result = std::panic::catch_unwind(|| poke(2));
-    assert!(result.is_err(), "pushing beyond the declared length must panic");
+    assert!(
+        result.is_err(),
+        "pushing beyond the declared length must panic"
+    );
 }
 
 #[test]
@@ -77,7 +85,10 @@ fn undeclared_channel_access_panics_with_its_name() {
         .cloned()
         .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_owned()))
         .unwrap_or_default();
-    assert!(msg.contains("nonexistent"), "panic should name the channel: {msg}");
+    assert!(
+        msg.contains("nonexistent"),
+        "panic should name the channel: {msg}"
+    );
 }
 
 #[test]

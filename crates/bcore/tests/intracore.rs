@@ -19,7 +19,12 @@ struct Producer {
 
 impl Producer {
     fn new() -> Self {
-        Self { base: 0, next: 0, n: 0, active: false }
+        Self {
+            base: 0,
+            next: 0,
+            n: 0,
+            active: false,
+        }
     }
 }
 
@@ -55,7 +60,10 @@ struct Consumer {
 
 impl Consumer {
     fn new() -> Self {
-        Self { n: 0, active: false }
+        Self {
+            n: 0,
+            active: false,
+        }
     }
 }
 
@@ -70,7 +78,9 @@ impl AcceleratorCore for Consumer {
         }
         let filled = (0..self.n as usize).all(|i| ctx.scratchpad("mailbox").read(i) != 0);
         if filled {
-            let sum: u64 = (0..self.n as usize).map(|i| ctx.scratchpad("mailbox").read(i)).sum();
+            let sum: u64 = (0..self.n as usize)
+                .map(|i| ctx.scratchpad("mailbox").read(i))
+                .sum();
             if ctx.respond(sum) {
                 self.active = false;
             }
@@ -81,7 +91,10 @@ impl AcceleratorCore for Consumer {
 fn producer_spec() -> AccelCommandSpec {
     AccelCommandSpec::new(
         "produce",
-        vec![("base".to_owned(), FieldType::U(32)), ("n".to_owned(), FieldType::U(16))],
+        vec![
+            ("base".to_owned(), FieldType::U(32)),
+            ("n".to_owned(), FieldType::U(16)),
+        ],
     )
 }
 
@@ -96,12 +109,14 @@ fn config(n_pairs: u32, broadcast: bool, n_consumers: u32) -> AcceleratorConfig 
     }
     AcceleratorConfig::new()
         .with_system(
-            SystemConfig::new("Producers", n_pairs, producer_spec(), || Box::new(Producer::new()))
-                .with_intra_out(IntraCoreMemoryPortOutConfig::new(
-                    "ring",
-                    "Consumers",
-                    "mailbox",
-                )),
+            SystemConfig::new("Producers", n_pairs, producer_spec(), || {
+                Box::new(Producer::new())
+            })
+            .with_intra_out(IntraCoreMemoryPortOutConfig::new(
+                "ring",
+                "Consumers",
+                "mailbox",
+            )),
         )
         .with_system(
             SystemConfig::new("Consumers", n_consumers, consumer_spec(), || {
@@ -126,13 +141,19 @@ fn point_to_point_pairs_stay_separate() {
     // Producers with distinct bases.
     for core in 0..3u16 {
         let base = u64::from(core) * 1000;
-        soc.send_command(0, core, &args(&[("base", base), ("n", n)])).unwrap();
+        soc.send_command(0, core, &args(&[("base", base), ("n", n)]))
+            .unwrap();
     }
     for (core, token) in consumer_tokens.into_iter().enumerate() {
-        let sum = soc.run_until_response(token, 1_000_000).expect("consumer finishes");
+        let sum = soc
+            .run_until_response(token, 1_000_000)
+            .expect("consumer finishes");
         let base = core as u64 * 1000;
         let expect: u64 = (0..n).map(|i| base + i + 1).sum();
-        assert_eq!(sum, expect, "consumer {core} must see only its producer's data");
+        assert_eq!(
+            sum, expect,
+            "consumer {core} must see only its producer's data"
+        );
     }
 }
 
@@ -143,11 +164,17 @@ fn broadcast_reaches_every_consumer() {
     let consumer_tokens: Vec<_> = (0..4u16)
         .map(|core| soc.send_command(1, core, &args(&[("n", n)])).unwrap())
         .collect();
-    soc.send_command(0, 0, &args(&[("base", 500), ("n", n)])).unwrap();
+    soc.send_command(0, 0, &args(&[("base", 500), ("n", n)]))
+        .unwrap();
     let expect: u64 = (0..n).map(|i| 500 + i + 1).sum();
     for token in consumer_tokens {
-        let sum = soc.run_until_response(token, 1_000_000).expect("consumer finishes");
-        assert_eq!(sum, expect, "broadcast must deliver identical data everywhere");
+        let sum = soc
+            .run_until_response(token, 1_000_000)
+            .expect("consumer finishes");
+        assert_eq!(
+            sum, expect,
+            "broadcast must deliver identical data everywhere"
+        );
     }
 }
 
@@ -158,8 +185,11 @@ fn cross_slr_links_add_latency_but_still_deliver() {
     let mut soc = elaborate(config(4, false, 4), &Platform::aws_f1()).unwrap();
     let n = 4u64;
     let token = soc.send_command(1, 3, &args(&[("n", n)])).unwrap();
-    soc.send_command(0, 3, &args(&[("base", 0), ("n", n)])).unwrap();
-    let sum = soc.run_until_response(token, 1_000_000).expect("delivered across SLRs");
+    soc.send_command(0, 3, &args(&[("base", 0), ("n", n)]))
+        .unwrap();
+    let sum = soc
+        .run_until_response(token, 1_000_000)
+        .expect("delivered across SLRs");
     assert_eq!(sum, (1..=n).sum::<u64>());
 }
 
@@ -167,7 +197,9 @@ fn cross_slr_links_add_latency_but_still_deliver() {
 fn unknown_target_system_is_rejected() {
     let cfg = AcceleratorConfig::new().with_system(
         SystemConfig::new("Lonely", 1, producer_spec(), || Box::new(Producer::new()))
-            .with_intra_out(IntraCoreMemoryPortOutConfig::new("ring", "Nowhere", "mailbox")),
+            .with_intra_out(IntraCoreMemoryPortOutConfig::new(
+                "ring", "Nowhere", "mailbox",
+            )),
     );
     let err = elaborate(cfg, &Platform::sim()).unwrap_err();
     assert!(err.to_string().contains("Nowhere"));
@@ -177,12 +209,26 @@ fn unknown_target_system_is_rejected() {
 fn unknown_target_port_is_rejected() {
     let cfg = AcceleratorConfig::new()
         .with_system(
-            SystemConfig::new("Producers", 1, producer_spec(), || Box::new(Producer::new()))
-                .with_intra_out(IntraCoreMemoryPortOutConfig::new("ring", "Consumers", "nope")),
+            SystemConfig::new(
+                "Producers",
+                1,
+                producer_spec(),
+                || Box::new(Producer::new()),
+            )
+            .with_intra_out(IntraCoreMemoryPortOutConfig::new(
+                "ring",
+                "Consumers",
+                "nope",
+            )),
         )
         .with_system(
-            SystemConfig::new("Consumers", 1, consumer_spec(), || Box::new(Consumer::new()))
-                .with_intra_in(IntraCoreMemoryPortInConfig::new("mailbox", 32, 64)),
+            SystemConfig::new(
+                "Consumers",
+                1,
+                consumer_spec(),
+                || Box::new(Consumer::new()),
+            )
+            .with_intra_in(IntraCoreMemoryPortInConfig::new("mailbox", 32, 64)),
         );
     let err = elaborate(cfg, &Platform::sim()).unwrap_err();
     assert!(err.to_string().contains("nope"));
@@ -192,5 +238,8 @@ fn unknown_target_port_is_rejected() {
 fn in_port_memory_is_accounted_in_the_report() {
     let soc = elaborate(config(1, false, 1), &Platform::aws_f1()).unwrap();
     let table = soc.report().render_table();
-    assert!(table.contains("mailbox"), "In-port memory should appear in the report:\n{table}");
+    assert!(
+        table.contains("mailbox"),
+        "In-port memory should appear in the report:\n{table}"
+    );
 }

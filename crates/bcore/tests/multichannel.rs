@@ -22,9 +22,15 @@ impl AcceleratorCore for PairAdd {
             if let Some(cmd) = ctx.take_command() {
                 let n = cmd.arg("n") as u32;
                 let bytes = u64::from(n) * 4;
-                ctx.reader_at("operands", 0).request(cmd.arg("a"), bytes).expect("idle");
-                ctx.reader_at("operands", 1).request(cmd.arg("b"), bytes).expect("idle");
-                ctx.writer("sum").request(cmd.arg("c"), bytes).expect("idle");
+                ctx.reader_at("operands", 0)
+                    .request(cmd.arg("a"), bytes)
+                    .expect("idle");
+                ctx.reader_at("operands", 1)
+                    .request(cmd.arg("b"), bytes)
+                    .expect("idle");
+                ctx.writer("sum")
+                    .request(cmd.arg("c"), bytes)
+                    .expect("idle");
                 self.remaining = n;
                 self.active = true;
             }
@@ -88,8 +94,11 @@ fn two_channels_stream_independently() {
         mem.write_u32_slice(0x1_0000, &a);
         mem.write_u32_slice(0x8_0000, &b);
     }
-    let token = soc.send_command(0, 0, &args(0x1_0000, 0x8_0000, 0x10_0000, n)).unwrap();
-    soc.run_until_response(token, 10_000_000).expect("pair add completes");
+    let token = soc
+        .send_command(0, 0, &args(0x1_0000, 0x8_0000, 0x10_0000, n))
+        .unwrap();
+    soc.run_until_response(token, 10_000_000)
+        .expect("pair add completes");
     let out = soc.memory().borrow().read_u32_slice(0x10_0000, n as usize);
     for (i, v) in out.iter().enumerate() {
         assert_eq!(*v, (i as u32).wrapping_add(i as u32 * 1000));
@@ -99,7 +108,11 @@ fn two_channels_stream_independently() {
 #[test]
 fn channel_count_shows_in_port_accounting() {
     let cfg = config(1);
-    assert_eq!(cfg.systems[0].ports_per_core(), 3, "2 read channels + 1 writer");
+    assert_eq!(
+        cfg.systems[0].ports_per_core(),
+        3,
+        "2 read channels + 1 writer"
+    );
     let soc = elaborate(cfg, &Platform::aws_f1()).unwrap();
     // Two prefetch buffers show up in the per-core memory notes.
     let table = soc.report().render_table();

@@ -88,7 +88,9 @@ impl DramChannel {
     /// Creates an idle channel.
     pub fn new(config: DramConfig) -> Self {
         let next_refresh_at = config.timings.t_refi;
-        let banks = (0..config.banks_per_channel()).map(|_| Bank::new()).collect();
+        let banks = (0..config.banks_per_channel())
+            .map(|_| Bank::new())
+            .collect();
         Self {
             config,
             banks,
@@ -123,13 +125,41 @@ impl DramChannel {
         if !self.can_accept() {
             return Err(request);
         }
-        self.queue.push(Entry { request, decoded, needed_act: false, done_at: None });
+        self.queue.push(Entry {
+            request,
+            decoded,
+            needed_act: false,
+            done_at: None,
+        });
         Ok(())
     }
 
     /// Whether work remains queued or in flight.
     pub fn is_busy(&self) -> bool {
         !self.queue.is_empty() || !self.completions.is_empty()
+    }
+
+    /// The earliest DRAM cycle `>= from` at which [`tick`] may do anything
+    /// observable; ticks at cycles in `[from, next_active_at(from))` are
+    /// guaranteed no-ops (mirroring `bsim`'s `next_event` contract, in this
+    /// channel's command-clock domain).
+    ///
+    /// With requests queued or auto-precharges pending the channel is
+    /// active every cycle. Otherwise the only scheduled activity is the
+    /// refresh state machine: the end of an in-progress refresh, or the
+    /// next refresh deadline. Pending completions are ignored — popping
+    /// them is the memory controller's activity, not this tick's.
+    ///
+    /// [`tick`]: DramChannel::tick
+    pub fn next_active_at(&self, from: u64) -> u64 {
+        if !self.queue.is_empty() || !self.auto_precharge.is_empty() {
+            return from;
+        }
+        let refresh_wake = match self.refreshing_until {
+            Some(until) => until,
+            None => self.next_refresh_at,
+        };
+        refresh_wake.max(from)
     }
 
     /// Statistics snapshot.
@@ -260,23 +290,33 @@ impl DramChannel {
             if bank.next_command_for(entry.decoded.row) != NextCommand::Column {
                 continue;
             }
-            let col_ok = if entry.request.is_write { bank.can_write(now) } else { bank.can_read(now) };
+            let col_ok = if entry.request.is_write {
+                bank.can_write(now)
+            } else {
+                bank.can_read(now)
+            };
             if !col_ok {
                 continue;
             }
             // Rank-level column-to-column spacing: tCCD_L within a bank
             // group, tCCD_S across groups (DDR4's bank-group architecture).
             if let Some((last, group)) = self.last_column {
-                let gap = if group == entry.decoded.bank_group { t.t_ccd_l } else { t.t_ccd };
+                let gap = if group == entry.decoded.bank_group {
+                    t.t_ccd_l
+                } else {
+                    t.t_ccd
+                };
                 if now < last + gap {
                     continue;
                 }
             }
             // The data burst must win the shared bus; include turnaround.
-            let turnaround =
-                if self.last_was_write != entry.request.is_write { t.t_wtr.min(4) } else { 0 };
-            let earliest_data =
-                now + if entry.request.is_write { t.cwl } else { t.cl };
+            let turnaround = if self.last_was_write != entry.request.is_write {
+                t.t_wtr.min(4)
+            } else {
+                0
+            };
+            let earliest_data = now + if entry.request.is_write { t.cwl } else { t.cl };
             if earliest_data < self.data_bus_free_at + turnaround {
                 continue;
             }
@@ -287,11 +327,17 @@ impl DramChannel {
         if let Some(idx) = col_candidate {
             let (is_write, flat_bank) = {
                 let e = &self.queue[idx];
-                (e.request.is_write, e.decoded.flat_bank(&self.config) as usize)
+                (
+                    e.request.is_write,
+                    e.decoded.flat_bank(&self.config) as usize,
+                )
             };
             let bank = &mut self.banks[flat_bank];
-            let (start, end) =
-                if is_write { bank.write(now, &t) } else { bank.read(now, &t) };
+            let (start, end) = if is_write {
+                bank.write(now, &t)
+            } else {
+                bank.read(now, &t)
+            };
             self.last_column = Some((now, self.queue[idx].decoded.bank_group));
             self.data_bus_free_at = end;
             self.last_was_write = is_write;
@@ -399,7 +445,8 @@ mod tests {
         let cfg = DramConfig::ddr4_2400();
         let t = cfg.timings.clone();
         let mut ch = DramChannel::new(cfg.clone());
-        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0)).unwrap();
+        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0))
+            .unwrap();
         let done = drain(&mut ch, 500);
         assert_eq!(done.len(), 1);
         // ACT at 0, RD at tRCD, data ends at tRCD + CL + BL/2.
@@ -413,7 +460,8 @@ mod tests {
         let mut ch = DramChannel::new(cfg.clone());
         let stride = cfg.row_stride_bytes();
         for i in 0..4u64 {
-            ch.enqueue(DramRequest::read(i, i * stride), decoded(&cfg, i * stride)).unwrap();
+            ch.enqueue(DramRequest::read(i, i * stride), decoded(&cfg, i * stride))
+                .unwrap();
         }
         let conflict_done = drain(&mut ch, 4000).iter().map(|c| c.1).max().unwrap();
 
@@ -422,7 +470,8 @@ mod tests {
         let bank_stride = cfg.row_bytes(); // next bank under RoBaRaCoCh (after columns come rank/bank bits)
         for i in 0..4u64 {
             let addr = i * bank_stride;
-            ch.enqueue(DramRequest::read(i, addr), decoded(&cfg, addr)).unwrap();
+            ch.enqueue(DramRequest::read(i, addr), decoded(&cfg, addr))
+                .unwrap();
         }
         let parallel_done = drain(&mut ch, 4000).iter().map(|c| c.1).max().unwrap();
         assert!(
@@ -439,7 +488,11 @@ mod tests {
         for now in 0..(trefi * 3 + 100) {
             ch.tick(now);
         }
-        assert!(ch.stats().refreshes >= 2, "refreshes = {}", ch.stats().refreshes);
+        assert!(
+            ch.stats().refreshes >= 2,
+            "refreshes = {}",
+            ch.stats().refreshes
+        );
     }
 
     #[test]
@@ -449,17 +502,23 @@ mod tests {
         let stride = cfg.row_stride_bytes();
         // Oldest request conflicts (different row, same bank as #1 after it);
         // the row-hit to the already-open row should still be served quickly.
-        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0)).unwrap();
+        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0))
+            .unwrap();
         let done1 = drain(&mut ch, 200);
         assert_eq!(done1.len(), 1);
         // Row 0 is now open. Queue a conflict and a hit.
-        ch.enqueue(DramRequest::read(1, stride), decoded(&cfg, stride)).unwrap();
-        ch.enqueue(DramRequest::read(2, 64), decoded(&cfg, 64)).unwrap();
+        ch.enqueue(DramRequest::read(1, stride), decoded(&cfg, stride))
+            .unwrap();
+        ch.enqueue(DramRequest::read(2, 64), decoded(&cfg, 64))
+            .unwrap();
         let done = drain(&mut ch, 2000);
         assert_eq!(done.len(), 2);
         let hit = done.iter().find(|c| c.0.id == 2).unwrap().1;
         let conflict = done.iter().find(|c| c.0.id == 1).unwrap().1;
-        assert!(hit < conflict, "row hit ({hit}) should finish before conflict ({conflict})");
+        assert!(
+            hit < conflict,
+            "row hit ({hit}) should finish before conflict ({conflict})"
+        );
     }
 
     #[test]
@@ -467,7 +526,8 @@ mod tests {
         let mut cfg = DramConfig::ddr4_2400();
         cfg.page_policy = PagePolicy::Closed;
         let mut ch = DramChannel::new(cfg.clone());
-        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0)).unwrap();
+        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0))
+            .unwrap();
         drain(&mut ch, 500);
         // After the access retires, the bank must be closed again.
         let stats = ch.stats();
@@ -486,7 +546,8 @@ mod tests {
             let mut done_at = 0;
             for i in 0..6u64 {
                 let addr = (i % 2) * stride;
-                ch.enqueue(DramRequest::read(i, addr), decoded(&cfg, addr)).unwrap();
+                ch.enqueue(DramRequest::read(i, addr), decoded(&cfg, addr))
+                    .unwrap();
                 // Idle gap between arrivals lets closed-page hide tRP.
                 let completions = drain(&mut ch, 200);
                 done_at += 200;
@@ -511,8 +572,10 @@ mod tests {
         let mut ch = DramChannel::new(cfg.clone());
         // Two same-row requests queued together: the auto-precharge must
         // not fire between them.
-        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0)).unwrap();
-        ch.enqueue(DramRequest::read(1, 64), decoded(&cfg, 64)).unwrap();
+        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0))
+            .unwrap();
+        ch.enqueue(DramRequest::read(1, 64), decoded(&cfg, 64))
+            .unwrap();
         drain(&mut ch, 500);
         let stats = ch.stats();
         assert_eq!(stats.activates, 1, "second access should still row-hit");
@@ -525,8 +588,10 @@ mod tests {
         let t = cfg.timings.clone();
         // Same bank group, same row: column commands spaced by tCCD_L.
         let mut ch = DramChannel::new(cfg.clone());
-        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0)).unwrap();
-        ch.enqueue(DramRequest::read(1, 64), decoded(&cfg, 64)).unwrap();
+        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0))
+            .unwrap();
+        ch.enqueue(DramRequest::read(1, 64), decoded(&cfg, 64))
+            .unwrap();
         let done = drain(&mut ch, 500);
         let same_group_gap = done[1].1 - done[0].1;
         assert_eq!(same_group_gap, t.t_ccd_l.max(t.burst_cycles()));
@@ -538,13 +603,20 @@ mod tests {
         let other_group = cfg.row_bytes();
         let d0 = decoded(&cfg, 0);
         let d1 = decoded(&cfg, other_group);
-        assert_ne!(d0.bank_group, d1.bank_group, "addresses must differ in bank group");
+        assert_ne!(
+            d0.bank_group, d1.bank_group,
+            "addresses must differ in bank group"
+        );
         ch.enqueue(DramRequest::read(100, 0), d0).unwrap();
         ch.enqueue(DramRequest::read(101, other_group), d1).unwrap();
         drain(&mut ch, 500);
-        ch.enqueue(DramRequest::read(0, 64), decoded(&cfg, 64)).unwrap();
-        ch.enqueue(DramRequest::read(1, other_group + 64), decoded(&cfg, other_group + 64))
+        ch.enqueue(DramRequest::read(0, 64), decoded(&cfg, 64))
             .unwrap();
+        ch.enqueue(
+            DramRequest::read(1, other_group + 64),
+            decoded(&cfg, other_group + 64),
+        )
+        .unwrap();
         let done = drain(&mut ch, 1000);
         let cross_group_gap = done[1].1 - done[0].1;
         assert_eq!(cross_group_gap, t.t_ccd.max(t.burst_cycles()));
@@ -556,7 +628,8 @@ mod tests {
         let cfg = DramConfig::ddr4_2400();
         let mut ch = DramChannel::new(cfg.clone());
         for i in 0..8u64 {
-            ch.enqueue(DramRequest::read(i, i * 64), decoded(&cfg, i * 64)).unwrap();
+            ch.enqueue(DramRequest::read(i, i * 64), decoded(&cfg, i * 64))
+                .unwrap();
         }
         drain(&mut ch, 2000);
         let s = ch.stats();

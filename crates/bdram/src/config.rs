@@ -117,7 +117,10 @@ impl DramConfig {
     /// A four-channel DDR4-2400 configuration matching the Alveo U200 card's
     /// four DIMMs (76.8 GB/s aggregate).
     pub fn ddr4_2400_quad() -> Self {
-        Self { channels: 4, ..Self::ddr4_2400() }
+        Self {
+            channels: 4,
+            ..Self::ddr4_2400()
+        }
     }
 
     /// An HBM2-like stack channel: wider bus, lower clock, more banks.

@@ -48,12 +48,20 @@ pub struct DramRequest {
 impl DramRequest {
     /// Creates a read request.
     pub fn read(id: u64, addr: u64) -> Self {
-        Self { id, addr, is_write: false }
+        Self {
+            id,
+            addr,
+            is_write: false,
+        }
     }
 
     /// Creates a write request.
     pub fn write(id: u64, addr: u64) -> Self {
-        Self { id, addr, is_write: true }
+        Self {
+            id,
+            addr,
+            is_write: true,
+        }
     }
 }
 
@@ -81,6 +89,11 @@ pub struct DramSystem {
     completions: VecDeque<DramCompletion>,
     /// DRAM cycles simulated so far.
     dram_cycle: u64,
+    /// When true (the default), [`DramSystem::advance_to_ps`] skips DRAM
+    /// cycles on which every channel is provably a no-op. Disabled by the
+    /// same `BSIM_NAIVE` environment variable as the bsim scheduler, so
+    /// guard-mode A/B runs exercise the plain cycle loop.
+    event_driven: bool,
 }
 
 impl DramSystem {
@@ -89,7 +102,24 @@ impl DramSystem {
         let channels = (0..config.channels)
             .map(|_| DramChannel::new(config.clone()))
             .collect();
-        Self { config, channels, completions: VecDeque::new(), dram_cycle: 0 }
+        let event_driven = match std::env::var("BSIM_NAIVE") {
+            Ok(v) => v.is_empty() || v == "0",
+            Err(_) => true,
+        };
+        Self {
+            config,
+            channels,
+            completions: VecDeque::new(),
+            dram_cycle: 0,
+            event_driven,
+        }
+    }
+
+    /// Enables or disables idle-cycle skipping inside
+    /// [`DramSystem::advance_to_ps`]. Results are identical either way;
+    /// only host time changes.
+    pub fn set_event_driven(&mut self, enabled: bool) {
+        self.event_driven = enabled;
     }
 
     /// The configuration this system was built with.
@@ -118,9 +148,26 @@ impl DramSystem {
 
     /// Advances the DRAM clock so that all cycles beginning strictly before
     /// `ps` have been simulated, collecting completions.
+    ///
+    /// Cycles on which every channel is provably idle (no queued requests,
+    /// no pending auto-precharges, refresh not due — see
+    /// [`DramChannel::next_active_at`]) are skipped in one jump rather than
+    /// executed; completions and statistics are identical either way.
     pub fn advance_to_ps(&mut self, ps: u64) {
         let target_cycle = ps / self.config.timings.tck_ps;
         while self.dram_cycle < target_cycle {
+            if self.event_driven {
+                let wake = self
+                    .channels
+                    .iter()
+                    .map(|c| c.next_active_at(self.dram_cycle))
+                    .min()
+                    .unwrap_or(target_cycle);
+                if wake > self.dram_cycle {
+                    self.dram_cycle = wake.min(target_cycle);
+                    continue;
+                }
+            }
             for channel in &mut self.channels {
                 channel.tick(self.dram_cycle);
                 while let Some((req, done_cycle)) = channel.pop_completion() {
@@ -134,6 +181,25 @@ impl DramSystem {
             }
             self.dram_cycle += 1;
         }
+    }
+
+    /// The earliest absolute picosecond time at which advancing this system
+    /// may do anything observable: immediately if completions are waiting
+    /// to be popped or any channel is active, otherwise the next scheduled
+    /// channel event (refresh). This is the DRAM clock's contribution to
+    /// the memory controller's `next_event`.
+    pub fn next_event_ps(&self) -> u64 {
+        let tck = self.config.timings.tck_ps;
+        if !self.completions.is_empty() {
+            return self.dram_cycle * tck;
+        }
+        let wake = self
+            .channels
+            .iter()
+            .map(|c| c.next_active_at(self.dram_cycle))
+            .min()
+            .unwrap_or(self.dram_cycle);
+        wake * tck
     }
 
     /// Pops the oldest completion, if any.
@@ -232,7 +298,10 @@ mod tests {
         let mut ps = 0u64;
         while completed < bursts {
             while issued < bursts {
-                if dram.enqueue(DramRequest::read(issued, issued * bpb)).is_ok() {
+                if dram
+                    .enqueue(DramRequest::read(issued, issued * bpb))
+                    .is_ok()
+                {
                     issued += 1;
                 } else {
                     break;
@@ -293,6 +362,35 @@ mod tests {
             seen += 1;
         }
         assert_eq!(seen, 8);
+    }
+
+    #[test]
+    fn idle_skipping_advance_matches_naive() {
+        // Bursts of traffic separated by idle gaps spanning several refresh
+        // intervals: the skipping path must produce byte-identical
+        // completions and stats (including refresh counts) to the naive one.
+        let run = |event_driven: bool| {
+            let mut dram = DramSystem::new(DramConfig::ddr4_2400());
+            dram.set_event_driven(event_driven);
+            let mut completions = Vec::new();
+            let mut ps = 0u64;
+            for burst in 0..4u64 {
+                for i in 0..8u64 {
+                    let id = burst * 8 + i;
+                    dram.enqueue(DramRequest::read(id, id * 64)).unwrap();
+                }
+                ps += 60_000_000; // 60 us: tens of thousands of DRAM cycles
+                dram.advance_to_ps(ps);
+                while let Some(c) = dram.pop_completion() {
+                    completions.push(c);
+                }
+            }
+            (completions, dram.stats())
+        };
+        let naive = run(false);
+        let fast = run(true);
+        assert!(naive.1.refreshes > 0, "gaps should span refreshes");
+        assert_eq!(naive, fast);
     }
 
     #[test]

@@ -92,6 +92,64 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The idle-skipping `advance_to_ps` path must be invisible: identical
+    /// completion ids *and times* and identical channel statistics
+    /// (including refresh counts across the skipped gaps) to the naive
+    /// cycle-by-cycle advance, on randomized bursts separated by randomized
+    /// idle gaps long enough to span refresh windows.
+    #[test]
+    fn idle_skipping_advance_is_cycle_exact(
+        bursts in proptest::collection::vec(
+            (1usize..12, 0u64..(1 << 22), 8u64..80), 1..6),
+        write_mask in any::<u64>(),
+    ) {
+        let mut naive = DramSystem::new(DramConfig::ddr4_2400());
+        naive.set_event_driven(false);
+        let mut event = DramSystem::new(DramConfig::ddr4_2400());
+        event.set_event_driven(true);
+
+        let drive = |dram: &mut DramSystem| {
+            let mut completions: Vec<(u64, u64)> = Vec::new();
+            let mut ps = 0u64;
+            let mut id = 0u64;
+            for &(count, base, gap_us) in &bursts {
+                for i in 0..count {
+                    let addr = (base + (i as u64) * 64) & !63;
+                    let req = if write_mask >> (id % 64) & 1 == 1 {
+                        DramRequest::write(id, addr)
+                    } else {
+                        DramRequest::read(id, addr)
+                    };
+                    while dram.enqueue(req).is_err() {
+                        ps += 100_000;
+                        dram.advance_to_ps(ps);
+                        while let Some(c) = dram.pop_completion() {
+                            completions.push((c.id, c.done_ps));
+                        }
+                    }
+                    id += 1;
+                }
+                // Idle gap: long enough that refresh dominates.
+                ps += gap_us * 1_000_000;
+                dram.advance_to_ps(ps);
+                while let Some(c) = dram.pop_completion() {
+                    completions.push((c.id, c.done_ps));
+                }
+            }
+            (completions, dram.stats())
+        };
+
+        let (naive_completions, naive_stats) = drive(&mut naive);
+        let (event_completions, event_stats) = drive(&mut event);
+        prop_assert_eq!(naive_completions, event_completions);
+        prop_assert_eq!(naive_stats, event_stats);
+        prop_assert!(naive_stats.refreshes > 0, "gaps must be refresh-active");
+    }
+}
+
 #[test]
 fn row_locality_shows_up_in_hit_rate() {
     // Sequential bursts within rows: hit rate should be high; random rows

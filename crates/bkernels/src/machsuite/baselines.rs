@@ -61,7 +61,14 @@ pub struct PaperParams {
 
 impl Default for PaperParams {
     fn default() -> Self {
-        Self { gemm_n: 256, nw_n: 256, s2d_n: 256, s3d_n: 32, md_n: 1024, md_k: 32 }
+        Self {
+            gemm_n: 256,
+            nw_n: 256,
+            s2d_n: 256,
+            s3d_n: 32,
+            md_n: 1024,
+            md_k: 32,
+        }
     }
 }
 
@@ -170,7 +177,7 @@ pub fn beethoven_parallelism(bench: Bench) -> usize {
         Bench::Nw => 1,        // low effort: one DP cell per cycle, II = 1
         Bench::Stencil2d => 2, // low effort: a 2-cell-wide datapath
         Bench::Stencil3d => 2,
-        Bench::MdKnn => 4,     // low effort: 4 interactions per cycle
+        Bench::MdKnn => 4, // low effort: 4 interactions per cycle
     }
 }
 

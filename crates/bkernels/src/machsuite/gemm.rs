@@ -63,6 +63,12 @@ impl GemmCore {
 }
 
 impl AcceleratorCore for GemmCore {
+    // In Phase::Idle a tick only polls the command queue, which the
+    // harness watches through its visibility clock.
+    fn idle(&self) -> bool {
+        self.phase == Phase::Idle
+    }
+
     fn tick(&mut self, ctx: &mut CoreContext) {
         match self.phase {
             Phase::Idle => {
@@ -184,22 +190,24 @@ pub fn command_spec() -> AccelCommandSpec {
 /// Configuration: `n_cores` GeMM cores sized for `max_n`, parallelism `p`.
 pub fn config(n_cores: u32, max_n: usize, p: usize) -> AcceleratorConfig {
     AcceleratorConfig::new().with_system(
-        SystemConfig::new(SYSTEM, n_cores, command_spec(), move || Box::new(GemmCore::new(p)))
-            .with_read(ReadChannelConfig::new("a", 64))
-            .with_read(ReadChannelConfig::new("b", 64))
-            .with_write(WriteChannelConfig::new("c", 64))
-            .with_scratchpad(ScratchpadConfig::new("b_sp", 32, max_n * max_n))
-            .with_scratchpad(ScratchpadConfig::new("a_row", 32, max_n))
-            .with_scratchpad(ScratchpadConfig::new("c_row", 32, max_n))
-            // P parallel MACs dominate the kernel datapath.
-            .with_core_logic(ResourceVector::new(
-                1_200 + 180 * p as u64,
-                8_000 + 1_100 * p as u64,
-                8_000 + 1_200 * p as u64,
-                0,
-                0,
-                2 * p as u64,
-            )),
+        SystemConfig::new(SYSTEM, n_cores, command_spec(), move || {
+            Box::new(GemmCore::new(p))
+        })
+        .with_read(ReadChannelConfig::new("a", 64))
+        .with_read(ReadChannelConfig::new("b", 64))
+        .with_write(WriteChannelConfig::new("c", 64))
+        .with_scratchpad(ScratchpadConfig::new("b_sp", 32, max_n * max_n))
+        .with_scratchpad(ScratchpadConfig::new("a_row", 32, max_n))
+        .with_scratchpad(ScratchpadConfig::new("c_row", 32, max_n))
+        // P parallel MACs dominate the kernel datapath.
+        .with_core_logic(ResourceVector::new(
+            1_200 + 180 * p as u64,
+            8_000 + 1_100 * p as u64,
+            8_000 + 1_200 * p as u64,
+            0,
+            0,
+            2 * p as u64,
+        )),
     )
 }
 
@@ -260,8 +268,11 @@ mod tests {
             mem.write_u32_slice(a_addr, &to_u32(&a));
             mem.write_u32_slice(b_addr, &to_u32(&b));
         }
-        let token = soc.send_command(0, 0, &args(a_addr, b_addr, c_addr, n)).unwrap();
-        soc.run_until_response(token, 50_000_000).expect("gemm finishes");
+        let token = soc
+            .send_command(0, 0, &args(a_addr, b_addr, c_addr, n))
+            .unwrap();
+        soc.run_until_response(token, 50_000_000)
+            .expect("gemm finishes");
         let out: Vec<i32> = soc
             .memory()
             .borrow()
@@ -296,7 +307,9 @@ mod tests {
                 mem.write_u32_slice(0x1000, &a.iter().map(|&x| x as u32).collect::<Vec<_>>());
                 mem.write_u32_slice(0x9000, &b.iter().map(|&x| x as u32).collect::<Vec<_>>());
             }
-            let token = soc.send_command(0, 0, &args(0x1000, 0x9000, 0x20000, n)).unwrap();
+            let token = soc
+                .send_command(0, 0, &args(0x1000, 0x9000, 0x20000, n))
+                .unwrap();
             let start = soc.now();
             soc.run_until_response(token, 50_000_000).unwrap();
             soc.now() - start
@@ -320,7 +333,10 @@ mod tests {
                 let mem = soc.memory();
                 let mut mem = mem.borrow_mut();
                 mem.write_u32_slice(base, &a.iter().map(|&x| x as u32).collect::<Vec<_>>());
-                mem.write_u32_slice(base + 0x4000, &b.iter().map(|&x| x as u32).collect::<Vec<_>>());
+                mem.write_u32_slice(
+                    base + 0x4000,
+                    &b.iter().map(|&x| x as u32).collect::<Vec<_>>(),
+                );
             }
             let token = soc
                 .send_command(0, 0, &args(base, base + 0x4000, base + 0x8000, n))

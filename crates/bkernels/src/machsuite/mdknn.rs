@@ -75,6 +75,12 @@ fn bits_f32(v: u64) -> f32 {
 }
 
 impl AcceleratorCore for MdKnnCore {
+    // In Phase::Idle a tick only polls the command queue, which the
+    // harness watches through its visibility clock.
+    fn idle(&self) -> bool {
+        self.phase == Phase::Idle
+    }
+
     fn tick(&mut self, ctx: &mut CoreContext) {
         match self.phase {
             Phase::Idle => {
@@ -190,22 +196,24 @@ pub fn command_spec() -> AccelCommandSpec {
 /// Configuration for up to `max_n` atoms and `max_k` neighbours.
 pub fn config(n_cores: u32, max_n: usize, max_k: usize, p: usize) -> AcceleratorConfig {
     AcceleratorConfig::new().with_system(
-        SystemConfig::new(SYSTEM, n_cores, command_spec(), move || Box::new(MdKnnCore::new(p)))
-            .with_read(ReadChannelConfig::new("pos_in", 64))
-            .with_read(ReadChannelConfig::new("nl_in", 64))
-            .with_write(WriteChannelConfig::new("force", 64))
-            .with_scratchpad(ScratchpadConfig::new("pos", 32, 3 * max_n).with_ports(3))
-            .with_scratchpad(ScratchpadConfig::new("nl", 32, max_n * max_k))
-            .with_scratchpad(ScratchpadConfig::new("fout", 32, 3 * max_n))
-            // FP datapath: each lane has ~10 f32 ops incl. a divider.
-            .with_core_logic(ResourceVector::new(
-                1_400 + 900 * p as u64,
-                9_000 + 6_500 * p as u64,
-                9_000 + 6_000 * p as u64,
-                0,
-                0,
-                24 * p as u64,
-            )),
+        SystemConfig::new(SYSTEM, n_cores, command_spec(), move || {
+            Box::new(MdKnnCore::new(p))
+        })
+        .with_read(ReadChannelConfig::new("pos_in", 64))
+        .with_read(ReadChannelConfig::new("nl_in", 64))
+        .with_write(WriteChannelConfig::new("force", 64))
+        .with_scratchpad(ScratchpadConfig::new("pos", 32, 3 * max_n).with_ports(3))
+        .with_scratchpad(ScratchpadConfig::new("nl", 32, max_n * max_k))
+        .with_scratchpad(ScratchpadConfig::new("fout", 32, 3 * max_n))
+        // FP datapath: each lane has ~10 f32 ops incl. a divider.
+        .with_core_logic(ResourceVector::new(
+            1_400 + 900 * p as u64,
+            9_000 + 6_500 * p as u64,
+            9_000 + 6_000 * p as u64,
+            0,
+            0,
+            24 * p as u64,
+        )),
     )
 }
 
@@ -293,13 +301,17 @@ mod tests {
         {
             let mem = soc.memory();
             let mut mem = mem.borrow_mut();
-            mem.write_u32_slice(0x1_0000, &pos.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+            mem.write_u32_slice(
+                0x1_0000,
+                &pos.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            );
             mem.write_u32_slice(0x2_0000, &nl);
         }
         let token = soc
             .send_command(0, 0, &args(0x1_0000, 0x2_0000, 0x3_0000, n, k))
             .unwrap();
-        soc.run_until_response(token, 50_000_000).expect("mdknn finishes");
+        soc.run_until_response(token, 50_000_000)
+            .expect("mdknn finishes");
         let out: Vec<f32> = soc
             .memory()
             .borrow()

@@ -88,13 +88,22 @@ impl Default for NwCore {
 }
 
 impl AcceleratorCore for NwCore {
+    // In Phase::Idle a tick only polls the command queue, which the
+    // harness watches through its visibility clock.
+    fn idle(&self) -> bool {
+        self.phase == Phase::Idle
+    }
+
     fn tick(&mut self, ctx: &mut CoreContext) {
         match self.phase {
             Phase::Idle => {
                 if let Some(cmd) = ctx.take_command() {
                     self.n = cmd.arg("n") as usize;
                     self.out_addr = cmd.arg("out");
-                    assert!(self.n <= ctx.scratchpad("seq_a").len(), "n exceeds capacity");
+                    assert!(
+                        self.n <= ctx.scratchpad("seq_a").len(),
+                        "n exceeds capacity"
+                    );
                     let a_addr = cmd.arg("seq_a");
                     let b_addr = cmd.arg("seq_b");
                     let (sp, reader) = ctx.scratchpad_and_reader("seq_a", "a");
@@ -127,7 +136,8 @@ impl AcceleratorCore for NwCore {
                 // dp[0][j] = j * GAP; ptr[0][j] = LEFT. A real design does
                 // this with a counter, one entry per cycle.
                 let j = self.j;
-                ctx.scratchpad("dp_row").write(j, (j as i32 * GAP) as u32 as u64);
+                ctx.scratchpad("dp_row")
+                    .write(j, (j as i32 * GAP) as u32 as u64);
                 if j > 0 {
                     ctx.scratchpad("tb").write(j, PTR_LEFT);
                 }
@@ -321,7 +331,11 @@ pub fn reference(a: &[u8], b: &[u8], n: usize) -> (Vec<u8>, Vec<u8>) {
         dp[i * w] = i as i32 * GAP;
         ptr[i * w] = PTR_UP as u8;
         for j in 1..=n {
-            let score = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let score = if a[i - 1] == b[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             let d = dp[(i - 1) * w + j - 1] + score;
             let l = dp[i * w + j - 1] + GAP;
             let u = dp[(i - 1) * w + j] + GAP;
@@ -381,7 +395,11 @@ pub fn reference_score(a: &[u8], b: &[u8], n: usize) -> i32 {
     for i in 1..=n {
         dp[i * w] = i as i32 * GAP;
         for j in 1..=n {
-            let score = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let score = if a[i - 1] == b[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             dp[i * w + j] = (dp[(i - 1) * w + j - 1] + score)
                 .max(dp[i * w + j - 1] + GAP)
                 .max(dp[(i - 1) * w + j] + GAP);
@@ -413,8 +431,11 @@ mod tests {
             mem.write(a_addr, &a);
             mem.write(b_addr, &b);
         }
-        let token = soc.send_command(0, 0, &args(a_addr, b_addr, out_addr, n)).unwrap();
-        soc.run_until_response(token, 50_000_000).expect("nw finishes");
+        let token = soc
+            .send_command(0, 0, &args(a_addr, b_addr, out_addr, n))
+            .unwrap();
+        soc.run_until_response(token, 50_000_000)
+            .expect("nw finishes");
         let mem = soc.memory();
         let out_a = mem.borrow().read_vec(out_addr, 2 * n);
         let out_b = mem.borrow().read_vec(out_addr + (2 * n) as u64, 2 * n);
@@ -438,7 +459,9 @@ mod tests {
             mem.borrow_mut().write(0x1000, &a);
             mem.borrow_mut().write(0x2000, &a);
         }
-        let token = soc.send_command(0, 0, &args(0x1000, 0x2000, 0x3000, n)).unwrap();
+        let token = soc
+            .send_command(0, 0, &args(0x1000, 0x2000, 0x3000, n))
+            .unwrap();
         soc.run_until_response(token, 10_000_000).unwrap();
         let out = soc.memory().borrow().read_vec(0x3000, n);
         assert_eq!(out, a, "perfect alignment emits the sequence itself");
@@ -453,8 +476,11 @@ mod tests {
         let (a, b) = workload(n, 3);
         let (out_a, out_b) = reference(&a, &b, n);
         let strip = |s: &[u8]| -> Vec<u8> {
-            let mut v: Vec<u8> =
-                s.iter().copied().filter(|&c| c != b'-' && c != PAD).collect();
+            let mut v: Vec<u8> = s
+                .iter()
+                .copied()
+                .filter(|&c| c != b'-' && c != PAD)
+                .collect();
             v.reverse();
             v
         };

@@ -41,11 +41,22 @@ impl Stencil2dCore {
     /// Panics if `p` is zero.
     pub fn new(p: usize) -> Self {
         assert!(p > 0);
-        Self { p, phase: Phase::Idle, n: 0, pos: 0 }
+        Self {
+            p,
+            phase: Phase::Idle,
+            n: 0,
+            pos: 0,
+        }
     }
 }
 
 impl AcceleratorCore for Stencil2dCore {
+    // In Phase::Idle a tick only polls the command queue, which the
+    // harness watches through its visibility clock.
+    fn idle(&self) -> bool {
+        self.phase == Phase::Idle
+    }
+
     fn tick(&mut self, ctx: &mut CoreContext) {
         match self.phase {
             Phase::Idle => {
@@ -96,8 +107,8 @@ impl AcceleratorCore for Stencil2dCore {
                         for k1 in 0..3 {
                             for k2 in 0..3 {
                                 let f = ctx.scratchpad("filt").read(k1 * 3 + k2) as u32 as i32;
-                                let g =
-                                    ctx.scratchpad("grid").read((r + k1) * n + c + k2) as u32 as i32;
+                                let g = ctx.scratchpad("grid").read((r + k1) * n + c + k2) as u32
+                                    as i32;
                                 acc = acc.wrapping_add(f.wrapping_mul(g));
                             }
                         }
@@ -184,8 +195,9 @@ pub fn reference(grid: &[i32], filter: &[i32], n: usize) -> Vec<i32> {
             let mut acc = 0i32;
             for k1 in 0..3 {
                 for k2 in 0..3 {
-                    acc = acc
-                        .wrapping_add(filter[k1 * 3 + k2].wrapping_mul(grid[(r + k1) * n + c + k2]));
+                    acc = acc.wrapping_add(
+                        filter[k1 * 3 + k2].wrapping_mul(grid[(r + k1) * n + c + k2]),
+                    );
                 }
             }
             sol[r * n + c] = acc;
@@ -213,11 +225,20 @@ mod tests {
         {
             let mem = soc.memory();
             let mut mem = mem.borrow_mut();
-            mem.write_u32_slice(0x1_0000, &grid.iter().map(|&x| x as u32).collect::<Vec<_>>());
-            mem.write_u32_slice(0x2_0000, &filter.iter().map(|&x| x as u32).collect::<Vec<_>>());
+            mem.write_u32_slice(
+                0x1_0000,
+                &grid.iter().map(|&x| x as u32).collect::<Vec<_>>(),
+            );
+            mem.write_u32_slice(
+                0x2_0000,
+                &filter.iter().map(|&x| x as u32).collect::<Vec<_>>(),
+            );
         }
-        let token = soc.send_command(0, 0, &args(0x1_0000, 0x2_0000, 0x3_0000, n)).unwrap();
-        soc.run_until_response(token, 50_000_000).expect("stencil finishes");
+        let token = soc
+            .send_command(0, 0, &args(0x1_0000, 0x2_0000, 0x3_0000, n))
+            .unwrap();
+        soc.run_until_response(token, 50_000_000)
+            .expect("stencil finishes");
         let out: Vec<i32> = soc
             .memory()
             .borrow()

@@ -42,11 +42,24 @@ impl Stencil3dCore {
     /// Panics if `p` is zero.
     pub fn new(p: usize) -> Self {
         assert!(p > 0);
-        Self { p, phase: Phase::Idle, n: 0, c0: 0, c1: 0, pos: 0 }
+        Self {
+            p,
+            phase: Phase::Idle,
+            n: 0,
+            c0: 0,
+            c1: 0,
+            pos: 0,
+        }
     }
 }
 
 impl AcceleratorCore for Stencil3dCore {
+    // In Phase::Idle a tick only polls the command queue, which the
+    // harness watches through its visibility clock.
+    fn idle(&self) -> bool {
+        self.phase == Phase::Idle
+    }
+
     fn tick(&mut self, ctx: &mut CoreContext) {
         match self.phase {
             Phase::Idle => {
@@ -99,7 +112,9 @@ impl AcceleratorCore for Stencil3dCore {
                             .wrapping_add(grid(i, j + 1, k))
                             .wrapping_add(grid(i, j, k - 1))
                             .wrapping_add(grid(i, j, k + 1));
-                        self.c0.wrapping_mul(center).wrapping_add(self.c1.wrapping_mul(sum))
+                        self.c0
+                            .wrapping_mul(center)
+                            .wrapping_add(self.c1.wrapping_mul(sum))
                     } else {
                         grid(i, j, k)
                     };
@@ -191,8 +206,9 @@ pub fn reference(grid: &[i32], n: usize, c0: i32, c1: i32) -> Vec<i32> {
                     .wrapping_add(grid[idx(i, j + 1, k)])
                     .wrapping_add(grid[idx(i, j, k - 1)])
                     .wrapping_add(grid[idx(i, j, k + 1)]);
-                sol[idx(i, j, k)] =
-                    c0.wrapping_mul(grid[idx(i, j, k)]).wrapping_add(c1.wrapping_mul(sum));
+                sol[idx(i, j, k)] = c0
+                    .wrapping_mul(grid[idx(i, j, k)])
+                    .wrapping_add(c1.wrapping_mul(sum));
             }
         }
     }
@@ -215,13 +231,15 @@ mod tests {
         let n = 8;
         let mut soc = elaborate(config(1, n, 4), &Platform::sim()).unwrap();
         let grid = workload(n, 33);
-        soc.memory()
-            .borrow_mut()
-            .write_u32_slice(0x1_0000, &grid.iter().map(|&x| x as u32).collect::<Vec<_>>());
+        soc.memory().borrow_mut().write_u32_slice(
+            0x1_0000,
+            &grid.iter().map(|&x| x as u32).collect::<Vec<_>>(),
+        );
         let token = soc
             .send_command(0, 0, &args(0x1_0000, 0x4_0000, n, 2, -1))
             .unwrap();
-        soc.run_until_response(token, 50_000_000).expect("stencil3d finishes");
+        soc.run_until_response(token, 50_000_000)
+            .expect("stencil3d finishes");
         let out: Vec<i32> = soc
             .memory()
             .borrow()

@@ -43,6 +43,12 @@ impl MemcpyCore {
 }
 
 impl AcceleratorCore for MemcpyCore {
+    // Between commands a tick only polls the command queue, which the
+    // harness watches through its visibility clock.
+    fn idle(&self) -> bool {
+        !self.active
+    }
+
     fn tick(&mut self, ctx: &mut CoreContext) {
         if !self.active {
             if let Some(cmd) = ctx.take_command() {
@@ -60,7 +66,9 @@ impl AcceleratorCore for MemcpyCore {
         // write stream (the datapath is just a register).
         while self.remaining > 0 && ctx.writer("dst").can_push() {
             let chunk_len = 64.min(self.remaining) as usize;
-            let Some(chunk) = ctx.reader("src").pop_bytes(chunk_len) else { break };
+            let Some(chunk) = ctx.reader("src").pop_bytes(chunk_len) else {
+                break;
+            };
             ctx.writer("dst").push_chunk(&chunk);
             self.remaining -= chunk_len as u64;
         }
@@ -226,7 +234,8 @@ fn run_inner(variant: MemcpyVariant, bytes: u64, trace: bool) -> MemcpyResult {
     .collect();
     let start = soc.now();
     let token = soc.send_command(0, 0, &args).expect("send");
-    soc.run_until_response(token, 100_000_000).expect("memcpy completes");
+    soc.run_until_response(token, 100_000_000)
+        .expect("memcpy completes");
     let cycles = soc.now() - start;
     // Functional check on every run: a benchmark that copies wrong bytes
     // measures nothing.
@@ -239,7 +248,11 @@ fn run_inner(variant: MemcpyVariant, bytes: u64, trace: bool) -> MemcpyResult {
         cycles,
         seconds,
         gbps: bytes as f64 / seconds / 1e9,
-        trace: if trace { soc.tracer().events() } else { Vec::new() },
+        trace: if trace {
+            soc.tracer().events()
+        } else {
+            Vec::new()
+        },
     }
 }
 
@@ -336,12 +349,20 @@ mod tests {
     #[test]
     fn figure5_hls_uses_one_id_beethoven_many() {
         let hls = run_memcpy_traced(MemcpyVariant::Hls, 4096);
-        let ids: std::collections::HashSet<u32> =
-            hls.trace.iter().filter(|e| e.channel == "AR").map(|e| e.id).collect();
+        let ids: std::collections::HashSet<u32> = hls
+            .trace
+            .iter()
+            .filter(|e| e.channel == "AR")
+            .map(|e| e.id)
+            .collect();
         assert_eq!(ids.len(), 1, "HLS model must issue all reads on one ID");
         let beethoven = run_memcpy_traced(MemcpyVariant::Beethoven, 16384);
-        let ids: std::collections::HashSet<u32> =
-            beethoven.trace.iter().filter(|e| e.channel == "AR").map(|e| e.id).collect();
+        let ids: std::collections::HashSet<u32> = beethoven
+            .trace
+            .iter()
+            .filter(|e| e.channel == "AR")
+            .map(|e| e.id)
+            .collect();
         assert!(ids.len() > 1, "Beethoven must spread reads over IDs");
     }
 }

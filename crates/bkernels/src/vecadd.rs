@@ -26,6 +26,12 @@ impl VecAddCore {
 }
 
 impl AcceleratorCore for VecAddCore {
+    // Between commands a tick only polls the command queue, which the
+    // harness watches through its visibility clock.
+    fn idle(&self) -> bool {
+        !self.active
+    }
+
     fn tick(&mut self, ctx: &mut CoreContext) {
         if !self.active {
             if let Some(cmd) = ctx.take_command() {
@@ -36,13 +42,19 @@ impl AcceleratorCore for VecAddCore {
                 self.active = true;
                 // write_len_bytes = Cat(n_eles, 0.U(2.W)) — i.e. n * 4.
                 let bytes = u64::from(n) * 4;
-                ctx.reader("vec_in").request(addr, bytes).expect("reader idle");
-                ctx.writer("vec_out").request(addr, bytes).expect("writer idle");
+                ctx.reader("vec_in")
+                    .request(addr, bytes)
+                    .expect("reader idle");
+                ctx.writer("vec_out")
+                    .request(addr, bytes)
+                    .expect("writer idle");
             }
             return;
         }
         while self.remaining > 0 && ctx.writer("vec_out").can_push() {
-            let Some(v) = ctx.reader("vec_in").pop_u32() else { break };
+            let Some(v) = ctx.reader("vec_in").pop_u32() else {
+                break;
+            };
             let out = v.wrapping_add(self.addend);
             ctx.writer("vec_out").push_u32(out);
             self.remaining -= 1;
@@ -69,9 +81,11 @@ pub fn command_spec() -> AccelCommandSpec {
 /// `vec_out` channels of 4 bytes.
 pub fn config(n_cores: u32) -> AcceleratorConfig {
     AcceleratorConfig::new().with_system(
-        SystemConfig::new(SYSTEM, n_cores, command_spec(), || Box::new(VecAddCore::new()))
-            .with_read(ReadChannelConfig::new("vec_in", 4))
-            .with_write(WriteChannelConfig::new("vec_out", 4)),
+        SystemConfig::new(SYSTEM, n_cores, command_spec(), || {
+            Box::new(VecAddCore::new())
+        })
+        .with_read(ReadChannelConfig::new("vec_in", 4))
+        .with_write(WriteChannelConfig::new("vec_out", 4)),
     )
 }
 
@@ -122,7 +136,9 @@ mod tests {
         let mem = handle.malloc(1024).unwrap();
         handle.write_u32_slice(mem, &input);
         handle.copy_to_fpga(mem);
-        let resp = handle.call(SYSTEM, 1, args(5, mem.device_addr(), 256)).unwrap();
+        let resp = handle
+            .call(SYSTEM, 1, args(5, mem.device_addr(), 256))
+            .unwrap();
         resp.get().unwrap();
         handle.copy_from_fpga(mem);
         assert_eq!(handle.read_u32_slice(mem, 256), reference(&input, 5));
@@ -133,7 +149,9 @@ mod tests {
         let soc = elaborate(config(1), &Platform::kria()).unwrap();
         let handle = FpgaHandle::new(soc);
         let mem = handle.malloc(64).unwrap();
-        let resp = handle.call(SYSTEM, 0, args(1, mem.device_addr(), 0)).unwrap();
+        let resp = handle
+            .call(SYSTEM, 0, args(1, mem.device_addr(), 0))
+            .unwrap();
         resp.get().unwrap();
     }
 }

@@ -34,8 +34,12 @@ fn hls_like_opts() -> ElaborationOptions {
 fn gemm_substrate_run_matches_analytic_model_within_2x() {
     let n = 32;
     let unroll = 16; // the model's assumed HLS unroll for GeMM
-    let mut soc = elaborate_with(gemm::config(1, n, unroll), &hls_like_platform(), hls_like_opts())
-        .unwrap();
+    let mut soc = elaborate_with(
+        gemm::config(1, n, unroll),
+        &hls_like_platform(),
+        hls_like_opts(),
+    )
+    .unwrap();
     let (a, b) = gemm::workload(n, 1);
     {
         let mem = soc.memory();
@@ -44,11 +48,16 @@ fn gemm_substrate_run_matches_analytic_model_within_2x() {
         mem.write_u32_slice(0x9_0000, &b.iter().map(|&x| x as u32).collect::<Vec<_>>());
     }
     let start = soc.now();
-    let token = soc.send_command(0, 0, &gemm::args(0x1_0000, 0x9_0000, 0x20_0000, n)).unwrap();
+    let token = soc
+        .send_command(0, 0, &gemm::args(0x1_0000, 0x9_0000, 0x20_0000, n))
+        .unwrap();
     soc.run_until_response(token, 50_000_000).unwrap();
     let simulated = (soc.now() - start) as f64;
 
-    let params = PaperParams { gemm_n: n, ..PaperParams::default() };
+    let params = PaperParams {
+        gemm_n: n,
+        ..PaperParams::default()
+    };
     let analytic = model(Method::VitisHls, Bench::Gemm, &params).total_cycles() as f64;
     let ratio = simulated / analytic;
     assert!(
@@ -71,9 +80,10 @@ fn stencil3d_substrate_run_matches_analytic_model_within_2x() {
     )
     .unwrap();
     let grid = stencil3d::workload(n, 2);
-    soc.memory()
-        .borrow_mut()
-        .write_u32_slice(0x1_0000, &grid.iter().map(|&x| x as u32).collect::<Vec<_>>());
+    soc.memory().borrow_mut().write_u32_slice(
+        0x1_0000,
+        &grid.iter().map(|&x| x as u32).collect::<Vec<_>>(),
+    );
     let start = soc.now();
     let token = soc
         .send_command(0, 0, &stencil3d::args(0x1_0000, 0x8_0000, n, 2, -1))
@@ -81,7 +91,10 @@ fn stencil3d_substrate_run_matches_analytic_model_within_2x() {
     soc.run_until_response(token, 50_000_000).unwrap();
     let simulated = (soc.now() - start) as f64;
 
-    let params = PaperParams { s3d_n: n, ..PaperParams::default() };
+    let params = PaperParams {
+        s3d_n: n,
+        ..PaperParams::default()
+    };
     let analytic = model(Method::VitisHls, Bench::Stencil3d, &params).total_cycles() as f64;
     let ratio = simulated / analytic;
     assert!(

@@ -97,12 +97,18 @@ impl Network {
 
     /// Number of internal buffer nodes.
     pub fn buffer_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Buffer).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Buffer)
+            .count()
     }
 
     /// Number of crossing stages.
     pub fn crossing_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Crossing).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Crossing)
+            .count()
     }
 
     /// Total resource cost of the network's internal nodes.
@@ -203,7 +209,11 @@ impl NetworkBuilder {
             let mut next = Vec::new();
             for chunk in layer.chunks(self.params.max_fanout) {
                 let buffer = nodes.len();
-                nodes.push(NocNode { slr, kind: NodeKind::Buffer, parent: None });
+                nodes.push(NocNode {
+                    slr,
+                    kind: NodeKind::Buffer,
+                    parent: None,
+                });
                 for &child in chunk {
                     nodes[child].parent = Some(buffer);
                 }
@@ -227,7 +237,11 @@ impl NetworkBuilder {
         endpoints: &[Endpoint],
     ) -> Network {
         assert!(!endpoints.is_empty(), "network needs at least one endpoint");
-        let mut nodes = vec![NocNode { slr: root_slr, kind: NodeKind::Root, parent: None }];
+        let mut nodes = vec![NocNode {
+            slr: root_slr,
+            kind: NodeKind::Root,
+            parent: None,
+        }];
         let mut endpoint_node = HashMap::new();
 
         let mut subtree_roots: Vec<usize> = Vec::new();
@@ -239,7 +253,11 @@ impl NetworkBuilder {
                 .map(|e| {
                     assert!(e.slr.0 < device.num_slrs(), "endpoint on unknown SLR");
                     let idx = nodes.len();
-                    nodes.push(NocNode { slr, kind: NodeKind::Endpoint(e.id), parent: None });
+                    nodes.push(NocNode {
+                        slr,
+                        kind: NodeKind::Endpoint(e.id),
+                        parent: None,
+                    });
                     endpoint_node.insert(e.id, idx);
                     idx
                 })
@@ -269,20 +287,32 @@ impl NetworkBuilder {
         if top != 0 {
             nodes[top].parent = Some(0);
         }
-        Network { nodes, endpoint_node, params: self.params }
+        Network {
+            nodes,
+            endpoint_node,
+            params: self.params,
+        }
     }
 
     /// The ablation baseline: one tree over all endpoints ignoring dies.
     /// Hops that happen to span SLRs carry no crossing stage.
     pub fn build_flat(&self, root_slr: SlrId, endpoints: &[Endpoint]) -> Network {
         assert!(!endpoints.is_empty(), "network needs at least one endpoint");
-        let mut nodes = vec![NocNode { slr: root_slr, kind: NodeKind::Root, parent: None }];
+        let mut nodes = vec![NocNode {
+            slr: root_slr,
+            kind: NodeKind::Root,
+            parent: None,
+        }];
         let mut endpoint_node = HashMap::new();
         let leaves: Vec<usize> = endpoints
             .iter()
             .map(|e| {
                 let idx = nodes.len();
-                nodes.push(NocNode { slr: e.slr, kind: NodeKind::Endpoint(e.id), parent: None });
+                nodes.push(NocNode {
+                    slr: e.slr,
+                    kind: NodeKind::Endpoint(e.id),
+                    parent: None,
+                });
                 endpoint_node.insert(e.id, idx);
                 idx
             })
@@ -293,7 +323,11 @@ impl NetworkBuilder {
         if top != 0 {
             nodes[top].parent = Some(0);
         }
-        Network { nodes, endpoint_node, params: self.params }
+        Network {
+            nodes,
+            endpoint_node,
+            params: self.params,
+        }
     }
 }
 
@@ -307,12 +341,18 @@ mod tests {
     }
 
     fn spread_endpoints(n: usize) -> Vec<Endpoint> {
-        (0..n).map(|id| Endpoint { id, slr: SlrId(id % 3) }).collect()
+        (0..n)
+            .map(|id| Endpoint {
+                id,
+                slr: SlrId(id % 3),
+            })
+            .collect()
     }
 
     #[test]
     fn all_endpoints_reachable() {
-        let net = NetworkBuilder::default().build_slr_aware(&u200(), SlrId(0), &spread_endpoints(23));
+        let net =
+            NetworkBuilder::default().build_slr_aware(&u200(), SlrId(0), &spread_endpoints(23));
         assert_eq!(net.endpoint_count(), 23);
         for id in 0..23 {
             assert!(net.latency_to_root(id) >= 1);
@@ -328,7 +368,8 @@ mod tests {
 
     #[test]
     fn slr_aware_network_has_no_timing_violations() {
-        let net = NetworkBuilder::default().build_slr_aware(&u200(), SlrId(0), &spread_endpoints(23));
+        let net =
+            NetworkBuilder::default().build_slr_aware(&u200(), SlrId(0), &spread_endpoints(23));
         assert_eq!(net.timing_violations(), 0);
         assert!(net.crossing_count() > 0, "remote SLRs require crossings");
     }
@@ -336,15 +377,26 @@ mod tests {
     #[test]
     fn flat_network_violates_timing_across_dies() {
         let net = NetworkBuilder::default().build_flat(SlrId(0), &spread_endpoints(23));
-        assert!(net.timing_violations() > 0, "flat build should have raw die crossings");
+        assert!(
+            net.timing_violations() > 0,
+            "flat build should have raw die crossings"
+        );
         assert_eq!(net.crossing_count(), 0);
     }
 
     #[test]
     fn remote_endpoints_pay_crossing_latency() {
         let builder = NetworkBuilder::default();
-        let endpoints =
-            vec![Endpoint { id: 0, slr: SlrId(0) }, Endpoint { id: 1, slr: SlrId(2) }];
+        let endpoints = vec![
+            Endpoint {
+                id: 0,
+                slr: SlrId(0),
+            },
+            Endpoint {
+                id: 1,
+                slr: SlrId(2),
+            },
+        ];
         let net = builder.build_slr_aware(&u200(), SlrId(0), &endpoints);
         assert!(
             net.latency_to_root(1) >= net.latency_to_root(0) + 2 * builder.params.crossing_latency,
@@ -357,8 +409,12 @@ mod tests {
     #[test]
     fn cost_scales_with_endpoints() {
         let builder = NetworkBuilder::default();
-        let small = builder.build_slr_aware(&u200(), SlrId(0), &spread_endpoints(4)).cost();
-        let large = builder.build_slr_aware(&u200(), SlrId(0), &spread_endpoints(64)).cost();
+        let small = builder
+            .build_slr_aware(&u200(), SlrId(0), &spread_endpoints(4))
+            .cost();
+        let large = builder
+            .build_slr_aware(&u200(), SlrId(0), &spread_endpoints(64))
+            .cost();
         assert!(large.lut > small.lut);
         assert!(large.ff > small.ff);
     }
@@ -366,8 +422,14 @@ mod tests {
     #[test]
     fn single_endpoint_network_is_minimal() {
         let builder = NetworkBuilder::default();
-        let net = builder
-            .build_slr_aware(&u200(), SlrId(0), &[Endpoint { id: 7, slr: SlrId(0) }]);
+        let net = builder.build_slr_aware(
+            &u200(),
+            SlrId(0),
+            &[Endpoint {
+                id: 7,
+                slr: SlrId(0),
+            }],
+        );
         assert_eq!(net.buffer_count(), 0);
         assert_eq!(net.crossing_count(), 0);
         assert_eq!(net.latency_to_root(7), builder.params.buffer_latency);

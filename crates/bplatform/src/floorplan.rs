@@ -20,7 +20,11 @@ pub struct PlacementError {
 
 impl std::fmt::Display for PlacementError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "placed only {} of {} cores before exhausting the device", self.placed, self.requested)
+        write!(
+            f,
+            "placed only {} of {} cores before exhausting the device",
+            self.placed, self.requested
+        )
     }
 }
 
@@ -82,7 +86,12 @@ impl Floorplan {
             per_slr[slr.0].push(core);
         }
         let col_width = 24usize;
-        let rows = per_slr.iter().map(|v| v.len().div_ceil(4)).max().unwrap_or(0).max(1);
+        let rows = per_slr
+            .iter()
+            .map(|v| v.len().div_ceil(4))
+            .max()
+            .unwrap_or(0)
+            .max(1);
         let border = "+".to_owned() + &("-".repeat(col_width) + "+").repeat(n);
         lines.push(border.clone());
         for row in 0..rows {
@@ -173,7 +182,10 @@ impl Floorplanner {
                     assignments.push(SlrId(slr));
                 }
                 None => {
-                    return Err(PlacementError { placed: assignments.len(), requested: n_cores })
+                    return Err(PlacementError {
+                        placed: assignments.len(),
+                        requested: n_cores,
+                    })
                 }
             }
         }

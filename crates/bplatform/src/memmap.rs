@@ -46,7 +46,11 @@ pub struct MemoryRequest {
 impl MemoryRequest {
     /// Creates a request.
     pub fn new(name: impl Into<String>, width_bits: u64, depth: u64) -> Self {
-        Self { name: name.into(), width_bits, depth }
+        Self {
+            name: name.into(),
+            width_bits,
+            depth,
+        }
     }
 
     /// Total bits stored.
@@ -111,7 +115,11 @@ pub struct MapError {
 
 impl std::fmt::Display for MapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "no BRAM or URAM capacity left on {} for memory '{}'", self.slr, self.name)
+        write!(
+            f,
+            "no BRAM or URAM capacity left on {} for memory '{}'",
+            self.slr, self.name
+        )
     }
 }
 
@@ -214,17 +222,28 @@ impl MemoryCellMapper {
         for &(kind, blocks) in [&pref, &alt] {
             if self.under_threshold_after(slr, kind, blocks) {
                 self.commit(slr, kind, blocks);
-                return Ok(MappedMemory { kind, blocks, luts: 0 });
+                return Ok(MappedMemory {
+                    kind,
+                    blocks,
+                    luts: 0,
+                });
             }
         }
         // Both past threshold: fall back to whichever still physically fits.
         for &(kind, blocks) in [&pref, &alt] {
             if self.fits(slr, kind, blocks) {
                 self.commit(slr, kind, blocks);
-                return Ok(MappedMemory { kind, blocks, luts: 0 });
+                return Ok(MappedMemory {
+                    kind,
+                    blocks,
+                    luts: 0,
+                });
             }
         }
-        Err(MapError { name: req.name.clone(), slr })
+        Err(MapError {
+            name: req.name.clone(),
+            slr,
+        })
     }
 
     /// Cells of `kind` used so far on `slr`.
@@ -249,7 +268,9 @@ mod tests {
     #[test]
     fn tiny_memory_goes_to_lutram() {
         let mut m = mapper();
-        let mapped = m.map(SlrId(0), &MemoryRequest::new("small", 8, 64)).unwrap();
+        let mapped = m
+            .map(SlrId(0), &MemoryRequest::new("small", 8, 64))
+            .unwrap();
         assert_eq!(mapped.kind, CellKind::Lutram);
         assert!(mapped.luts >= 1);
     }
@@ -258,7 +279,9 @@ mod tests {
     fn medium_memory_prefers_bram() {
         let mut m = mapper();
         // 1024 × 36b fits exactly one BRAM36.
-        let mapped = m.map(SlrId(0), &MemoryRequest::new("buf", 36, 1024)).unwrap();
+        let mapped = m
+            .map(SlrId(0), &MemoryRequest::new("buf", 36, 1024))
+            .unwrap();
         assert_eq!(mapped.kind, CellKind::Bram);
         assert_eq!(mapped.blocks, 1);
     }
@@ -267,7 +290,9 @@ mod tests {
     fn deep_wide_memory_prefers_uram() {
         let mut m = mapper();
         // 16384 deep × 72b = 1.1 Mb: 4 URAM vs 32 BRAM; URAM wastes less.
-        let mapped = m.map(SlrId(0), &MemoryRequest::new("deep", 72, 16384)).unwrap();
+        let mapped = m
+            .map(SlrId(0), &MemoryRequest::new("deep", 72, 16384))
+            .unwrap();
         assert_eq!(mapped.kind, CellKind::Uram);
         assert_eq!(mapped.blocks, 4);
     }
@@ -317,8 +342,14 @@ mod tests {
     #[test]
     fn blocks_for_uses_best_bram_aspect() {
         // 4096 × 9b fits one BRAM36 via the 4096×9 aspect.
-        assert_eq!(blocks_for(CellKind::Bram, &MemoryRequest::new("a", 9, 4096)), 1);
+        assert_eq!(
+            blocks_for(CellKind::Bram, &MemoryRequest::new("a", 9, 4096)),
+            1
+        );
         // 512 × 72b fits one BRAM36 via the 512×72 aspect.
-        assert_eq!(blocks_for(CellKind::Bram, &MemoryRequest::new("b", 72, 512)), 1);
+        assert_eq!(
+            blocks_for(CellKind::Bram, &MemoryRequest::new("b", 72, 512)),
+            1
+        );
     }
 }

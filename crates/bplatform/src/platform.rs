@@ -233,7 +233,10 @@ mod tests {
         let f1 = Platform::aws_f1();
         let hbm_bw = u280.dram.peak_bandwidth_bytes_per_sec() * f64::from(u280.mem_ports);
         let ddr_bw = f1.dram.peak_bandwidth_bytes_per_sec() * f64::from(f1.mem_ports);
-        assert!(hbm_bw > ddr_bw, "HBM platform must out-bandwidth the DDR4 card");
+        assert!(
+            hbm_bw > ddr_bw,
+            "HBM platform must out-bandwidth the DDR4 card"
+        );
         assert_eq!(u280.device.num_slrs(), 3);
     }
 

@@ -24,12 +24,25 @@ pub struct ResourceVector {
 
 impl ResourceVector {
     /// The zero vector.
-    pub const ZERO: ResourceVector =
-        ResourceVector { clb: 0, lut: 0, ff: 0, bram: 0, uram: 0, dsp: 0 };
+    pub const ZERO: ResourceVector = ResourceVector {
+        clb: 0,
+        lut: 0,
+        ff: 0,
+        bram: 0,
+        uram: 0,
+        dsp: 0,
+    };
 
     /// A convenience constructor for the common fields.
     pub fn new(clb: u64, lut: u64, ff: u64, bram: u64, uram: u64, dsp: u64) -> Self {
-        Self { clb, lut, ff, bram, uram, dsp }
+        Self {
+            clb,
+            lut,
+            ff,
+            bram,
+            uram,
+            dsp,
+        }
     }
 
     /// Whether `self` fits within `capacity` on every axis.

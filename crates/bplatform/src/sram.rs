@@ -65,7 +65,10 @@ impl std::fmt::Display for SramError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SramError::NoViableMacro { depth, width_bits } => {
-                write!(f, "no library macro can implement a {depth}x{width_bits}b memory")
+                write!(
+                    f,
+                    "no library macro can implement a {depth}x{width_bits}b memory"
+                )
             }
             SramError::EmptyRequest => write!(f, "memory request has zero depth or width"),
         }
@@ -85,7 +88,10 @@ pub struct SramCompiler {
 impl SramCompiler {
     /// Creates a compiler over an explicit library.
     pub fn new(macros: Vec<SramMacro>) -> Self {
-        Self { macros, extra_port_area_factor: 1.8 }
+        Self {
+            macros,
+            extra_port_area_factor: 1.8,
+        }
     }
 
     /// An ASAP7-flavoured library (areas extrapolated from the predictive
@@ -138,7 +144,11 @@ impl SramCompiler {
             // extra bank, and one extra cycle of latency per 4× banking.
             let mux_factor = 1.0 + 0.03 * (banks.saturating_sub(1)) as f64;
             let area = instances as f64 * mac.area_um2 * port_factor * mux_factor;
-            let extra_latency = if banks <= 1 { 0 } else { (64 - (banks - 1).leading_zeros()) as u64 / 2 };
+            let extra_latency = if banks <= 1 {
+                0
+            } else {
+                (64 - (banks - 1).leading_zeros()) as u64 / 2
+            };
             let plan = SramPlan {
                 macro_cell: mac.clone(),
                 banks,
@@ -179,7 +189,11 @@ mod tests {
     fn wide_memory_cascades() {
         let c = SramCompiler::asap7();
         let plan = c.compile(512, 256, 1).unwrap();
-        assert!(plan.cascade >= 2, "256b word needs cascading, got {:?}", plan);
+        assert!(
+            plan.cascade >= 2,
+            "256b word needs cascading, got {:?}",
+            plan
+        );
         assert_eq!(plan.banks * plan.cascade, plan.instances);
     }
 

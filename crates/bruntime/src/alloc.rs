@@ -108,7 +108,10 @@ impl DeviceAllocator {
     ///
     /// [`AllocError::BadFree`] if `addr` is not a live allocation.
     pub fn free(&mut self, addr: u64) -> Result<(), AllocError> {
-        let len = self.live.remove(&addr).ok_or(AllocError::BadFree { addr })?;
+        let len = self
+            .live
+            .remove(&addr)
+            .ok_or(AllocError::BadFree { addr })?;
         let pos = self.free.partition_point(|&(a, _)| a < addr);
         self.free.insert(pos, (addr, len));
         // Coalesce with neighbours.
@@ -186,7 +189,9 @@ mod tests {
         let mut a = DeviceAllocator::new(0, 16 * 4096);
         a.malloc(8 * 4096).unwrap();
         let err = a.malloc(12 * 4096).unwrap_err();
-        assert!(matches!(err, AllocError::OutOfMemory { largest_free, .. } if largest_free == 8 * 4096));
+        assert!(
+            matches!(err, AllocError::OutOfMemory { largest_free, .. } if largest_free == 8 * 4096)
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl RemotePtr {
     /// Panics if the range exceeds the allocation.
     pub fn offset(&self, offset: u64) -> RemotePtr {
         assert!(offset <= self.len, "offset beyond allocation");
-        RemotePtr { addr: self.addr + offset, len: self.len - offset }
+        RemotePtr {
+            addr: self.addr + offset,
+            len: self.len - offset,
+        }
     }
 }
 
@@ -56,7 +59,10 @@ pub struct RuntimeOptions {
 
 impl Default for RuntimeOptions {
     fn default() -> Self {
-        Self { lock_overhead_ns: 400, poll_interval_ns: 500 }
+        Self {
+            lock_overhead_ns: 400,
+            poll_interval_ns: 500,
+        }
     }
 }
 
@@ -124,6 +130,11 @@ struct Inner {
 
 impl Inner {
     /// Advances the device while `ns` of host time passes.
+    ///
+    /// The poll cadence is part of the modelled host timing (responses are
+    /// observed at poll boundaries); the underlying `run_for` fast-forwards
+    /// across quiescent stretches inside each chunk, so idle polling is
+    /// cheap in host time without changing any observed cycle.
     fn advance_ns(&mut self, ns: u64) {
         let cycles = self.soc.clock().ps_to_cycles(ns * 1000);
         self.soc.run_for(cycles);
@@ -177,7 +188,10 @@ impl FpgaHandle {
     pub fn malloc(&self, n_bytes: u64) -> Result<RemotePtr, CallError> {
         let mut inner = self.inner.borrow_mut();
         let addr = inner.allocator.malloc(n_bytes)?;
-        let len = inner.allocator.allocation_len(addr).expect("just allocated");
+        let len = inner
+            .allocator
+            .allocation_len(addr)
+            .expect("just allocated");
         if inner.soc.platform().address_space == AddressSpace::Discrete {
             inner.host_shadow.insert(addr, vec![0u8; len as usize]);
         }
@@ -205,11 +219,18 @@ impl FpgaHandle {
     ///
     /// Panics if the range exceeds the allocation.
     pub fn write_at(&self, ptr: RemotePtr, offset: u64, data: &[u8]) {
-        assert!(offset + data.len() as u64 <= ptr.len, "write beyond allocation");
+        assert!(
+            offset + data.len() as u64 <= ptr.len,
+            "write beyond allocation"
+        );
         let mut inner = self.inner.borrow_mut();
         match inner.soc.platform().address_space {
             AddressSpace::Shared => {
-                inner.soc.memory().borrow_mut().write(ptr.addr + offset, data);
+                inner
+                    .soc
+                    .memory()
+                    .borrow_mut()
+                    .write(ptr.addr + offset, data);
             }
             AddressSpace::Discrete => {
                 let base = ptr.addr;
@@ -278,7 +299,11 @@ impl FpgaHandle {
         if inner.soc.platform().address_space == AddressSpace::Shared {
             return;
         }
-        let data = inner.soc.memory().borrow().read_vec(ptr.addr, ptr.len as usize);
+        let data = inner
+            .soc
+            .memory()
+            .borrow()
+            .read_vec(ptr.addr, ptr.len as usize);
         let link = inner.soc.platform().host_link;
         let ns = link.dma_setup_ns + data.len() as u64 * 1_000_000_000 / link.dma_bytes_per_sec;
         inner.stats.dma_from_device_bytes += data.len() as u64;
@@ -455,13 +480,19 @@ mod tests {
                     let addr = cmd.arg("addr");
                     self.remaining = n;
                     self.active = true;
-                    ctx.reader("src").request(addr, u64::from(n) * 4).expect("idle");
-                    ctx.writer("dst").request(addr, u64::from(n) * 4).expect("idle");
+                    ctx.reader("src")
+                        .request(addr, u64::from(n) * 4)
+                        .expect("idle");
+                    ctx.writer("dst")
+                        .request(addr, u64::from(n) * 4)
+                        .expect("idle");
                 }
                 return;
             }
             while self.remaining > 0 && ctx.writer("dst").can_push() {
-                let Some(v) = ctx.reader("src").pop_u32() else { break };
+                let Some(v) = ctx.reader("src").pop_u32() else {
+                    break;
+                };
                 ctx.writer("dst").push_u32(v.wrapping_mul(2));
                 self.remaining -= 1;
             }
@@ -481,7 +512,10 @@ mod tests {
         );
         let cfg = AcceleratorConfig::new().with_system(
             SystemConfig::new("Doubler", n_cores, spec, || {
-                Box::new(DoubleCore { remaining: 0, active: false })
+                Box::new(DoubleCore {
+                    remaining: 0,
+                    active: false,
+                })
             })
             .with_read(ReadChannelConfig::new("src", 4))
             .with_write(WriteChannelConfig::new("dst", 4)),
@@ -490,7 +524,9 @@ mod tests {
     }
 
     fn call_args(addr: u64, n: u64) -> std::collections::BTreeMap<String, u64> {
-        [("addr".to_owned(), addr), ("n".to_owned(), n)].into_iter().collect()
+        [("addr".to_owned(), addr), ("n".to_owned(), n)]
+            .into_iter()
+            .collect()
     }
 
     #[test]
@@ -501,7 +537,9 @@ mod tests {
         let input: Vec<u32> = (0..256).collect();
         handle.write_u32_slice(mem, &input);
         handle.copy_to_fpga(mem);
-        let resp = handle.call("Doubler", 0, call_args(mem.device_addr(), 256)).unwrap();
+        let resp = handle
+            .call("Doubler", 0, call_args(mem.device_addr(), 256))
+            .unwrap();
         assert_eq!(resp.get().unwrap(), 1);
         handle.copy_from_fpga(mem);
         let out = handle.read_u32_slice(mem, 256);
@@ -520,7 +558,9 @@ mod tests {
         let input: Vec<u32> = (0..256).map(|v| v * 3).collect();
         handle.write_u32_slice(mem, &input);
         // No copy_to_fpga: the memory is shared and coherent.
-        let resp = handle.call("Doubler", 0, call_args(mem.device_addr(), 256)).unwrap();
+        let resp = handle
+            .call("Doubler", 0, call_args(mem.device_addr(), 256))
+            .unwrap();
         resp.get().unwrap();
         let out = handle.read_u32_slice(mem, 256);
         assert_eq!(out[17], 17 * 3 * 2);
@@ -532,10 +572,16 @@ mod tests {
         let handle = make_handle(&Platform::aws_f1(), 1);
         let mem = handle.malloc(64).unwrap();
         handle.write_at(mem, 0, &[0xAB; 64]);
-        let device_view = handle.with_soc(|soc| soc.memory().borrow().read_vec(mem.device_addr(), 64));
-        assert_eq!(device_view, vec![0u8; 64], "host write must not leak before DMA");
+        let device_view =
+            handle.with_soc(|soc| soc.memory().borrow().read_vec(mem.device_addr(), 64));
+        assert_eq!(
+            device_view,
+            vec![0u8; 64],
+            "host write must not leak before DMA"
+        );
         handle.copy_to_fpga(mem);
-        let device_view = handle.with_soc(|soc| soc.memory().borrow().read_vec(mem.device_addr(), 64));
+        let device_view =
+            handle.with_soc(|soc| soc.memory().borrow().read_vec(mem.device_addr(), 64));
         assert_eq!(device_view, vec![0xAB; 64]);
     }
 
@@ -544,7 +590,9 @@ mod tests {
         let handle = make_handle(&Platform::sim(), 1);
         let mem = handle.malloc(4096).unwrap();
         handle.write_u32_slice(mem, &vec![1u32; 1024]);
-        let resp = handle.call("Doubler", 0, call_args(mem.device_addr(), 1024)).unwrap();
+        let resp = handle
+            .call("Doubler", 0, call_args(mem.device_addr(), 1024))
+            .unwrap();
         // Immediately after submission the kernel cannot be done.
         assert!(resp.try_get().is_none());
         assert_eq!(resp.get().unwrap(), 1);
@@ -563,7 +611,13 @@ mod tests {
             let mem = handle.malloc(n * 4).unwrap();
             handle.write_u32_slice(mem, &vec![u32::from(core) + 1; n as usize]);
             handle.copy_to_fpga(mem);
-            handles.push((core, mem, handle.call("Doubler", core, call_args(mem.device_addr(), n)).unwrap()));
+            handles.push((
+                core,
+                mem,
+                handle
+                    .call("Doubler", core, call_args(mem.device_addr(), n))
+                    .unwrap(),
+            ));
         }
         for (core, mem, resp) in handles {
             resp.get().unwrap();
@@ -610,7 +664,11 @@ mod tests {
         let t0 = handle.elapsed_secs();
         let mut responses = Vec::new();
         for core in 0..4 {
-            responses.push(handle.call("Doubler", core, call_args(mem.device_addr(), 1)).unwrap());
+            responses.push(
+                handle
+                    .call("Doubler", core, call_args(mem.device_addr(), 1))
+                    .unwrap(),
+            );
         }
         let t1 = handle.elapsed_secs();
         let link = 800e-9 + 400e-9; // mmio + lock for aws_f1 defaults

@@ -26,13 +26,19 @@ impl AcceleratorCore for AddK {
                 let n = cmd.arg("n") as u32;
                 self.remaining = n;
                 self.active = true;
-                ctx.reader("src").request(cmd.arg("addr"), u64::from(n) * 4).expect("idle");
-                ctx.writer("dst").request(cmd.arg("addr"), u64::from(n) * 4).expect("idle");
+                ctx.reader("src")
+                    .request(cmd.arg("addr"), u64::from(n) * 4)
+                    .expect("idle");
+                ctx.writer("dst")
+                    .request(cmd.arg("addr"), u64::from(n) * 4)
+                    .expect("idle");
             }
             return;
         }
         while self.remaining > 0 && ctx.writer("dst").can_push() {
-            let Some(v) = ctx.reader("src").pop_u32() else { break };
+            let Some(v) = ctx.reader("src").pop_u32() else {
+                break;
+            };
             ctx.writer("dst").push_u32(v.wrapping_add(self.k));
             self.remaining -= 1;
         }
@@ -60,9 +66,13 @@ fn handle(n_cores: u32) -> FpgaHandle {
 }
 
 fn args(addr: u64, n: u64, k: u64) -> std::collections::BTreeMap<String, u64> {
-    [("addr".to_owned(), addr), ("n".to_owned(), n), ("k".to_owned(), k)]
-        .into_iter()
-        .collect()
+    [
+        ("addr".to_owned(), addr),
+        ("n".to_owned(), n),
+        ("k".to_owned(), k),
+    ]
+    .into_iter()
+    .collect()
 }
 
 #[test]
@@ -77,7 +87,10 @@ fn two_clients_share_the_device_without_conflicts() {
     let mem_b = client_b.malloc(4096).unwrap();
     assert_ne!(mem_a.device_addr(), mem_b.device_addr());
     let a_range = mem_a.device_addr()..mem_a.device_addr() + mem_a.len();
-    assert!(!a_range.contains(&mem_b.device_addr()), "allocations overlap");
+    assert!(
+        !a_range.contains(&mem_b.device_addr()),
+        "allocations overlap"
+    );
 
     let input_a: Vec<u32> = (0..1024).collect();
     let input_b: Vec<u32> = (0..1024).map(|v| v * 2).collect();
@@ -85,15 +98,22 @@ fn two_clients_share_the_device_without_conflicts() {
     client_b.write_u32_slice(mem_b, &input_b);
 
     // Interleaved submissions to different cores through the shared server.
-    let resp_a = client_a.call("AddK", 0, args(mem_a.device_addr(), 1024, 100)).unwrap();
-    let resp_b = client_b.call("AddK", 1, args(mem_b.device_addr(), 1024, 999)).unwrap();
+    let resp_a = client_a
+        .call("AddK", 0, args(mem_a.device_addr(), 1024, 100))
+        .unwrap();
+    let resp_b = client_b
+        .call("AddK", 1, args(mem_b.device_addr(), 1024, 999))
+        .unwrap();
     assert_eq!(resp_b.get().unwrap(), 999);
     assert_eq!(resp_a.get().unwrap(), 100);
 
     let out_a = client_a.read_u32_slice(mem_a, 1024);
     let out_b = client_b.read_u32_slice(mem_b, 1024);
     assert!(out_a.iter().enumerate().all(|(i, &v)| v == i as u32 + 100));
-    assert!(out_b.iter().enumerate().all(|(i, &v)| v == (i as u32) * 2 + 999));
+    assert!(out_b
+        .iter()
+        .enumerate()
+        .all(|(i, &v)| v == (i as u32) * 2 + 999));
 
     // Server-side stats aggregate across clients.
     assert_eq!(server.stats().commands, 2);
@@ -135,12 +155,17 @@ fn poll_interval_trades_host_time_for_latency() {
         let soc = bcore::elaborate(cfg, &Platform::kria()).unwrap();
         let handle = bruntime::FpgaHandle::with_options(
             soc,
-            bruntime::RuntimeOptions { lock_overhead_ns: 400, poll_interval_ns },
+            bruntime::RuntimeOptions {
+                lock_overhead_ns: 400,
+                poll_interval_ns,
+            },
         );
         let mem = handle.malloc(4096).unwrap();
         handle.write_u32_slice(mem, &[1u32; 1024]);
         let t0 = handle.elapsed_secs();
-        let resp = handle.call("AddK", 0, args(mem.device_addr(), 1024, 1)).unwrap();
+        let resp = handle
+            .call("AddK", 0, args(mem.device_addr(), 1024, 1))
+            .unwrap();
         resp.get().unwrap();
         handle.elapsed_secs() - t0
     };
@@ -164,11 +189,20 @@ fn serialized_server_interleaves_many_clients_fairly() {
             let mem = client.malloc(256).unwrap();
             client.write_u32_slice(mem, &[7u32; 64]);
             let k = (i as u64) * 10 + round;
-            pending.push((k, client.call("AddK", (i % 2) as u16, args(mem.device_addr(), 64, k)).unwrap()));
+            pending.push((
+                k,
+                client
+                    .call("AddK", (i % 2) as u16, args(mem.device_addr(), 64, k))
+                    .unwrap(),
+            ));
         }
     }
     for (k, resp) in pending {
-        assert_eq!(resp.get().unwrap(), k, "response routed to the right client");
+        assert_eq!(
+            resp.get().unwrap(),
+            k,
+            "response routed to the right client"
+        );
     }
     assert_eq!(server.stats().commands, 8);
 }

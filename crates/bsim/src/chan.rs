@@ -48,13 +48,17 @@ pub struct Receiver<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        Self { inner: Rc::clone(&self.inner) }
+        Self {
+            inner: Rc::clone(&self.inner),
+        }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        Self { inner: Rc::clone(&self.inner) }
+        Self {
+            inner: Rc::clone(&self.inner),
+        }
     }
 }
 
@@ -104,7 +108,12 @@ pub fn channel_with_latency<T>(capacity: usize, latency: u64) -> (Sender<T>, Rec
         total_sent: 0,
         total_received: 0,
     }));
-    (Sender { inner: Rc::clone(&inner) }, Receiver { inner })
+    (
+        Sender {
+            inner: Rc::clone(&inner),
+        },
+        Receiver { inner },
+    )
 }
 
 impl<T> Sender<T> {
@@ -149,6 +158,13 @@ impl<T> Sender<T> {
         }
     }
 
+    /// The cycle at which the channel's front item becomes receivable, or
+    /// `None` if the channel is empty. See
+    /// [`Receiver::next_visible_at`].
+    pub fn next_visible_at(&self) -> Option<Cycle> {
+        next_visible_of(&self.inner)
+    }
+
     /// Occupancy snapshot.
     pub fn state(&self) -> ChannelState {
         state_of(&self.inner)
@@ -178,7 +194,25 @@ impl<T> Receiver<T> {
     /// prefix of the queue).
     pub fn visible_len(&self, now: Cycle) -> usize {
         let inner = self.inner.borrow();
-        inner.queue.iter().take_while(|(vis, _)| *vis <= now).count()
+        inner
+            .queue
+            .iter()
+            .take_while(|(vis, _)| *vis <= now)
+            .count()
+    }
+
+    /// The cycle at which the channel's front item becomes receivable, or
+    /// `None` if the channel is empty.
+    ///
+    /// This is the channel's contribution to an idle consumer's
+    /// [`next_event`](crate::Component::next_event): a component whose only
+    /// pending work is this channel may report
+    /// `rx.next_visible_at().map(|v| v.max(now + 1))` and be fast-forwarded
+    /// until the item is due. Because sends carry non-decreasing cycle
+    /// stamps and recv is head-of-line, the front item's visibility is
+    /// exactly when the channel next changes state for the consumer.
+    pub fn next_visible_at(&self) -> Option<Cycle> {
+        next_visible_of(&self.inner)
     }
 
     /// Occupancy snapshot.
@@ -196,6 +230,10 @@ impl<T: Clone> Receiver<T> {
             _ => None,
         }
     }
+}
+
+fn next_visible_of<T>(inner: &Rc<RefCell<Inner<T>>>) -> Option<Cycle> {
+    inner.borrow().queue.front().map(|(vis, _)| *vis)
 }
 
 fn state_of<T>(inner: &Rc<RefCell<Inner<T>>>) -> ChannelState {
@@ -216,7 +254,10 @@ mod tests {
     fn latency_hides_items_until_due() {
         let (tx, rx) = channel::<u32>(2);
         tx.send(5, 42);
-        assert!(!rx.has_data(5), "item must not be visible on its send cycle");
+        assert!(
+            !rx.has_data(5),
+            "item must not be visible on its send cycle"
+        );
         assert!(rx.has_data(6));
         assert_eq!(rx.recv(6), Some(42));
     }

@@ -1,4 +1,15 @@
 //! The [`Component`] trait and the [`Simulation`] driver.
+//!
+//! The driver is an *idle-skipping, event-aware* scheduler: it is
+//! cycle-exact with the obvious "tick everything every cycle" loop, but
+//! when every component declares (via [`Component::next_event`]) that its
+//! next activity lies in the future, the scheduler fast-forwards the base
+//! clock across the quiescent gap in one jump instead of executing no-op
+//! ticks. Components that do not implement `next_event` fall back to the
+//! default declaration of "active every cycle" and are never skipped, so
+//! the optimisation is strictly opt-in per component and reported cycle
+//! counts are bit-identical either way. See `DESIGN.md` for the full
+//! contract and the lockstep guard mode.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -18,6 +29,34 @@ pub trait Component {
     /// A human-readable name for traces and error messages.
     fn name(&self) -> &str {
         "component"
+    }
+
+    /// Declares the earliest *local* cycle at which this component may do
+    /// anything observable, given that its most recent `tick` ran at local
+    /// cycle `now`.
+    ///
+    /// The scheduler calls this between cycles with `now` equal to the
+    /// just-completed local cycle. The contract:
+    ///
+    /// - `Some(e)` with `e > now` promises that ticks at local cycles in
+    ///   `(now, e)` would be no-ops: no internal state change, no channel
+    ///   sends or receives, no stats updates. The scheduler may then skip
+    ///   those ticks entirely (the component's local cycle counter still
+    ///   advances as if they had run).
+    /// - `None` promises the component is a no-op indefinitely — until some
+    ///   *other* agent (another component, or host code between cycles)
+    ///   changes one of its inputs. A component waiting on an empty input
+    ///   channel must instead return the channel's
+    ///   [`next_visible_at`](crate::Receiver::next_visible_at) so buffered
+    ///   but not-yet-visible items wake it on time.
+    /// - The default, `Some(now + 1)`, declares "possibly active every
+    ///   cycle" and reproduces the naive scheduler exactly.
+    ///
+    /// Returning `Some(e)` with `e <= now` is treated as `Some(now + 1)`.
+    /// The promise only needs to hold while the component's inputs are
+    /// untouched; any executed base cycle re-queries every due component.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now + 1)
     }
 }
 
@@ -64,24 +103,53 @@ impl<T: std::fmt::Debug> std::fmt::Debug for Shared<T> {
     }
 }
 
-impl<T: Component> Component for Shared<T> {
+/// The registration wrapper behind [`Simulation::add_shared`]: forwards
+/// `tick`/`next_event` to the shared component and carries its name,
+/// captured at registration time (a `RefCell` borrow cannot escape
+/// `name(&self) -> &str`, so the label must be cached outside the cell).
+struct SharedComponent<T> {
+    inner: Rc<RefCell<T>>,
+    label: String,
+}
+
+impl<T: Component> Component for SharedComponent<T> {
     fn tick(&mut self, now: Cycle) {
-        self.0.borrow_mut().tick(now);
+        self.inner.borrow_mut().tick(now);
     }
 
     fn name(&self) -> &str {
-        // The borrow cannot outlive this call, so return a static label.
-        "shared"
+        &self.label
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.inner.borrow().next_event(now)
     }
 }
 
 struct Registered {
     component: Box<dyn Component>,
-    /// Tick this component once every `divider` base-clock cycles, i.e. on
-    /// base cycles where `base % divider == phase`.
-    divider: u64,
-    /// Cycles of the component's own clock elapsed so far.
+    /// Index into [`Simulation::groups`] of this component's clock-domain
+    /// group, which holds the divider and next-due bookkeeping.
+    group: usize,
+    /// Cycles of the component's own clock elapsed so far (ticks executed
+    /// plus ticks skipped as proven no-ops).
     local_cycles: Cycle,
+}
+
+/// Per-divider bookkeeping shared by every component in one clock domain.
+///
+/// Replaces the old per-component `now % divider` scan: each base cycle
+/// does one comparison per *group*, and each component does one indexed
+/// flag load.
+struct DividerGroup {
+    divider: u64,
+    /// The smallest multiple of `divider` that is `>= Simulation::now`,
+    /// i.e. the next base cycle on which this domain ticks.
+    next_due: Cycle,
+    /// Scratch: whether this group ticks on the cycle being executed.
+    due: bool,
+    /// Scratch: local cycles to credit to members during a fast-forward.
+    pending_fires: Cycle,
 }
 
 /// Owns a set of components and drives the base clock.
@@ -89,16 +157,59 @@ struct Registered {
 /// Components in slower clock domains are registered with a divider: they
 /// tick once every `divider` base cycles, and observe their *local* cycle
 /// count, so channel latencies stay meaningful within a domain.
-#[derive(Default)]
+///
+/// By default the driver fast-forwards across cycles where every component
+/// is provably idle (see [`Component::next_event`]). Set the `BSIM_NAIVE`
+/// environment variable to a non-empty value other than `0` (or call
+/// [`Simulation::set_event_driven`]`(false)`) to force the naive
+/// cycle-by-cycle loop; results are bit-identical, only slower.
 pub struct Simulation {
     components: Vec<Registered>,
+    groups: Vec<DividerGroup>,
+    /// Host-side wake sources consulted alongside component events, e.g.
+    /// response channels the host polls between cycles. See
+    /// [`Simulation::add_wake_source`].
+    watches: Vec<Box<dyn Fn() -> Option<Cycle>>>,
     now: Cycle,
+    event_driven: bool,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn event_driven_from_env() -> bool {
+    match std::env::var("BSIM_NAIVE") {
+        Ok(v) => v.is_empty() || v == "0",
+        Err(_) => true,
+    }
 }
 
 impl Simulation {
-    /// Creates an empty simulation at cycle 0.
+    /// Creates an empty simulation at cycle 0. Fast-forwarding is enabled
+    /// unless the `BSIM_NAIVE` environment variable disables it.
     pub fn new() -> Self {
-        Self::default()
+        Simulation {
+            components: Vec::new(),
+            groups: Vec::new(),
+            watches: Vec::new(),
+            now: 0,
+            event_driven: event_driven_from_env(),
+        }
+    }
+
+    /// Enables or disables idle-skipping fast-forward. Cycle counts and
+    /// component state are identical either way; this only affects host
+    /// wall-clock time. Useful for A/B guards — see [`crate::Lockstep`].
+    pub fn set_event_driven(&mut self, enabled: bool) {
+        self.event_driven = enabled;
+    }
+
+    /// Whether idle-skipping fast-forward is enabled.
+    pub fn event_driven(&self) -> bool {
+        self.event_driven
     }
 
     /// Adds a component on the base clock.
@@ -113,11 +224,31 @@ impl Simulation {
     /// Panics if `divider` is zero.
     pub fn add_with_divider<C: Component + 'static>(&mut self, component: C, divider: u64) {
         assert!(divider > 0, "clock divider must be nonzero");
+        let group = self.group_for(divider);
         self.components.push(Registered {
             component: Box::new(component),
-            divider,
+            group,
             local_cycles: 0,
         });
+    }
+
+    /// Finds or creates the divider group for `divider`.
+    fn group_for(&mut self, divider: u64) -> usize {
+        if let Some(idx) = self.groups.iter().position(|g| g.divider == divider) {
+            return idx;
+        }
+        // `next_due` is the smallest multiple of `divider` at or after the
+        // current cycle, so late-added components join their domain's
+        // schedule exactly where the naive `now % divider` test would put
+        // them.
+        let next_due = self.now.div_ceil(divider) * divider;
+        self.groups.push(DividerGroup {
+            divider,
+            next_due,
+            due: false,
+            pending_fires: 0,
+        });
+        self.groups.len() - 1
     }
 
     /// Adds a component and returns a [`Shared`] handle for host inspection.
@@ -132,9 +263,39 @@ impl Simulation {
         component: C,
         divider: u64,
     ) -> Shared<C> {
+        let label = component.name().to_owned();
         let shared = Shared::new(component);
-        self.add_with_divider(shared.clone(), divider);
+        self.add_with_divider(
+            SharedComponent {
+                inner: Rc::clone(&shared.0),
+                label,
+            },
+            divider,
+        );
         shared
+    }
+
+    /// Registers a host-side wake source: a closure reporting the earliest
+    /// base cycle at which host code may react to simulation output, or
+    /// `None` when nothing is pending.
+    ///
+    /// The fast-forward scheduler only sees [`Component::next_event`]; a
+    /// channel whose consumer is *host code* (polled between cycles, e.g. a
+    /// response queue drained by a `run_until` predicate) is invisible to it
+    /// and could be skipped past. Wake sources close that hole: the
+    /// scheduler never jumps beyond the earliest cycle any of them reports.
+    /// See [`Simulation::watch_receiver`] for the common case.
+    pub fn add_wake_source(&mut self, wake: impl Fn() -> Option<Cycle> + 'static) {
+        self.watches.push(Box::new(wake));
+    }
+
+    /// Registers `rx` as a host-side wake source: the scheduler will not
+    /// fast-forward past the cycle the channel's front item becomes
+    /// visible. Use for channels consumed by host code rather than by a
+    /// registered component.
+    pub fn watch_receiver<T: 'static>(&mut self, rx: &crate::Receiver<T>) {
+        let rx = rx.clone();
+        self.add_wake_source(move || rx.next_visible_at());
     }
 
     /// The current base-clock cycle.
@@ -153,21 +314,123 @@ impl Simulation {
     }
 
     /// Advances the base clock by one cycle, ticking every component whose
-    /// divider divides the new cycle index.
+    /// divider divides the current cycle index. Always executes the cycle
+    /// in full — fast-forwarding only happens inside [`Simulation::run_for`]
+    /// and [`Simulation::run_until`], never within a single `step`.
     pub fn step(&mut self) {
+        self.execute_cycle();
+    }
+
+    /// Ticks all due components (in registration order) and advances `now`.
+    fn execute_cycle(&mut self) {
+        let now = self.now;
+        for g in &mut self.groups {
+            g.due = g.next_due == now;
+        }
+        let groups = &self.groups;
         for reg in &mut self.components {
-            if self.now.is_multiple_of(reg.divider) {
+            if groups[reg.group].due {
                 reg.component.tick(reg.local_cycles);
                 reg.local_cycles += 1;
             }
         }
         self.now += 1;
+        for g in &mut self.groups {
+            if g.due {
+                g.next_due += g.divider;
+            }
+        }
     }
 
-    /// Runs for `cycles` base cycles.
+    /// The earliest base cycle at which any component or wake source may be
+    /// active. Returns `self.now` as soon as one is active *this* cycle
+    /// (the common dense case short-circuits after one query), and
+    /// `Cycle::MAX` if everything is idle indefinitely.
+    fn earliest_event(&self) -> Cycle {
+        let components = self.earliest_component_event();
+        if components <= self.now {
+            return self.now;
+        }
+        match self.earliest_watch() {
+            Some(w) if w <= self.now => self.now,
+            Some(w) => components.min(w),
+            None => components,
+        }
+    }
+
+    /// [`Simulation::earliest_event`] restricted to registered components.
+    fn earliest_component_event(&self) -> Cycle {
+        let mut earliest = Cycle::MAX;
+        for reg in &self.components {
+            let g = &self.groups[reg.group];
+            let base = if reg.local_cycles == 0 {
+                // Never skip a component's first tick: it has not yet had a
+                // chance to declare anything.
+                g.next_due
+            } else {
+                match reg.component.next_event(reg.local_cycles - 1) {
+                    None => continue,
+                    // Stale or self-referential declarations clamp to the
+                    // next scheduled tick (no skipping for this component).
+                    Some(e) if e <= reg.local_cycles => g.next_due,
+                    // Local cycle `e` happens `e - local_cycles` domain
+                    // ticks after the next due cycle's tick.
+                    Some(e) => g
+                        .next_due
+                        .saturating_add((e - reg.local_cycles).saturating_mul(g.divider)),
+                }
+            };
+            if base <= self.now {
+                return self.now;
+            }
+            earliest = earliest.min(base);
+        }
+        earliest
+    }
+
+    /// The earliest pending wake-source cycle (may be in the past if the
+    /// host has not yet drained it), or `None` when none are pending.
+    fn earliest_watch(&self) -> Option<Cycle> {
+        self.watches.iter().filter_map(|w| w()).min()
+    }
+
+    /// Fast-forwards the base clock to `target` without executing ticks.
+    /// Sound only when every tick in `[now, target)` is a proven no-op;
+    /// each skipped component's local cycle counter is credited with the
+    /// ticks its domain would have scheduled in the gap, so subsequent
+    /// ticks observe exactly the local `now` values the naive loop would
+    /// have passed.
+    fn skip_to(&mut self, target: Cycle) {
+        debug_assert!(target > self.now);
+        for g in &mut self.groups {
+            if g.next_due < target {
+                let fires = (target - g.next_due).div_ceil(g.divider);
+                g.pending_fires = fires;
+                g.next_due += fires * g.divider;
+            } else {
+                g.pending_fires = 0;
+            }
+        }
+        let groups = &self.groups;
+        for reg in &mut self.components {
+            reg.local_cycles += groups[reg.group].pending_fires;
+        }
+        self.now = target;
+    }
+
+    /// Runs for `cycles` base cycles, fast-forwarding across quiescent
+    /// gaps when event-driven scheduling is enabled.
     pub fn run_for(&mut self, cycles: Cycle) {
-        for _ in 0..cycles {
-            self.step();
+        let end = self.now.saturating_add(cycles);
+        while self.now < end {
+            if self.event_driven {
+                let earliest = self.earliest_event();
+                if earliest > self.now {
+                    self.skip_to(earliest.min(end));
+                    continue;
+                }
+            }
+            self.execute_cycle();
         }
     }
 
@@ -179,17 +442,77 @@ impl Simulation {
         max_cycles: Cycle,
         mut done: impl FnMut() -> bool,
     ) -> Result<Cycle, Cycle> {
+        self.run_until_strided(max_cycles, 1, move |_| done())
+    }
+
+    /// [`Simulation::run_until`] with the completion check amortised: `done`
+    /// is evaluated before the first cycle, then after every `stride`
+    /// executed cycles, before every fast-forward jump, and once at the
+    /// timeout. `done` receives the current base cycle.
+    ///
+    /// With `stride == 1` this is exactly `run_until`. A larger stride
+    /// reduces host overhead for expensive predicates, at the cost of
+    /// possibly observing completion up to `stride - 1` executed cycles
+    /// late — the returned elapsed count is still exact whenever completion
+    /// is signalled by a [watched](Simulation::add_wake_source) channel or
+    /// coincides with the system going quiescent (a forced check fires on
+    /// the first such cycle), which is the common shape for "run until
+    /// this response arrives" loops.
+    ///
+    /// `done` should be a function of component state and
+    /// [watched](Simulation::add_wake_source) channels; consulting an
+    /// unwatched channel's visibility clock from `done` may observe
+    /// fast-forwarded time.
+    pub fn run_until_strided(
+        &mut self,
+        max_cycles: Cycle,
+        stride: Cycle,
+        mut done: impl FnMut(Cycle) -> bool,
+    ) -> Result<Cycle, Cycle> {
+        assert!(stride > 0, "stride must be nonzero");
         let start = self.now;
-        while self.now - start < max_cycles {
-            if done() {
-                return Ok(self.now - start);
+        let end = start.saturating_add(max_cycles);
+        // Counts executed cycles since `done` last ran; starting at
+        // `stride` forces the same up-front check the naive loop does.
+        let mut since_check = stride;
+        loop {
+            if self.now >= end {
+                return if done(self.now) {
+                    Ok(self.now - start)
+                } else {
+                    Err(max_cycles)
+                };
             }
-            self.step();
-        }
-        if done() {
-            Ok(self.now - start)
-        } else {
-            Err(max_cycles)
+            // A due wake source means the host may be able to react right
+            // now (e.g. a watched response just became visible): force a
+            // `done` check regardless of the stride, in both scheduler
+            // modes, so strided results do not depend on the mode.
+            let watch_due = self.earliest_watch().is_some_and(|w| w <= self.now);
+            let jump_target = if self.event_driven {
+                let e = self.earliest_event();
+                (e > self.now).then(|| e.min(end))
+            } else {
+                None
+            };
+            if since_check >= stride || watch_due || (jump_target.is_some() && since_check > 0) {
+                if done(self.now) {
+                    return Ok(self.now - start);
+                }
+                since_check = 0;
+                if jump_target.is_some() {
+                    // `done` may have mutated host-visible state (e.g.
+                    // drained a watched channel), so the horizon computed
+                    // above is stale; recompute before jumping.
+                    continue;
+                }
+            }
+            match jump_target {
+                Some(target) => self.skip_to(target),
+                None => {
+                    self.execute_cycle();
+                    since_check += 1;
+                }
+            }
         }
     }
 }
@@ -199,6 +522,7 @@ impl std::fmt::Debug for Simulation {
         f.debug_struct("Simulation")
             .field("now", &self.now)
             .field("components", &self.components.len())
+            .field("event_driven", &self.event_driven)
             .finish()
     }
 }
@@ -293,7 +617,10 @@ mod tests {
         }
         let (v, cycle) = result.expect("value should traverse the pipeline");
         assert_eq!(v, 103);
-        assert!(cycle >= 3, "three stages imply at least three cycles, got {cycle}");
+        assert!(
+            cycle >= 3,
+            "three stages imply at least three cycles, got {cycle}"
+        );
     }
 
     #[test]
@@ -301,5 +628,199 @@ mod tests {
         let sim = Simulation::new();
         assert!(sim.is_empty());
         assert_eq!(sim.len(), 0);
+    }
+
+    /// Ticks only every `period`-th local cycle and proves it via
+    /// `next_event`, so the scheduler can skip the gaps.
+    struct Burster {
+        period: u64,
+        fires: u64,
+        tick_log: Vec<Cycle>,
+    }
+
+    impl Component for Burster {
+        fn tick(&mut self, now: Cycle) {
+            if now.is_multiple_of(self.period) {
+                self.fires += 1;
+                self.tick_log.push(now);
+            }
+        }
+
+        fn next_event(&self, now: Cycle) -> Option<Cycle> {
+            Some(now + (self.period - now % self.period))
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_naive_fires_and_now() {
+        let run = |event_driven: bool| {
+            let mut sim = Simulation::new();
+            sim.set_event_driven(event_driven);
+            let b = sim.add_shared(Burster {
+                period: 97,
+                fires: 0,
+                tick_log: Vec::new(),
+            });
+            sim.run_for(1000);
+            let result = (sim.now(), b.borrow().fires, b.borrow().tick_log.clone());
+            result
+        };
+        let naive = run(false);
+        let fast = run(true);
+        assert_eq!(naive, fast);
+        assert_eq!(fast.0, 1000);
+        assert_eq!(fast.1, 11); // local cycles 0, 97, ..., 970
+    }
+
+    #[test]
+    fn fast_forward_respects_dividers() {
+        let run = |event_driven: bool| {
+            let mut sim = Simulation::new();
+            sim.set_event_driven(event_driven);
+            let b = sim.add_shared_with_divider(
+                Burster {
+                    period: 10,
+                    fires: 0,
+                    tick_log: Vec::new(),
+                },
+                3,
+            );
+            sim.run_for(100);
+            let result = (sim.now(), b.borrow().fires, b.borrow().tick_log.clone());
+            result
+        };
+        let naive = run(false);
+        let fast = run(true);
+        assert_eq!(naive, fast);
+        // Local cycles 0, 10, 20, 30 land on base cycles 0, 30, 60, 90.
+        assert_eq!(fast.2, vec![0, 10, 20, 30]);
+    }
+
+    /// Sends one value after `delay` cycles, then goes idle forever.
+    struct OneShot {
+        tx: crate::Sender<u64>,
+        delay: Cycle,
+        sent: bool,
+    }
+
+    impl Component for OneShot {
+        fn tick(&mut self, now: Cycle) {
+            if now == self.delay && !self.sent {
+                self.tx.send(now, now);
+                self.sent = true;
+            }
+        }
+
+        fn next_event(&self, now: Cycle) -> Option<Cycle> {
+            if self.sent {
+                None
+            } else {
+                Some(self.delay.max(now + 1))
+            }
+        }
+    }
+
+    #[test]
+    fn watched_receiver_bounds_fast_forward() {
+        let (tx, rx) = channel::<u64>(1);
+        let mut sim = Simulation::new();
+        sim.add(OneShot {
+            tx,
+            delay: 40,
+            sent: false,
+        });
+        sim.watch_receiver(&rx);
+        let rx2 = rx.clone();
+        let elapsed = sim
+            .run_until(10_000, move || rx2.has_data(41))
+            .expect("value should arrive");
+        // Sent at 40, visible at 41: identical to the naive loop's answer.
+        assert_eq!(elapsed, 41);
+        assert_eq!(rx.recv(sim.now()), Some(40));
+    }
+
+    #[test]
+    fn unwatched_idle_sim_skips_to_horizon() {
+        let (tx, _rx) = channel::<u64>(1);
+        let mut sim = Simulation::new();
+        sim.add(OneShot {
+            tx,
+            delay: 3,
+            sent: false,
+        });
+        sim.run_for(1_000_000);
+        assert_eq!(sim.now(), 1_000_000);
+    }
+
+    #[test]
+    fn strided_run_until_returns_same_elapsed_count() {
+        // Completion coincides with the system going quiescent, so every
+        // stride returns the identical elapsed-cycle count.
+        let run = |stride: Cycle| {
+            let (tx, rx) = channel::<u64>(1);
+            let mut sim = Simulation::new();
+            sim.add(OneShot {
+                tx,
+                delay: 523,
+                sent: false,
+            });
+            sim.watch_receiver(&rx);
+            let rx2 = rx.clone();
+            sim.run_until_strided(100_000, stride, move |now| rx2.has_data(now))
+                .expect("value should arrive")
+        };
+        let baseline = run(1);
+        assert_eq!(baseline, 524);
+        for stride in [2, 7, 64, 1000] {
+            assert_eq!(
+                run(stride),
+                baseline,
+                "stride {stride} changed the elapsed count"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_name_reports_wrapped_component() {
+        struct Named;
+        impl Component for Named {
+            fn tick(&mut self, _now: Cycle) {}
+            fn name(&self) -> &str {
+                "alu0"
+            }
+        }
+        let mut sim = Simulation::new();
+        sim.add_shared(Named);
+        assert_eq!(sim.components[0].component.name(), "alu0");
+    }
+
+    #[test]
+    fn bsim_naive_env_disables_fast_forward() {
+        assert!(
+            Simulation::new().event_driven(),
+            "fast-forward should default on"
+        );
+        std::env::set_var("BSIM_NAIVE", "1");
+        let sim = Simulation::new();
+        std::env::remove_var("BSIM_NAIVE");
+        assert!(!sim.event_driven());
+    }
+
+    #[test]
+    fn components_added_mid_run_join_their_domain_schedule() {
+        let run = |event_driven: bool| {
+            let mut sim = Simulation::new();
+            sim.set_event_driven(event_driven);
+            let a = sim.add_shared_with_divider(Counter { ticks: 0 }, 3);
+            sim.run_for(7);
+            let b = sim.add_shared_with_divider(Counter { ticks: 0 }, 3);
+            sim.run_for(7);
+            let result = (sim.now(), a.borrow().ticks, b.borrow().ticks);
+            result
+        };
+        assert_eq!(run(false), run(true));
+        // Base cycles 0..14 tick the divider-3 domain at 0, 3, 6, 9, 12;
+        // the late component joins at 9 and 12.
+        assert_eq!(run(true), (14, 5, 2));
     }
 }

@@ -11,7 +11,10 @@
 //! * [`channel`] / [`Sender`] / [`Receiver`] — ready/valid ("Decoupled" in
 //!   Chisel terms) bounded channels with register-like visibility latency.
 //! * [`Simulation`] — owns components and drives the clock, including
-//!   multi-clock-domain ticking via per-component dividers.
+//!   multi-clock-domain ticking via per-component dividers. The driver is
+//!   event-aware: components that implement [`Component::next_event`] let
+//!   it fast-forward across provably quiescent gaps with bit-identical
+//!   cycle counts (guarded by [`Lockstep`], measured by [`SimRate`]).
 //! * [`SparseMemory`] — a byte-addressable sparse backing store used as the
 //!   functional half of the DRAM model.
 //! * [`Stats`] — shared counters and histograms for instrumentation.
@@ -52,6 +55,7 @@
 
 mod chan;
 mod component;
+mod lockstep;
 mod mem;
 mod stats;
 mod time;
@@ -60,8 +64,9 @@ mod vcd;
 
 pub use chan::{channel, channel_with_latency, ChannelState, Receiver, Sender};
 pub use component::{Component, Shared, Simulation};
+pub use lockstep::Lockstep;
 pub use mem::SparseMemory;
-pub use stats::{Histogram, Stats};
+pub use stats::{Histogram, HistogramSummary, SimRate, SimRateTimer, Stats, StatsSnapshot};
 pub use time::{ClockDomain, Cycle, Picoseconds, PICOS_PER_SEC};
 pub use trace::{TraceEvent, Tracer};
 pub use vcd::{SignalId, VcdRecorder};

@@ -134,7 +134,10 @@ impl SparseMemory {
 
     /// Reads `count` `i8`s starting at `addr`.
     pub fn read_i8_slice(&self, addr: u64, count: usize) -> Vec<i8> {
-        self.read_vec(addr, count).into_iter().map(|b| b as i8).collect()
+        self.read_vec(addr, count)
+            .into_iter()
+            .map(|b| b as i8)
+            .collect()
     }
 
     /// Releases all pages, returning the memory to the all-zero state.

@@ -18,12 +18,19 @@ pub struct Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Self { min: u64::MAX, ..Self::default() }
+        Self {
+            min: u64::MAX,
+            ..Self::default()
+        }
     }
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        let bucket = if value == 0 { 0 } else { 64 - value.leading_zeros() as usize };
+        let bucket = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
         if self.buckets.len() <= bucket {
             self.buckets.resize(bucket + 1, 0);
         }
@@ -88,7 +95,12 @@ impl Stats {
 
     /// Adds `delta` to counter `name`, creating it at zero if needed.
     pub fn add(&self, name: &str, delta: u64) {
-        *self.inner.borrow_mut().counters.entry(name.to_owned()).or_insert(0) += delta;
+        *self
+            .inner
+            .borrow_mut()
+            .counters
+            .entry(name.to_owned())
+            .or_insert(0) += delta;
     }
 
     /// Increments counter `name` by one.
@@ -124,6 +136,131 @@ impl Stats {
             .iter()
             .map(|(k, v)| (k.clone(), *v))
             .collect()
+    }
+
+    /// A comparable snapshot of every counter and histogram, for
+    /// equivalence checks such as [`crate::Lockstep`] guards.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let inner = self.inner.borrow();
+        StatsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSummary {
+                            count: h.count,
+                            sum: h.sum,
+                            min: h.min(),
+                            max: h.max(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The comparable part of a [`Histogram`]: enough to detect any divergence
+/// in what was recorded (bucket shapes follow from the samples).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample, if any.
+    pub min: Option<u64>,
+    /// Largest sample, if any.
+    pub max: Option<u64>,
+}
+
+/// A point-in-time copy of a [`Stats`] bag, ordered by name and comparable
+/// with `==`. Two runs that performed identical work produce identical
+/// snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Sorted (name, value) counter pairs.
+    pub counters: Vec<(String, u64)>,
+    /// Sorted (name, summary) histogram pairs.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+/// Simulation throughput: how many simulated cycles one host second buys.
+///
+/// This is the headline number the idle-skipping scheduler improves —
+/// simulated time per run is fixed by the model, so host wall-clock is the
+/// only thing fast-forwarding changes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimRate {
+    /// Simulated base-clock cycles covered by the measurement.
+    pub cycles: u64,
+    /// Host wall-clock seconds the measurement took.
+    pub host_seconds: f64,
+}
+
+impl SimRate {
+    /// Simulated cycles per host second (0.0 for a zero-length interval).
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.host_seconds > 0.0 {
+            self.cycles as f64 / self.host_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line human rendering, e.g.
+    /// `sim rate: 41.2 Mcycles/s (1000000 cycles in 24.3 ms)`.
+    pub fn render(&self) -> String {
+        let rate = self.cycles_per_sec();
+        let (scaled, unit) = if rate >= 1e9 {
+            (rate / 1e9, "Gcycles/s")
+        } else if rate >= 1e6 {
+            (rate / 1e6, "Mcycles/s")
+        } else if rate >= 1e3 {
+            (rate / 1e3, "kcycles/s")
+        } else {
+            (rate, "cycles/s")
+        };
+        format!(
+            "sim rate: {:.1} {} ({} cycles in {:.1} ms)",
+            scaled,
+            unit,
+            self.cycles,
+            self.host_seconds * 1e3,
+        )
+    }
+}
+
+/// Stopwatch for producing a [`SimRate`]: start it at the current cycle,
+/// run the simulation, and `finish` with the final cycle.
+#[derive(Debug)]
+pub struct SimRateTimer {
+    started: std::time::Instant,
+    start_cycle: u64,
+}
+
+impl SimRateTimer {
+    /// Starts timing at simulated cycle `cycle`.
+    pub fn starting_at(cycle: u64) -> Self {
+        Self {
+            started: std::time::Instant::now(),
+            start_cycle: cycle,
+        }
+    }
+
+    /// Stops timing at simulated cycle `cycle` and returns the rate.
+    pub fn finish(self, cycle: u64) -> SimRate {
+        SimRate {
+            cycles: cycle.saturating_sub(self.start_cycle),
+            host_seconds: self.started.elapsed().as_secs_f64(),
+        }
     }
 }
 
@@ -180,6 +317,42 @@ mod tests {
         stats.incr("a");
         let names: Vec<String> = stats.counters().into_iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn snapshots_compare_equal_iff_contents_match() {
+        let a = Stats::new();
+        let b = Stats::new();
+        for s in [&a, &b] {
+            s.add("reads", 3);
+            s.record("latency", 12);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        b.incr("reads");
+        assert_ne!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn sim_rate_scales_units() {
+        let rate = SimRate {
+            cycles: 2_000_000,
+            host_seconds: 0.5,
+        };
+        assert!((rate.cycles_per_sec() - 4e6).abs() < 1.0);
+        assert!(rate.render().contains("Mcycles/s"), "got {}", rate.render());
+        let zero = SimRate {
+            cycles: 100,
+            host_seconds: 0.0,
+        };
+        assert_eq!(zero.cycles_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn sim_rate_timer_counts_cycles() {
+        let timer = SimRateTimer::starting_at(100);
+        let rate = timer.finish(350);
+        assert_eq!(rate.cycles, 250);
+        assert!(rate.host_seconds >= 0.0);
     }
 
     #[test]

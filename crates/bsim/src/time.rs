@@ -35,8 +35,13 @@ impl ClockDomain {
     ///
     /// Panics if `mhz` is zero or exceeds 1 THz.
     pub fn from_mhz(mhz: u64) -> Self {
-        assert!(mhz > 0 && mhz <= 1_000_000, "clock frequency out of range: {mhz} MHz");
-        Self { period_ps: 1_000_000 / mhz }
+        assert!(
+            mhz > 0 && mhz <= 1_000_000,
+            "clock frequency out of range: {mhz} MHz"
+        );
+        Self {
+            period_ps: 1_000_000 / mhz,
+        }
     }
 
     /// Creates a clock domain from an explicit period in picoseconds.

@@ -1,0 +1,232 @@
+//! Property tests pinning the tentpole guarantee of the event-aware
+//! scheduler: on randomized pipelines — producer → stage → sink chains with
+//! random channel latencies, capacities, processing delays, and clock
+//! dividers (mixed domains in one simulation) — the idle-skipping driver
+//! produces *bit-identical* results to the naive cycle-by-cycle stepper:
+//! the same final cycle, the same per-item delivery cycles, and the same
+//! channel totals.
+
+use bsim::{
+    channel_with_latency, ChannelState, Component, Cycle, Receiver, Sender, Shared, Simulation,
+};
+use proptest::prelude::*;
+
+/// Emits sequence numbers on a fixed period (item `i` becomes due at local
+/// cycle `i * period`), retrying every cycle while the channel is full.
+struct Producer {
+    tx: Sender<u64>,
+    period: u64,
+    items: u64,
+    sent: u64,
+}
+
+impl Producer {
+    fn due(&self, now: Cycle) -> bool {
+        self.sent < self.items && now >= self.sent * self.period
+    }
+}
+
+impl Component for Producer {
+    fn tick(&mut self, now: Cycle) {
+        if self.due(now) && self.tx.can_send() {
+            self.tx.send(now, self.sent);
+            self.sent += 1;
+        }
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.sent == self.items {
+            return None;
+        }
+        if self.due(now) {
+            // Blocked on a full channel; freeing it is not observable
+            // through any receiver of ours, so stay awake.
+            return Some(now + 1);
+        }
+        Some(self.sent * self.period)
+    }
+}
+
+/// Holds one item for `delay` cycles, then forwards it.
+struct Stage {
+    rx: Receiver<u64>,
+    tx: Sender<u64>,
+    delay: u64,
+    holding: Option<(u64, Cycle)>,
+}
+
+impl Component for Stage {
+    fn tick(&mut self, now: Cycle) {
+        if let Some((v, ready_at)) = self.holding {
+            if now >= ready_at && self.tx.can_send() {
+                self.tx.send(now, v);
+                self.holding = None;
+            }
+        }
+        if self.holding.is_none() {
+            if let Some(v) = self.rx.recv(now) {
+                self.holding = Some((v, now + self.delay));
+            }
+        }
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        match self.holding {
+            Some((_, ready_at)) => Some(ready_at.max(now + 1)),
+            None => self.rx.next_visible_at().map(|v| v.max(now + 1)),
+        }
+    }
+}
+
+/// Records every delivered item with the local cycle it arrived on.
+struct Sink {
+    rx: Receiver<u64>,
+    received: Vec<(u64, Cycle)>,
+}
+
+impl Component for Sink {
+    fn tick(&mut self, now: Cycle) {
+        while let Some(v) = self.rx.recv(now) {
+            self.received.push((v, now));
+        }
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.rx.next_visible_at().map(|v| v.max(now + 1))
+    }
+}
+
+/// One randomized pipeline (all three components share a clock domain; the
+/// domains of different pipelines mix freely in one simulation).
+#[derive(Debug, Clone)]
+struct PipelineSpec {
+    divider: u64,
+    period: u64,
+    items: u64,
+    latency: u64,
+    capacity: usize,
+    delay: u64,
+}
+
+fn pipeline_strategy() -> impl Strategy<Value = PipelineSpec> {
+    (1u64..5, 1u64..48, 1u64..12, 0u64..5, 1usize..5, 0u64..24).prop_map(
+        |(divider, period, items, latency, capacity, delay)| PipelineSpec {
+            divider,
+            period,
+            items,
+            latency,
+            capacity,
+            delay,
+        },
+    )
+}
+
+struct BuiltPipeline {
+    producer: Shared<Producer>,
+    stage: Shared<Stage>,
+    sink: Shared<Sink>,
+}
+
+fn build(sim: &mut Simulation, spec: &PipelineSpec) -> BuiltPipeline {
+    let (tx_a, rx_a) = channel_with_latency::<u64>(spec.capacity, spec.latency);
+    let (tx_b, rx_b) = channel_with_latency::<u64>(spec.capacity, spec.latency);
+    let producer = sim.add_shared_with_divider(
+        Producer {
+            tx: tx_a,
+            period: spec.period,
+            items: spec.items,
+            sent: 0,
+        },
+        spec.divider,
+    );
+    let stage = sim.add_shared_with_divider(
+        Stage {
+            rx: rx_a,
+            tx: tx_b,
+            delay: spec.delay,
+            holding: None,
+        },
+        spec.divider,
+    );
+    let sink = sim.add_shared_with_divider(
+        Sink {
+            rx: rx_b,
+            received: Vec::new(),
+        },
+        spec.divider,
+    );
+    BuiltPipeline {
+        producer,
+        stage,
+        sink,
+    }
+}
+
+/// Everything observable about a pipeline, for cross-scheduler comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Observation {
+    now: Cycle,
+    sent: Vec<u64>,
+    holding: Vec<Option<(u64, Cycle)>>,
+    received: Vec<Vec<(u64, Cycle)>>,
+    channels: Vec<ChannelState>,
+}
+
+fn observe(sim: &Simulation, pipelines: &[BuiltPipeline]) -> Observation {
+    Observation {
+        now: sim.now(),
+        sent: pipelines.iter().map(|p| p.producer.borrow().sent).collect(),
+        holding: pipelines.iter().map(|p| p.stage.borrow().holding).collect(),
+        received: pipelines
+            .iter()
+            .map(|p| p.sink.borrow().received.clone())
+            .collect(),
+        channels: pipelines
+            .iter()
+            .flat_map(|p| [p.producer.borrow().tx.state(), p.stage.borrow().tx.state()])
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn idle_skipping_matches_naive_stepper(
+        specs in proptest::collection::vec(pipeline_strategy(), 1..4),
+        warmup in 0u64..200,
+    ) {
+        let mut naive = Simulation::new();
+        naive.set_event_driven(false);
+        let mut event = Simulation::new();
+        event.set_event_driven(true);
+        let naive_pipes: Vec<_> = specs.iter().map(|s| build(&mut naive, s)).collect();
+        let event_pipes: Vec<_> = specs.iter().map(|s| build(&mut event, s)).collect();
+
+        // Phase 1: a fixed-length run (exercises `run_for` fast-forward).
+        naive.run_for(warmup);
+        event.run_for(warmup);
+        prop_assert_eq!(observe(&naive, &naive_pipes), observe(&event, &event_pipes));
+
+        // Phase 2: run to completion (exercises `run_until` jumps); the
+        // elapsed count must match the naive stepper exactly.
+        let total: u64 = specs.iter().map(|s| s.items).sum();
+        let done = |pipes: &[BuiltPipeline]| {
+            let sinks: Vec<Shared<Sink>> = pipes.iter().map(|p| p.sink.clone()).collect();
+            move || sinks.iter().map(|s| s.borrow().received.len() as u64).sum::<u64>() == total
+        };
+        let max = 1_000_000;
+        let naive_elapsed = naive.run_until(max, done(&naive_pipes));
+        let event_elapsed = event.run_until(max, done(&event_pipes));
+        prop_assert_eq!(naive_elapsed, event_elapsed);
+        prop_assert!(naive_elapsed.is_ok(), "pipelines must drain within {} cycles", max);
+        let final_naive = observe(&naive, &naive_pipes);
+        prop_assert_eq!(&final_naive, &observe(&event, &event_pipes));
+        // Every item arrived, in order, in both schedulers.
+        for (pipe, spec) in final_naive.received.iter().zip(&specs) {
+            let order: Vec<u64> = pipe.iter().map(|&(v, _)| v).collect();
+            let expect: Vec<u64> = (0..spec.items).collect();
+            prop_assert_eq!(order, expect);
+        }
+    }
+}

@@ -26,7 +26,9 @@ fn main() {
         ("score_fifo", 2 * params.keys as u64, 32, 1),
         ("weight_fifo", 2 * params.keys as u64, 32, 1),
     ] {
-        let plan = compiler.compile(depth, width, ports).expect("library covers the request");
+        let plan = compiler
+            .compile(depth, width, ports)
+            .expect("library covers the request");
         total_area += plan.area_um2;
         println!(
             "  {name:<12} {depth:>6} x {width:>2}b x{ports}p -> {} x{} ({} banks x {} cascade), {:>9.0} um^2, +{} cyc",
@@ -42,7 +44,10 @@ fn main() {
 
     // 2. Elaborate the full design for the ASIC platform (1 GHz, HBM2).
     let soc = elaborate(a3_config(1, params), &Platform::asap7_asic()).expect("elaborates");
-    println!("Structural netlist handed to the ASIC flow:\n{}", soc.report().netlist);
+    println!(
+        "Structural netlist handed to the ASIC flow:\n{}",
+        soc.report().netlist
+    );
 
     // 3. Run one attention batch at 1 GHz — the Table III "1-core ASIC" row.
     let handle = FpgaHandle::new(soc);
@@ -60,13 +65,21 @@ fn main() {
     handle.copy_to_fpga(pv);
     handle.copy_to_fpga(pq);
     handle
-        .call(SYSTEM, 0, load_kv_args(pk.device_addr(), pv.device_addr(), params.keys))
+        .call(
+            SYSTEM,
+            0,
+            load_kv_args(pk.device_addr(), pv.device_addr(), params.keys),
+        )
         .unwrap()
         .get()
         .unwrap();
     let t0 = handle.elapsed_secs();
     handle
-        .call(SYSTEM, 0, attend_args(pq.device_addr(), po.device_addr(), n_queries))
+        .call(
+            SYSTEM,
+            0,
+            attend_args(pq.device_addr(), po.device_addr(), n_queries),
+        )
         .unwrap()
         .get()
         .unwrap();

@@ -30,12 +30,16 @@ impl AcceleratorCore for Loader {
                 self.n = cmd.arg("n");
                 self.sent = 0;
                 self.active = true;
-                ctx.reader("src").request(cmd.arg("addr"), self.n * 4).expect("idle");
+                ctx.reader("src")
+                    .request(cmd.arg("addr"), self.n * 4)
+                    .expect("idle");
             }
             return;
         }
         while self.sent < self.n && ctx.intra_out("feed").can_send() {
-            let Some(v) = ctx.reader("src").pop_u32() else { break };
+            let Some(v) = ctx.reader("src").pop_u32() else {
+                break;
+            };
             let (now, idx) = (ctx.now(), self.sent);
             ctx.intra_out("feed").send(now, idx, u64::from(v) + 1); // +1 tags "written"
             self.sent += 1;
@@ -83,17 +87,25 @@ impl AcceleratorCore for Reducer {
 fn main() {
     let load_spec = AccelCommandSpec::new(
         "load",
-        vec![("addr".to_owned(), FieldType::Address), ("n".to_owned(), FieldType::U(16))],
+        vec![
+            ("addr".to_owned(), FieldType::Address),
+            ("n".to_owned(), FieldType::U(16)),
+        ],
     );
     let reduce_spec = AccelCommandSpec::new(
         "reduce",
-        vec![("n".to_owned(), FieldType::U(16)), ("mode".to_owned(), FieldType::U(2))],
+        vec![
+            ("n".to_owned(), FieldType::U(16)),
+            ("mode".to_owned(), FieldType::U(2)),
+        ],
     );
     let config = AcceleratorConfig::new()
         .with_system(
             SystemConfig::new("Loader", 1, load_spec, || Box::<Loader>::default())
                 .with_read(ReadChannelConfig::new("src", 4))
-                .with_intra_out(IntraCoreMemoryPortOutConfig::new("feed", "Reducers", "inbox")),
+                .with_intra_out(IntraCoreMemoryPortOutConfig::new(
+                    "feed", "Reducers", "inbox",
+                )),
         )
         .with_system(
             SystemConfig::new("Reducers", 2, reduce_spec, || Box::<Reducer>::default())
@@ -111,12 +123,19 @@ fn main() {
     handle.write_u32_slice(mem, &data);
     handle.copy_to_fpga(mem);
 
-    let args =
-        |pairs: &[(&str, u64)]| pairs.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect();
-    let sum = handle.call("Reducers", 0, args(&[("n", n.into()), ("mode", 0)])).unwrap();
-    let max = handle.call("Reducers", 1, args(&[("n", n.into()), ("mode", 1)])).unwrap();
+    let args = |pairs: &[(&str, u64)]| pairs.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect();
+    let sum = handle
+        .call("Reducers", 0, args(&[("n", n.into()), ("mode", 0)]))
+        .unwrap();
+    let max = handle
+        .call("Reducers", 1, args(&[("n", n.into()), ("mode", 1)]))
+        .unwrap();
     handle
-        .call("Loader", 0, args(&[("addr", mem.device_addr()), ("n", n.into())]))
+        .call(
+            "Loader",
+            0,
+            args(&[("addr", mem.device_addr()), ("n", n.into())]),
+        )
         .unwrap();
 
     let sum = sum.get().expect("sum reducer finishes");

@@ -19,7 +19,11 @@ fn main() {
     let quad = run(4, n, p);
     println!("GeMM {n}x{n}, parallelism {p}:");
     println!("  1 core : {:.0} invocations/s", single);
-    println!("  4 cores: {:.0} invocations/s ({:.2}x, ideal 4.00x)", quad, quad / single);
+    println!(
+        "  4 cores: {:.0} invocations/s ({:.2}x, ideal 4.00x)",
+        quad,
+        quad / single
+    );
 }
 
 fn run(n_cores: u16, n: usize, p: usize) -> f64 {

@@ -8,9 +8,7 @@
 //! cargo run --release --example memcpy_timeline
 //! ```
 
-use beethoven::kernels::memcpy::{
-    render_timeline, run_memcpy, run_memcpy_traced, MemcpyVariant,
-};
+use beethoven::kernels::memcpy::{render_timeline, run_memcpy, run_memcpy_traced, MemcpyVariant};
 
 fn main() {
     println!("== AXI timelines for a 4 KiB copy ==\n");
@@ -26,7 +24,10 @@ fn main() {
             result.cycles,
             result.gbps
         );
-        println!("{}", render_timeline(&result, (result.cycles / 100).max(1), 100));
+        println!(
+            "{}",
+            render_timeline(&result, (result.cycles / 100).max(1), 100)
+        );
     }
 
     println!("== Bandwidth sweep (GB/s copied) ==\n");

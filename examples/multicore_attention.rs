@@ -7,9 +7,7 @@
 //! cargo run --release --example multicore_attention
 //! ```
 
-use beethoven::attention::{
-    a3_config, attend_args, fixed, load_kv_args, AttentionParams, SYSTEM,
-};
+use beethoven::attention::{a3_config, attend_args, fixed, load_kv_args, AttentionParams, SYSTEM};
 use beethoven::core::elaborate;
 use beethoven::platform::Platform;
 use beethoven::runtime::FpgaHandle;
@@ -19,8 +17,8 @@ fn main() {
     let n_cores = 4u16;
     let queries_per_core = 32usize;
 
-    let soc = elaborate(a3_config(u32::from(n_cores), params), &Platform::aws_f1())
-        .expect("A3 fits");
+    let soc =
+        elaborate(a3_config(u32::from(n_cores), params), &Platform::aws_f1()).expect("A3 fits");
     println!("{}", soc.report());
     let clock_hz = soc.clock().freq_hz();
     let handle = FpgaHandle::new(soc);
@@ -38,7 +36,11 @@ fn main() {
     let loads: Vec<_> = (0..n_cores)
         .map(|core| {
             handle
-                .call(SYSTEM, core, load_kv_args(pk.device_addr(), pv.device_addr(), params.keys))
+                .call(
+                    SYSTEM,
+                    core,
+                    load_kv_args(pk.device_addr(), pv.device_addr(), params.keys),
+                )
                 .expect("load_kv")
         })
         .collect();
@@ -90,7 +92,10 @@ fn main() {
             .map(|&b| b as i8)
             .collect();
         let exact = fixed::attention_fixed(&params, &lut, query, &keys, &values);
-        assert_eq!(got, exact, "hardware must match the fixed-point spec exactly");
+        assert_eq!(
+            got, exact,
+            "hardware must match the fixed-point spec exactly"
+        );
         let float = fixed::attention_float(&params, query, &keys, &values);
         for (a, b) in got.iter().zip(float.iter()) {
             worst_err = worst_err.max((f64::from(*a) - b).abs());

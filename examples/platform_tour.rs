@@ -36,7 +36,10 @@ fn main() {
             .expect("call");
         resp.get().expect("completes");
         handle.copy_from_fpga(mem);
-        assert_eq!(handle.read_u32_slice(mem, n as usize), vecadd::reference(&input, 7));
+        assert_eq!(
+            handle.read_u32_slice(mem, n as usize),
+            vecadd::reference(&input, 7)
+        );
 
         println!(
             "{:<10} @ {:>4} MHz: vecadd OK in {:>8.2} us simulated ({} cycles)",
@@ -49,9 +52,16 @@ fn main() {
 
     // The ASIC flow additionally compiles SRAM macros for on-chip memory.
     println!("\nASIC SRAM compilation for a 320x512b scratchpad (ASAP7-style library):");
-    let plan = SramCompiler::asap7().compile(320, 512, 1).expect("compilable");
+    let plan = SramCompiler::asap7()
+        .compile(320, 512, 1)
+        .expect("compilable");
     println!(
         "  macro {} x{} ({} banks x {} cascade), {:.0} um^2, +{} cycles latency",
-        plan.macro_cell.name, plan.instances, plan.banks, plan.cascade, plan.area_um2, plan.extra_latency
+        plan.macro_cell.name,
+        plan.instances,
+        plan.banks,
+        plan.cascade,
+        plan.area_um2,
+        plan.extra_latency
     );
 }

@@ -20,7 +20,10 @@ fn main() {
     let soc = elaborate(config, &Platform::kria()).expect("vecadd elaborates on the Kria");
 
     println!("{}", soc.report());
-    println!("Generated C++ bindings (Figure 3b):\n{}", soc.report().bindings.cpp_header);
+    println!(
+        "Generated C++ bindings (Figure 3b):\n{}",
+        soc.report().bindings.cpp_header
+    );
 
     // Figure 3c: the host program.
     let handle = FpgaHandle::new(soc);
@@ -31,7 +34,11 @@ fn main() {
     handle.copy_to_fpga(mem); // no-op on the Kria's shared memory
 
     let resp = handle
-        .call(vecadd::SYSTEM, 0, vecadd::args(0xCAFE, mem.device_addr(), n))
+        .call(
+            vecadd::SYSTEM,
+            0,
+            vecadd::args(0xCAFE, mem.device_addr(), n),
+        )
         .expect("command accepted");
     resp.get().expect("accelerator completes");
 

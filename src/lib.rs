@@ -19,6 +19,7 @@
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system map.
 
+pub use battention as attention;
 pub use baxi as axi;
 pub use bcore as core;
 pub use bdram as dram;
@@ -27,4 +28,3 @@ pub use bnoc as noc;
 pub use bplatform as platform;
 pub use bruntime as runtime;
 pub use bsim as sim;
-pub use battention as attention;

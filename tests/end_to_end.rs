@@ -14,9 +14,14 @@ fn quickstart_flow_matches_reference() {
     let input: Vec<u32> = (0..777).map(|v| v * 5 + 1).collect();
     let mem = handle.malloc(777 * 4).unwrap();
     handle.write_u32_slice(mem, &input);
-    let resp = handle.call(vecadd::SYSTEM, 0, vecadd::args(41, mem.device_addr(), 777)).unwrap();
+    let resp = handle
+        .call(vecadd::SYSTEM, 0, vecadd::args(41, mem.device_addr(), 777))
+        .unwrap();
     resp.get().unwrap();
-    assert_eq!(handle.read_u32_slice(mem, 777), vecadd::reference(&input, 41));
+    assert_eq!(
+        handle.read_u32_slice(mem, 777),
+        vecadd::reference(&input, 41)
+    );
 }
 
 #[test]
@@ -65,11 +70,19 @@ fn gemm_through_discrete_runtime_with_dma() {
     handle.copy_to_fpga(pa);
     handle.copy_to_fpga(pb);
     let resp = handle
-        .call(gemm::SYSTEM, 0, gemm::args(pa.device_addr(), pb.device_addr(), pc.device_addr(), n))
+        .call(
+            gemm::SYSTEM,
+            0,
+            gemm::args(pa.device_addr(), pb.device_addr(), pc.device_addr(), n),
+        )
         .unwrap();
     resp.get().unwrap();
     handle.copy_from_fpga(pc);
-    let got: Vec<i32> = handle.read_u32_slice(pc, n * n).into_iter().map(|v| v as i32).collect();
+    let got: Vec<i32> = handle
+        .read_u32_slice(pc, n * n)
+        .into_iter()
+        .map(|v| v as i32)
+        .collect();
     assert_eq!(got, gemm::reference(&a, &b, n));
     assert!(handle.stats().dma_to_device_bytes >= 2 * (n * n * 4) as u64);
 }
@@ -89,7 +102,8 @@ fn nw_multicore_distinct_alignments() {
     let tokens: Vec<_> = (0..2u16)
         .map(|core| {
             let base = 0x10_000 + u64::from(core) * 0x10_000;
-            soc.send_command(0, core, &nw::args(base, base + 0x1000, base + 0x2000, n)).unwrap()
+            soc.send_command(0, core, &nw::args(base, base + 0x1000, base + 0x2000, n))
+                .unwrap()
         })
         .collect();
     for t in tokens {
@@ -97,7 +111,10 @@ fn nw_multicore_distinct_alignments() {
     }
     for (core, (base, (ref_a, ref_b))) in expected.into_iter().enumerate() {
         let got_a = soc.memory().borrow().read_vec(base + 0x2000, 2 * n);
-        let got_b = soc.memory().borrow().read_vec(base + 0x2000 + (2 * n) as u64, 2 * n);
+        let got_b = soc
+            .memory()
+            .borrow()
+            .read_vec(base + 0x2000 + (2 * n) as u64, 2 * n);
         assert_eq!(got_a, ref_a, "core {core} aligned A");
         assert_eq!(got_b, ref_b, "core {core} aligned B");
     }
@@ -178,7 +195,9 @@ fn commands_cross_the_mmio_wire_protocol() {
     // Every command beat crosses the MMIO FIFO as a five-word frame; the
     // vecadd command packs into one beat.
     let mut soc = elaborate(vecadd::config(1), &Platform::sim()).unwrap();
-    soc.memory().borrow_mut().write_u32_slice(0x1000, &[1, 2, 3, 4]);
+    soc.memory()
+        .borrow_mut()
+        .write_u32_slice(0x1000, &[1, 2, 3, 4]);
     assert_eq!(soc.mmio_cmd_words(), 0);
     let token = soc.send_command(0, 0, &vecadd::args(1, 0x1000, 4)).unwrap();
     assert_eq!(soc.mmio_cmd_words(), 5, "one beat = five MMIO words");

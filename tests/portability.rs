@@ -8,7 +8,12 @@ use beethoven::platform::Platform;
 use beethoven::runtime::FpgaHandle;
 
 fn platforms() -> Vec<Platform> {
-    vec![Platform::kria(), Platform::aws_f1(), Platform::sim(), Platform::asap7_asic()]
+    vec![
+        Platform::kria(),
+        Platform::aws_f1(),
+        Platform::sim(),
+        Platform::asap7_asic(),
+    ]
 }
 
 #[test]
@@ -24,7 +29,8 @@ fn vecadd_runs_on_every_platform() {
         let resp = handle
             .call(vecadd::SYSTEM, 0, vecadd::args(9, mem.device_addr(), 128))
             .unwrap();
-        resp.get().unwrap_or_else(|e| panic!("{}: {e}", platform.name));
+        resp.get()
+            .unwrap_or_else(|e| panic!("{}: {e}", platform.name));
         handle.copy_from_fpga(mem);
         assert_eq!(
             handle.read_u32_slice(mem, 128),
@@ -58,9 +64,17 @@ fn stencil2d_correct_on_embedded_and_discrete() {
             .unwrap();
         resp.get().unwrap();
         handle.copy_from_fpga(ps);
-        let got: Vec<i32> =
-            handle.read_u32_slice(ps, n * n).into_iter().map(|v| v as i32).collect();
-        assert_eq!(got, stencil2d::reference(&grid, &filter, n), "platform {}", platform.name);
+        let got: Vec<i32> = handle
+            .read_u32_slice(ps, n * n)
+            .into_iter()
+            .map(|v| v as i32)
+            .collect();
+        assert_eq!(
+            got,
+            stencil2d::reference(&grid, &filter, n),
+            "platform {}",
+            platform.name
+        );
     }
 }
 
@@ -76,12 +90,19 @@ fn stencil3d_correct_on_asic_at_1ghz() {
     handle.write_u32_slice(pg, &grid.iter().map(|&x| x as u32).collect::<Vec<_>>());
     handle.copy_to_fpga(pg);
     let resp = handle
-        .call(stencil3d::SYSTEM, 0, stencil3d::args(pg.device_addr(), ps.device_addr(), n, 3, 1))
+        .call(
+            stencil3d::SYSTEM,
+            0,
+            stencil3d::args(pg.device_addr(), ps.device_addr(), n, 3, 1),
+        )
         .unwrap();
     resp.get().unwrap();
     handle.copy_from_fpga(ps);
-    let got: Vec<i32> =
-        handle.read_u32_slice(ps, n * n * n).into_iter().map(|v| v as i32).collect();
+    let got: Vec<i32> = handle
+        .read_u32_slice(ps, n * n * n)
+        .into_iter()
+        .map(|v| v as i32)
+        .collect();
     assert_eq!(got, stencil3d::reference(&grid, n, 3, 1));
 }
 
@@ -104,7 +125,11 @@ fn mdknn_bit_exact_on_kria() {
         )
         .unwrap();
     resp.get().unwrap();
-    let got: Vec<f32> = handle.read_u32_slice(pf, 3 * n).into_iter().map(f32::from_bits).collect();
+    let got: Vec<f32> = handle
+        .read_u32_slice(pf, 3 * n)
+        .into_iter()
+        .map(f32::from_bits)
+        .collect();
     let expect = mdknn::reference(&pos, &nl, n, k);
     for (a, b) in got.iter().zip(expect.iter()) {
         assert_eq!(a.to_bits(), b.to_bits());
@@ -123,7 +148,9 @@ fn fabric_clock_changes_wall_time_not_results() {
         handle.write_u32_slice(mem, &input);
         handle.copy_to_fpga(mem);
         let t0 = handle.elapsed_secs();
-        let resp = handle.call(vecadd::SYSTEM, 0, vecadd::args(1, mem.device_addr(), 2048)).unwrap();
+        let resp = handle
+            .call(vecadd::SYSTEM, 0, vecadd::args(1, mem.device_addr(), 2048))
+            .unwrap();
         resp.get().unwrap();
         let elapsed = handle.elapsed_secs() - t0;
         handle.copy_from_fpga(mem);

@@ -1,0 +1,409 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A deterministic mini property-testing harness covering the API surface
+//! the workspace uses: the `proptest!` macro (with an optional
+//! `#![proptest_config(..)]` header), `prop_assert*`/`prop_assume!`,
+//! `prop_oneof!` (weighted and unweighted), `any::<T>()`, `Just`,
+//! integer-range and tuple strategies, `.prop_map`, and
+//! `proptest::collection::vec`. Cases are generated from a seed derived
+//! from the test's module path and name, so failures reproduce exactly.
+//! There is no shrinking: a failing case reports its inputs via the
+//! assertion message instead. Swap back to the real proptest when a
+//! registry is reachable.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// How a generated case ended, other than success.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+/// Deterministic splitmix64 generator, seeded per test and case.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// RNG for case number `case` of the test identified by `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self(h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range has no values");
+        self.next_u64() % bound
+    }
+}
+
+/// Run-level knobs (`cases` is the only one the workspace sets).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+    /// Shrink-iteration cap (accepted for compatibility; shrinking in this
+    /// stand-in is a bounded linear scan, so the cap is never reached).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws a value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Full-domain strategy for `T` (see [`any`]).
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as u64)
+                    .wrapping_sub(*self.start() as u64)
+                    .wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    rng.next_u64() as $t
+                } else {
+                    (*self.start() as u64).wrapping_add(rng.below(span)) as $t
+                }
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+/// Weighted choice between boxed strategies (see `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+}
+
+impl<V> Union<V> {
+    /// A union over `arms`; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        assert!(arms.iter().any(|(w, _)| *w > 0), "all-zero union weights");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total);
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum checked above")
+    }
+}
+
+/// Boxes one `prop_oneof!` arm (monomorphization helper for the macro).
+pub fn union_arm<V, S: Strategy<Value = V> + 'static>(
+    weight: u32,
+    strategy: S,
+) -> (u32, Box<dyn Strategy<Value = V>>) {
+    (weight, Box::new(strategy))
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Weighted (`w => strat`) or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::union_arm($weight as u32, $strat)),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::union_arm(1u32, $strat)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])+
+         fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    let result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match result {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("property failed on case {case}: {msg}");
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

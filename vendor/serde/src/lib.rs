@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides just enough surface for `use serde::{Deserialize, Serialize}`
+//! plus `#[derive(Serialize, Deserialize)]` to compile: the derive macros
+//! (re-exported from the stub `serde_derive`) expand to nothing, and no
+//! code in the workspace bounds on the traits. Replace with the real
+//! serde when a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
