@@ -16,6 +16,7 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use bdram::{DramRequest, DramSystem};
+use bsim::perf::{Counter, CounterSet};
 use bsim::{ClockDomain, Component, Cycle, SparseMemory, Stats, Tracer};
 
 use crate::port::AxiSlavePort;
@@ -108,6 +109,11 @@ pub struct AxiMemoryController {
     dram_pending: HashMap<u64, (bool, u64, usize)>,
     next_seq: u64,
     next_dram_id: u64,
+    /// Cycles an R beat was ready but the fabric could not take it.
+    /// Detached (never counts) until [`AxiMemoryController::attach_perf`].
+    perf_r_backpressure: Counter,
+    /// Cycles a B response was ready but the fabric could not take it.
+    perf_b_backpressure: Counter,
 }
 
 impl AxiMemoryController {
@@ -135,11 +141,28 @@ impl AxiMemoryController {
             dram_pending: HashMap::new(),
             next_seq: 0,
             next_dram_id: 0,
+            perf_r_backpressure: Counter::detached(),
+            perf_b_backpressure: Counter::detached(),
         }
     }
 
+    /// Registers this controller with a perf [`CounterSet`]: the existing
+    /// stats bag (beat counts, latency and occupancy histograms) is
+    /// attached for merged reads, and the cheap backpressure counters are
+    /// re-minted from the set so they obey the registry's enable flag.
+    /// DRAM-side stats need a [`bsim::Shared`] handle and are attached by
+    /// the elaborator as a pull provider instead.
+    pub fn attach_perf(&mut self, set: &CounterSet) {
+        set.attach_stats(&self.stats);
+        self.perf_r_backpressure = set.counter("r_backpressure_cycles");
+        self.perf_b_backpressure = set.counter("b_backpressure_cycles");
+    }
+
     /// The stats bag (cloneable; counters: `ar_accepted`, `r_beats`,
-    /// `aw_accepted`, `w_beats`, `b_sent`; histogram `read_latency_cycles`).
+    /// `aw_accepted`, `w_beats`, `b_sent`; histograms
+    /// `read_latency_cycles`, `write_latency_cycles`, and the
+    /// `read_outstanding`/`write_outstanding` occupancy families, sampled
+    /// at accept time, aggregate and per AXI ID).
     pub fn stats(&self) -> Stats {
         self.stats.clone()
     }
@@ -157,6 +180,18 @@ impl AxiMemoryController {
     /// DRAM-side statistics.
     pub fn dram_stats(&self) -> bdram::ChannelStats {
         self.dram.stats()
+    }
+
+    /// DRAM-side statistics, one entry per channel (for per-channel
+    /// bandwidth counters in the perf registry).
+    pub fn dram_channel_stats(&self) -> Vec<bdram::ChannelStats> {
+        self.dram.per_channel_stats()
+    }
+
+    /// Bytes one DRAM sub-burst moves (per-channel byte counters scale
+    /// channel read/write counts by this).
+    pub fn dram_bytes_per_burst(&self) -> u64 {
+        self.dram.bytes_per_burst()
     }
 
     /// Whether no transactions are in flight.
@@ -224,6 +259,14 @@ impl AxiMemoryController {
         );
         self.read_order.entry(ar.id).or_default().push_back(seq);
         self.stats.incr("ar_accepted");
+        // Occupancy at accept time: per-transaction, so it is identical
+        // under the naive and idle-skipping schedulers.
+        self.stats
+            .record("read_outstanding", self.read_txns.len() as u64);
+        self.stats.record(
+            &format!("read_outstanding_id{}", ar.id),
+            self.read_order[&ar.id].len() as u64,
+        );
         self.tracer.record(
             now,
             "AR",
@@ -263,6 +306,12 @@ impl AxiMemoryController {
         self.write_order.entry(aw.id).or_default().push_back(seq);
         self.w_data_order.push_back(seq);
         self.stats.incr("aw_accepted");
+        self.stats
+            .record("write_outstanding", self.write_txns.len() as u64);
+        self.stats.record(
+            &format!("write_outstanding_id{}", aw.id),
+            self.write_order[&aw.id].len() as u64,
+        );
         self.tracer.record(
             now,
             "AW",
@@ -435,6 +484,11 @@ impl AxiMemoryController {
     /// Emits at most one R beat per cycle; a burst streams contiguously.
     fn emit_r(&mut self, now: Cycle) {
         if !self.port.r.can_send() {
+            // Only counted while reads are in flight, so the controller is
+            // dense-ticking in both scheduler modes (skip-invariant).
+            if !self.read_txns.is_empty() {
+                self.perf_r_backpressure.incr();
+            }
             return;
         }
         if self.current_r.is_none() {
@@ -481,6 +535,9 @@ impl AxiMemoryController {
     /// Emits at most one B response per cycle, per-ID in order.
     fn emit_b(&mut self, now: Cycle) {
         if !self.port.b.can_send() {
+            if !self.write_txns.is_empty() {
+                self.perf_b_backpressure.incr();
+            }
             return;
         }
         let mut ready: Option<u64> = None;
@@ -797,6 +854,69 @@ mod tests {
         assert_eq!(stats.get("ar_accepted"), 1);
         assert_eq!(stats.get("r_beats"), 4);
         assert!(stats.histogram("read_latency_cycles").unwrap().count() == 1);
+    }
+
+    #[test]
+    fn occupancy_histograms_track_outstanding_reads() {
+        let (master, ctrl, mut sim, _memory) = setup(ControllerConfig::default());
+        for i in 0..4u32 {
+            master.ar.send(
+                0,
+                ArFlit {
+                    id: i,
+                    addr: u64::from(i) * 4096,
+                    beats: 4,
+                },
+            );
+        }
+        let mut lasts = 0;
+        while lasts < 4 {
+            sim.step();
+            while let Some(r) = master.r.recv(sim.now()) {
+                lasts += u64::from(r.last);
+            }
+            assert!(sim.now() < 100_000);
+        }
+        let stats = ctrl.borrow().stats();
+        let occ = stats.histogram("read_outstanding").unwrap();
+        assert_eq!(occ.count(), 4, "one occupancy sample per accepted AR");
+        assert_eq!(occ.max(), Some(4), "all four reads overlapped");
+        let per_id = stats.histogram("read_outstanding_id2").unwrap();
+        assert_eq!(per_id.count(), 1);
+        assert_eq!(per_id.max(), Some(1));
+    }
+
+    #[test]
+    fn backpressure_counter_counts_only_when_enabled() {
+        use bsim::PerfRegistry;
+        // A tiny R queue the host never drains forces backpressure.
+        let (master, slave) = axi_link(PortDepths {
+            ar: 16,
+            r: 1,
+            aw: 16,
+            w: 16,
+            b: 16,
+        });
+        let memory: SharedMemory = Rc::new(RefCell::new(SparseMemory::new()));
+        let dram = DramSystem::new(DramConfig::ddr4_2400());
+        let mut ctrl = AxiMemoryController::new(ControllerConfig::default(), dram, slave, memory);
+        let perf = PerfRegistry::new();
+        ctrl.attach_perf(&perf.set("mem0"));
+        perf.set_enabled(true);
+        let mut sim = Simulation::new();
+        sim.add_shared(ctrl);
+        master.ar.send(
+            0,
+            ArFlit {
+                id: 0,
+                addr: 0,
+                beats: 8,
+            },
+        );
+        sim.run_for(5_000);
+        let stalled = perf.counter("mem0/r_backpressure_cycles").unwrap();
+        assert!(stalled > 0, "an undrained R queue must register stalls");
+        assert_eq!(perf.counter("mem0/ar_accepted"), Some(1));
     }
 
     #[test]

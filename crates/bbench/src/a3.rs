@@ -144,6 +144,55 @@ fn measure_beethoven_timed(scale: &A3Scale, platform: &Platform) -> (f64, f64, u
     (ops_per_sec, cycles_per_query, handle.now())
 }
 
+/// Runs one single-core A³ load + attend round with the performance
+/// counters and AXI tracer enabled and returns the handle, so the
+/// `table3` binary can export profile artifacts next to the table.
+pub fn profiled_run(scale: &A3Scale) -> FpgaHandle {
+    let opts = bcore::elaborate::ElaborationOptions {
+        profile: true,
+        trace: true,
+        ..a3_options()
+    };
+    let soc =
+        bcore::elaborate::elaborate_with(a3_config(1, scale.params), &Platform::aws_f1(), opts)
+            .expect("A3 elaborates");
+    let handle = FpgaHandle::new(soc);
+    handle.with_soc(|soc| soc.sample_perf());
+    let p = scale.params;
+    let (queries, keys, values) = battention::fixed::workload(&p, scale.queries_per_core, 99);
+    let pk = handle.malloc((p.keys * p.dim) as u64).unwrap();
+    let pv = handle.malloc((p.keys * p.dim) as u64).unwrap();
+    handle.write_at(pk, 0, &keys.iter().map(|&v| v as u8).collect::<Vec<_>>());
+    handle.write_at(pv, 0, &values.iter().map(|&v| v as u8).collect::<Vec<_>>());
+    handle.copy_to_fpga(pk);
+    handle.copy_to_fpga(pv);
+    handle
+        .call(
+            SYSTEM,
+            0,
+            load_kv_args(pk.device_addr(), pv.device_addr(), p.keys),
+        )
+        .expect("load_kv")
+        .get()
+        .expect("load_kv completes");
+    let qbytes = (scale.queries_per_core * p.dim) as u64;
+    let pq = handle.malloc(qbytes).unwrap();
+    let po = handle.malloc(qbytes).unwrap();
+    handle.write_at(pq, 0, &queries.iter().map(|&v| v as u8).collect::<Vec<_>>());
+    handle.copy_to_fpga(pq);
+    handle
+        .call(
+            SYSTEM,
+            0,
+            attend_args(pq.device_addr(), po.device_addr(), scale.queries_per_core),
+        )
+        .expect("attend")
+        .get()
+        .expect("attend completes");
+    handle.with_soc(|soc| soc.sample_perf());
+    handle
+}
+
 /// Figure 7: renders the core structure and its measured pipeline rate.
 pub fn fig7(scale: &A3Scale) -> String {
     let single = A3Scale {

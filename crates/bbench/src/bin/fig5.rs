@@ -1,7 +1,9 @@
 //! Regenerates Figure 5 (AXI transaction timelines, 4 KiB memcpy).
 
+use bkernels::memcpy::{run_memcpy_profiled, MemcpyVariant};
+
 fn main() {
-    bbench::with_sim_rate(|| {
+    bbench::with_sim_rate_ext(|| {
         let fig = bbench::fig5::run();
         print!("{}", bbench::fig5::render(&fig));
         match bbench::fig5::write_vcds(std::path::Path::new(".")) {
@@ -12,7 +14,22 @@ fn main() {
             }
             Err(e) => eprintln!("could not write VCD waveforms: {e}"),
         }
+        // The figure's own 4 KiB copy, re-run with counters enabled, for
+        // the exported counter report and Chrome trace.
+        let (_, soc) = run_memcpy_profiled(MemcpyVariant::Beethoven16Beat, 4096);
+        match bbench::profile::emit("fig5", &soc) {
+            Ok(art) => eprintln!(
+                "wrote profile {} and trace {}",
+                art.report.display(),
+                art.trace.display()
+            ),
+            Err(e) => eprintln!("could not write profile artifacts: {e}"),
+        }
         let (hls, beethoven, hdl) = fig.finish_cycles;
-        ((), hls + beethoven + hdl)
+        (
+            (),
+            hls + beethoven + hdl,
+            bbench::profile::sim_rate_ext(&soc),
+        )
     });
 }

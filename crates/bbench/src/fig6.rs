@@ -293,6 +293,31 @@ pub fn run_timed(scale: &Fig6Scale) -> (Vec<Fig6Row>, u64) {
     (rows, total_cycles)
 }
 
+/// Runs one single-core GeMM invocation with the performance counters and
+/// AXI tracer enabled and returns the handle, so the `fig6` binary can
+/// export profile artifacts next to the figure.
+pub fn profiled_run(scale: &Fig6Scale) -> FpgaHandle {
+    let platform = beethoven_platform();
+    let opts = ElaborationOptions {
+        profile: true,
+        trace: true,
+        ..ElaborationOptions::default()
+    };
+    let ds = drivers(scale);
+    let driver = ds
+        .iter()
+        .find(|d| d.bench == Bench::Gemm)
+        .expect("GeMM driver exists");
+    let soc = elaborate_with((driver.config)(1), &platform, opts).expect("elaborates");
+    let handle = FpgaHandle::new(soc);
+    handle.with_soc(|soc| soc.sample_perf());
+    let args = (driver.setup)(&handle, 0);
+    let resp = handle.call(driver.system, 0, args).expect("call");
+    resp.get().expect("profiled invocation completes");
+    handle.with_soc(|soc| soc.sample_perf());
+    handle
+}
+
 /// Runs a single benchmark (used by tests and the criterion benches).
 pub fn run_one(bench: Bench, scale: &Fig6Scale) -> Fig6Row {
     let ds = drivers(scale);

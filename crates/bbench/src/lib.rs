@@ -23,6 +23,7 @@ pub mod a3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod profile;
 pub mod table1;
 
 /// Returns true when `--small` was passed on the command line.
@@ -38,5 +39,16 @@ pub fn with_sim_rate<R>(f: impl FnOnce() -> (R, u64)) -> R {
     let timer = bsim::SimRateTimer::starting_at(0);
     let (result, cycles) = f();
     println!("{}", timer.finish(cycles).render());
+    result
+}
+
+/// [`with_sim_rate`] with the extended footer: `f` additionally reports a
+/// [`bsim::SimRateExt`] (DRAM traffic, achieved bandwidth, scheduler skip
+/// ratio — see [`profile::sim_rate_ext`]) measured on its representative
+/// profiled run.
+pub fn with_sim_rate_ext<R>(f: impl FnOnce() -> (R, u64, bsim::SimRateExt)) -> R {
+    let timer = bsim::SimRateTimer::starting_at(0);
+    let (result, cycles, ext) = f();
+    println!("{}", timer.finish(cycles).render_with(&ext));
     result
 }

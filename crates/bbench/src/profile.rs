@@ -1,0 +1,125 @@
+//! Profile artifact emission for the figure binaries.
+//!
+//! Each artifact binary runs one representative workload with the
+//! performance counters and AXI tracer enabled, then writes two files
+//! next to its printed results:
+//!
+//! * `<stem>.profile.txt` — the hierarchical counter report
+//!   ([`bcore::SocSim::perf_report`]);
+//! * `<stem>.trace.json` — a Chrome trace-event document
+//!   ([`bcore::SocSim::chrome_trace`]), viewable at
+//!   <https://ui.perfetto.dev>.
+//!
+//! The JSON is validated with [`bsim::perf::validate_json`] before it is
+//! written; an exporter bug fails the emission rather than producing a
+//! file Perfetto rejects. Set `BBENCH_PROFILE_DIR` to redirect the output
+//! directory (default: the current directory, next to the `fig5_*.vcd`
+//! waveforms).
+
+use std::path::{Path, PathBuf};
+
+use bcore::SocSim;
+use bsim::SimRateExt;
+
+/// Paths of one emitted profile pair.
+#[derive(Debug, Clone)]
+pub struct ProfileArtifacts {
+    /// The text counter report.
+    pub report: PathBuf,
+    /// The Chrome trace-event JSON.
+    pub trace: PathBuf,
+}
+
+/// Output directory: `BBENCH_PROFILE_DIR` or the current directory.
+pub fn out_dir() -> PathBuf {
+    std::env::var_os("BBENCH_PROFILE_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+/// Writes `<stem>.profile.txt` and `<stem>.trace.json` into [`out_dir`].
+///
+/// # Errors
+///
+/// Propagates filesystem errors; reports an invalid trace document as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn emit(stem: &str, soc: &SocSim) -> std::io::Result<ProfileArtifacts> {
+    emit_to(&out_dir(), stem, soc)
+}
+
+/// [`emit`] into an explicit directory (created if absent).
+///
+/// # Errors
+///
+/// See [`emit`].
+pub fn emit_to(dir: &Path, stem: &str, soc: &SocSim) -> std::io::Result<ProfileArtifacts> {
+    std::fs::create_dir_all(dir)?;
+    let trace_json = soc.chrome_trace();
+    bsim::perf::validate_json(&trace_json).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("chrome trace is not valid JSON: {e}"),
+        )
+    })?;
+    let report = dir.join(format!("{stem}.profile.txt"));
+    let trace = dir.join(format!("{stem}.trace.json"));
+    std::fs::write(&report, soc.perf_report())?;
+    std::fs::write(&trace, trace_json)?;
+    Ok(ProfileArtifacts { report, trace })
+}
+
+/// Builds the extended sim-rate footer context from a profiled SoC's
+/// counters: total DRAM traffic and the scheduler's skip ratio, both from
+/// the representative profiled run.
+pub fn sim_rate_ext(soc: &SocSim) -> SimRateExt {
+    let counters = soc.perf_counters();
+    let value = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    let dram_bytes = counters
+        .iter()
+        .filter(|(n, _)| {
+            n.contains("/dram/") && (n.ends_with("_bytes_read") || n.ends_with("_bytes_written"))
+        })
+        .map(|(_, v)| v)
+        .sum();
+    let skipped = value("scheduler/skipped_cycles");
+    let executed = value("scheduler/executed_cycles");
+    SimRateExt {
+        dram_bytes,
+        sim_seconds: soc.clock().cycles_to_secs(soc.now()),
+        skipped_cycles: skipped,
+        total_cycles: executed + skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bkernels::memcpy::{run_memcpy_profiled, MemcpyVariant};
+
+    #[test]
+    fn profile_smoke_emits_valid_artifacts() {
+        let (result, soc) = run_memcpy_profiled(MemcpyVariant::Beethoven, 16 * 1024);
+        assert!(result.gbps > 0.0);
+        let dir = std::env::temp_dir().join(format!("bbench_profile_{}", std::process::id()));
+        let art = emit_to(&dir, "smoke", &soc).expect("emission succeeds");
+        let report = std::fs::read_to_string(&art.report).unwrap();
+        assert!(report.contains("[mem0]"), "report lists the controller");
+        assert!(report.contains("r_beats"), "report lists beat counters");
+        let trace = std::fs::read_to_string(&art.trace).unwrap();
+        bsim::perf::validate_json(&trace).expect("trace parses");
+        assert!(trace.contains("\"ph\":\"X\""), "trace has AXI slices");
+        assert!(trace.contains("\"ph\":\"C\""), "trace has counter tracks");
+        let ext = sim_rate_ext(&soc);
+        // 16 KiB read + 16 KiB written, rounded up to whole bursts.
+        assert!(
+            ext.dram_bytes >= 32 * 1024,
+            "dram bytes: {}",
+            ext.dram_bytes
+        );
+        assert!(ext.total_cycles > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -20,7 +20,7 @@ use bplatform::{
     CellKind, Floorplanner, MemoryCellMapper, MemoryRequest, PlacementError, Platform,
     ResourceVector,
 };
-use bsim::{channel_with_latency, ClockDomain, Simulation, SparseMemory, Stats};
+use bsim::{channel_with_latency, ClockDomain, PerfRegistry, Simulation, SparseMemory, Stats};
 
 use crate::bindings::generate_bindings;
 use crate::config::{AcceleratorConfig, MemoryChannelConfig};
@@ -115,6 +115,11 @@ pub struct ElaborationOptions {
     pub buffers_in_registers: bool,
     /// Enable the AXI tracer from cycle 0.
     pub trace: bool,
+    /// Enable the gated performance counters from cycle 0. The registry is
+    /// always built and attached; this only flips
+    /// [`PerfRegistry::set_enabled`] (also reachable later via
+    /// `SocSim::set_profiling`).
+    pub profile: bool,
     /// NoC construction parameters.
     pub noc: NocParams,
 }
@@ -132,6 +137,7 @@ impl Default for ElaborationOptions {
             same_id_inflight: 1,
             buffers_in_registers: false,
             trace: false,
+            profile: false,
             noc: NocParams::default(),
         }
     }
@@ -408,6 +414,10 @@ pub fn elaborate_with(
 
     // ---- 4. Simulation assembly ------------------------------------------
     let mut sim = Simulation::new();
+    let perf = PerfRegistry::new();
+    if opts.profile {
+        perf.set_enabled(true);
+    }
     let memory: baxi::SharedMemory = Rc::new(std::cell::RefCell::new(SparseMemory::new()));
     let axi_params = AxiParams {
         data_bytes: platform.mem_bus_bytes,
@@ -503,14 +513,17 @@ pub fn elaborate_with(
             w: 2 * opts.burst_beats as usize + 8,
             b: 8,
         };
+        // Perf registration paths: one set per streaming channel under the
+        // owning core, e.g. `cores/MySystem0/vec_in0`.
+        let core_label = format!("cores/{}{}", sys.name, core_idx);
         for ch in &sys.memory_channels {
             match ch {
                 MemoryChannelConfig::Read(r) => {
                     let mut channels = Vec::new();
-                    for _ in 0..r.n_channels {
+                    for i in 0..r.n_channels {
                         let (master, slave) = axi_link_with_latency(depths, mem_latency);
                         slave_ports[mem_port].push(slave);
-                        channels.push(Reader::new(
+                        let mut reader = Reader::new(
                             ReaderConfig {
                                 name: r.name.clone(),
                                 data_bytes: r.data_bytes,
@@ -521,16 +534,18 @@ pub fn elaborate_with(
                                 prefetch_bytes: opts.prefetch_bytes,
                             },
                             master,
-                        ));
+                        );
+                        reader.attach_perf(&perf.set(&format!("{core_label}/{}{i}", r.name)));
+                        channels.push(reader);
                     }
                     readers.insert(r.name.clone(), channels);
                 }
                 MemoryChannelConfig::Write(w) => {
                     let mut channels = Vec::new();
-                    for _ in 0..w.n_channels {
+                    for i in 0..w.n_channels {
                         let (master, slave) = axi_link_with_latency(depths, mem_latency);
                         slave_ports[mem_port].push(slave);
-                        channels.push(Writer::new(
+                        let mut writer = Writer::new(
                             WriterConfig {
                                 name: w.name.clone(),
                                 data_bytes: w.data_bytes,
@@ -541,21 +556,22 @@ pub fn elaborate_with(
                                 staging_bytes: opts.staging_bytes,
                             },
                             master,
-                        ));
+                        );
+                        writer.attach_perf(&perf.set(&format!("{core_label}/{}{i}", w.name)));
+                        channels.push(writer);
                     }
                     writers.insert(w.name.clone(), channels);
                 }
                 MemoryChannelConfig::Scratchpad(sp) => {
-                    scratchpads.insert(
-                        sp.name.clone(),
-                        Scratchpad::new(&sp.name, sp.data_width_bits, sp.n_datas, sp.latency),
-                    );
+                    let mut pad =
+                        Scratchpad::new(&sp.name, sp.data_width_bits, sp.n_datas, sp.latency);
+                    pad.attach_perf(&perf.set(&format!("{core_label}/{}", sp.name)));
+                    scratchpads.insert(sp.name.clone(), pad);
                 }
                 MemoryChannelConfig::IntraIn(i) => {
-                    scratchpads.insert(
-                        i.name.clone(),
-                        Scratchpad::new(&i.name, i.data_width_bits, i.n_datas, i.latency),
-                    );
+                    let mut pad = Scratchpad::new(&i.name, i.data_width_bits, i.n_datas, i.latency);
+                    pad.attach_perf(&perf.set(&format!("{core_label}/{}", i.name)));
+                    scratchpads.insert(i.name.clone(), pad);
                 }
                 MemoryChannelConfig::IntraOut(_) => {}
             }
@@ -564,6 +580,8 @@ pub fn elaborate_with(
         let (cmd_tx, cmd_rx) =
             channel_with_latency(opts.cmd_queue_depth.max(cmd_latency as usize), cmd_latency);
         let (resp_tx, resp_rx) = channel_with_latency(8.max(cmd_latency as usize), cmd_latency);
+        let core_stats = Stats::new();
+        perf.set(&core_label).attach_stats(&core_stats);
         let mut ctx = CoreContext::new(
             sys_idx as u16,
             core_idx,
@@ -572,7 +590,7 @@ pub fn elaborate_with(
             scratchpads,
             cmd_rx,
             resp_tx,
-            Stats::new(),
+            core_stats,
         );
         let mut outs = BTreeMap::new();
         for ch in &sys.memory_channels {
@@ -620,10 +638,11 @@ pub fn elaborate_with(
             );
             if port == 0 {
                 interconnect_stats = interconnect.stats();
+                perf.set("interconnect").attach_stats(&interconnect_stats);
             }
             sim.add(interconnect);
         }
-        let controller = AxiMemoryController::new(
+        let mut controller = AxiMemoryController::new(
             ControllerConfig {
                 axi: axi_params,
                 fabric,
@@ -636,10 +655,37 @@ pub fn elaborate_with(
             down_slave,
             Rc::clone(&memory),
         );
+        controller.attach_perf(&perf.set(&format!("mem{port}")));
         if opts.trace {
             controller.tracer().set_enabled(true);
         }
-        controllers.push(sim.add_shared(controller));
+        let shared = sim.add_shared(controller);
+        // DRAM channel stats live in plain structs inside the controller;
+        // a pull-model provider reads them through the shared handle (only
+        // invoked from host context, so the borrow never conflicts with a
+        // tick).
+        let dram_handle = shared.clone();
+        perf.set(&format!("mem{port}/dram")).add_provider(move || {
+            let ctrl = dram_handle.borrow();
+            let burst = ctrl.dram_bytes_per_burst();
+            let mut out = Vec::new();
+            for (i, s) in ctrl.dram_channel_stats().into_iter().enumerate() {
+                out.push((format!("ch{i}_reads"), s.reads));
+                out.push((format!("ch{i}_writes"), s.writes));
+                out.push((format!("ch{i}_row_hits"), s.row_hits));
+                out.push((format!("ch{i}_row_conflicts"), s.row_conflicts));
+                out.push((format!("ch{i}_activates"), s.activates));
+                out.push((format!("ch{i}_refreshes"), s.refreshes));
+                out.push((
+                    format!("ch{i}_refresh_stall_cycles"),
+                    s.refresh_stall_cycles,
+                ));
+                out.push((format!("ch{i}_bytes_read"), s.reads * burst));
+                out.push((format!("ch{i}_bytes_written"), s.writes * burst));
+            }
+            out
+        });
+        controllers.push(shared);
     }
 
     // ---- 5. Report --------------------------------------------------------
@@ -740,6 +786,7 @@ pub fn elaborate_with(
         controllers,
         interconnect_stats,
         report,
+        perf,
     ))
 }
 
@@ -985,6 +1032,97 @@ mod tests {
         assert!(regs.report().total.bram < sram.report().total.bram);
         assert!(regs.report().total.ff > sram.report().total.ff);
         assert!(regs.report().render_table().contains("REGS"));
+    }
+
+    #[test]
+    fn perf_window_reads_a_live_counter_mid_run() {
+        use crate::mmio::MmioRegister;
+        let mut soc = elaborate_with(
+            vecadd_config(1),
+            &Platform::sim(),
+            ElaborationOptions {
+                profile: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let n = 100_000u64;
+        let input: Vec<u32> = (0..n as u32).collect();
+        soc.memory().borrow_mut().write_u32_slice(0x1_0000, &input);
+        let token = soc.send_command(0, 0, &args(1, 0x1_0000, n)).unwrap();
+        soc.run_for(5_000);
+        assert!(soc.has_outstanding(), "must still be mid-run at cycle 5000");
+
+        let names = soc.perf().counter_names();
+        assert_eq!(soc.mmio_read(MmioRegister::PerfCount) as usize, names.len());
+        let idx = names
+            .iter()
+            .position(|name| name == "mem0/r_beats")
+            .expect("controller counters registered");
+        soc.mmio_write(MmioRegister::PerfSelect, idx as u32);
+        let lo = u64::from(soc.mmio_read(MmioRegister::PerfDataLo));
+        let hi = u64::from(soc.mmio_read(MmioRegister::PerfDataHi));
+        let windowed = (hi << 32) | lo;
+        assert!(windowed > 0, "read beats must be visible mid-run");
+        assert_eq!(soc.perf().counter("mem0/r_beats"), Some(windowed));
+
+        soc.run_until_response(token, 5_000_000).expect("finishes");
+        let report = soc.perf_report();
+        assert!(report.contains("[mem0]"), "report: {report}");
+        assert!(report.contains("[scheduler]"), "report: {report}");
+        assert!(report.contains("[mmio]"), "report: {report}");
+        let latency = soc
+            .perf()
+            .histograms()
+            .into_iter()
+            .find(|(name, _)| name == "mmio/cmd_latency_cycles")
+            .expect("dispatch latency histogram recorded")
+            .1;
+        assert_eq!(latency.count(), 1);
+        assert!(latency.min().unwrap() > 0);
+    }
+
+    #[test]
+    fn chrome_trace_from_soc_is_valid_json() {
+        let mut soc = elaborate_with(
+            vecadd_config(1),
+            &Platform::sim(),
+            ElaborationOptions {
+                profile: true,
+                trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let input: Vec<u32> = (0..4096u32).collect();
+        soc.memory().borrow_mut().write_u32_slice(0x1_0000, &input);
+        let token = soc.send_command(0, 0, &args(3, 0x1_0000, 4096)).unwrap();
+        soc.sample_perf();
+        soc.run_for(2_000);
+        soc.sample_perf();
+        soc.run_until_response(token, 2_000_000).expect("finishes");
+        soc.sample_perf();
+        let json = soc.chrome_trace();
+        bsim::perf::validate_json(&json).expect("trace must be valid JSON");
+        assert!(json.contains("\"ph\":\"X\""), "slices from the tracer");
+        assert!(json.contains("\"ph\":\"C\""), "counter tracks from samples");
+    }
+
+    #[test]
+    fn disabled_profiling_leaves_gated_counters_at_zero() {
+        let mut soc = elaborate(vecadd_config(1), &Platform::sim()).unwrap();
+        let input: Vec<u32> = (0..4096u32).collect();
+        soc.memory().borrow_mut().write_u32_slice(0x1_0000, &input);
+        let token = soc.send_command(0, 0, &args(0, 0x1_0000, 4096)).unwrap();
+        soc.run_until_response(token, 2_000_000).expect("finishes");
+        // Ungated stats still flow (they are component-owned)...
+        assert!(soc.perf().counter("mem0/r_beats").unwrap_or(0) > 0);
+        // ...but every gated stall counter stayed at zero.
+        for (name, value) in soc.perf().counters() {
+            if name.contains("stall_") && !name.contains("refresh") {
+                assert_eq!(value, 0, "{name} must not count while disabled");
+            }
+        }
     }
 
     #[test]

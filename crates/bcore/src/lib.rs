@@ -52,6 +52,7 @@ pub use intracore::{
     CommunicationDegree, IntraCoreMemoryPortInConfig, IntraCoreMemoryPortOutConfig, RemoteWrite,
     RemoteWritePort,
 };
+pub use mmio::MmioRegister;
 pub use primitives::{BusyError, Reader, ReaderConfig, Scratchpad, Writer, WriterConfig};
 pub use report::SocReport;
 pub use soc::{CommandToken, SocSim};

@@ -34,6 +34,15 @@ pub enum MmioRegister {
     RespFifo,
     /// Read: response words available.
     RespStatus,
+    /// Write: selects a performance counter by index and latches its
+    /// current 64-bit value for a coherent two-word read.
+    PerfSelect,
+    /// Read: low 32 bits of the latched counter value.
+    PerfDataLo,
+    /// Read: high 32 bits of the latched counter value.
+    PerfDataHi,
+    /// Read: number of performance counters exposed through the window.
+    PerfCount,
 }
 
 impl MmioRegister {
@@ -44,6 +53,10 @@ impl MmioRegister {
             MmioRegister::CmdStatus => 0x04,
             MmioRegister::RespFifo => 0x08,
             MmioRegister::RespStatus => 0x0C,
+            MmioRegister::PerfSelect => 0x10,
+            MmioRegister::PerfDataLo => 0x14,
+            MmioRegister::PerfDataHi => 0x18,
+            MmioRegister::PerfCount => 0x1C,
         }
     }
 }
@@ -146,6 +159,8 @@ mod tests {
     fn register_map_is_word_spaced() {
         assert_eq!(MmioRegister::CmdFifo.offset(), 0x0);
         assert_eq!(MmioRegister::RespStatus.offset(), 0xC);
+        assert_eq!(MmioRegister::PerfSelect.offset(), 0x10);
+        assert_eq!(MmioRegister::PerfCount.offset(), 0x1C);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::collections::VecDeque;
 
 use baxi::{ArFlit, AwFlit, AxiMasterPort, WFlit};
+use bsim::perf::{Counter, CounterSet};
 use bsim::{Cycle, Stats};
 
 /// Returned when a stream request is issued while a previous one is still
@@ -92,6 +93,12 @@ pub struct Reader {
     next_id: usize,
     outstanding_bytes: usize,
     stats: Stats,
+    /// Cycles an AR issue was blocked by the TLP inflight cap.
+    perf_stall_inflight: Counter,
+    /// Cycles an AR issue was blocked by AR-channel backpressure.
+    perf_stall_ar: Counter,
+    /// Cycles an AR issue was blocked by a full prefetch buffer.
+    perf_stall_prefetch: Counter,
 }
 
 impl Reader {
@@ -108,7 +115,22 @@ impl Reader {
             next_id: 0,
             outstanding_bytes: 0,
             stats: Stats::new(),
+            perf_stall_inflight: Counter::detached(),
+            perf_stall_ar: Counter::detached(),
+            perf_stall_prefetch: Counter::detached(),
         }
+    }
+
+    /// Registers this reader's stats and stall counters under `set`.
+    ///
+    /// The stall counters only ever increment while the reader is busy
+    /// (dense-ticking in both scheduler modes), so enabling them cannot
+    /// perturb event-driven skipping.
+    pub fn attach_perf(&mut self, set: &CounterSet) {
+        set.attach_stats(&self.stats);
+        self.perf_stall_inflight = set.counter("stall_inflight_cycles");
+        self.perf_stall_ar = set.counter("stall_ar_backpressure_cycles");
+        self.perf_stall_prefetch = set.counter("stall_prefetch_full_cycles");
     }
 
     /// The configuration.
@@ -177,9 +199,11 @@ impl Reader {
     fn issue_ar(&mut self, now: Cycle) {
         while let Some((addr, remaining)) = self.fetch {
             if self.txns.len() >= self.cfg.max_inflight as usize {
+                self.perf_stall_inflight.incr();
                 return;
             }
             if !self.port.ar.can_send() {
+                self.perf_stall_ar.incr();
                 return;
             }
             let bus = u64::from(self.cfg.bus_bytes);
@@ -194,6 +218,7 @@ impl Reader {
             let fetch_bytes = u64::from(beats) * bus;
             let take = (remaining.min(fetch_bytes - skip as u64)) as usize;
             if self.outstanding_bytes + self.stream.len() + take > self.cfg.prefetch_bytes {
+                self.perf_stall_prefetch.incr();
                 return; // prefetch buffer full
             }
             let id = self.cfg.ids[self.next_id % self.cfg.ids.len()];
@@ -337,6 +362,14 @@ pub struct Writer {
     current: Option<WriteBurst>,
     inflight_bs: usize,
     stats: Stats,
+    /// Cycles an AW issue was blocked by the TLP inflight cap.
+    perf_stall_inflight: Counter,
+    /// Cycles an AW issue was blocked by AW-channel backpressure.
+    perf_stall_aw: Counter,
+    /// Cycles an AW issue waited on core data to fill the staging buffer.
+    perf_stall_data: Counter,
+    /// Cycles a W beat was blocked by W-channel backpressure.
+    perf_stall_w: Counter,
 }
 
 impl Writer {
@@ -357,7 +390,24 @@ impl Writer {
             current: None,
             inflight_bs: 0,
             stats: Stats::new(),
+            perf_stall_inflight: Counter::detached(),
+            perf_stall_aw: Counter::detached(),
+            perf_stall_data: Counter::detached(),
+            perf_stall_w: Counter::detached(),
         }
+    }
+
+    /// Registers this writer's stats and stall counters under `set`.
+    ///
+    /// The stall counters only ever increment while the writer is busy
+    /// (dense-ticking in both scheduler modes), so enabling them cannot
+    /// perturb event-driven skipping.
+    pub fn attach_perf(&mut self, set: &CounterSet) {
+        set.attach_stats(&self.stats);
+        self.perf_stall_inflight = set.counter("stall_inflight_cycles");
+        self.perf_stall_aw = set.counter("stall_aw_backpressure_cycles");
+        self.perf_stall_data = set.counter("stall_data_starved_cycles");
+        self.perf_stall_w = set.counter("stall_w_backpressure_cycles");
     }
 
     /// The configuration.
@@ -471,9 +521,11 @@ impl Writer {
             return;
         };
         if self.inflight_bs >= self.cfg.max_inflight as usize {
+            self.perf_stall_inflight.incr();
             return;
         }
         if !self.port.aw.can_send() {
+            self.perf_stall_aw.incr();
             return;
         }
         let bus = u64::from(self.cfg.bus_bytes);
@@ -483,6 +535,7 @@ impl Writer {
         // Need the whole burst's data staged (store-and-forward keeps the
         // W channel dense, as real DMA engines do).
         if (self.staging.len() as u64) < span {
+            self.perf_stall_data.incr();
             return;
         }
         let beats = span.div_ceil(bus) as u32;
@@ -510,6 +563,7 @@ impl Writer {
             return;
         };
         if !self.port.w.can_send() {
+            self.perf_stall_w.incr();
             return;
         }
         let bus = self.cfg.bus_bytes as usize;
@@ -568,6 +622,7 @@ pub struct Scratchpad {
     /// Configured access latency (cycles); cores model their pipelines
     /// against this value.
     pub latency: u32,
+    stats: Stats,
 }
 
 impl Scratchpad {
@@ -587,7 +642,18 @@ impl Scratchpad {
             storage: vec![0; n_datas],
             init_progress: None,
             latency,
+            stats: Stats::new(),
         }
+    }
+
+    /// Registers this scratchpad's init statistics under `set`.
+    pub fn attach_perf(&mut self, set: &CounterSet) {
+        set.attach_stats(&self.stats);
+    }
+
+    /// Scratchpad statistics (`inits_started`, `init_words`).
+    pub fn stats(&self) -> Stats {
+        self.stats.clone()
     }
 
     /// The scratchpad name.
@@ -647,6 +713,7 @@ impl Scratchpad {
     pub fn start_init(&mut self, reader: &mut Reader, addr: u64) -> Result<(), BusyError> {
         reader.request(addr, (self.len() * self.word_bytes()) as u64)?;
         self.init_progress = Some(0);
+        self.stats.incr("inits_started");
         Ok(())
     }
 
@@ -663,6 +730,7 @@ impl Scratchpad {
             word[..wb].copy_from_slice(&bytes);
             self.storage[filled] = u64::from_le_bytes(word);
             filled += 1;
+            self.stats.incr("init_words");
         }
         self.init_progress = if filled == self.storage.len() {
             None

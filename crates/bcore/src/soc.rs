@@ -11,13 +11,13 @@ use std::collections::{HashMap, VecDeque};
 
 use baxi::AxiMemoryController;
 use bplatform::Platform;
-use bsim::{ClockDomain, Cycle, Receiver, Sender, Shared, Simulation, Stats, Tracer};
+use bsim::{ClockDomain, Cycle, PerfRegistry, Receiver, Sender, Shared, Simulation, Stats, Tracer};
 
 use crate::command::{
     pack_command, unpack_command, AccelCommandSpec, CommandArgs, CommandPackError, RoccCommand,
     RoccResponse, UnpackedCommand,
 };
-use crate::mmio::{encode_command, MmioDecoder};
+use crate::mmio::{encode_command, MmioDecoder, MmioRegister};
 use crate::report::SocReport;
 
 /// Identifies one in-flight command.
@@ -95,7 +95,8 @@ pub struct SocSim {
     pub(crate) controllers: Vec<Shared<AxiMemoryController>>,
     pub(crate) interconnect_stats: Stats,
     pub(crate) report: SocReport,
-    outstanding: Vec<Vec<VecDeque<u64>>>,
+    /// Per-core FIFOs of (seq, dispatch cycle) awaiting a response.
+    outstanding: Vec<Vec<VecDeque<(u64, Cycle)>>>,
     completed: HashMap<(u16, u16, u64), u64>,
     next_seq: u64,
     /// Word-level reassembly of the MMIO command FIFO.
@@ -105,6 +106,16 @@ pub struct SocSim {
     beat_assembly: HashMap<(u16, u16), Vec<RoccCommand>>,
     /// Total words that crossed the MMIO command FIFO.
     mmio_cmd_words: u64,
+    /// The SoC-wide performance-counter registry (Perf window + exporter).
+    perf: PerfRegistry,
+    /// MMIO frontend stats: command/response traffic plus the
+    /// dispatch→response latency histogram. Registered under `mmio/`.
+    mmio_stats: Stats,
+    /// Last value written to [`MmioRegister::PerfSelect`].
+    perf_select: u32,
+    /// Counter value latched by the last `PerfSelect` write, so the two
+    /// 32-bit data reads are coherent even if the counter keeps moving.
+    perf_latched: u64,
 }
 
 impl SocSim {
@@ -119,6 +130,7 @@ impl SocSim {
         controllers: Vec<Shared<AxiMemoryController>>,
         interconnect_stats: Stats,
         report: SocReport,
+        perf: PerfRegistry,
     ) -> Self {
         let fabric = ClockDomain::from_mhz(platform.fabric_mhz);
         // Response channels are drained by host code, not by a component,
@@ -134,7 +146,9 @@ impl SocSim {
             .iter()
             .map(|cores| cores.iter().map(|_| VecDeque::new()).collect())
             .collect();
-        Self {
+        let mmio_stats = Stats::new();
+        perf.set("mmio").attach_stats(&mmio_stats);
+        let soc = Self {
             sim,
             memory,
             platform,
@@ -151,7 +165,15 @@ impl SocSim {
             mmio_decoder: MmioDecoder::new(),
             beat_assembly: HashMap::new(),
             mmio_cmd_words: 0,
-        }
+            perf,
+            mmio_stats,
+            perf_select: 0,
+            perf_latched: 0,
+        };
+        // Materialize the scheduler counters now so the MMIO window's
+        // index space (sorted flattened names) is stable from cycle 0.
+        soc.sync_scheduler_counters();
+        soc
     }
 
     /// The elaboration report (resources, floorplan, bindings).
@@ -269,7 +291,8 @@ impl SocSim {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.outstanding[system as usize][core as usize].push_back(seq);
+        self.outstanding[system as usize][core as usize].push_back((seq, self.sim.now()));
+        self.mmio_stats.incr("commands_sent");
         Ok(CommandToken { system, core, seq })
     }
 
@@ -277,6 +300,7 @@ impl SocSim {
     /// RoCC beats, and completed beat sequences dispatch to their core.
     pub fn mmio_write_cmd_word(&mut self, word: u32) {
         self.mmio_cmd_words += 1;
+        self.mmio_stats.incr("cmd_words");
         let Some(beat) = self.mmio_decoder.push_word(word) else {
             return;
         };
@@ -308,9 +332,12 @@ impl SocSim {
         for (sys, cores) in self.links.iter().enumerate() {
             for (core, link) in cores.iter().enumerate() {
                 while let Some(resp) = link.resp_rx.recv(now) {
-                    let seq = self.outstanding[sys][core]
+                    let (seq, sent) = self.outstanding[sys][core]
                         .pop_front()
                         .expect("response without outstanding command");
+                    self.mmio_stats.incr("responses");
+                    self.mmio_stats
+                        .record("cmd_latency_cycles", now.saturating_sub(sent));
                     self.completed
                         .insert((sys as u16, core as u16, seq), resp.data);
                 }
@@ -350,15 +377,18 @@ impl SocSim {
             links,
             outstanding,
             completed,
+            mmio_stats,
             ..
         } = self;
         let result = sim.run_until_strided(max_cycles, 1, |now| {
             for (sys, cores) in links.iter().enumerate() {
                 for (core, link) in cores.iter().enumerate() {
                     while let Some(resp) = link.resp_rx.recv(now) {
-                        let seq = outstanding[sys][core]
+                        let (seq, sent) = outstanding[sys][core]
                             .pop_front()
                             .expect("response without outstanding command");
+                        mmio_stats.incr("responses");
+                        mmio_stats.record("cmd_latency_cycles", now.saturating_sub(sent));
                         completed.insert((sys as u16, core as u16, seq), resp.data);
                     }
                 }
@@ -409,6 +439,110 @@ impl SocSim {
     /// Interconnect statistics.
     pub fn interconnect_stats(&self) -> Stats {
         self.interconnect_stats.clone()
+    }
+
+    /// A handle to the SoC-wide performance-counter registry.
+    pub fn perf(&self) -> PerfRegistry {
+        self.perf.clone()
+    }
+
+    /// Turns the gated performance counters on or off. Counters never feed
+    /// back into simulated behaviour, so this cannot change cycle counts
+    /// (guarded by the profiling lockstep test in `bkernels`).
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.perf.set_enabled(enabled);
+    }
+
+    /// Whether gated performance counters are currently live.
+    pub fn profiling(&self) -> bool {
+        self.perf.is_enabled()
+    }
+
+    /// Pushes the scheduler's externally-owned cycle counts into the
+    /// registry. Called before every registry read so `scheduler/*`
+    /// counters are current. (`skipped_cycles` legitimately differs
+    /// between naive and event-driven modes — it measures the scheduler,
+    /// not the simulated hardware.)
+    fn sync_scheduler_counters(&self) {
+        self.perf
+            .set_value("scheduler", "executed_cycles", self.sim.executed_cycles());
+        self.perf
+            .set_value("scheduler", "skipped_cycles", self.sim.skipped_cycles());
+    }
+
+    /// Host-side MMIO register write (the counter window plus the command
+    /// FIFO). Writing [`MmioRegister::PerfSelect`] selects a counter by its
+    /// index in [`PerfRegistry::counter_names`] order and latches its
+    /// current 64-bit value for the two data reads. Writes to read-only
+    /// registers are ignored, as on the real bus.
+    pub fn mmio_write(&mut self, reg: MmioRegister, word: u32) {
+        match reg {
+            MmioRegister::CmdFifo => self.mmio_write_cmd_word(word),
+            MmioRegister::PerfSelect => {
+                self.perf_select = word;
+                self.sync_scheduler_counters();
+                self.perf_latched = self
+                    .perf
+                    .counters()
+                    .get(word as usize)
+                    .map_or(0, |(_, v)| *v);
+            }
+            _ => {}
+        }
+    }
+
+    /// Host-side MMIO register read for the performance-counter window.
+    /// The command/response FIFO registers are serviced through
+    /// [`SocSim::send_command`] / [`SocSim::poll`] (which model the same
+    /// word traffic) and read as zero here.
+    pub fn mmio_read(&mut self, reg: MmioRegister) -> u32 {
+        match reg {
+            MmioRegister::PerfSelect => self.perf_select,
+            MmioRegister::PerfDataLo => self.perf_latched as u32,
+            MmioRegister::PerfDataHi => (self.perf_latched >> 32) as u32,
+            MmioRegister::PerfCount => {
+                self.sync_scheduler_counters();
+                self.perf.counters().len() as u32
+            }
+            _ => 0,
+        }
+    }
+
+    /// Sorted, baseline-subtracted `(path/name, value)` pairs for every
+    /// counter, with the scheduler counters synced first.
+    pub fn perf_counters(&self) -> Vec<(String, u64)> {
+        self.sync_scheduler_counters();
+        self.perf.counters()
+    }
+
+    /// Rebases every counter to zero by baseline subtraction; the sources
+    /// (which may be load-bearing, e.g. the writer's AXI-ID rotation) are
+    /// never written.
+    pub fn reset_perf(&self) {
+        self.sync_scheduler_counters();
+        self.perf.reset();
+    }
+
+    /// Records a windowed sample of every counter at the current cycle,
+    /// for the Chrome-trace exporter's counter tracks.
+    pub fn sample_perf(&self) {
+        self.sync_scheduler_counters();
+        self.perf.sample(self.sim.now());
+    }
+
+    /// Renders the end-of-run text profile report.
+    pub fn perf_report(&self) -> String {
+        self.sync_scheduler_counters();
+        self.perf.report()
+    }
+
+    /// Emits the Chrome trace-event JSON document: slices from memory port
+    /// 0's tracer, counter tracks from [`SocSim::sample_perf`] samples.
+    /// Open the result at <https://ui.perfetto.dev>.
+    pub fn chrome_trace(&self) -> String {
+        self.sync_scheduler_counters();
+        let events = self.tracer().events();
+        self.perf.chrome_trace(&events, self.fabric.period_ps())
     }
 }
 

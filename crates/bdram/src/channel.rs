@@ -21,8 +21,15 @@ pub struct ChannelStats {
     pub precharges: u64,
     /// Column accesses that hit an already-open row.
     pub row_hits: u64,
+    /// Demand precharges: a queued access forced a different open row to
+    /// close (the row-conflict case, as opposed to policy precharges).
+    pub row_conflicts: u64,
     /// Refresh commands issued.
     pub refreshes: u64,
+    /// DRAM cycles the channel was blocked by an in-progress refresh
+    /// (tRFC per refresh, charged at refresh start so the count is
+    /// identical under the naive and idle-skipping schedulers).
+    pub refresh_stall_cycles: u64,
     /// DRAM cycles during which the data bus carried data.
     pub data_bus_busy_cycles: u64,
 }
@@ -35,7 +42,9 @@ impl ChannelStats {
         self.activates += other.activates;
         self.precharges += other.precharges;
         self.row_hits += other.row_hits;
+        self.row_conflicts += other.row_conflicts;
         self.refreshes += other.refreshes;
+        self.refresh_stall_cycles += other.refresh_stall_cycles;
         self.data_bus_busy_cycles += other.data_bus_busy_cycles;
     }
 
@@ -260,6 +269,7 @@ impl DramChannel {
             }
             self.refreshing_until = Some(until);
             self.stats.refreshes += 1;
+            self.stats.refresh_stall_cycles += t.t_rfc;
             return true;
         }
         false
@@ -399,6 +409,7 @@ impl DramChannel {
                     if !wanted_by_older && self.banks[flat_bank].can_precharge(now) {
                         self.banks[flat_bank].precharge(now, &t);
                         self.stats.precharges += 1;
+                        self.stats.row_conflicts += 1;
                         return;
                     }
                 }
@@ -621,6 +632,36 @@ mod tests {
         let cross_group_gap = done[1].1 - done[0].1;
         assert_eq!(cross_group_gap, t.t_ccd.max(t.burst_cycles()));
         assert!(cross_group_gap < same_group_gap);
+    }
+
+    #[test]
+    fn refresh_stall_cycles_accumulate_trfc_per_refresh() {
+        let cfg = DramConfig::ddr4_2400();
+        let trefi = cfg.timings.t_refi;
+        let trfc = cfg.timings.t_rfc;
+        let mut ch = DramChannel::new(cfg);
+        for now in 0..(trefi * 3 + 100) {
+            ch.tick(now);
+        }
+        let s = ch.stats();
+        assert!(s.refreshes >= 2);
+        assert_eq!(s.refresh_stall_cycles, s.refreshes * trfc);
+    }
+
+    #[test]
+    fn demand_precharges_count_as_row_conflicts() {
+        let cfg = DramConfig::ddr4_2400();
+        let stride = cfg.row_stride_bytes();
+        let mut ch = DramChannel::new(cfg.clone());
+        // Open row 0, then force a conflicting access to row 1 of the bank.
+        ch.enqueue(DramRequest::read(0, 0), decoded(&cfg, 0))
+            .unwrap();
+        drain(&mut ch, 300);
+        assert_eq!(ch.stats().row_conflicts, 0);
+        ch.enqueue(DramRequest::read(1, stride), decoded(&cfg, stride))
+            .unwrap();
+        drain(&mut ch, 500);
+        assert_eq!(ch.stats().row_conflicts, 1);
     }
 
     #[test]

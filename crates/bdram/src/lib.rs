@@ -221,6 +221,12 @@ impl DramSystem {
         total
     }
 
+    /// Per-channel statistics snapshots, in channel order — the source of
+    /// per-channel bandwidth counters in perf reports.
+    pub fn per_channel_stats(&self) -> Vec<ChannelStats> {
+        self.channels.iter().map(DramChannel::stats).collect()
+    }
+
     /// Bytes transferred per burst (bus width × burst length).
     pub fn bytes_per_burst(&self) -> u64 {
         self.config.bytes_per_burst()

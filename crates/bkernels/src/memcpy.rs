@@ -213,13 +213,19 @@ pub struct MemcpyResult {
     pub trace: Vec<TraceEvent>,
 }
 
-fn run_inner(variant: MemcpyVariant, bytes: u64, trace: bool) -> MemcpyResult {
+fn run_inner(
+    variant: MemcpyVariant,
+    bytes: u64,
+    trace: bool,
+    profile: bool,
+) -> (MemcpyResult, bcore::SocSim) {
     let mut platform = Platform::aws_f1();
     platform.fabric_mhz = variant.fabric_mhz();
     // Host-side costs are irrelevant to this microbenchmark.
     platform.host_link.mmio_latency_ns = 0;
     let mut opts = variant.options();
     opts.trace = trace;
+    opts.profile = profile;
     let mut soc = elaborate_with(config(), &platform, opts).expect("memcpy elaborates");
     let src = 0x100_0000u64;
     let dst = 0x800_0000u64;
@@ -233,16 +239,22 @@ fn run_inner(variant: MemcpyVariant, bytes: u64, trace: bool) -> MemcpyResult {
     .into_iter()
     .collect();
     let start = soc.now();
+    if profile {
+        soc.sample_perf();
+    }
     let token = soc.send_command(0, 0, &args).expect("send");
     soc.run_until_response(token, 100_000_000)
         .expect("memcpy completes");
+    if profile {
+        soc.sample_perf();
+    }
     let cycles = soc.now() - start;
     // Functional check on every run: a benchmark that copies wrong bytes
     // measures nothing.
     let out = soc.memory().borrow().read_vec(dst, bytes as usize);
     assert_eq!(out, payload, "memcpy corrupted data");
     let seconds = soc.clock().cycles_to_secs(cycles);
-    MemcpyResult {
+    let result = MemcpyResult {
         variant,
         bytes,
         cycles,
@@ -253,17 +265,27 @@ fn run_inner(variant: MemcpyVariant, bytes: u64, trace: bool) -> MemcpyResult {
         } else {
             Vec::new()
         },
-    }
+    };
+    (result, soc)
 }
 
 /// Runs one variant copying `bytes` and reports timing.
 pub fn run_memcpy(variant: MemcpyVariant, bytes: u64) -> MemcpyResult {
-    run_inner(variant, bytes, false)
+    run_inner(variant, bytes, false, false).0
 }
 
 /// Runs one variant with the AXI tracer enabled (Figure 5 timelines).
 pub fn run_memcpy_traced(variant: MemcpyVariant, bytes: u64) -> MemcpyResult {
-    run_inner(variant, bytes, true)
+    run_inner(variant, bytes, true, false).0
+}
+
+/// Runs one variant with both the tracer and the performance counters
+/// enabled, returning the SoC alongside the result so callers can export
+/// profile artifacts (text report, Chrome trace). Counter samples are
+/// taken at command send and response, giving the trace's counter tracks
+/// at least one full window.
+pub fn run_memcpy_profiled(variant: MemcpyVariant, bytes: u64) -> (MemcpyResult, bcore::SocSim) {
+    run_inner(variant, bytes, true, true)
 }
 
 /// Renders a Figure-5 style timeline from a traced result.

@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use bcore::{CommandToken, SocSim};
+use bcore::{CommandToken, MmioRegister, SocSim};
 use bplatform::AddressSpace;
 use bsim::Cycle;
 
@@ -382,6 +382,74 @@ impl FpgaHandle {
         f(&mut self.inner.borrow_mut().soc)
     }
 
+    /// Turns the device's gated performance counters on or off (a debug
+    /// control register in the real shell; free of host-time cost here).
+    pub fn set_profiling(&self, enabled: bool) {
+        self.inner.borrow_mut().soc.set_profiling(enabled);
+    }
+
+    /// Sorted flattened counter names — the MMIO counter window's index
+    /// space. The real runtime gets this map from the generated platform
+    /// header, so reading it costs no device traffic.
+    pub fn counter_names(&self) -> Vec<String> {
+        self.inner.borrow().soc.perf().counter_names()
+    }
+
+    /// Reads one performance counter by name through the MMIO counter
+    /// window — usable mid-run. Costs three MMIO round trips of simulated
+    /// host time (select write, then the two data-word reads); the select
+    /// write latches the 64-bit value, so the device advancing between the
+    /// two reads cannot tear it.
+    ///
+    /// Returns `None` for a name the window does not expose.
+    pub fn read_counter(&self, name: &str) -> Option<u64> {
+        let mut inner = self.inner.borrow_mut();
+        let link_ns = inner.soc.platform().host_link.mmio_latency_ns;
+        inner.advance_ns(link_ns);
+        // Resolve the index only after the link delay: counter names
+        // materialize lazily as components first touch their stats bags, so
+        // advancing the device could shift the window's index space.
+        let idx = inner
+            .soc
+            .perf()
+            .counter_names()
+            .iter()
+            .position(|n| n == name)? as u32;
+        inner.soc.mmio_write(MmioRegister::PerfSelect, idx);
+        inner.advance_ns(link_ns);
+        let lo = u64::from(inner.soc.mmio_read(MmioRegister::PerfDataLo));
+        inner.advance_ns(link_ns);
+        let hi = u64::from(inner.soc.mmio_read(MmioRegister::PerfDataHi));
+        Some((hi << 32) | lo)
+    }
+
+    /// Snapshot of every counter (sorted `path/name` pairs, baseline-
+    /// subtracted). A host-side bulk read; costs no simulated time.
+    pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
+        self.inner.borrow().soc.perf_counters()
+    }
+
+    /// Per-counter difference between the current values and an earlier
+    /// [`FpgaHandle::counter_snapshot`] (counters absent from `before`
+    /// count from zero).
+    pub fn counter_delta(&self, before: &[(String, u64)]) -> Vec<(String, u64)> {
+        let base: HashMap<&str, u64> = before.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        self.counter_snapshot()
+            .into_iter()
+            .map(|(n, v)| {
+                let b = base.get(n.as_str()).copied().unwrap_or(0);
+                (n, v.saturating_sub(b))
+            })
+            .collect()
+    }
+
+    /// Rebases every counter to zero (snapshot-subtract semantics: the
+    /// device-side sources are never written, matching a real PMU whose
+    /// counters may be load-bearing).
+    pub fn reset_counters(&self) {
+        self.inner.borrow().soc.reset_perf();
+    }
+
     /// Sets the blocking-`get` budget in fabric cycles.
     pub fn set_get_timeout(&self, cycles: Cycle) {
         self.inner.borrow_mut().get_timeout_cycles = cycles;
@@ -681,5 +749,47 @@ mod tests {
         for r in responses {
             r.get().unwrap();
         }
+    }
+
+    #[test]
+    fn host_reads_live_counter_through_mmio_window_mid_run() {
+        let handle = make_handle(&Platform::aws_f1(), 1);
+        handle.set_profiling(true);
+        let n = 200_000u64;
+        let mem = handle.malloc(n * 4).unwrap();
+        handle.write_u32_slice(mem, &vec![7u32; n as usize]);
+        handle.copy_to_fpga(mem);
+        let resp = handle
+            .call("Doubler", 0, call_args(mem.device_addr(), n))
+            .unwrap();
+
+        // Let the kernel make some progress, then sample it while it is
+        // still in flight. (Counter names materialize lazily, so the name
+        // map is queried after the device has run.)
+        handle.run_for(5_000);
+        let names = handle.counter_names();
+        assert!(names.iter().any(|n| n == "mem0/r_beats"));
+        let snap = handle.counter_snapshot();
+        let t0 = handle.now();
+        let mid = handle
+            .read_counter("mem0/r_beats")
+            .expect("window exposes the counter");
+        assert!(mid > 0, "reader traffic should be visible mid-run");
+        assert!(handle.now() > t0, "window access costs simulated MMIO time");
+        assert_eq!(handle.read_counter("no/such_counter"), None);
+
+        assert_eq!(resp.get().unwrap(), 1);
+        let finished = handle.read_counter("mem0/r_beats").unwrap();
+        assert!(finished >= mid);
+        let delta = handle.counter_delta(&snap);
+        let grew = delta.iter().find(|(n, _)| n == "mem0/r_beats").unwrap().1;
+        assert!(grew > 0, "counter must keep advancing after the snapshot");
+
+        handle.reset_counters();
+        assert_eq!(
+            handle.read_counter("mem0/r_beats"),
+            Some(0),
+            "reset rebases the window to zero"
+        );
     }
 }

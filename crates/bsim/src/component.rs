@@ -172,6 +172,11 @@ pub struct Simulation {
     watches: Vec<Box<dyn Fn() -> Option<Cycle>>>,
     now: Cycle,
     event_driven: bool,
+    /// Base cycles executed in full (every due component ticked).
+    executed_cycles: Cycle,
+    /// Base cycles crossed by fast-forward jumps instead of being
+    /// executed. `executed + skipped == now` when starting from cycle 0.
+    skipped_cycles: Cycle,
 }
 
 impl Default for Simulation {
@@ -197,6 +202,8 @@ impl Simulation {
             watches: Vec::new(),
             now: 0,
             event_driven: event_driven_from_env(),
+            executed_cycles: 0,
+            skipped_cycles: 0,
         }
     }
 
@@ -335,11 +342,25 @@ impl Simulation {
             }
         }
         self.now += 1;
+        self.executed_cycles += 1;
         for g in &mut self.groups {
             if g.due {
                 g.next_due += g.divider;
             }
         }
+    }
+
+    /// Base cycles executed in full so far (the scheduler's "ticked"
+    /// perf counter; see also [`Simulation::skipped_cycles`]).
+    pub fn executed_cycles(&self) -> Cycle {
+        self.executed_cycles
+    }
+
+    /// Base cycles fast-forwarded across without execution. Zero under the
+    /// naive scheduler; `executed_cycles + skipped_cycles` always equals
+    /// the total cycles elapsed since construction.
+    pub fn skipped_cycles(&self) -> Cycle {
+        self.skipped_cycles
     }
 
     /// The earliest base cycle at which any component or wake source may be
@@ -402,6 +423,7 @@ impl Simulation {
     /// have passed.
     fn skip_to(&mut self, target: Cycle) {
         debug_assert!(target > self.now);
+        self.skipped_cycles += target - self.now;
         for g in &mut self.groups {
             if g.next_due < target {
                 let fires = (target - g.next_due).div_ceil(g.divider);
@@ -804,6 +826,26 @@ mod tests {
         let sim = Simulation::new();
         std::env::remove_var("BSIM_NAIVE");
         assert!(!sim.event_driven());
+    }
+
+    #[test]
+    fn executed_plus_skipped_always_equals_now() {
+        let run = |event_driven: bool| {
+            let mut sim = Simulation::new();
+            sim.set_event_driven(event_driven);
+            sim.add(Burster {
+                period: 97,
+                fires: 0,
+                tick_log: Vec::new(),
+            });
+            sim.run_for(1000);
+            (sim.now(), sim.executed_cycles(), sim.skipped_cycles())
+        };
+        let (now, executed, skipped) = run(false);
+        assert_eq!((executed, skipped), (now, 0), "naive mode never skips");
+        let (now, executed, skipped) = run(true);
+        assert_eq!(executed + skipped, now);
+        assert!(skipped > 0, "a period-97 burster must allow skipping");
     }
 
     #[test]

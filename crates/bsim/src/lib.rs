@@ -18,6 +18,9 @@
 //! * [`SparseMemory`] — a byte-addressable sparse backing store used as the
 //!   functional half of the DRAM model.
 //! * [`Stats`] — shared counters and histograms for instrumentation.
+//! * [`perf`] — the SoC-wide performance-counter registry ([`PerfRegistry`])
+//!   every elaborated layer registers into, with a text profile report and
+//!   a Chrome-trace/Perfetto exporter.
 //!
 //! ## Example
 //!
@@ -57,6 +60,7 @@ mod chan;
 mod component;
 mod lockstep;
 mod mem;
+pub mod perf;
 mod stats;
 mod time;
 mod trace;
@@ -66,7 +70,10 @@ pub use chan::{channel, channel_with_latency, ChannelState, Receiver, Sender};
 pub use component::{Component, Shared, Simulation};
 pub use lockstep::Lockstep;
 pub use mem::SparseMemory;
-pub use stats::{Histogram, HistogramSummary, SimRate, SimRateTimer, Stats, StatsSnapshot};
+pub use perf::{Counter, CounterSet, PerfRegistry};
+pub use stats::{
+    Histogram, HistogramSummary, SimRate, SimRateExt, SimRateTimer, Stats, StatsSnapshot,
+};
 pub use time::{ClockDomain, Cycle, Picoseconds, PICOS_PER_SEC};
 pub use trace::{TraceEvent, Tracer};
 pub use vcd::{SignalId, VcdRecorder};

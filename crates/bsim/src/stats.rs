@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// A latency/occupancy histogram with power-of-two buckets.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     /// bucket\[i\] counts samples in `[2^(i-1), 2^i)`; bucket\[0\] counts 0..1.
     buckets: Vec<u64>,
@@ -15,12 +15,24 @@ pub struct Histogram {
     max: u64,
 }
 
+impl Default for Histogram {
+    /// Same as [`Histogram::new`] — `min` must start at `u64::MAX` so the
+    /// first sample sets it (a zero-initialized `min` silently reports 0
+    /// for every histogram created through `entry(..).or_default()`).
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Self {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
             min: u64::MAX,
-            ..Self::default()
+            max: 0,
         }
     }
 
@@ -68,6 +80,50 @@ impl Histogram {
     /// Sum of all samples.
     pub fn sum(&self) -> u64 {
         self.sum
+    }
+
+    /// The `p`-th percentile (`0.0 < p <= 100.0`), or `None` if empty.
+    ///
+    /// Resolution is bucket-granular: the answer is the inclusive upper
+    /// bound of the power-of-two bucket containing the rank-`⌈p/100·n⌉`
+    /// sample, clamped to the observed `[min, max]` range — so a
+    /// single-valued histogram reports that exact value at every
+    /// percentile, and the result never exceeds `max()`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &bucket_count) in self.buckets.iter().enumerate() {
+            cumulative += bucket_count;
+            if cumulative >= rank {
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return Some(upper.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (50th percentile), or `None` if empty.
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile, or `None` if empty.
+    pub fn p90(&self) -> Option<u64> {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile, or `None` if empty.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(99.0)
     }
 }
 
@@ -126,6 +182,16 @@ impl Stats {
     /// A snapshot of histogram `name`, if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
         self.inner.borrow().histograms.get(name).cloned()
+    }
+
+    /// All histograms as sorted (name, histogram) pairs.
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        self.inner
+            .borrow()
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.clone()))
+            .collect()
     }
 
     /// All counters as sorted (name, value) pairs.
@@ -236,6 +302,47 @@ impl SimRate {
             self.host_seconds * 1e3,
         )
     }
+
+    /// [`SimRate::render`] extended with memory-system and scheduler
+    /// context pulled from the performance counters, e.g.
+    /// `sim rate: ... | dram: 32.5 MB @ 12.4 GB/s | skipped: 87.4% of cycles`.
+    pub fn render_with(&self, ext: &SimRateExt) -> String {
+        let mut line = self.render();
+        let (scaled, unit) = if ext.dram_bytes >= 1 << 30 {
+            (ext.dram_bytes as f64 / (1u64 << 30) as f64, "GB")
+        } else if ext.dram_bytes >= 1 << 20 {
+            (ext.dram_bytes as f64 / (1u64 << 20) as f64, "MB")
+        } else {
+            (ext.dram_bytes as f64 / (1u64 << 10) as f64, "KB")
+        };
+        let gbps = if ext.sim_seconds > 0.0 {
+            ext.dram_bytes as f64 / ext.sim_seconds / 1e9
+        } else {
+            0.0
+        };
+        line.push_str(&format!(" | dram: {scaled:.1} {unit} @ {gbps:.1} GB/s"));
+        if ext.total_cycles > 0 {
+            line.push_str(&format!(
+                " | skipped: {:.1}% of cycles",
+                100.0 * ext.skipped_cycles as f64 / ext.total_cycles as f64
+            ));
+        }
+        line
+    }
+}
+
+/// Memory-system and scheduler context for [`SimRate::render_with`],
+/// typically measured on one representative profiled run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimRateExt {
+    /// Total bytes moved to/from DRAM.
+    pub dram_bytes: u64,
+    /// Simulated seconds covered by `dram_bytes` (for achieved GB/s).
+    pub sim_seconds: f64,
+    /// Cycles the idle-skipping scheduler fast-forwarded across.
+    pub skipped_cycles: u64,
+    /// Total scheduler cycles (executed + skipped) for the percentage.
+    pub total_cycles: u64,
 }
 
 /// Stopwatch for producing a [`SimRate`]: start it at the current cycle,
@@ -307,7 +414,34 @@ mod tests {
         let h = stats.histogram("latency").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.sum(), 40);
+        // Regression: `record` creates histograms via `or_default()`; a
+        // derived Default once zero-initialized `min`, making every
+        // stats-bag histogram report min 0.
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(30));
         assert!(stats.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn extended_sim_rate_footer_reports_dram_and_skip_ratio() {
+        let rate = SimRate {
+            cycles: 1_000_000,
+            host_seconds: 0.5,
+        };
+        let ext = SimRateExt {
+            dram_bytes: 32 << 20,
+            sim_seconds: 4e-3,
+            skipped_cycles: 874_000,
+            total_cycles: 1_000_000,
+        };
+        let line = rate.render_with(&ext);
+        assert!(line.starts_with("sim rate:"), "{line}");
+        assert!(line.contains("dram: 32.0 MB"), "{line}");
+        assert!(line.contains("@ 8.4 GB/s"), "{line}");
+        assert!(line.contains("skipped: 87.4% of cycles"), "{line}");
+        // Without scheduler context the skip clause is omitted entirely.
+        let bare = rate.render_with(&SimRateExt::default());
+        assert!(!bare.contains("skipped"), "{bare}");
     }
 
     #[test]
@@ -361,5 +495,69 @@ mod tests {
         h.record(0);
         assert_eq!(h.min(), Some(0));
         assert_eq!(h.max(), Some(0));
+    }
+
+    #[test]
+    fn percentiles_of_empty_histogram_are_none() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p90(), None);
+        assert_eq!(h.p99(), None);
+    }
+
+    #[test]
+    fn single_value_histogram_reports_it_at_every_percentile() {
+        // Exact powers of two sit on bucket boundaries; clamping to
+        // [min, max] must still report the exact value.
+        for v in [0u64, 1, 2, 16, 1 << 40, u64::MAX] {
+            let mut h = Histogram::new();
+            h.record(v);
+            assert_eq!(h.p50(), Some(v), "p50 of single sample {v}");
+            assert_eq!(h.p90(), Some(v), "p90 of single sample {v}");
+            assert_eq!(h.p99(), Some(v), "p99 of single sample {v}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotonic_and_bucket_granular() {
+        let mut h = Histogram::new();
+        // 90 cheap samples, 9 mid, 1 huge: p50 lands in the cheap bucket,
+        // p99 in the tail.
+        for _ in 0..90 {
+            h.record(3);
+        }
+        for _ in 0..9 {
+            h.record(100);
+        }
+        h.record(5000);
+        let (p50, p90, p99) = (h.p50().unwrap(), h.p90().unwrap(), h.p99().unwrap());
+        assert!(p50 <= p90 && p90 <= p99, "{p50} <= {p90} <= {p99}");
+        // Sample 3 lives in bucket [2, 4); its inclusive upper bound is 3.
+        assert_eq!(p50, 3);
+        // Rank 90 is the last cheap sample: still bucket [2, 4).
+        assert_eq!(h.percentile(90.0), Some(3));
+        // Rank 91 is the first mid sample: bucket [64, 128) caps at 127.
+        assert_eq!(h.percentile(91.0), Some(127));
+        // The p99 rank (99) is still a mid sample; p100 is the huge one.
+        assert_eq!(p99, 127);
+        assert_eq!(h.percentile(100.0), Some(5000));
+    }
+
+    #[test]
+    fn percentile_upper_bounds_clamp_to_observed_max() {
+        let mut h = Histogram::new();
+        h.record(4); // bucket [4, 8) would report 7 unclamped
+        h.record(5);
+        assert_eq!(h.p99(), Some(5), "upper bound must clamp to max()");
+        assert_eq!(h.p50(), Some(5), "bucket bound 7 clamps to max 5");
+    }
+
+    #[test]
+    fn histograms_listing_is_sorted() {
+        let stats = Stats::new();
+        stats.record("b_lat", 2);
+        stats.record("a_lat", 1);
+        let names: Vec<String> = stats.histograms().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a_lat".to_owned(), "b_lat".to_owned()]);
     }
 }
