@@ -61,14 +61,19 @@ fn attention_f32(
 
 /// Measures multithreaded FP32 attention throughput on the host.
 ///
-/// Runs `total_ops` attention ops across `threads` OS threads and returns
-/// ops/second. Deterministic inputs; the result sum is black-boxed so the
-/// optimizer cannot delete the work.
+/// Runs `total_ops` attention ops across `threads` OS threads (clamped to
+/// at least one; callers typically size this from their harness's worker
+/// pool, e.g. `bbench::worker_count()`, so the reported `threads` matches
+/// the provenance they print) and returns ops/second. Deterministic
+/// inputs; the result sum is black-boxed so the optimizer cannot delete
+/// the work. This is the one real wall-clock measurement in the
+/// evaluation — its ops/s varies run to run even single-threaded.
 pub fn cpu_attention_throughput(
     params: &AttentionParams,
     threads: usize,
     total_ops: usize,
 ) -> CpuBaselineResult {
+    let threads = threads.max(1);
     let dim = params.dim;
     let n = params.keys;
     let keys: Vec<f32> = (0..n * dim)
@@ -140,6 +145,14 @@ mod tests {
                 "constant values must yield the constant"
             );
         }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let params = AttentionParams { dim: 16, keys: 16 };
+        let r = cpu_attention_throughput(&params, 0, 50);
+        assert_eq!(r.threads, 1, "a zero request must not hang the scope");
+        assert!(r.measured_ops_per_sec > 0.0);
     }
 
     #[test]

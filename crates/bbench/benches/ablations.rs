@@ -245,12 +245,48 @@ fn ablation_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
+/// Parallel sweep executor vs the serial path on the Figure 4 sweep:
+/// 5 variants × 3 sizes = 15 independent SoC simulations, run on 1
+/// worker and then on 4. Simulated cycle totals are identical by
+/// construction (asserted here and byte-for-byte in the
+/// `parallel_equivalence` test); the datum is host wall-clock.
+fn ablation_parallel_sweep(c: &mut Criterion) {
+    let sizes = [16 << 10, 64 << 10, 256 << 10];
+
+    let drive = |workers: usize| -> (u64, f64) {
+        let timer = bsim::SimRateTimer::starting_at(0);
+        let (_, cycles) = bbench::fig4::run_timed_on(&sizes, workers);
+        (cycles, timer.finish(cycles).host_seconds)
+    };
+
+    let (serial_cycles, serial_secs) = drive(1);
+    let (parallel_cycles, parallel_secs) = drive(4);
+    assert_eq!(
+        serial_cycles, parallel_cycles,
+        "parallel sweep must simulate exactly the serial cycle total"
+    );
+    println!("ablation datum: fig4 sweep serial  : {serial_secs:.3} s ({serial_cycles} cycles)");
+    println!("ablation datum: fig4 sweep 4 workers: {parallel_secs:.3} s (identical cycles)");
+    println!(
+        "ablation datum: sweep speedup: {:.1}x host wall-clock on {} hardware threads",
+        serial_secs / parallel_secs,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let mut group = c.benchmark_group("ablation_parallel_sweep");
+    group.sample_size(10);
+    group.bench_function("fig4_sweep_serial", |b| b.iter(|| black_box(drive(1))));
+    group.bench_function("fig4_sweep_4_workers", |b| b.iter(|| black_box(drive(4))));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     ablation_noc,
     ablation_spill,
     ablation_bursts_and_ordering,
     ablation_dram_mapping,
-    ablation_scheduler
+    ablation_scheduler,
+    ablation_parallel_sweep
 );
 criterion_main!(benches);

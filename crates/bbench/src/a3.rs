@@ -270,72 +270,104 @@ pub fn table3(scale: &A3Scale) -> Vec<Table3Row> {
 }
 
 /// [`table3`], also reporting the total simulated fabric cycles across the
-/// FPGA and ASIC runs (for the binaries' sim-rate footer).
+/// FPGA and ASIC runs (for the binaries' sim-rate footer). The FPGA sim,
+/// the ASIC sim, and the host-CPU baseline measurement run concurrently
+/// across host cores ([`crate::par`]); see [`table3_timed_on`].
 pub fn table3_timed(scale: &A3Scale) -> (Vec<Table3Row>, u64) {
-    let mut total_cycles = 0u64;
-    let mut rows = Vec::new();
+    table3_timed_on(scale, crate::worker_count())
+}
 
-    // CPU: real measurement on this host, plus the paper's constant.
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let cpu = cpu_attention_throughput(&scale.params, threads, scale.cpu_ops);
-    rows.push(Table3Row {
-        label: "CPU (this host)".to_owned(),
-        ops_per_sec: cpu.measured_ops_per_sec,
-        energy_uj: cpu.paper_power_w / cpu.measured_ops_per_sec * 1e6,
-        power_w: cpu.paper_power_w,
-        provenance: format!("measured here, {threads} threads, paper's 75 W assumed"),
-    });
-    rows.push(Table3Row {
-        label: "CPU (paper i7-12700K)".to_owned(),
-        ops_per_sec: cpu.paper_ops_per_sec,
-        energy_uj: 885.1,
-        power_w: 75.0,
-        provenance: "paper Table III".to_owned(),
-    });
+/// [`table3_timed`] with an explicit worker count. Three jobs: the
+/// multi-core FPGA simulation (the long pole, queued first), the 1-core
+/// ASIC re-simulation, and the CPU + GPU baselines. Each returns its rows
+/// plus its simulated cycles; the table is assembled in the paper's fixed
+/// row order afterwards, so the rendered bytes do not depend on
+/// scheduling. (The host-CPU row is a real wall-clock measurement — the
+/// one number that varies run to run even serially; its thread count
+/// comes from [`crate::worker_count`] and is recorded in the provenance.)
+pub fn table3_timed_on(scale: &A3Scale, workers: usize) -> (Vec<Table3Row>, u64) {
+    let s = *scale;
+    let threads = crate::worker_count();
 
-    // GPU: calibrated analytical model.
-    let gpu = GpuModel::default();
-    rows.push(Table3Row {
-        label: "GPU (3090 model)".to_owned(),
-        ops_per_sec: gpu.ops_per_sec(&scale.params),
-        energy_uj: gpu.energy_per_op(&scale.params) * 1e6,
-        power_w: gpu.power_w,
-        provenance: "roofline model calibrated to the paper's 5.0e6 ops/s".to_owned(),
-    });
-
-    // Beethoven multi-core FPGA, measured in simulation.
-    let soc = a3_soc(scale);
-    let total_resources = soc.report().total;
-    let fabric_mhz = soc.platform().fabric_mhz;
-    drop(soc);
-    let (fpga_ops, _, fpga_cycles) = measure_beethoven_timed(scale, &Platform::aws_f1());
-    total_cycles += fpga_cycles;
-    let energy = EnergyModel::default();
-    let power = energy.power(&total_resources, fabric_mhz);
-    rows.push(Table3Row {
-        label: format!("Beethoven ({} cores)", scale.n_cores),
-        ops_per_sec: fpga_ops,
-        energy_uj: power.total_w / fpga_ops * 1e6,
-        power_w: power.total_w,
-        provenance: "cycle simulation + resource power model".to_owned(),
+    let fpga_job = crate::par::Job::new("table3: Beethoven FPGA sim", move || {
+        let soc = a3_soc(&s);
+        let total_resources = soc.report().total;
+        let fabric_mhz = soc.platform().fabric_mhz;
+        drop(soc);
+        let (fpga_ops, _, fpga_cycles) = measure_beethoven_timed(&s, &Platform::aws_f1());
+        let energy = EnergyModel::default();
+        let power = energy.power(&total_resources, fabric_mhz);
+        let rows = vec![Table3Row {
+            label: format!("Beethoven ({} cores)", s.n_cores),
+            ops_per_sec: fpga_ops,
+            energy_uj: power.total_w / fpga_ops * 1e6,
+            power_w: power.total_w,
+            provenance: "cycle simulation + resource power model".to_owned(),
+        }];
+        (rows, fpga_cycles)
     });
 
     // The original 1-core ASIC at 1 GHz (we re-simulate it on the ASIC
     // platform; the paper quotes 2.94e6 ops/s).
-    let asic_scale = A3Scale {
-        n_cores: 1,
-        ..*scale
-    };
-    let (asic_ops, _, asic_cycles) = measure_beethoven_timed(&asic_scale, &Platform::asap7_asic());
-    total_cycles += asic_cycles;
-    rows.push(Table3Row {
-        label: "1-Core ASIC @1GHz".to_owned(),
-        ops_per_sec: asic_ops,
-        energy_uj: f64::NAN,
-        power_w: f64::NAN,
-        provenance: "our core on the ASIC platform model; paper quotes 2.94e6".to_owned(),
+    let asic_job = crate::par::Job::new("table3: 1-core ASIC sim", move || {
+        let asic_scale = A3Scale { n_cores: 1, ..s };
+        let (asic_ops, _, asic_cycles) =
+            measure_beethoven_timed(&asic_scale, &Platform::asap7_asic());
+        let rows = vec![Table3Row {
+            label: "1-Core ASIC @1GHz".to_owned(),
+            ops_per_sec: asic_ops,
+            energy_uj: f64::NAN,
+            power_w: f64::NAN,
+            provenance: "our core on the ASIC platform model; paper quotes 2.94e6".to_owned(),
+        }];
+        (rows, asic_cycles)
     });
-    (rows, total_cycles)
+
+    // CPU: real measurement on this host, plus the paper's constant and
+    // the calibrated analytical GPU model.
+    let baselines_job = crate::par::Job::new("table3: CPU + GPU baselines", move || {
+        let cpu = cpu_attention_throughput(&s.params, threads, s.cpu_ops);
+        let gpu = GpuModel::default();
+        let rows = vec![
+            Table3Row {
+                label: "CPU (this host)".to_owned(),
+                ops_per_sec: cpu.measured_ops_per_sec,
+                energy_uj: cpu.paper_power_w / cpu.measured_ops_per_sec * 1e6,
+                power_w: cpu.paper_power_w,
+                provenance: format!(
+                    "measured here, {} threads, paper's 75 W assumed",
+                    cpu.threads
+                ),
+            },
+            Table3Row {
+                label: "CPU (paper i7-12700K)".to_owned(),
+                ops_per_sec: cpu.paper_ops_per_sec,
+                energy_uj: 885.1,
+                power_w: 75.0,
+                provenance: "paper Table III".to_owned(),
+            },
+            Table3Row {
+                label: "GPU (3090 model)".to_owned(),
+                ops_per_sec: gpu.ops_per_sec(&s.params),
+                energy_uj: gpu.energy_per_op(&s.params) * 1e6,
+                power_w: gpu.power_w,
+                provenance: "roofline model calibrated to the paper's 5.0e6 ops/s".to_owned(),
+            },
+        ];
+        (rows, 0u64)
+    });
+
+    let mut outs =
+        crate::par::run_jobs_on(vec![fpga_job, asic_job, baselines_job], workers).into_iter();
+    let (fpga_rows, fpga_cycles) = outs.next().expect("fpga job");
+    let (asic_rows, asic_cycles) = outs.next().expect("asic job");
+    let (baseline_rows, _) = outs.next().expect("baselines job");
+
+    // Fixed presentation order: CPU (host, paper), GPU, FPGA, ASIC.
+    let mut rows = baseline_rows;
+    rows.extend(fpga_rows);
+    rows.extend(asic_rows);
+    (rows, fpga_cycles + asic_cycles)
 }
 
 /// Renders Table III.

@@ -27,19 +27,51 @@ pub fn run(sizes: &[u64]) -> Vec<Fig4Row> {
 }
 
 /// [`run`], also reporting the total simulated fabric cycles (for the
-/// binaries' sim-rate footer).
+/// binaries' sim-rate footer). Cells run across host cores
+/// ([`crate::par`]); see [`run_timed_on`].
 pub fn run_timed(sizes: &[u64]) -> (Vec<Fig4Row>, u64) {
-    let mut total_cycles = 0u64;
-    let rows = MemcpyVariant::ALL
+    run_timed_on(sizes, crate::worker_count())
+}
+
+/// [`run_timed`] with an explicit worker count. Every `(variant, size)`
+/// cell is a pure job — it elaborates, drives, and checks its own SoC in
+/// the worker thread and returns the [`MemcpyResult`] — so the sweep
+/// parallelizes without shared state, and any worker count produces the
+/// same rows (the `parallel_equivalence` test compares the rendered
+/// bytes).
+pub fn run_timed_on(sizes: &[u64], workers: usize) -> (Vec<Fig4Row>, u64) {
+    if sizes.is_empty() {
+        let rows = MemcpyVariant::ALL
+            .into_iter()
+            .map(|variant| Fig4Row {
+                label: variant.label(),
+                series: Vec::new(),
+            })
+            .collect();
+        return (rows, 0);
+    }
+    let jobs: Vec<crate::par::Job<MemcpyResult>> = MemcpyVariant::ALL
         .into_iter()
-        .map(|variant| Fig4Row {
-            label: variant.label(),
-            series: sizes
+        .flat_map(|variant| {
+            sizes.iter().map(move |&bytes| {
+                crate::par::Job::new(
+                    format!("fig4: {} @ {bytes} B", variant.label()),
+                    move || run_memcpy(variant, bytes),
+                )
+            })
+        })
+        .collect();
+    let cells = crate::par::run_jobs_on(jobs, workers);
+    let mut total_cycles = 0u64;
+    let rows = cells
+        .chunks(sizes.len())
+        .map(|row_cells| Fig4Row {
+            label: row_cells[0].variant.label(),
+            series: row_cells
                 .iter()
-                .map(|&bytes| {
-                    let MemcpyResult { gbps, cycles, .. } = run_memcpy(variant, bytes);
-                    total_cycles += cycles;
-                    (bytes, gbps)
+                .map(|cell| {
+                    total_cycles += cell.cycles;
+                    (cell.bytes, cell.gbps)
                 })
                 .collect(),
         })

@@ -54,13 +54,35 @@ pub fn write_vcds(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathB
     Ok(written)
 }
 
-/// Runs the three traced 4 KiB copies and renders their timelines.
+/// Runs the three traced 4 KiB copies and renders their timelines. The
+/// panels are independent simulations and run across host cores
+/// ([`crate::par`]); see [`run_on`].
 pub fn run() -> Fig5 {
+    run_on(crate::worker_count())
+}
+
+/// [`run`] with an explicit worker count (serial when `workers <= 1`).
+pub fn run_on(workers: usize) -> Fig5 {
     let bytes = 4096;
     let width = 120;
-    let hls = run_memcpy_traced(MemcpyVariant::Hls, bytes);
-    let beethoven = run_memcpy_traced(MemcpyVariant::Beethoven16Beat, bytes);
-    let hdl = run_memcpy_traced(MemcpyVariant::PureHdl, bytes);
+    let jobs = [
+        MemcpyVariant::Hls,
+        MemcpyVariant::Beethoven16Beat,
+        MemcpyVariant::PureHdl,
+    ]
+    .into_iter()
+    .map(|variant| {
+        crate::par::Job::new(format!("fig5: {} panel", variant.label()), move || {
+            run_memcpy_traced(variant, bytes)
+        })
+    })
+    .collect();
+    let mut panels = crate::par::run_jobs_on(jobs, workers).into_iter();
+    let (hls, beethoven, hdl) = (
+        panels.next().expect("hls panel"),
+        panels.next().expect("beethoven panel"),
+        panels.next().expect("hdl panel"),
+    );
     let cols = |r: &bkernels::memcpy::MemcpyResult| (r.cycles / width as u64).max(1);
     Fig5 {
         finish_cycles: (hls.cycles, beethoven.cycles, hdl.cycles),

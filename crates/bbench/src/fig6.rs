@@ -220,29 +220,74 @@ fn drivers(scale: &Fig6Scale) -> Vec<Driver> {
     ]
 }
 
-fn run_driver(driver: &Driver, scale: &Fig6Scale) -> (Fig6Row, u64) {
-    let platform = beethoven_platform();
-    let opts = ElaborationOptions::default();
+fn driver_for(bench: Bench, scale: &Fig6Scale) -> Driver {
+    drivers(scale)
+        .into_iter()
+        .find(|d| d.bench == bench)
+        .expect("driver exists")
+}
 
-    // Core count from the floorplanner (bounded for simulation cost).
+/// Core count from the floorplanner (bounded for simulation cost). Pure
+/// resource arithmetic, so the single- and multi-core jobs each derive it
+/// independently instead of one waiting on the other.
+fn planned_cores(driver: &Driver, scale: &Fig6Scale) -> usize {
     let cfg1 = (driver.config)(1);
-    let planner_max = bcore::estimate_max_cores(&cfg1.systems[0], &platform, &opts);
-    let n_cores = planner_max.clamp(1, scale.cap_cores);
+    let planner_max = bcore::estimate_max_cores(
+        &cfg1.systems[0],
+        &beethoven_platform(),
+        &ElaborationOptions::default(),
+    );
+    planner_max.clamp(1, scale.cap_cores)
+}
 
-    // Single-core measured throughput.
-    let soc = elaborate_with((driver.config)(1), &platform, opts.clone()).expect("elaborates");
+/// Result of one benchmark's single-core measurement job.
+struct SingleCoreRun {
+    beethoven_1core: f64,
+    cycles: u64,
+}
+
+/// Result of one benchmark's multi-core measurement job.
+struct MultiCoreRun {
+    measured: f64,
+    n_cores: usize,
+    cycles: u64,
+}
+
+/// Either half of a benchmark's Figure 6 measurement (the job payload).
+enum Fig6Run {
+    Single(SingleCoreRun),
+    Multi(MultiCoreRun),
+}
+
+fn run_single_core(bench: Bench, scale: &Fig6Scale) -> SingleCoreRun {
+    let driver = driver_for(bench, scale);
+    let soc = elaborate_with(
+        (driver.config)(1),
+        &beethoven_platform(),
+        ElaborationOptions::default(),
+    )
+    .expect("elaborates");
     let handle = FpgaHandle::new(soc);
     let args = (driver.setup)(&handle, 0);
     let t0 = handle.elapsed_secs();
     let resp = handle.call(driver.system, 0, args).expect("call");
     resp.get().expect("single-core invocation completes");
     let single_secs = handle.elapsed_secs() - t0;
-    let beethoven_1core = 1.0 / single_secs;
-    let single_cycles = handle.now();
+    SingleCoreRun {
+        beethoven_1core: 1.0 / single_secs,
+        cycles: handle.now(),
+    }
+}
 
-    // Multi-core measured throughput.
-    let soc = elaborate_with((driver.config)(n_cores as u32), &platform, opts)
-        .expect("multi-core elaborates");
+fn run_multi_core(bench: Bench, scale: &Fig6Scale) -> MultiCoreRun {
+    let driver = driver_for(bench, scale);
+    let n_cores = planned_cores(&driver, scale);
+    let soc = elaborate_with(
+        (driver.config)(n_cores as u32),
+        &beethoven_platform(),
+        ElaborationOptions::default(),
+    )
+    .expect("multi-core elaborates");
     let handle = FpgaHandle::new(soc);
     let total_cmds = n_cores * scale.cmds_per_core;
     let prepared: Vec<Args> = (0..total_cmds)
@@ -257,20 +302,29 @@ fn run_driver(driver: &Driver, scale: &Fig6Scale) -> (Fig6Row, u64) {
     for resp in responses {
         resp.get().expect("multi-core invocation completes");
     }
-    let measured = total_cmds as f64 / (handle.elapsed_secs() - t0);
-    let cycles = single_cycles + handle.now();
-
-    let params = scale.comparator_params();
-    let row = Fig6Row {
-        bench: driver.bench,
-        hls: model(Method::VitisHls, driver.bench, &params).invocations_per_sec(),
-        spatial: model(Method::Spatial, driver.bench, &params).invocations_per_sec(),
-        beethoven_1core,
+    MultiCoreRun {
+        measured: total_cmds as f64 / (handle.elapsed_secs() - t0),
         n_cores,
-        ideal: beethoven_1core * n_cores as f64,
-        measured,
-    };
-    (row, cycles)
+        cycles: handle.now(),
+    }
+}
+
+fn assemble_row(
+    bench: Bench,
+    scale: &Fig6Scale,
+    single: &SingleCoreRun,
+    multi: &MultiCoreRun,
+) -> Fig6Row {
+    let params = scale.comparator_params();
+    Fig6Row {
+        bench,
+        hls: model(Method::VitisHls, bench, &params).invocations_per_sec(),
+        spatial: model(Method::Spatial, bench, &params).invocations_per_sec(),
+        beethoven_1core: single.beethoven_1core,
+        n_cores: multi.n_cores,
+        ideal: single.beethoven_1core * multi.n_cores as f64,
+        measured: multi.measured,
+    }
 }
 
 /// Runs the whole figure at the given scale.
@@ -279,15 +333,58 @@ pub fn run(scale: &Fig6Scale) -> Vec<Fig6Row> {
 }
 
 /// [`run`], also reporting the total simulated fabric cycles (for the
-/// binaries' sim-rate footer).
+/// binaries' sim-rate footer). Per-benchmark single-core and multi-core
+/// measurements run as independent jobs across host cores
+/// ([`crate::par`]); see [`run_timed_on`].
 pub fn run_timed(scale: &Fig6Scale) -> (Vec<Fig6Row>, u64) {
+    run_timed_on(scale, crate::worker_count())
+}
+
+/// [`run_timed`] with an explicit worker count. Each benchmark
+/// contributes two jobs — the single-core and the multi-core SoC run —
+/// constructed and driven entirely inside their worker threads. The
+/// multi-core jobs (the long poles) enter the queue first; results come
+/// back in submission order, so the rows are identical at any worker
+/// count.
+pub fn run_timed_on(scale: &Fig6Scale, workers: usize) -> (Vec<Fig6Row>, u64) {
+    let benches: Vec<Bench> = drivers(scale).iter().map(|d| d.bench).collect();
+    let s = *scale;
+    let mut jobs: Vec<crate::par::Job<Fig6Run>> = Vec::with_capacity(2 * benches.len());
+    for &bench in &benches {
+        jobs.push(crate::par::Job::new(
+            format!("fig6: {} multi-core", bench.name()),
+            move || Fig6Run::Multi(run_multi_core(bench, &s)),
+        ));
+    }
+    for &bench in &benches {
+        jobs.push(crate::par::Job::new(
+            format!("fig6: {} single-core", bench.name()),
+            move || Fig6Run::Single(run_single_core(bench, &s)),
+        ));
+    }
+    let mut outs = crate::par::run_jobs_on(jobs, workers);
+    let singles: Vec<SingleCoreRun> = outs
+        .split_off(benches.len())
+        .into_iter()
+        .map(|r| match r {
+            Fig6Run::Single(s) => s,
+            Fig6Run::Multi(_) => unreachable!("singles were submitted second"),
+        })
+        .collect();
+    let multis: Vec<MultiCoreRun> = outs
+        .into_iter()
+        .map(|r| match r {
+            Fig6Run::Multi(m) => m,
+            Fig6Run::Single(_) => unreachable!("multis were submitted first"),
+        })
+        .collect();
     let mut total_cycles = 0u64;
-    let rows = drivers(scale)
+    let rows = benches
         .iter()
-        .map(|d| {
-            let (row, cycles) = run_driver(d, scale);
-            total_cycles += cycles;
-            row
+        .zip(singles.iter().zip(multis.iter()))
+        .map(|(&bench, (single, multi))| {
+            total_cycles += single.cycles + multi.cycles;
+            assemble_row(bench, scale, single, multi)
         })
         .collect();
     (rows, total_cycles)
@@ -318,11 +415,12 @@ pub fn profiled_run(scale: &Fig6Scale) -> FpgaHandle {
     handle
 }
 
-/// Runs a single benchmark (used by tests and the criterion benches).
+/// Runs a single benchmark serially (used by tests and the criterion
+/// benches).
 pub fn run_one(bench: Bench, scale: &Fig6Scale) -> Fig6Row {
-    let ds = drivers(scale);
-    let driver = ds.iter().find(|d| d.bench == bench).expect("driver exists");
-    run_driver(driver, scale).0
+    let single = run_single_core(bench, scale);
+    let multi = run_multi_core(bench, scale);
+    assemble_row(bench, scale, &single, &multi)
 }
 
 /// Renders the figure: speedups normalized to Vitis HLS, with bar labels.

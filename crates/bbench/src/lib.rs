@@ -16,6 +16,16 @@
 //! Binaries default to the paper's problem sizes; pass `--small` for a
 //! quick, scaled-down run (used by the test suite, which cannot afford
 //! paper-scale cycle counts in debug builds).
+//!
+//! ## Output contract and host parallelism
+//!
+//! Every sweep runs its independent SoC simulations across host cores
+//! through [`par`] (`BBENCH_JOBS` overrides the worker count;
+//! `BBENCH_JOBS=1` is the exact serial path). **stdout is the
+//! deterministic artifact** — figure and table bytes are identical at any
+//! worker count, which CI enforces by diffing two `all --small` runs —
+//! while run diagnostics (the `sim rate:` footers, profile-artifact
+//! paths, progress notes) go to stderr.
 
 #![warn(missing_docs)]
 
@@ -23,22 +33,26 @@ pub mod a3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod par;
 pub mod profile;
 pub mod table1;
+
+pub use par::worker_count;
 
 /// Returns true when `--small` was passed on the command line.
 pub fn small_requested() -> bool {
     std::env::args().any(|a| a == "--small")
 }
 
-/// Runs `f` under a host-clock timer and prints a `sim rate:` footer from
-/// the simulated cycle total `f` reports next to its result. Binaries wrap
-/// their figure runs in this so every artifact records the kernel's
-/// simulation rate (see `bsim::SimRate`).
+/// Runs `f` under a host-clock timer and prints a `sim rate:` footer (to
+/// stderr, with the rest of the run diagnostics — stdout carries only
+/// deterministic figure bytes) from the simulated cycle total `f` reports
+/// next to its result. Binaries wrap their figure runs in this so every
+/// artifact records the kernel's simulation rate (see `bsim::SimRate`).
 pub fn with_sim_rate<R>(f: impl FnOnce() -> (R, u64)) -> R {
     let timer = bsim::SimRateTimer::starting_at(0);
     let (result, cycles) = f();
-    println!("{}", timer.finish(cycles).render());
+    eprintln!("{}", timer.finish(cycles).render());
     result
 }
 
@@ -49,6 +63,6 @@ pub fn with_sim_rate<R>(f: impl FnOnce() -> (R, u64)) -> R {
 pub fn with_sim_rate_ext<R>(f: impl FnOnce() -> (R, u64, bsim::SimRateExt)) -> R {
     let timer = bsim::SimRateTimer::starting_at(0);
     let (result, cycles, ext) = f();
-    println!("{}", timer.finish(cycles).render_with(&ext));
+    eprintln!("{}", timer.finish(cycles).render_with(&ext));
     result
 }

@@ -72,7 +72,8 @@ pub use lockstep::Lockstep;
 pub use mem::SparseMemory;
 pub use perf::{Counter, CounterSet, PerfRegistry};
 pub use stats::{
-    Histogram, HistogramSummary, SimRate, SimRateExt, SimRateTimer, Stats, StatsSnapshot,
+    Histogram, HistogramSummary, MergedSimRate, SimRate, SimRateExt, SimRateTimer, Stats,
+    StatsSnapshot,
 };
 pub use time::{ClockDomain, Cycle, Picoseconds, PICOS_PER_SEC};
 pub use trace::{TraceEvent, Tracer};

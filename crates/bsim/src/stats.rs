@@ -331,6 +331,73 @@ impl SimRate {
     }
 }
 
+/// A batch of per-job [`SimRate`] measurements merged over one shared
+/// wall-clock span.
+///
+/// When independent simulations run concurrently on host threads, the
+/// honest throughput number is **sum-of-cycles over the span the batch
+/// took**, not the sum of per-job rates: per-job host times overlap, so
+/// adding them (or their rates) overstates what one host second bought.
+/// The merge therefore keeps two times — the span (for the rate) and the
+/// serial estimate (the sum of per-job host times, what the same batch
+/// would have cost on one worker) — whose ratio is the executor's
+/// wall-clock speedup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergedSimRate {
+    /// Summed per-job cycles over the batch's wall-clock span.
+    pub rate: SimRate,
+    /// Number of merged jobs.
+    pub jobs: usize,
+    /// Serial wall-clock estimate: the sum of per-job host times.
+    pub serial_seconds: f64,
+}
+
+impl MergedSimRate {
+    /// Merges per-job rates measured under a single span of
+    /// `span_seconds` host time. Cycles add (each job simulated its own
+    /// SoC); host time is the span, not the per-job sum.
+    pub fn merge(per_job: impl IntoIterator<Item = SimRate>, span_seconds: f64) -> Self {
+        let (mut cycles, mut jobs, mut serial) = (0u64, 0usize, 0.0f64);
+        for r in per_job {
+            cycles += r.cycles;
+            jobs += 1;
+            serial += r.host_seconds;
+        }
+        Self {
+            rate: SimRate {
+                cycles,
+                host_seconds: span_seconds,
+            },
+            jobs,
+            serial_seconds: serial,
+        }
+    }
+
+    /// Wall-clock speedup over running the same jobs serially
+    /// (serial estimate / span; 1.0 for a zero-length span).
+    pub fn speedup(&self) -> f64 {
+        if self.rate.host_seconds > 0.0 {
+            self.serial_seconds / self.rate.host_seconds
+        } else {
+            1.0
+        }
+    }
+
+    /// One-line rendering: the merged [`SimRate::render`] plus the batch
+    /// context, e.g. `sim rate: ... | 30 jobs: serial estimate 10.1 s,
+    /// actual 2.6 s (3.9x)`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} | {} jobs: serial estimate {:.1} s, actual {:.1} s ({:.1}x)",
+            self.rate.render(),
+            self.jobs,
+            self.serial_seconds,
+            self.rate.host_seconds,
+            self.speedup(),
+        )
+    }
+}
+
 /// Memory-system and scheduler context for [`SimRate::render_with`],
 /// typically measured on one representative profiled run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -479,6 +546,42 @@ mod tests {
             host_seconds: 0.0,
         };
         assert_eq!(zero.cycles_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn merged_rate_sums_cycles_over_the_span() {
+        let jobs = [
+            SimRate {
+                cycles: 1_000,
+                host_seconds: 0.4,
+            },
+            SimRate {
+                cycles: 2_000,
+                host_seconds: 0.6,
+            },
+            SimRate {
+                cycles: 3_000,
+                host_seconds: 0.5,
+            },
+        ];
+        let merged = MergedSimRate::merge(jobs, 0.75);
+        assert_eq!(merged.rate.cycles, 6_000);
+        assert_eq!(merged.jobs, 3);
+        assert!((merged.serial_seconds - 1.5).abs() < 1e-12);
+        assert!((merged.rate.host_seconds - 0.75).abs() < 1e-12);
+        assert!((merged.speedup() - 2.0).abs() < 1e-9);
+        let line = merged.render();
+        assert!(line.starts_with("sim rate:"), "{line}");
+        assert!(line.contains("3 jobs"), "{line}");
+        assert!(line.contains("(2.0x)"), "{line}");
+    }
+
+    #[test]
+    fn merged_rate_of_empty_batch_is_inert() {
+        let merged = MergedSimRate::merge([], 0.0);
+        assert_eq!(merged.rate.cycles, 0);
+        assert_eq!(merged.jobs, 0);
+        assert_eq!(merged.speedup(), 1.0);
     }
 
     #[test]

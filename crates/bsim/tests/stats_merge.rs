@@ -1,0 +1,47 @@
+//! Property tests for [`bsim::MergedSimRate`]: merging per-job rates over
+//! a shared span must conserve the simulated-cycle total (the quantity the
+//! parallel sweep executor's serial-vs-parallel equivalence rests on) and
+//! accumulate per-job host times into the serial estimate.
+
+use bsim::{MergedSimRate, SimRate};
+use proptest::prelude::*;
+
+proptest! {
+    /// The merged cycle total equals the serial sum of per-job cycles,
+    /// for any batch and any span.
+    #[test]
+    fn merged_cycles_equal_serial_sum(
+        cycles in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+        span_ms in 0u64..10_000,
+    ) {
+        let jobs: Vec<SimRate> = cycles
+            .iter()
+            .map(|&c| SimRate { cycles: c, host_seconds: c as f64 * 1e-9 })
+            .collect();
+        let serial_sum: u64 = cycles.iter().sum();
+        let merged = MergedSimRate::merge(jobs.iter().copied(), span_ms as f64 * 1e-3);
+        prop_assert_eq!(merged.rate.cycles, serial_sum);
+        prop_assert_eq!(merged.jobs, cycles.len());
+    }
+
+    /// The serial estimate is the sum of per-job host times, and the
+    /// reported span is exactly the one handed in — merging never mixes
+    /// the two time bases.
+    #[test]
+    fn merged_times_keep_span_and_serial_apart(
+        times_us in proptest::collection::vec(1u64..1_000_000, 1..20),
+    ) {
+        let jobs: Vec<SimRate> = times_us
+            .iter()
+            .map(|&us| SimRate { cycles: 1, host_seconds: us as f64 * 1e-6 })
+            .collect();
+        let serial: f64 = jobs.iter().map(|r| r.host_seconds).sum();
+        // A parallel executor's span can never beat the longest job.
+        let span = times_us.iter().copied().max().unwrap() as f64 * 1e-6;
+        let merged = MergedSimRate::merge(jobs.iter().copied(), span);
+        prop_assert!((merged.serial_seconds - serial).abs() <= 1e-9 * serial.max(1.0));
+        prop_assert!((merged.rate.host_seconds - span).abs() < 1e-12);
+        // Speedup = serial/span >= 1 in that regime.
+        prop_assert!(merged.speedup() >= 1.0 - 1e-9);
+    }
+}
