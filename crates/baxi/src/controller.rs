@@ -608,6 +608,15 @@ impl Component for AxiMemoryController {
         let dram_wake = (event_ps.saturating_add(tck)).div_ceil(period).max(now + 1);
         Some(wake.min(dram_wake))
     }
+
+    fn register_wakes(&self, waker: &bsim::Waker) {
+        // The three request directions are the only external inputs; R/B
+        // are our outputs and the DRAM heartbeat in `next_event` already
+        // bounds refresh work, so no other hook is needed.
+        self.port.ar.wake_on_send(waker);
+        self.port.aw.wake_on_send(waker);
+        self.port.w.wake_on_send(waker);
+    }
 }
 
 impl std::fmt::Debug for AxiMemoryController {

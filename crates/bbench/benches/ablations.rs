@@ -9,6 +9,8 @@
 //! 4. **Burst length sweep** — the Figure 4 control experiment.
 //! 5. **Idle-skipping scheduler vs naive stepper** — host wall-clock on an
 //!    idle-heavy workload (cycle counts are identical by construction).
+//! 6. **Active-set scheduler vs idle-skipping vs naive** — host wall-clock
+//!    across idle-heavy, one-busy-core, and all-cores-busy load shapes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -245,6 +247,134 @@ fn ablation_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
+/// Active-set scheduler vs idle-skipping vs naive across three load
+/// shapes:
+///
+/// * **idle-heavy** — one memcpy command then a long refresh-only
+///   stretch: the shape fast-forward already collapses, so active-set
+///   should match idle-skipping.
+/// * **one-busy-core** — a many-core vector-add SoC with a single core
+///   streaming commands: there is *no* quiescent gap to skip, so
+///   idle-skipping degenerates to the naive stepper while the active-set
+///   heap only ticks the busy core and its memory path.
+/// * **all-cores-busy** — every core streaming: the honest no-win case;
+///   all three schedulers do proportional work.
+///
+/// Simulated cycle counts are identical across modes by construction
+/// (asserted here; guarded byte-for-byte by the lockstep and property
+/// suites). The data are host wall-clock and the ticked-vs-registered
+/// component-cycle economy reported in the `sim rate:` footer.
+fn ablation_active_set(c: &mut Criterion) {
+    use bsim::{SchedulerMode, SimRate, SimRateExt};
+    // The widest vector-add SoC the AWS F1 floorplan holds (40 cores
+    // elaborate, 44 do not): the schedulers' asymptotics only separate
+    // when the idle majority is large.
+    const CORES: u32 = 40;
+    const ELES: u32 = 1 << 16;
+    const VEC_BASE: u64 = 0x10_0000;
+    const VEC_STRIDE: u64 = 0x10_0000;
+
+    let idle_heavy = |mode: SchedulerMode| -> (SimRate, SimRateExt) {
+        const SRC: u64 = 0x10_0000;
+        const DST: u64 = 0x80_0000;
+        const BYTES: u64 = 16 * 1024;
+        let timer = bsim::SimRateTimer::starting_at(0);
+        let mut soc = bcore::elaborate(bkernels::memcpy::config(), &Platform::aws_f1())
+            .expect("memcpy elaborates");
+        soc.set_scheduler_mode(mode);
+        let payload: Vec<u8> = (0..BYTES).map(|i| (i % 251) as u8).collect();
+        soc.memory().borrow_mut().write(SRC, &payload);
+        let args = [
+            ("src".to_owned(), SRC),
+            ("dst".to_owned(), DST),
+            ("len".to_owned(), BYTES),
+        ]
+        .into_iter()
+        .collect();
+        let token = soc.send_command(0, 0, &args).expect("send");
+        soc.run_until_response(token, 100_000_000)
+            .expect("copy completes");
+        soc.run_for(1_000_000);
+        (timer.finish(soc.now()), bbench::profile::sim_rate_ext(&soc))
+    };
+
+    // `busy` of the CORES vector-add cores stream `rounds` commands each;
+    // the rest never see a command. The timer covers only the simulated
+    // region — SoC elaboration (floorplanning, wiring) is identical
+    // across scheduler modes and would otherwise flatten the comparison.
+    let vecadd_run = |mode: SchedulerMode, busy: u32, rounds: u32| -> (SimRate, SimRateExt) {
+        let mut soc = bcore::elaborate(bkernels::vecadd::config(CORES), &Platform::aws_f1())
+            .expect("vecadd elaborates");
+        soc.set_scheduler_mode(mode);
+        let input: Vec<u8> = (0..ELES * 4).map(|i| (i % 251) as u8).collect();
+        for core in 0..busy {
+            soc.memory()
+                .borrow_mut()
+                .write(VEC_BASE + u64::from(core) * VEC_STRIDE, &input);
+        }
+        let timer = bsim::SimRateTimer::starting_at(soc.now());
+        for round in 0..rounds {
+            let tokens: Vec<_> = (0..busy)
+                .map(|core| {
+                    let addr = VEC_BASE + u64::from(core) * VEC_STRIDE;
+                    soc.send_command(0, core as u16, &bkernels::vecadd::args(round, addr, ELES))
+                        .expect("send")
+                })
+                .collect();
+            for token in tokens {
+                soc.run_until_response(token, 100_000_000)
+                    .expect("vec-add completes");
+            }
+        }
+        (timer.finish(soc.now()), bbench::profile::sim_rate_ext(&soc))
+    };
+
+    let scenarios: [(&str, Box<dyn Fn(SchedulerMode) -> (SimRate, SimRateExt)>); 3] = [
+        ("idle-heavy    ", Box::new(idle_heavy)),
+        ("one-busy-core ", Box::new(|mode| vecadd_run(mode, 1, 8))),
+        // All-cores-busy costs O(cores) in every mode; two rounds keep
+        // the honest no-win datum affordable.
+        (
+            "all-cores-busy",
+            Box::new(|mode| vecadd_run(mode, CORES, 2)),
+        ),
+    ];
+    for (name, run) in &scenarios {
+        let (naive, _) = run(SchedulerMode::Naive);
+        let (skip, _) = run(SchedulerMode::IdleSkip);
+        let (active, ext) = run(SchedulerMode::ActiveSet);
+        assert_eq!(naive.cycles, skip.cycles, "{name}: idle-skip cycle drift");
+        assert_eq!(
+            naive.cycles, active.cycles,
+            "{name}: active-set cycle drift"
+        );
+        println!("ablation datum: {name} naive     : {}", naive.render());
+        println!("ablation datum: {name} idle-skip : {}", skip.render());
+        println!(
+            "ablation datum: {name} active-set: {}",
+            active.render_with(&ext)
+        );
+        println!(
+            "ablation datum: {name} active-set speedup: {:.1}x vs naive, {:.1}x vs idle-skip",
+            naive.host_seconds / active.host_seconds,
+            skip.host_seconds / active.host_seconds
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_active_set");
+    group.sample_size(3);
+    group.bench_function("one_busy_core_naive", |b| {
+        b.iter(|| black_box(vecadd_run(SchedulerMode::Naive, 1, 8)))
+    });
+    group.bench_function("one_busy_core_idle_skipping", |b| {
+        b.iter(|| black_box(vecadd_run(SchedulerMode::IdleSkip, 1, 8)))
+    });
+    group.bench_function("one_busy_core_active_set", |b| {
+        b.iter(|| black_box(vecadd_run(SchedulerMode::ActiveSet, 1, 8)))
+    });
+    group.finish();
+}
+
 /// Parallel sweep executor vs the serial path on the Figure 4 sweep:
 /// 5 variants × 3 sizes = 15 independent SoC simulations, run on 1
 /// worker and then on 4. Simulated cycle totals are identical by
@@ -287,6 +417,7 @@ criterion_group!(
     ablation_bursts_and_ordering,
     ablation_dram_mapping,
     ablation_scheduler,
+    ablation_active_set,
     ablation_parallel_sweep
 );
 criterion_main!(benches);

@@ -67,8 +67,9 @@ pub fn emit_to(dir: &Path, stem: &str, soc: &SocSim) -> std::io::Result<ProfileA
 }
 
 /// Builds the extended sim-rate footer context from a profiled SoC's
-/// counters: total DRAM traffic and the scheduler's skip ratio, both from
-/// the representative profiled run.
+/// counters: total DRAM traffic, the scheduler's skip ratio, and the
+/// ticked-vs-registered component-cycle ratio, all from the representative
+/// profiled run.
 pub fn sim_rate_ext(soc: &SocSim) -> SimRateExt {
     let counters = soc.perf_counters();
     let value = |name: &str| {
@@ -91,6 +92,8 @@ pub fn sim_rate_ext(soc: &SocSim) -> SimRateExt {
         sim_seconds: soc.clock().cycles_to_secs(soc.now()),
         skipped_cycles: skipped,
         total_cycles: executed + skipped,
+        ticked_component_cycles: value("scheduler/ticked_component_cycles"),
+        registered_component_cycles: value("scheduler/registered_component_cycles"),
     }
 }
 
@@ -120,6 +123,13 @@ mod tests {
             ext.dram_bytes
         );
         assert!(ext.total_cycles > 0);
+        assert!(
+            ext.registered_component_cycles > 0
+                && ext.ticked_component_cycles <= ext.registered_component_cycles,
+            "component-cycle counters should be populated and consistent: {} / {}",
+            ext.ticked_component_cycles,
+            ext.registered_component_cycles
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

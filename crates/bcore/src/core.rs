@@ -301,6 +301,24 @@ impl CoreContext {
         }
         wake
     }
+
+    /// Hooks every channel [`CoreContext::next_event`] consults, so a
+    /// sleeping harness is re-armed the moment new work arrives: a command,
+    /// a remote write from another core, read data, or a write ack. The
+    /// core's own `idle` flag can only change inside a tick, so these
+    /// external inputs are the complete wake surface.
+    pub(crate) fn register_wakes(&self, waker: &bsim::Waker) {
+        self.cmd_rx.wake_on_send(waker);
+        for sink in &self.intra_sinks {
+            sink.rx.wake_on_send(waker);
+        }
+        for reader in self.readers.values().flatten() {
+            reader.register_wakes(waker);
+        }
+        for writer in self.writers.values().flatten() {
+            writer.register_wakes(waker);
+        }
+    }
 }
 
 impl std::fmt::Debug for CoreContext {
@@ -340,5 +358,9 @@ impl bsim::Component for CoreHarness {
             return Some(now + 1);
         }
         self.ctx.next_event(now)
+    }
+
+    fn register_wakes(&self, waker: &bsim::Waker) {
+        self.ctx.register_wakes(waker);
     }
 }

@@ -258,6 +258,18 @@ impl Component for AxiInterconnect {
         consider(self.downstream.b.next_visible_at());
         wake
     }
+
+    fn register_wakes(&self, waker: &bsim::Waker) {
+        // The in-flight branch of `next_event` only holds while the maps
+        // are nonempty, and the maps only change inside our own tick; the
+        // idle branch depends exactly on these four channel directions.
+        for m in &self.masters {
+            m.ar.wake_on_send(waker);
+            m.aw.wake_on_send(waker);
+        }
+        self.downstream.r.wake_on_send(waker);
+        self.downstream.b.wake_on_send(waker);
+    }
 }
 
 impl std::fmt::Debug for AxiInterconnect {
@@ -285,12 +297,18 @@ mod tests {
         fn tick(&mut self, now: Cycle) {
             self.0.borrow_mut().tick(now);
         }
+        // always-on: deliberately left without `next_event`/`register_wakes`
+        // so these tests exercise the scheduler's polled fallback set with a
+        // primitive that *does* have real event structure. The host drives
+        // `request` through the Shared handle between steps, which the
+        // always-tick fallback absorbs without any wake plumbing.
     }
     struct TickWriter(bsim::Shared<Writer>);
     impl Component for TickWriter {
         fn tick(&mut self, now: Cycle) {
             self.0.borrow_mut().tick(now);
         }
+        // always-on: see TickReader.
     }
 
     /// n readers and one writer share a single controller through the mux.

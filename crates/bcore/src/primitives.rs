@@ -300,6 +300,13 @@ impl Reader {
         }
         self.port.r.next_visible_at().map(|v| v.max(now + 1))
     }
+
+    /// Hooks the channels [`Reader::next_event`] depends on: only the R
+    /// channel can start work while the reader is idle (`request` is a
+    /// core-side call, made while the owning harness is already awake).
+    pub fn register_wakes(&self, waker: &bsim::Waker) {
+        self.port.r.wake_on_send(waker);
+    }
 }
 
 /// Tuning of a [`Writer`].
@@ -607,6 +614,14 @@ impl Writer {
             return Some(now + 1);
         }
         self.port.b.next_visible_at().map(|v| v.max(now + 1))
+    }
+
+    /// Hooks the channels [`Writer::next_event`] depends on: only the B
+    /// channel can start work while the writer is idle (`request` and
+    /// `push_chunk` are core-side calls, made while the owning harness is
+    /// already awake).
+    pub fn register_wakes(&self, waker: &bsim::Waker) {
+        self.port.b.wake_on_send(waker);
     }
 }
 

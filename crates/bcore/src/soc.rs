@@ -221,6 +221,23 @@ impl SocSim {
         }
     }
 
+    /// Pins a specific scheduler mode (naive oracle, idle-skipping, or the
+    /// active-set default) across the whole SoC. All three are cycle-exact;
+    /// the DRAM model's own idle skipping follows suit (on unless naive).
+    pub fn set_scheduler_mode(&mut self, mode: bsim::SchedulerMode) {
+        self.sim.set_scheduler_mode(mode);
+        for controller in &self.controllers {
+            controller
+                .borrow_mut()
+                .set_event_driven(mode != bsim::SchedulerMode::Naive);
+        }
+    }
+
+    /// The scheduler mode currently driving the fabric.
+    pub fn scheduler_mode(&self) -> bsim::SchedulerMode {
+        self.sim.scheduler_mode()
+    }
+
     /// Advances `cycles` fabric cycles.
     pub fn run_for(&mut self, cycles: Cycle) {
         self.sim.run_for(cycles);
@@ -368,6 +385,13 @@ impl SocSim {
         token: CommandToken,
         max_cycles: Cycle,
     ) -> Result<u64, Cycle> {
+        // Every response channel is a watched wake source (see `new`), so
+        // a stride above 1 cannot delay the observation: the scheduler
+        // forces a completion check on any cycle a watched response is
+        // visible, and the elapsed count stays exact (the "strides never
+        // race wakes" guarantee of `run_until_strided`). The stride only
+        // amortises the O(cores) response scan across quiet cycles.
+        const RESPONSE_POLL_STRIDE: Cycle = 64;
         if let Some(data) = self.poll(token) {
             return Ok(data);
         }
@@ -380,7 +404,7 @@ impl SocSim {
             mmio_stats,
             ..
         } = self;
-        let result = sim.run_until_strided(max_cycles, 1, |now| {
+        let result = sim.run_until_strided(max_cycles, RESPONSE_POLL_STRIDE, |now| {
             for (sys, cores) in links.iter().enumerate() {
                 for (core, link) in cores.iter().enumerate() {
                     while let Some(resp) = link.resp_rx.recv(now) {
@@ -468,6 +492,16 @@ impl SocSim {
             .set_value("scheduler", "executed_cycles", self.sim.executed_cycles());
         self.perf
             .set_value("scheduler", "skipped_cycles", self.sim.skipped_cycles());
+        self.perf.set_value(
+            "scheduler",
+            "ticked_component_cycles",
+            self.sim.ticked_component_cycles(),
+        );
+        self.perf.set_value(
+            "scheduler",
+            "registered_component_cycles",
+            self.sim.registered_component_cycles(),
+        );
     }
 
     /// Host-side MMIO register write (the counter window plus the command

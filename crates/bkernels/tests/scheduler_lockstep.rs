@@ -1,15 +1,18 @@
-//! End-to-end lockstep guard for the idle-skipping scheduler: the same
-//! full-SoC workload (elaborated memcpy core, AXI interconnect, memory
-//! controller, DRAM with refresh) is driven twice — once with the naive
-//! cycle-by-cycle stepper and once with fast-forwarding — through a
-//! command / long idle gap / command sequence, and every observable must
-//! be byte-identical: response cycles, final `now`, copied bytes, DRAM
-//! statistics (refreshes across the skipped gap included), and controller
-//! counters.
+//! End-to-end lockstep guard for the schedulers: the same full-SoC
+//! workload (elaborated memcpy core, AXI interconnect, memory controller,
+//! DRAM with refresh) is driven once per [`bsim::SchedulerMode`] — naive
+//! cycle-by-cycle stepping, idle-skipping fast-forward, and the active-set
+//! heap scheduler — through a command / long idle gap / command sequence,
+//! and every observable must be byte-identical: response cycles, final
+//! `now`, copied bytes, DRAM statistics (refreshes across the skipped gap
+//! included), controller counters, and the full performance-counter
+//! registry (minus the `scheduler/` namespace, which *describes* the
+//! scheduling work and so is the one legitimately mode-dependent corner).
 
 use bcore::elaborate;
 use bkernels::memcpy;
 use bplatform::Platform;
+use bsim::SchedulerMode;
 
 const SRC: u64 = 0x10_0000;
 const DST: u64 = 0x80_0000;
@@ -24,11 +27,14 @@ struct Run {
     copied: Vec<u8>,
     dram: bdram::ChannelStats,
     controller: bsim::StatsSnapshot,
+    /// Every perf counter outside the `scheduler/` namespace.
+    counters: Vec<(String, u64)>,
 }
 
-fn drive(event_driven: bool) -> Run {
+fn drive(mode: SchedulerMode) -> Run {
     let mut soc = elaborate(memcpy::config(), &Platform::aws_f1()).expect("memcpy elaborates");
-    soc.set_event_driven(event_driven);
+    soc.set_scheduler_mode(mode);
+    soc.set_profiling(true);
     let payload: Vec<u8> = (0..BYTES).map(|i| (i % 251) as u8).collect();
     soc.memory().borrow_mut().write(SRC, &payload);
     let args = |src, dst| {
@@ -65,33 +71,51 @@ fn drive(event_driven: bool) -> Run {
         copied: soc.memory().borrow().read_vec(SRC + BYTES, BYTES as usize),
         dram: soc.dram_stats(),
         controller: soc.controller_stats().snapshot(),
+        counters: soc
+            .perf_counters()
+            .into_iter()
+            .filter(|(name, _)| !name.starts_with("scheduler/"))
+            .collect(),
     }
 }
 
 #[test]
-fn naive_and_idle_skipping_runs_are_byte_identical() {
-    let naive = drive(false);
-    let event = drive(true);
-
-    assert_eq!(
-        naive.elapsed_first, event.elapsed_first,
-        "first response cycle diverged"
-    );
-    assert_eq!(
-        naive.elapsed_second, event.elapsed_second,
-        "second response cycle diverged"
-    );
-    assert_eq!(naive.final_now, event.final_now, "final cycle diverged");
-    assert_eq!(naive.copied, event.copied, "copied bytes diverged");
-    assert_eq!(naive.dram, event.dram, "DRAM stats diverged");
-    assert_eq!(
-        naive.controller, event.controller,
-        "controller stats diverged"
-    );
+fn all_scheduler_modes_are_byte_identical() {
+    let naive = drive(SchedulerMode::Naive);
+    for mode in [SchedulerMode::IdleSkip, SchedulerMode::ActiveSet] {
+        let run = drive(mode);
+        assert_eq!(
+            naive.elapsed_first, run.elapsed_first,
+            "{mode:?}: first response cycle diverged"
+        );
+        assert_eq!(
+            naive.elapsed_second, run.elapsed_second,
+            "{mode:?}: second response cycle diverged"
+        );
+        assert_eq!(
+            naive.final_now, run.final_now,
+            "{mode:?}: final cycle diverged"
+        );
+        assert_eq!(naive.copied, run.copied, "{mode:?}: copied bytes diverged");
+        assert_eq!(naive.dram, run.dram, "{mode:?}: DRAM stats diverged");
+        assert_eq!(
+            naive.controller, run.controller,
+            "{mode:?}: controller stats diverged"
+        );
+        assert_eq!(
+            naive.counters, run.counters,
+            "{mode:?}: perf counters diverged"
+        );
+    }
 
     // The gap really was refresh-active — otherwise this test would not
     // exercise the DRAM wake-up math it exists to guard.
     assert!(naive.dram.refreshes > 0, "idle gap saw no refreshes");
+    // And the counter comparison really covered the SoC, not an empty set.
+    assert!(
+        !naive.counters.is_empty(),
+        "profiling left no non-scheduler counters to compare"
+    );
     let expect: Vec<u8> = (0..BYTES).map(|i| (i % 251) as u8).collect();
     assert_eq!(naive.copied, expect, "round-tripped payload corrupted");
 }

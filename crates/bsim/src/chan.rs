@@ -9,11 +9,12 @@
 //! Backpressure is modelled by capacity: [`Sender::can_send`] is the `ready`
 //! signal, [`Receiver::peek`] returning `Some` is the `valid` signal.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
 use crate::time::Cycle;
+use crate::wake::Waker;
 
 struct Inner<T> {
     capacity: usize,
@@ -21,6 +22,15 @@ struct Inner<T> {
     queue: VecDeque<(Cycle, T)>,
     total_sent: u64,
     total_received: u64,
+    /// Wakers fired on every send (consumers sleeping on an empty channel).
+    send_hooks: Vec<Waker>,
+    /// Wakers fired on every successful recv (producers sleeping on a full
+    /// channel: a freed slot is the event they wait for).
+    recv_hooks: Vec<Waker>,
+    /// Dirty flags set on every send: how the scheduler's cached
+    /// watched-channel horizon learns this channel's visibility clock may
+    /// have moved earlier (see `Simulation::watch_receiver`).
+    watch_flags: Vec<Rc<Cell<bool>>>,
 }
 
 /// Observable occupancy information about a channel, shared by both ends.
@@ -107,6 +117,9 @@ pub fn channel_with_latency<T>(capacity: usize, latency: u64) -> (Sender<T>, Rec
         queue: VecDeque::with_capacity(capacity),
         total_sent: 0,
         total_received: 0,
+        send_hooks: Vec::new(),
+        recv_hooks: Vec::new(),
+        watch_flags: Vec::new(),
     }));
     (
         Sender {
@@ -146,6 +159,12 @@ impl<T> Sender<T> {
         let visible = now + inner.latency;
         inner.queue.push_back((visible, value));
         inner.total_sent += 1;
+        for hook in &inner.send_hooks {
+            hook.wake();
+        }
+        for flag in &inner.watch_flags {
+            flag.set(true);
+        }
     }
 
     /// Attempts to enqueue; returns `Err(value)` if the channel is full.
@@ -163,6 +182,18 @@ impl<T> Sender<T> {
     /// [`Receiver::next_visible_at`].
     pub fn next_visible_at(&self) -> Option<Cycle> {
         next_visible_of(&self.inner)
+    }
+
+    /// Registers `waker` to fire whenever an item is *received* from this
+    /// channel, i.e. whenever backpressure eases.
+    ///
+    /// Only needed by a producer that sleeps (returns `None` or a
+    /// far-future [`next_event`](crate::Component::next_event)) while this
+    /// channel is full; a producer that stays awake (`Some(now + 1)`)
+    /// while output-blocked — the common pattern — needs no hook here.
+    pub fn wake_on_recv(&self, waker: &Waker) {
+        self.inner.borrow_mut().recv_hooks.push(waker.clone());
+        waker.mark_hooked();
     }
 
     /// Occupancy snapshot.
@@ -184,7 +215,11 @@ impl<T> Receiver<T> {
         let mut inner = self.inner.borrow_mut();
         if inner.queue.front().is_some_and(|(vis, _)| *vis <= now) {
             inner.total_received += 1;
-            inner.queue.pop_front().map(|(_, v)| v)
+            let item = inner.queue.pop_front().map(|(_, v)| v);
+            for hook in &inner.recv_hooks {
+                hook.wake();
+            }
+            item
         } else {
             None
         }
@@ -213,6 +248,29 @@ impl<T> Receiver<T> {
     /// exactly when the channel next changes state for the consumer.
     pub fn next_visible_at(&self) -> Option<Cycle> {
         next_visible_of(&self.inner)
+    }
+
+    /// Registers `waker` to fire whenever an item is *sent* on this
+    /// channel.
+    ///
+    /// This is how a consumer joins the active-set scheduler's heap: hook
+    /// every input channel its [`next_event`](crate::Component::next_event)
+    /// declarations depend on, and the scheduler re-examines it the moment
+    /// a producer (or host code) enqueues new work — even if it was asleep
+    /// (`None`). Fires on the send itself, before the item is visible;
+    /// the woken component is re-examined conservatively at its next
+    /// clock-domain fire, matching the naive loop exactly.
+    pub fn wake_on_send(&self, waker: &Waker) {
+        self.inner.borrow_mut().send_hooks.push(waker.clone());
+        waker.mark_hooked();
+    }
+
+    /// Registers `flag` to be set on every send, letting the scheduler
+    /// cache this channel's contribution to its watched horizon: only a
+    /// send can move the front item's visibility *earlier*, so the cache
+    /// stays conservative between sends.
+    pub(crate) fn notify_sends(&self, flag: &Rc<Cell<bool>>) {
+        self.inner.borrow_mut().watch_flags.push(Rc::clone(flag));
     }
 
     /// Occupancy snapshot.

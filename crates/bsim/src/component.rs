@@ -1,20 +1,33 @@
 //! The [`Component`] trait and the [`Simulation`] driver.
 //!
-//! The driver is an *idle-skipping, event-aware* scheduler: it is
-//! cycle-exact with the obvious "tick everything every cycle" loop, but
-//! when every component declares (via [`Component::next_event`]) that its
-//! next activity lies in the future, the scheduler fast-forwards the base
-//! clock across the quiescent gap in one jump instead of executing no-op
-//! ticks. Components that do not implement `next_event` fall back to the
-//! default declaration of "active every cycle" and are never skipped, so
-//! the optimisation is strictly opt-in per component and reported cycle
-//! counts are bit-identical either way. See `DESIGN.md` for the full
-//! contract and the lockstep guard mode.
+//! The driver supports three cycle-exact scheduling modes
+//! ([`SchedulerMode`]):
+//!
+//! * **Naive** — tick every component every cycle: the oracle.
+//! * **Idle-skipping** — execute cycles exactly like naive, but when every
+//!   component declares (via [`Component::next_event`]) that its next
+//!   activity lies in the future, fast-forward the base clock across the
+//!   globally quiescent gap in one jump.
+//! * **Active-set** (the default) — additionally make each *executed*
+//!   cycle cost proportional to the number of *awake* components: every
+//!   registered component carries a due-cycle derived from its
+//!   `next_event`, maintained in a min-heap keyed by base cycle, and a
+//!   cycle ticks only the components due now. Channel activity re-arms
+//!   sleeping consumers through [`Waker`] hooks (see
+//!   [`Component::register_wakes`]); components that register no hooks
+//!   stay in an always-tick fallback set with exact naive semantics.
+//!
+//! All three modes produce bit-identical cycle counts and component
+//! state. See `DESIGN.md` for the full contract and the lockstep guard
+//! mode.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::rc::Rc;
 
 use crate::time::Cycle;
+use crate::wake::{WakeQueue, Waker};
 
 /// A hardware module with per-cycle behaviour.
 ///
@@ -54,10 +67,53 @@ pub trait Component {
     ///
     /// Returning `Some(e)` with `e <= now` is treated as `Some(now + 1)`.
     /// The promise only needs to hold while the component's inputs are
-    /// untouched; any executed base cycle re-queries every due component.
+    /// untouched: under the idle-skipping scheduler every due component is
+    /// re-queried on every executed cycle, and under the active-set
+    /// scheduler an input change re-arms the component through its
+    /// [wake hooks](Component::register_wakes) (or, for components without
+    /// hooks, through the always-tick fallback set).
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         Some(now + 1)
     }
+
+    /// Attaches wake hooks to the channels this component's
+    /// [`next_event`](Component::next_event) declarations depend on.
+    ///
+    /// Called once, when the component is added to a [`Simulation`]. A
+    /// typical implementation hooks every input channel with
+    /// [`Receiver::wake_on_send`](crate::Receiver::wake_on_send) (and any
+    /// output channel it sleeps on while full with
+    /// [`Sender::wake_on_recv`](crate::Sender::wake_on_recv)).
+    ///
+    /// Registering at least one hook promises the hooks cover *every*
+    /// input that can invalidate a `next_event` declaration; the
+    /// active-set scheduler then lets the component sleep without polling
+    /// it. The default registers nothing, which keeps the component in
+    /// the always-tick fallback set: it ticks on every executed cycle of
+    /// its clock domain (exact naive semantics) and its `next_event` only
+    /// bounds whole-simulation fast-forward jumps — correct for every
+    /// component, merely slower for ones that could have slept.
+    fn register_wakes(&self, waker: &Waker) {
+        let _ = waker;
+    }
+}
+
+/// Which driver loop a [`Simulation`] uses. All three modes are
+/// cycle-exact with one another; they differ only in host work per
+/// simulated cycle. See the [module docs](self) and `DESIGN.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerMode {
+    /// Tick every component on every cycle. The correctness oracle
+    /// (`BSIM_NAIVE=1`).
+    Naive,
+    /// Naive execution plus whole-simulation fast-forward across globally
+    /// quiescent gaps (`BSIM_SCHED=skip`).
+    IdleSkip,
+    /// Per-component scheduling: each executed cycle ticks only the
+    /// components that are due, woken, or in the always-tick fallback
+    /// set, plus the same fast-forward as idle-skipping. The default
+    /// (`BSIM_SCHED=active`).
+    ActiveSet,
 }
 
 /// A shared, inspectable handle to a component that has been added to a
@@ -124,6 +180,10 @@ impl<T: Component> Component for SharedComponent<T> {
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         self.inner.borrow().next_event(now)
     }
+
+    fn register_wakes(&self, waker: &Waker) {
+        self.inner.borrow().register_wakes(waker);
+    }
 }
 
 struct Registered {
@@ -132,8 +192,27 @@ struct Registered {
     /// group, which holds the divider and next-due bookkeeping.
     group: usize,
     /// Cycles of the component's own clock elapsed so far (ticks executed
-    /// plus ticks skipped as proven no-ops).
+    /// plus ticks skipped as proven no-ops). Under the active-set
+    /// scheduler this may lag for sleeping components; the authoritative
+    /// value is always [`Simulation::fires_before`], with which this field
+    /// is resynchronised on every tick and on scheduler-mode changes.
     local_cycles: Cycle,
+    /// `first_due / divider` at registration time: the component's local
+    /// cycle at base cycle `b` (a fire of its domain) is
+    /// `b / divider - fire_offset`.
+    fire_offset: Cycle,
+    /// Active-set: the base cycle this component is heap-scheduled to
+    /// tick at, or `Cycle::MAX` when sleeping (or in the polled fallback
+    /// set, which is never heap-scheduled). Heap entries whose cycle no
+    /// longer equals `sched_at` are stale and discarded on pop.
+    sched_at: Cycle,
+    /// Active-set: base cycle of the most recent executed tick
+    /// (`Cycle::MAX` = never ticked).
+    last_fire: Cycle,
+    /// Active-set: dedupe stamp for the due-queue of the cycle currently
+    /// being executed.
+    due_mark: Cycle,
+    waker: Waker,
 }
 
 /// Per-divider bookkeeping shared by every component in one clock domain.
@@ -158,11 +237,14 @@ struct DividerGroup {
 /// tick once every `divider` base cycles, and observe their *local* cycle
 /// count, so channel latencies stay meaningful within a domain.
 ///
-/// By default the driver fast-forwards across cycles where every component
-/// is provably idle (see [`Component::next_event`]). Set the `BSIM_NAIVE`
+/// By default the driver uses the [active-set](SchedulerMode::ActiveSet)
+/// scheduler: executed cycles tick only the components that are due (see
+/// [`Component::next_event`] and [`Component::register_wakes`]) and
+/// globally quiescent gaps are fast-forwarded. Set the `BSIM_NAIVE`
 /// environment variable to a non-empty value other than `0` (or call
 /// [`Simulation::set_event_driven`]`(false)`) to force the naive
-/// cycle-by-cycle loop; results are bit-identical, only slower.
+/// cycle-by-cycle loop, or `BSIM_SCHED=skip` for the idle-skipping
+/// scheduler; results are bit-identical in every mode, only slower.
 pub struct Simulation {
     components: Vec<Registered>,
     groups: Vec<DividerGroup>,
@@ -170,13 +252,47 @@ pub struct Simulation {
     /// response channels the host polls between cycles. See
     /// [`Simulation::add_wake_source`].
     watches: Vec<Box<dyn Fn() -> Option<Cycle>>>,
+    /// Channel-backed wake sources ([`Simulation::watch_receiver`]) whose
+    /// combined horizon is cached in `watch_horizon`: only a send can move
+    /// a channel's visibility clock earlier, and every watched channel
+    /// sets `watch_dirty` on send, so between sends the cached minimum is
+    /// conservative and the per-cycle scan is O(1) instead of O(watches).
+    watched: Vec<Box<dyn Fn() -> Option<Cycle>>>,
+    /// Set by any watched channel's `send`; forces a `watched` re-scan.
+    watch_dirty: Rc<Cell<bool>>,
+    /// Cached minimum of the `watched` horizons; valid while `watch_dirty`
+    /// is clear and the cached cycle is still in the future (a due-or-past
+    /// horizon is re-scanned so draining the channel can move it forward).
+    watch_horizon: Cell<Option<Cycle>>,
     now: Cycle,
-    event_driven: bool,
+    mode: SchedulerMode,
+    /// Active-set: min-heap of `(due_cycle, component_index)` entries.
+    /// Entries are lazily invalidated: one is live iff its cycle equals
+    /// the component's `sched_at`.
+    heap: BinaryHeap<Reverse<(Cycle, usize)>>,
+    /// Active-set: the always-tick fallback set — indices of components
+    /// that registered no wake hooks. They tick on every executed fire of
+    /// their domain and are re-queried for every fast-forward decision.
+    polled: Vec<usize>,
+    /// Indices enqueued by [`Waker::wake`] (channel hooks or host code),
+    /// drained by the scheduler between ticks.
+    wake_queue: WakeQueue,
+    /// Active-set scratch: min-queue of component indices due on the
+    /// cycle being executed, popped in registration order.
+    due_queue: BinaryHeap<Reverse<usize>>,
     /// Base cycles executed in full (every due component ticked).
     executed_cycles: Cycle,
     /// Base cycles crossed by fast-forward jumps instead of being
     /// executed. `executed + skipped == now` when starting from cycle 0.
     skipped_cycles: Cycle,
+    /// Component ticks actually executed, across all modes. Under naive
+    /// this equals the registered component-cycles; the active-set win is
+    /// the gap between the two (see
+    /// [`Simulation::registered_component_cycles`]).
+    ticked_component_cycles: Cycle,
+    /// Debug conservatism check: re-query sleeping components on every
+    /// executed cycle and panic if one of them should have ticked.
+    verify_idle: bool,
 }
 
 impl Default for Simulation {
@@ -185,38 +301,104 @@ impl Default for Simulation {
     }
 }
 
-fn event_driven_from_env() -> bool {
-    match std::env::var("BSIM_NAIVE") {
-        Ok(v) => v.is_empty() || v == "0",
-        Err(_) => true,
+fn scheduler_mode_from_env() -> SchedulerMode {
+    if let Ok(v) = std::env::var("BSIM_NAIVE") {
+        if !v.is_empty() && v != "0" {
+            return SchedulerMode::Naive;
+        }
+    }
+    match std::env::var("BSIM_SCHED").as_deref() {
+        Ok("naive") => SchedulerMode::Naive,
+        Ok("skip") | Ok("idle-skip") => SchedulerMode::IdleSkip,
+        _ => SchedulerMode::ActiveSet,
     }
 }
 
+fn verify_idle_from_env() -> bool {
+    cfg!(debug_assertions)
+        && std::env::var("BSIM_VERIFY_IDLE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 impl Simulation {
-    /// Creates an empty simulation at cycle 0. Fast-forwarding is enabled
-    /// unless the `BSIM_NAIVE` environment variable disables it.
+    /// Creates an empty simulation at cycle 0 using the active-set
+    /// scheduler, unless the `BSIM_NAIVE` or `BSIM_SCHED` environment
+    /// variables select another [`SchedulerMode`].
     pub fn new() -> Self {
         Simulation {
             components: Vec::new(),
             groups: Vec::new(),
             watches: Vec::new(),
+            watched: Vec::new(),
+            watch_dirty: Rc::new(Cell::new(false)),
+            watch_horizon: Cell::new(None),
             now: 0,
-            event_driven: event_driven_from_env(),
+            mode: scheduler_mode_from_env(),
+            heap: BinaryHeap::new(),
+            polled: Vec::new(),
+            wake_queue: Rc::new(RefCell::new(Vec::new())),
+            due_queue: BinaryHeap::new(),
             executed_cycles: 0,
             skipped_cycles: 0,
+            ticked_component_cycles: 0,
+            verify_idle: verify_idle_from_env(),
         }
     }
 
-    /// Enables or disables idle-skipping fast-forward. Cycle counts and
+    /// Enables or disables event-driven scheduling. Cycle counts and
     /// component state are identical either way; this only affects host
     /// wall-clock time. Useful for A/B guards — see [`crate::Lockstep`].
+    ///
+    /// `true` selects [`SchedulerMode::ActiveSet`], `false`
+    /// [`SchedulerMode::Naive`]; use
+    /// [`Simulation::set_scheduler_mode`] to pick idle-skipping.
     pub fn set_event_driven(&mut self, enabled: bool) {
-        self.event_driven = enabled;
+        self.set_scheduler_mode(if enabled {
+            SchedulerMode::ActiveSet
+        } else {
+            SchedulerMode::Naive
+        });
     }
 
-    /// Whether idle-skipping fast-forward is enabled.
+    /// Whether any event-driven scheduler (idle-skipping or active-set)
+    /// is selected.
     pub fn event_driven(&self) -> bool {
-        self.event_driven
+        self.mode != SchedulerMode::Naive
+    }
+
+    /// The scheduling mode in use.
+    pub fn scheduler_mode(&self) -> SchedulerMode {
+        self.mode
+    }
+
+    /// Switches scheduling modes mid-run. Safe at any between-cycles
+    /// point: component local-cycle counters and the active-set schedule
+    /// are resynchronised as needed.
+    pub fn set_scheduler_mode(&mut self, mode: SchedulerMode) {
+        if mode == self.mode {
+            return;
+        }
+        if self.mode == SchedulerMode::ActiveSet {
+            // Leaving active-set: sleeping components' local counters lag
+            // their domain; resync everyone from the fire arithmetic.
+            for idx in 0..self.components.len() {
+                self.components[idx].local_cycles = self.fires_before(idx, self.now);
+            }
+        }
+        self.mode = mode;
+        if mode == SchedulerMode::ActiveSet {
+            self.rebuild_schedule();
+        }
+    }
+
+    /// Enables the debug conservatism check: on every executed cycle the
+    /// active-set scheduler re-queries each sleeping hook-covered
+    /// component and panics if its fresh [`Component::next_event`] says it
+    /// should have ticked — i.e. an input changed without any wake hook
+    /// firing, or a declaration was broken. Costs one query per component
+    /// per executed cycle; also enabled by `BSIM_VERIFY_IDLE=1` in debug
+    /// builds.
+    pub fn set_verify_idle(&mut self, enabled: bool) {
+        self.verify_idle = enabled;
     }
 
     /// Adds a component on the base clock.
@@ -232,11 +414,31 @@ impl Simulation {
     pub fn add_with_divider<C: Component + 'static>(&mut self, component: C, divider: u64) {
         assert!(divider > 0, "clock divider must be nonzero");
         let group = self.group_for(divider);
+        let idx = self.components.len();
+        let waker = Waker::new(idx, Rc::clone(&self.wake_queue));
+        component.register_wakes(&waker);
+        let first_due = self.groups[group].next_due;
+        let hooked = waker.is_hooked();
         self.components.push(Registered {
             component: Box::new(component),
             group,
             local_cycles: 0,
+            fire_offset: first_due / divider,
+            sched_at: Cycle::MAX,
+            last_fire: Cycle::MAX,
+            due_mark: Cycle::MAX,
+            waker,
         });
+        if hooked {
+            // A component's first tick is never skipped (it has not yet
+            // had a chance to declare anything), so schedule it for its
+            // domain's next fire.
+            if self.mode == SchedulerMode::ActiveSet {
+                self.schedule(idx, first_due);
+            }
+        } else {
+            self.polled.push(idx);
+        }
     }
 
     /// Finds or creates the divider group for `divider`.
@@ -292,6 +494,10 @@ impl Simulation {
     /// and could be skipped past. Wake sources close that hole: the
     /// scheduler never jumps beyond the earliest cycle any of them reports.
     /// See [`Simulation::watch_receiver`] for the common case.
+    ///
+    /// A source registered here is re-queried on every scheduling
+    /// decision; prefer [`Simulation::watch_receiver`] for channel-backed
+    /// sources, whose horizon the scheduler can cache between sends.
     pub fn add_wake_source(&mut self, wake: impl Fn() -> Option<Cycle> + 'static) {
         self.watches.push(Box::new(wake));
     }
@@ -300,9 +506,16 @@ impl Simulation {
     /// fast-forward past the cycle the channel's front item becomes
     /// visible. Use for channels consumed by host code rather than by a
     /// registered component.
+    ///
+    /// Unlike a generic [`Simulation::add_wake_source`] closure, a watched
+    /// receiver's horizon is cached: the channel sets a dirty flag on
+    /// every send, so quiet cycles cost O(1) regardless of how many
+    /// channels the host watches.
     pub fn watch_receiver<T: 'static>(&mut self, rx: &crate::Receiver<T>) {
         let rx = rx.clone();
-        self.add_wake_source(move || rx.next_visible_at());
+        rx.notify_sends(&self.watch_dirty);
+        self.watch_dirty.set(true);
+        self.watched.push(Box::new(move || rx.next_visible_at()));
     }
 
     /// The current base-clock cycle.
@@ -321,15 +534,21 @@ impl Simulation {
     }
 
     /// Advances the base clock by one cycle, ticking every component whose
-    /// divider divides the current cycle index. Always executes the cycle
-    /// in full — fast-forwarding only happens inside [`Simulation::run_for`]
-    /// and [`Simulation::run_until`], never within a single `step`.
+    /// divider divides the current cycle index (under the active-set
+    /// scheduler: every *due* component — the executed cycle is still
+    /// bit-identical). Always executes the cycle in full — fast-forwarding
+    /// only happens inside [`Simulation::run_for`] and
+    /// [`Simulation::run_until`], never within a single `step`.
     pub fn step(&mut self) {
+        self.rearm_hooked();
         self.execute_cycle();
     }
 
-    /// Ticks all due components (in registration order) and advances `now`.
+    /// Executes one base cycle in the current mode and advances `now`.
     fn execute_cycle(&mut self) {
+        if self.mode == SchedulerMode::ActiveSet {
+            return self.execute_cycle_active();
+        }
         let now = self.now;
         for g in &mut self.groups {
             g.due = g.next_due == now;
@@ -339,6 +558,7 @@ impl Simulation {
             if groups[reg.group].due {
                 reg.component.tick(reg.local_cycles);
                 reg.local_cycles += 1;
+                self.ticked_component_cycles += 1;
             }
         }
         self.now += 1;
@@ -346,6 +566,264 @@ impl Simulation {
         for g in &mut self.groups {
             if g.due {
                 g.next_due += g.divider;
+            }
+        }
+    }
+
+    /// Active-set cycle execution: drain wakes, pop due heap entries,
+    /// sweep the polled fallback set, then tick the due components in
+    /// registration order — waking same-cycle listeners exactly where the
+    /// naive loop would reach them.
+    fn execute_cycle_active(&mut self) {
+        let now = self.now;
+        for g in &mut self.groups {
+            g.due = g.next_due == now;
+        }
+        // Wakes pending from host activity or earlier cycles: due this
+        // cycle if their domain fires now, else scheduled for its next
+        // fire. A woken component may tick a no-op (its new input might
+        // not be visible yet) — exactly what the naive loop does.
+        while let Some(idx) = self.pop_wake() {
+            if self.groups[self.components[idx].group].due {
+                self.push_due(idx, now);
+            } else {
+                let fire = self.groups[self.components[idx].group].next_due;
+                self.schedule(idx, fire);
+            }
+        }
+        // Heap-scheduled components due now (stale entries discarded).
+        while let Some(&Reverse((at, idx))) = self.heap.peek() {
+            if at > now {
+                break;
+            }
+            self.heap.pop();
+            if self.components[idx].sched_at == at {
+                debug_assert_eq!(at, now, "active-set heap missed a scheduled fire");
+                self.push_due(idx, now);
+            }
+        }
+        // The always-tick fallback set: naive semantics on every executed
+        // fire of their domain.
+        for i in 0..self.polled.len() {
+            let idx = self.polled[i];
+            if self.groups[self.components[idx].group].due {
+                self.push_due(idx, now);
+            }
+        }
+        if self.verify_idle {
+            self.verify_sleepers(now);
+        }
+        while let Some(Reverse(idx)) = self.due_queue.pop() {
+            let local = {
+                let reg = &mut self.components[idx];
+                let divider = self.groups[reg.group].divider;
+                debug_assert!(self.groups[reg.group].due);
+                let local = now / divider - reg.fire_offset;
+                reg.sched_at = Cycle::MAX;
+                reg.last_fire = now;
+                reg.component.tick(local);
+                reg.local_cycles = local + 1;
+                local
+            };
+            self.ticked_component_cycles += 1;
+            // Re-arm from the fresh declaration. Polled components skip
+            // this: they are swept every executed cycle instead.
+            if self.components[idx].waker.is_hooked() {
+                let next = {
+                    let reg = &self.components[idx];
+                    let g = &self.groups[reg.group];
+                    let next_fire = g.next_due + g.divider;
+                    match reg.component.next_event(local) {
+                        None => None,
+                        Some(e) if e <= local + 1 => Some(next_fire),
+                        Some(e) => Some(
+                            next_fire.saturating_add((e - (local + 1)).saturating_mul(g.divider)),
+                        ),
+                    }
+                };
+                if let Some(at) = next {
+                    self.schedule(idx, at);
+                }
+            }
+            // Same-cycle wake rule: a send (or freed slot) from the
+            // component that just ticked is observable, this cycle, only
+            // to components the naive loop ticks *after* it; everyone
+            // else sees the change at their next domain fire.
+            while let Some(j) = self.pop_wake() {
+                let (due, pending) = {
+                    let reg = &self.components[j];
+                    (
+                        self.groups[reg.group].due,
+                        reg.due_mark == now && reg.last_fire != now,
+                    )
+                };
+                if pending {
+                    // Queued this cycle and not yet ticked: its own tick
+                    // and post-tick re-arm will observe the change.
+                    continue;
+                }
+                if due && j > idx && self.components[j].last_fire != now {
+                    self.push_due(j, now);
+                } else {
+                    let g = &self.groups[self.components[j].group];
+                    let fire = if g.due {
+                        g.next_due + g.divider
+                    } else {
+                        g.next_due
+                    };
+                    self.schedule(j, fire);
+                }
+            }
+        }
+        self.now += 1;
+        self.executed_cycles += 1;
+        for g in &mut self.groups {
+            if g.due {
+                g.next_due += g.divider;
+            }
+        }
+    }
+
+    /// Pops one pending wake, clearing its queued flag so later input
+    /// changes enqueue the component again.
+    fn pop_wake(&mut self) -> Option<usize> {
+        let idx = self.wake_queue.borrow_mut().pop()?;
+        self.components[idx].waker.clear_queued();
+        Some(idx)
+    }
+
+    /// Enqueues `idx` to tick on the cycle being executed (at most once).
+    fn push_due(&mut self, idx: usize, now: Cycle) {
+        let reg = &mut self.components[idx];
+        if reg.due_mark != now {
+            reg.due_mark = now;
+            self.due_queue.push(Reverse(idx));
+        }
+    }
+
+    /// Heap-schedules component `idx` to tick at base cycle `at`, unless
+    /// it is already scheduled at least as early.
+    fn schedule(&mut self, idx: usize, at: Cycle) {
+        let reg = &mut self.components[idx];
+        if at < reg.sched_at {
+            reg.sched_at = at;
+            self.heap.push(Reverse((at, idx)));
+        }
+    }
+
+    /// Ticks the naive loop would have completed for component `idx`
+    /// strictly before base cycle `now` — the authoritative local-cycle
+    /// count, valid in every mode (fires always land on multiples of the
+    /// group divider, starting at `fire_offset * divider`).
+    fn fires_before(&self, idx: usize, now: Cycle) -> Cycle {
+        let reg = &self.components[idx];
+        let divider = self.groups[reg.group].divider;
+        now.div_ceil(divider).saturating_sub(reg.fire_offset)
+    }
+
+    /// The earliest base cycle at which component `idx` may act, per its
+    /// current `next_event` declaration (evaluated between cycles against
+    /// the fire arithmetic). `None` = idle until an input changes.
+    fn component_event_base(&self, idx: usize) -> Option<Cycle> {
+        let fires = self.fires_before(idx, self.now);
+        let reg = &self.components[idx];
+        let g = &self.groups[reg.group];
+        if fires == 0 {
+            // Never skip a component's first tick: it has not yet had a
+            // chance to declare anything.
+            return Some(g.next_due);
+        }
+        match reg.component.next_event(fires - 1) {
+            None => None,
+            // Stale or self-referential declarations clamp to the next
+            // scheduled tick (no skipping for this component).
+            Some(e) if e <= fires => Some(g.next_due),
+            // Local cycle `e` happens `e - fires` domain ticks after the
+            // next due cycle's tick.
+            Some(e) => Some(
+                g.next_due
+                    .saturating_add((e - fires).saturating_mul(g.divider)),
+            ),
+        }
+    }
+
+    /// Rebuilds the active-set heap from scratch by re-querying every
+    /// hook-covered component (used when switching into active-set mode).
+    fn rebuild_schedule(&mut self) {
+        self.heap.clear();
+        for idx in 0..self.components.len() {
+            self.components[idx].sched_at = Cycle::MAX;
+            if self.components[idx].waker.is_hooked() {
+                if let Some(base) = self.component_event_base(idx) {
+                    self.schedule(idx, base);
+                }
+            }
+        }
+    }
+
+    /// Re-examines every hook-covered component, called at the start of
+    /// each public run entry point. Host code may mutate component state
+    /// directly through a [`Shared`] handle between runs — no channel
+    /// send, so no hook fires; this bounds that blind spot to one
+    /// `next_event` query per component per *call* rather than per cycle.
+    fn rearm_hooked(&mut self) {
+        if self.mode != SchedulerMode::ActiveSet {
+            return;
+        }
+        for idx in 0..self.components.len() {
+            if self.components[idx].waker.is_hooked() {
+                if let Some(base) = self.component_event_base(idx) {
+                    self.schedule(idx, base);
+                }
+            }
+        }
+    }
+
+    /// Debug conservatism check (see [`Simulation::set_verify_idle`]):
+    /// panics if a component that is *not* due on the cycle about to
+    /// execute freshly reports work at or before it.
+    fn verify_sleepers(&self, now: Cycle) {
+        for idx in 0..self.components.len() {
+            let reg = &self.components[idx];
+            if !self.groups[reg.group].due || reg.due_mark == now || !reg.waker.is_hooked() {
+                continue;
+            }
+            if let Some(base) = self.component_event_base(idx) {
+                assert!(
+                    base > now,
+                    "conservatism violation: sleeping component '{}' (index {idx}) reports \
+                     work at cycle {base} <= {now} without having been woken; its wake-hook \
+                     coverage (Component::register_wakes) misses an input, or an earlier \
+                     next_event declaration was broken",
+                    reg.component.name(),
+                );
+            }
+        }
+    }
+
+    /// Debug conservatism check for fast-forward jumps: a sleeping
+    /// hook-covered component whose fresh declaration places work inside
+    /// the about-to-be-skipped gap `[now, target)` means its hooks missed
+    /// an input change (the active-set horizon trusted a stale `None`).
+    fn verify_skip(&self, target: Cycle) {
+        if !self.verify_idle || self.mode != SchedulerMode::ActiveSet {
+            return;
+        }
+        for idx in 0..self.components.len() {
+            let reg = &self.components[idx];
+            if !reg.waker.is_hooked() || reg.sched_at != Cycle::MAX {
+                continue;
+            }
+            if let Some(base) = self.component_event_base(idx) {
+                assert!(
+                    base >= target,
+                    "conservatism violation: sleeping component '{}' (index {idx}) reports \
+                     work at cycle {base} inside the quiescent gap {}..{target} the scheduler \
+                     is about to skip; its wake-hook coverage (Component::register_wakes) \
+                     misses an input, or an earlier next_event declaration was broken",
+                    reg.component.name(),
+                    self.now,
+                );
             }
         }
     }
@@ -363,12 +841,32 @@ impl Simulation {
         self.skipped_cycles
     }
 
+    /// Component ticks actually executed so far, in any mode.
+    pub fn ticked_component_cycles(&self) -> Cycle {
+        self.ticked_component_cycles
+    }
+
+    /// Component ticks the naive loop would have executed by now: the sum
+    /// over components of their domain fires since registration. The
+    /// ratio `ticked / registered` is the per-component analogue of
+    /// `executed / (executed + skipped)` cycles — under naive the two
+    /// counts are equal; the active-set scheduler's win is the gap.
+    pub fn registered_component_cycles(&self) -> Cycle {
+        (0..self.components.len())
+            .map(|idx| self.fires_before(idx, self.now))
+            .sum()
+    }
+
     /// The earliest base cycle at which any component or wake source may be
     /// active. Returns `self.now` as soon as one is active *this* cycle
     /// (the common dense case short-circuits after one query), and
     /// `Cycle::MAX` if everything is idle indefinitely.
-    fn earliest_event(&self) -> Cycle {
-        let components = self.earliest_component_event();
+    fn earliest_event(&mut self) -> Cycle {
+        let components = if self.mode == SchedulerMode::ActiveSet {
+            self.active_component_horizon()
+        } else {
+            self.earliest_component_event()
+        };
         if components <= self.now {
             return self.now;
         }
@@ -379,27 +877,13 @@ impl Simulation {
         }
     }
 
-    /// [`Simulation::earliest_event`] restricted to registered components.
+    /// [`Simulation::earliest_event`] restricted to registered components
+    /// (idle-skipping mode: re-query every component).
     fn earliest_component_event(&self) -> Cycle {
         let mut earliest = Cycle::MAX;
-        for reg in &self.components {
-            let g = &self.groups[reg.group];
-            let base = if reg.local_cycles == 0 {
-                // Never skip a component's first tick: it has not yet had a
-                // chance to declare anything.
-                g.next_due
-            } else {
-                match reg.component.next_event(reg.local_cycles - 1) {
-                    None => continue,
-                    // Stale or self-referential declarations clamp to the
-                    // next scheduled tick (no skipping for this component).
-                    Some(e) if e <= reg.local_cycles => g.next_due,
-                    // Local cycle `e` happens `e - local_cycles` domain
-                    // ticks after the next due cycle's tick.
-                    Some(e) => g
-                        .next_due
-                        .saturating_add((e - reg.local_cycles).saturating_mul(g.divider)),
-                }
+        for idx in 0..self.components.len() {
+            let Some(base) = self.component_event_base(idx) else {
+                continue;
             };
             if base <= self.now {
                 return self.now;
@@ -409,10 +893,63 @@ impl Simulation {
         earliest
     }
 
+    /// Active-set component horizon: pending wakes are folded into the
+    /// schedule, then the answer is the heap minimum combined with a
+    /// re-query of the polled fallback set only — sleeping hook-covered
+    /// components cost nothing here.
+    fn active_component_horizon(&mut self) -> Cycle {
+        while let Some(idx) = self.pop_wake() {
+            let fire = self.groups[self.components[idx].group].next_due;
+            self.schedule(idx, fire);
+        }
+        let mut earliest = Cycle::MAX;
+        while let Some(&Reverse((at, idx))) = self.heap.peek() {
+            if self.components[idx].sched_at == at {
+                earliest = at;
+                break;
+            }
+            self.heap.pop();
+        }
+        if earliest <= self.now {
+            return self.now;
+        }
+        for i in 0..self.polled.len() {
+            let idx = self.polled[i];
+            if let Some(base) = self.component_event_base(idx) {
+                if base <= self.now {
+                    return self.now;
+                }
+                earliest = earliest.min(base);
+            }
+        }
+        earliest
+    }
+
     /// The earliest pending wake-source cycle (may be in the past if the
     /// host has not yet drained it), or `None` when none are pending.
+    ///
+    /// Watched-channel horizons are served from the cache: a re-scan is
+    /// only needed when a watched channel sent since the last scan (the
+    /// dirty flag — the one way a horizon moves *earlier*) or when the
+    /// cached horizon is due-or-past (the host may have drained the
+    /// channel since, which moves it later; re-scanning keeps a drained
+    /// channel from forcing checks forever). Generic closures from
+    /// [`Simulation::add_wake_source`] are always re-queried.
     fn earliest_watch(&self) -> Option<Cycle> {
-        self.watches.iter().filter_map(|w| w()).min()
+        let channels = if self.watch_dirty.replace(false)
+            || self.watch_horizon.get().is_some_and(|h| h <= self.now)
+        {
+            let h = self.watched.iter().filter_map(|w| w()).min();
+            self.watch_horizon.set(h);
+            h
+        } else {
+            self.watch_horizon.get()
+        };
+        let generic = self.watches.iter().filter_map(|w| w()).min();
+        match (channels, generic) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Fast-forwards the base clock to `target` without executing ticks.
@@ -433,9 +970,11 @@ impl Simulation {
                 g.pending_fires = 0;
             }
         }
-        let groups = &self.groups;
-        for reg in &mut self.components {
-            reg.local_cycles += groups[reg.group].pending_fires;
+        if self.mode != SchedulerMode::ActiveSet {
+            let groups = &self.groups;
+            for reg in &mut self.components {
+                reg.local_cycles += groups[reg.group].pending_fires;
+            }
         }
         self.now = target;
     }
@@ -443,12 +982,15 @@ impl Simulation {
     /// Runs for `cycles` base cycles, fast-forwarding across quiescent
     /// gaps when event-driven scheduling is enabled.
     pub fn run_for(&mut self, cycles: Cycle) {
+        self.rearm_hooked();
         let end = self.now.saturating_add(cycles);
         while self.now < end {
-            if self.event_driven {
+            if self.mode != SchedulerMode::Naive {
                 let earliest = self.earliest_event();
                 if earliest > self.now {
-                    self.skip_to(earliest.min(end));
+                    let target = earliest.min(end);
+                    self.verify_skip(target);
+                    self.skip_to(target);
                     continue;
                 }
             }
@@ -485,6 +1027,18 @@ impl Simulation {
     /// [watched](Simulation::add_wake_source) channels; consulting an
     /// unwatched channel's visibility clock from `done` may observe
     /// fast-forwarded time.
+    ///
+    /// ## Strides never race wakes
+    ///
+    /// A stride larger than the gap to the first wake cannot observe
+    /// completion on a different cycle than `stride == 1` would, in any
+    /// [`SchedulerMode`]: predicate-visible state is only mutated by
+    /// component `tick`s (and by `done` itself), never during a
+    /// fast-forward jump, and the cycles at which `done` can first turn
+    /// true are exactly the cycles a watched channel or quiescence forces
+    /// a check on. Between those forced checks the predicate's value
+    /// cannot change, so skipping it there is unobservable. The
+    /// `strided_run_until_*` tests pin this down.
     pub fn run_until_strided(
         &mut self,
         max_cycles: Cycle,
@@ -492,6 +1046,7 @@ impl Simulation {
         mut done: impl FnMut(Cycle) -> bool,
     ) -> Result<Cycle, Cycle> {
         assert!(stride > 0, "stride must be nonzero");
+        self.rearm_hooked();
         let start = self.now;
         let end = start.saturating_add(max_cycles);
         // Counts executed cycles since `done` last ran; starting at
@@ -507,10 +1062,10 @@ impl Simulation {
             }
             // A due wake source means the host may be able to react right
             // now (e.g. a watched response just became visible): force a
-            // `done` check regardless of the stride, in both scheduler
-            // modes, so strided results do not depend on the mode.
+            // `done` check regardless of the stride, in every scheduler
+            // mode, so strided results do not depend on the mode.
             let watch_due = self.earliest_watch().is_some_and(|w| w <= self.now);
-            let jump_target = if self.event_driven {
+            let jump_target = if self.mode != SchedulerMode::Naive {
                 let e = self.earliest_event();
                 (e > self.now).then(|| e.min(end))
             } else {
@@ -529,7 +1084,10 @@ impl Simulation {
                 }
             }
             match jump_target {
-                Some(target) => self.skip_to(target),
+                Some(target) => {
+                    self.verify_skip(target);
+                    self.skip_to(target);
+                }
                 None => {
                     self.execute_cycle();
                     since_check += 1;
@@ -544,7 +1102,7 @@ impl std::fmt::Debug for Simulation {
         f.debug_struct("Simulation")
             .field("now", &self.now)
             .field("components", &self.components.len())
-            .field("event_driven", &self.event_driven)
+            .field("mode", &self.mode)
             .finish()
     }
 }
@@ -818,14 +1376,34 @@ mod tests {
 
     #[test]
     fn bsim_naive_env_disables_fast_forward() {
+        // Save and clear the scheduler env so this test is meaningful even
+        // when the whole suite runs under BSIM_NAIVE=1 / BSIM_SCHED=... (the
+        // CI naive-oracle matrix leg does exactly that).
+        let saved_naive = std::env::var("BSIM_NAIVE").ok();
+        let saved_sched = std::env::var("BSIM_SCHED").ok();
+        std::env::remove_var("BSIM_NAIVE");
+        std::env::remove_var("BSIM_SCHED");
         assert!(
             Simulation::new().event_driven(),
             "fast-forward should default on"
         );
+        assert_eq!(Simulation::new().scheduler_mode(), SchedulerMode::ActiveSet);
         std::env::set_var("BSIM_NAIVE", "1");
-        let sim = Simulation::new();
-        std::env::remove_var("BSIM_NAIVE");
-        assert!(!sim.event_driven());
+        let naive = Simulation::new();
+        std::env::set_var("BSIM_NAIVE", "0");
+        std::env::set_var("BSIM_SCHED", "skip");
+        let skip = Simulation::new();
+        match saved_naive {
+            Some(v) => std::env::set_var("BSIM_NAIVE", v),
+            None => std::env::remove_var("BSIM_NAIVE"),
+        }
+        match saved_sched {
+            Some(v) => std::env::set_var("BSIM_SCHED", v),
+            None => std::env::remove_var("BSIM_SCHED"),
+        }
+        assert!(!naive.event_driven());
+        assert_eq!(naive.scheduler_mode(), SchedulerMode::Naive);
+        assert_eq!(skip.scheduler_mode(), SchedulerMode::IdleSkip);
     }
 
     #[test]
@@ -864,5 +1442,310 @@ mod tests {
         // Base cycles 0..14 tick the divider-3 domain at 0, 3, 6, 9, 12;
         // the late component joins at 9 and 12.
         assert_eq!(run(true), (14, 5, 2));
+    }
+
+    /// A consumer that sleeps (`None`) whenever its input is empty and
+    /// registers a wake hook on it — the canonical active-set citizen.
+    struct HookedSink {
+        rx: crate::Receiver<u64>,
+        got: Vec<(Cycle, u64)>,
+        ticks: u64,
+    }
+
+    impl Component for HookedSink {
+        fn tick(&mut self, now: Cycle) {
+            self.ticks += 1;
+            while let Some(v) = self.rx.recv(now) {
+                self.got.push((now, v));
+            }
+        }
+
+        fn next_event(&self, now: Cycle) -> Option<Cycle> {
+            self.rx.next_visible_at().map(|v| v.max(now + 1))
+        }
+
+        fn register_wakes(&self, waker: &Waker) {
+            self.rx.wake_on_send(waker);
+        }
+    }
+
+    #[test]
+    fn hooked_sink_sleeps_and_wakes_on_send() {
+        let run = |mode: SchedulerMode| {
+            let (tx, rx) = channel::<u64>(4);
+            let mut sim = Simulation::new();
+            sim.set_scheduler_mode(mode);
+            sim.add(OneShot {
+                tx,
+                delay: 500,
+                sent: false,
+            });
+            let sink = sim.add_shared(HookedSink {
+                rx,
+                got: Vec::new(),
+                ticks: 0,
+            });
+            sim.run_for(1000);
+            let result = (
+                sim.now(),
+                sink.borrow().got.clone(),
+                sink.borrow().ticks,
+                sim.ticked_component_cycles(),
+            );
+            result
+        };
+        let naive = run(SchedulerMode::Naive);
+        let active = run(SchedulerMode::ActiveSet);
+        // Observable results are identical...
+        assert_eq!(naive.0, active.0);
+        assert_eq!(naive.1, active.1);
+        assert_eq!(active.1, vec![(501, 500)]);
+        // ...but the active-set sink slept through nearly everything: it
+        // ticks at most a handful of times (wake at 500, drain at 501),
+        // while the naive sink ticked all 1000 cycles.
+        assert_eq!(naive.2, 1000);
+        assert!(
+            active.2 <= 4,
+            "hooked sink should sleep while idle, ticked {} times",
+            active.2
+        );
+        assert!(active.3 < naive.3);
+    }
+
+    #[test]
+    fn ticked_vs_registered_component_cycles() {
+        let (tx, rx) = channel::<u64>(4);
+        let mut sim = Simulation::new();
+        sim.set_scheduler_mode(SchedulerMode::ActiveSet);
+        sim.add(OneShot {
+            tx,
+            delay: 100,
+            sent: false,
+        });
+        sim.add(HookedSink {
+            rx,
+            got: Vec::new(),
+            ticks: 0,
+        });
+        sim.run_for(1000);
+        // Registered = what the naive loop would have run: 2 components x
+        // 1000 cycles. Ticked = what actually ran, far less.
+        assert_eq!(sim.registered_component_cycles(), 2000);
+        assert!(
+            sim.ticked_component_cycles() < 20,
+            "ticked {} of 2000 component-cycles",
+            sim.ticked_component_cycles()
+        );
+    }
+
+    /// Forwards items with a latency-0 channel so same-cycle wake ordering
+    /// is observable: a send from an earlier-indexed producer must be seen
+    /// by a later-indexed hooked consumer in the *same* cycle, exactly as
+    /// the naive in-order loop would.
+    #[test]
+    fn same_cycle_wake_matches_naive_ordering() {
+        let run = |mode: SchedulerMode, producer_first: bool| {
+            let (tx, rx) = crate::chan::channel_with_latency::<u64>(4, 0);
+            let mut sim = Simulation::new();
+            sim.set_scheduler_mode(mode);
+            let producer = OneShot {
+                tx,
+                delay: 50,
+                sent: false,
+            };
+            let sink = HookedSink {
+                rx,
+                got: Vec::new(),
+                ticks: 0,
+            };
+            let s = if producer_first {
+                sim.add(producer);
+                sim.add_shared(sink)
+            } else {
+                let s = sim.add_shared(sink);
+                sim.add(producer);
+                s
+            };
+            sim.run_for(200);
+            let got = s.borrow().got.clone();
+            got
+        };
+        for producer_first in [true, false] {
+            let naive = run(SchedulerMode::Naive, producer_first);
+            let active = run(SchedulerMode::ActiveSet, producer_first);
+            assert_eq!(
+                naive, active,
+                "same-cycle wake ordering diverged (producer_first={producer_first})"
+            );
+        }
+        // Producer at index 0, sink at index 1: the zero-latency send is
+        // observed the same cycle. Reversed registration: one cycle later.
+        assert_eq!(run(SchedulerMode::ActiveSet, true), vec![(50, 50)]);
+        assert_eq!(run(SchedulerMode::ActiveSet, false), vec![(51, 50)]);
+    }
+
+    #[test]
+    fn mode_switching_mid_run_stays_cycle_exact() {
+        let sequence = [
+            SchedulerMode::ActiveSet,
+            SchedulerMode::Naive,
+            SchedulerMode::IdleSkip,
+            SchedulerMode::ActiveSet,
+        ];
+        let run = |switch: bool| {
+            let (tx, rx) = channel::<u64>(4);
+            let mut sim = Simulation::new();
+            if !switch {
+                sim.set_scheduler_mode(SchedulerMode::Naive);
+            }
+            sim.add(OneShot {
+                tx,
+                delay: 130,
+                sent: false,
+            });
+            let b = sim.add_shared_with_divider(
+                Burster {
+                    period: 7,
+                    fires: 0,
+                    tick_log: Vec::new(),
+                },
+                3,
+            );
+            let sink = sim.add_shared(HookedSink {
+                rx,
+                got: Vec::new(),
+                ticks: 0,
+            });
+            for mode in sequence {
+                if switch {
+                    sim.set_scheduler_mode(mode);
+                }
+                sim.run_for(50);
+            }
+            let result = (
+                sim.now(),
+                b.borrow().tick_log.clone(),
+                sink.borrow().got.clone(),
+            );
+            result
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn host_poke_through_shared_handle_rearms_hooked_component() {
+        // The sink is hooked (so it heap-sleeps), but the host feeds it
+        // through a Shared borrow, not a channel: the rearm pass at every
+        // run_for/step entry must still pick the work up.
+        let (_tx, rx) = channel::<u64>(1);
+        struct Poked {
+            rx: crate::Receiver<u64>,
+            pending: u64,
+            done: Vec<Cycle>,
+        }
+        impl Component for Poked {
+            fn tick(&mut self, now: Cycle) {
+                let _ = self.rx.recv(now);
+                if self.pending > 0 {
+                    self.pending -= 1;
+                    self.done.push(now);
+                }
+            }
+            fn next_event(&self, now: Cycle) -> Option<Cycle> {
+                if self.pending > 0 {
+                    return Some(now + 1);
+                }
+                self.rx.next_visible_at().map(|v| v.max(now + 1))
+            }
+            fn register_wakes(&self, waker: &Waker) {
+                self.rx.wake_on_send(waker);
+            }
+        }
+        let mut sim = Simulation::new();
+        sim.set_scheduler_mode(SchedulerMode::ActiveSet);
+        let p = sim.add_shared(Poked {
+            rx,
+            pending: 0,
+            done: Vec::new(),
+        });
+        sim.run_for(10);
+        assert!(p.borrow().done.is_empty());
+        p.borrow_mut().pending = 2;
+        sim.run_for(10);
+        assert_eq!(p.borrow().done, vec![10, 11]);
+        p.borrow_mut().pending = 1;
+        sim.step();
+        assert_eq!(p.borrow().done, vec![10, 11, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "conservatism violation")]
+    fn verify_idle_catches_missing_hook() {
+        // The sink hooks a decoy channel but its `next_event` depends on
+        // `rx` — with the debug verifier on, the first sleeping cycle where
+        // `rx` holds work must panic instead of silently diverging.
+        struct BadHooks {
+            rx: crate::Receiver<u64>,
+            decoy: crate::Receiver<u64>,
+        }
+        impl Component for BadHooks {
+            fn tick(&mut self, now: Cycle) {
+                let _ = self.rx.recv(now);
+            }
+            fn next_event(&self, now: Cycle) -> Option<Cycle> {
+                self.rx.next_visible_at().map(|v| v.max(now + 1))
+            }
+            fn register_wakes(&self, waker: &Waker) {
+                self.decoy.wake_on_send(waker);
+            }
+        }
+        let (tx, rx) = channel::<u64>(4);
+        let (_decoy_tx, decoy) = channel::<u64>(4);
+        let mut sim = Simulation::new();
+        sim.set_scheduler_mode(SchedulerMode::ActiveSet);
+        sim.set_verify_idle(true);
+        sim.add(OneShot {
+            tx,
+            delay: 5,
+            sent: false,
+        });
+        sim.add(BadHooks { rx, decoy });
+        sim.run_for(100);
+    }
+
+    #[test]
+    fn stride_never_races_a_wake() {
+        // Satellite: `done()` through a stride must observe the response on
+        // exactly the same cycle in every mode, even when the stride is far
+        // larger than the gap to the first wake (send at 3, stride 64).
+        let run = |mode: SchedulerMode, stride: Cycle| {
+            let (tx, rx) = channel::<u64>(4);
+            let mut sim = Simulation::new();
+            sim.set_scheduler_mode(mode);
+            sim.add(OneShot {
+                tx,
+                delay: 3,
+                sent: false,
+            });
+            sim.watch_receiver(&rx);
+            let rx2 = rx.clone();
+            sim.run_until_strided(1000, stride, move |now| rx2.has_data(now))
+                .expect("value should arrive")
+        };
+        let baseline = run(SchedulerMode::Naive, 1);
+        assert_eq!(baseline, 4, "sent at 3, visible at 4");
+        for mode in [
+            SchedulerMode::Naive,
+            SchedulerMode::IdleSkip,
+            SchedulerMode::ActiveSet,
+        ] {
+            for stride in [1, 2, 64, 1000] {
+                assert_eq!(
+                    run(mode, stride),
+                    baseline,
+                    "{mode:?} with stride {stride} raced the wake"
+                );
+            }
+        }
     }
 }

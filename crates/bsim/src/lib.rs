@@ -65,9 +65,10 @@ mod stats;
 mod time;
 mod trace;
 mod vcd;
+mod wake;
 
 pub use chan::{channel, channel_with_latency, ChannelState, Receiver, Sender};
-pub use component::{Component, Shared, Simulation};
+pub use component::{Component, SchedulerMode, Shared, Simulation};
 pub use lockstep::Lockstep;
 pub use mem::SparseMemory;
 pub use perf::{Counter, CounterSet, PerfRegistry};
@@ -78,3 +79,4 @@ pub use stats::{
 pub use time::{ClockDomain, Cycle, Picoseconds, PICOS_PER_SEC};
 pub use trace::{TraceEvent, Tracer};
 pub use vcd::{SignalId, VcdRecorder};
+pub use wake::Waker;

@@ -327,6 +327,12 @@ impl SimRate {
                 100.0 * ext.skipped_cycles as f64 / ext.total_cycles as f64
             ));
         }
+        if ext.registered_component_cycles > 0 {
+            line.push_str(&format!(
+                " | ticked: {:.1}% of comp-cycles",
+                100.0 * ext.ticked_component_cycles as f64 / ext.registered_component_cycles as f64
+            ));
+        }
         line
     }
 }
@@ -410,6 +416,12 @@ pub struct SimRateExt {
     pub skipped_cycles: u64,
     /// Total scheduler cycles (executed + skipped) for the percentage.
     pub total_cycles: u64,
+    /// Component ticks the scheduler actually ran.
+    pub ticked_component_cycles: u64,
+    /// Component ticks the naive loop would have run (Σ per-component
+    /// registered cycles); with `ticked_component_cycles` this shows how
+    /// much per-cycle work the active-set scheduler avoided.
+    pub registered_component_cycles: u64,
 }
 
 /// Stopwatch for producing a [`SimRate`]: start it at the current cycle,
@@ -500,15 +512,19 @@ mod tests {
             sim_seconds: 4e-3,
             skipped_cycles: 874_000,
             total_cycles: 1_000_000,
+            ticked_component_cycles: 120_000,
+            registered_component_cycles: 960_000,
         };
         let line = rate.render_with(&ext);
         assert!(line.starts_with("sim rate:"), "{line}");
         assert!(line.contains("dram: 32.0 MB"), "{line}");
         assert!(line.contains("@ 8.4 GB/s"), "{line}");
         assert!(line.contains("skipped: 87.4% of cycles"), "{line}");
+        assert!(line.contains("ticked: 12.5% of comp-cycles"), "{line}");
         // Without scheduler context the skip clause is omitted entirely.
         let bare = rate.render_with(&SimRateExt::default());
         assert!(!bare.contains("skipped"), "{bare}");
+        assert!(!bare.contains("ticked"), "{bare}");
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Wake hooks: how channel activity re-arms sleeping components under the
+//! active-set scheduler.
+//!
+//! The idle-skipping scheduler (PR 1) re-queries every component's
+//! [`next_event`](crate::Component::next_event) before each scheduling
+//! decision, so a declaration can only ever be *stale by zero cycles*.
+//! The active-set scheduler trusts declarations across many executed
+//! cycles — a sleeping component is not looked at while others run — so a
+//! declaration can be invalidated by an input change the component never
+//! sees. Wake hooks close that hole: a [`Waker`] handed to
+//! [`Component::register_wakes`](crate::Component::register_wakes) is
+//! attached to the component's input channels, and every
+//! [`send`](crate::Sender::send) (or, for backpressure sleepers, every
+//! [`recv`](crate::Receiver::recv)) on a hooked channel enqueues the
+//! component for re-examination.
+//!
+//! Waking is intentionally conservative: a woken component is scheduled
+//! for its next clock-domain fire regardless of whether the new input is
+//! visible yet. Extra ticks are always sound — they are exactly what the
+//! naive loop executes — and the component's post-tick `next_event`
+//! re-arms it precisely.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// The shared queue of component indices waiting to be re-examined by the
+/// active-set scheduler. Channels hold [`Waker`] clones; the simulation
+/// drains the queue between ticks.
+pub(crate) type WakeQueue = Rc<RefCell<Vec<usize>>>;
+
+/// Re-arms one registered component in its [`Simulation`](crate::Simulation).
+///
+/// A `Waker` is handed to each component once, via
+/// [`Component::register_wakes`](crate::Component::register_wakes), when
+/// the component is added to a simulation. The component attaches clones
+/// to the channels whose state its
+/// [`next_event`](crate::Component::next_event) declarations depend on:
+///
+/// * [`Receiver::wake_on_send`](crate::Receiver::wake_on_send) on every
+///   input channel, so new data re-arms it;
+/// * [`Sender::wake_on_recv`](crate::Sender::wake_on_recv) on an output
+///   channel **only if** the component ever sleeps while blocked on that
+///   channel being full (most components stay awake — `Some(now + 1)` —
+///   while output-blocked, which needs no hook).
+///
+/// A component that registers at least one hook promises its hooks cover
+/// *every* input that can invalidate a `next_event` declaration. In
+/// return the active-set scheduler lets it sleep without polling.
+/// Components that register nothing stay in the always-tick fallback set
+/// (naive semantics on every executed cycle). See `DESIGN.md`.
+#[derive(Clone)]
+pub struct Waker {
+    inner: Rc<WakeTarget>,
+}
+
+struct WakeTarget {
+    /// Index of the component in `Simulation::components`.
+    idx: usize,
+    queue: WakeQueue,
+    /// Already enqueued and not yet drained (dedupe: a hot channel fires
+    /// its hooks every cycle, but each component appears at most once).
+    queued: Cell<bool>,
+    /// Whether any hook was ever registered through this waker.
+    hooked: Cell<bool>,
+}
+
+impl Waker {
+    pub(crate) fn new(idx: usize, queue: WakeQueue) -> Self {
+        Waker {
+            inner: Rc::new(WakeTarget {
+                idx,
+                queue,
+                queued: Cell::new(false),
+                hooked: Cell::new(false),
+            }),
+        }
+    }
+
+    /// Enqueues the owning component for re-examination by the scheduler.
+    ///
+    /// Channels call this from their hook lists; host code may also call
+    /// it directly after mutating a sleeping component's state through a
+    /// [`Shared`](crate::Shared) handle outside any channel.
+    pub fn wake(&self) {
+        if !self.inner.queued.replace(true) {
+            self.inner.queue.borrow_mut().push(self.inner.idx);
+        }
+    }
+
+    /// Clears the queued flag after the scheduler drains this component's
+    /// entry, so later input changes enqueue it again.
+    pub(crate) fn clear_queued(&self) {
+        self.inner.queued.set(false);
+    }
+
+    /// Marks that a hook was registered (called by the channel endpoints).
+    pub(crate) fn mark_hooked(&self) {
+        self.inner.hooked.set(true);
+    }
+
+    /// Whether any channel hook was registered through this waker. Hooked
+    /// components are heap-scheduled; unhooked ones stay in the polled
+    /// fallback set.
+    pub(crate) fn is_hooked(&self) -> bool {
+        self.inner.hooked.get()
+    }
+}
+
+impl std::fmt::Debug for Waker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Waker")
+            .field("component", &self.inner.idx)
+            .field("queued", &self.inner.queued.get())
+            .field("hooked", &self.inner.hooked.get())
+            .finish()
+    }
+}
