@@ -11,6 +11,9 @@
 //!    idle-heavy workload (cycle counts are identical by construction).
 //! 6. **Active-set scheduler vs idle-skipping vs naive** — host wall-clock
 //!    across idle-heavy, one-busy-core, and all-cores-busy load shapes.
+//! 7. **Dispatch-policy ablation** — the runtime server's pluggable
+//!    policies against the lock-arbitrated baseline on the seeded
+//!    open-loop schedule (tail latency, goodput, rejections).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -266,6 +269,10 @@ fn ablation_scheduler(c: &mut Criterion) {
 /// component-cycle economy reported in the `sim rate:` footer.
 fn ablation_active_set(c: &mut Criterion) {
     use bsim::{SchedulerMode, SimRate, SimRateExt};
+    type Scenario<'a> = (
+        &'a str,
+        Box<dyn Fn(SchedulerMode) -> (SimRate, SimRateExt) + 'a>,
+    );
     // The widest vector-add SoC the AWS F1 floorplan holds (40 cores
     // elaborate, 44 do not): the schedulers' asymptotics only separate
     // when the idle majority is large.
@@ -329,7 +336,7 @@ fn ablation_active_set(c: &mut Criterion) {
         (timer.finish(soc.now()), bbench::profile::sim_rate_ext(&soc))
     };
 
-    let scenarios: [(&str, Box<dyn Fn(SchedulerMode) -> (SimRate, SimRateExt)>); 3] = [
+    let scenarios: [Scenario; 3] = [
         ("idle-heavy    ", Box::new(idle_heavy)),
         ("one-busy-core ", Box::new(|mode| vecadd_run(mode, 1, 8))),
         // All-cores-busy costs O(cores) in every mode; two rounds keep
@@ -410,6 +417,56 @@ fn ablation_parallel_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Dispatch-policy ablation on the runtime server: every policy replays
+/// the same seeded open-loop schedule (small scale) on a fresh SoC. The
+/// data are simulated — tail latency, goodput, and rejections per policy
+/// — so the criterion timings only measure simulation cost; the policy
+/// comparison itself is the printed datum (and the `loadgen` binary's
+/// stdout artifact).
+fn ablation_server_policies(c: &mut Criterion) {
+    use bbench::loadgen::{plan, run_policy, LoadScale};
+    use bserver::DispatchPolicy;
+
+    let scale = LoadScale::small();
+    let schedule = plan(42, &scale);
+    for policy in DispatchPolicy::all() {
+        let row = run_policy(policy, &schedule, &scale);
+        println!(
+            "ablation datum: {:<16} p50 {:>6} p99 {:>6} cyc, {}/{} completed, {} rejected, \
+             makespan {} cyc",
+            row.policy.name(),
+            row.latency.0,
+            row.latency.2,
+            row.completed,
+            row.offered,
+            row.rejected,
+            row.makespan_cycles
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_server_policies");
+    group.sample_size(10);
+    group.bench_function("lock_arbitrated_small", |b| {
+        b.iter(|| {
+            black_box(run_policy(
+                DispatchPolicy::LockArbitrated,
+                &schedule,
+                &scale,
+            ))
+        })
+    });
+    group.bench_function("sjf_small", |b| {
+        b.iter(|| {
+            black_box(run_policy(
+                DispatchPolicy::ShortestJobFirst,
+                &schedule,
+                &scale,
+            ))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     ablation_noc,
@@ -418,6 +475,7 @@ criterion_group!(
     ablation_dram_mapping,
     ablation_scheduler,
     ablation_active_set,
-    ablation_parallel_sweep
+    ablation_parallel_sweep,
+    ablation_server_policies
 );
 criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Open-loop load generator for the multi-tenant runtime server: replays
+//! a seeded arrival schedule against every dispatch policy and reports
+//! goodput and latency percentiles (see `bbench::loadgen`).
+//!
+//! ```text
+//! cargo run -p bbench --release --bin loadgen -- --seed 42 --tenants 8
+//! ```
+//!
+//! Flags: `--seed N` (default 42), `--tenants N`, `--small` (scaled-down
+//! run), `--json` (machine-readable summary on stdout instead of the
+//! table). stdout is byte-identical at any `BBENCH_JOBS` and scheduler
+//! mode; diagnostics go to stderr.
+
+use bbench::loadgen::{render, render_json, run, LoadScale};
+
+fn parse_flag(name: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let mut scale = if bbench::small_requested() {
+        LoadScale::small()
+    } else {
+        LoadScale::default_scale()
+    };
+    let seed = parse_flag("--seed").unwrap_or(42);
+    if let Some(tenants) = parse_flag("--tenants") {
+        scale.tenants = (tenants as usize).max(1);
+    }
+    let json = std::env::args().any(|a| a == "--json");
+    eprintln!("running load generator at scale {scale:?}, seed {seed}");
+    bbench::with_sim_rate(|| {
+        let (rows, cycles) = run(seed, &scale);
+        if json {
+            println!("{}", render_json(seed, &scale, &rows));
+        } else {
+            print!("{}", render(seed, &scale, &rows));
+        }
+        ((), cycles)
+    });
+}

@@ -12,6 +12,7 @@
 //! | Figure 8 (A³ floorplan) | [`a3`] | `... --bin fig8` |
 //! | Table II (A³ utilization) | [`a3`] | `... --bin table2` |
 //! | Table III (throughput/energy) | [`a3`] | `... --bin table3` |
+//! | Policy ablation (runtime server) | [`loadgen`] | `... --bin loadgen` |
 //!
 //! Binaries default to the paper's problem sizes; pass `--small` for a
 //! quick, scaled-down run (used by the test suite, which cannot afford
@@ -33,6 +34,7 @@ pub mod a3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod loadgen;
 pub mod par;
 pub mod profile;
 pub mod table1;

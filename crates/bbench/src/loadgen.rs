@@ -1,0 +1,396 @@
+//! Open-loop load harness for the multi-tenant runtime server
+//! (`bserver`): seeded arrival schedules, mixed kernel sizes, one fresh
+//! SoC per dispatch policy, and a deterministic report of offered load,
+//! goodput, and latency percentiles.
+//!
+//! The generator is **open-loop**: arrivals follow the seeded schedule
+//! regardless of how the server is coping, so a policy that falls behind
+//! shows up as queue growth, latency blow-up, and admission rejections —
+//! the contention regime behind Figure 6's measured-vs-ideal gap. Every
+//! policy is driven with the *same* arrival schedule over the
+//! shared-memory `kria` platform, so rows differ only by dispatch
+//! behaviour.
+//!
+//! All randomness is a [`SplitMix64`] stream from the CLI seed, all
+//! reported quantities are integers (cycles and counts, percentiles from
+//! the `server/latency_cycles` histograms in `bsim::perf`), and the
+//! per-policy simulations run as independent [`crate::par`] jobs — so
+//! stdout is byte-identical at any `BBENCH_JOBS` and under any
+//! `bsim::SchedulerMode` (enforced by the `loadgen_determinism` test).
+
+use bcore::elaborate;
+use bplatform::Platform;
+use bruntime::FpgaHandle;
+use bserver::{AccelServer, Arrival, DispatchPolicy, JobSpec, ServerConfig};
+
+/// Sebastiano Vigna's SplitMix64: a tiny, splittable, well-distributed
+/// 64-bit PRNG. Used for arrival gaps and size mixing — statistical
+/// perfection is irrelevant; determinism and portability are the point.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Scale knobs for a load-generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadScale {
+    /// Client sessions issuing jobs.
+    pub tenants: usize,
+    /// Total jobs across all tenants.
+    pub jobs: usize,
+    /// Vector-add cores in the SoC.
+    pub n_cores: u32,
+    /// Mean inter-arrival gap in fabric cycles (uniform over
+    /// `1..=2*mean`, so the offered rate is `1/mean`).
+    pub mean_gap_cycles: u64,
+    /// Per-tenant admission bound ([`ServerConfig::queue_capacity`]).
+    pub queue_capacity: usize,
+}
+
+impl LoadScale {
+    /// The default run: 8 tenants offering work several times faster than
+    /// 4 cores can drain it — queues hit the admission bound, so the
+    /// policies separate and rejections are exercised.
+    pub fn default_scale() -> Self {
+        Self {
+            tenants: 8,
+            jobs: 160,
+            n_cores: 4,
+            mean_gap_cycles: 120,
+            queue_capacity: 8,
+        }
+    }
+
+    /// A scaled-down configuration for quick runs and tests.
+    pub fn small() -> Self {
+        Self {
+            tenants: 4,
+            jobs: 48,
+            n_cores: 2,
+            mean_gap_cycles: 120,
+            queue_capacity: 6,
+        }
+    }
+}
+
+/// One planned submission: plain data, shared by every policy's run (each
+/// run re-binds it to its own SoC's buffers).
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedJob {
+    /// Arrival cycle (absolute, starting from 0).
+    pub at_cycle: u64,
+    /// Issuing tenant.
+    pub tenant: usize,
+    /// Vector-add length — the size mix {64, 512, 4096} weighted 2:1:1,
+    /// doubling as the SJF cost hint.
+    pub n_eles: u32,
+}
+
+/// Expands `seed` into the arrival schedule every policy replays.
+pub fn plan(seed: u64, scale: &LoadScale) -> Vec<PlannedJob> {
+    let mut rng = SplitMix64::new(seed);
+    let mut at_cycle = 0u64;
+    (0..scale.jobs)
+        .map(|_| {
+            at_cycle += 1 + rng.next_u64() % (2 * scale.mean_gap_cycles.max(1));
+            let tenant = (rng.next_u64() % scale.tenants as u64) as usize;
+            let n_eles = match rng.next_u64() % 4 {
+                0 | 1 => 64,
+                2 => 512,
+                _ => 4096,
+            };
+            PlannedJob {
+                at_cycle,
+                tenant,
+                n_eles,
+            }
+        })
+        .collect()
+}
+
+/// One policy's measured row.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// The dispatch policy.
+    pub policy: DispatchPolicy,
+    /// Jobs offered (the schedule length).
+    pub offered: usize,
+    /// Jobs completed (goodput numerator).
+    pub completed: usize,
+    /// Jobs rejected at admission.
+    pub rejected: usize,
+    /// Latency percentiles in fabric cycles, from the
+    /// `server/latency_cycles` histogram: (p50, p90, p99, max).
+    pub latency: (u64, u64, u64, u64),
+    /// Cycle the last outcome resolved (offered-load denominator).
+    pub makespan_cycles: u64,
+    /// Cycles spent inside the serialized submit path
+    /// (`server/lock_wait_cycles`).
+    pub lock_wait_cycles: u64,
+    /// Peak summed queue depth (`server/queue_depth_peak`).
+    pub queue_depth_peak: u64,
+}
+
+/// Runs one policy against the schedule on a fresh SoC. Exposed so the
+/// ablation bench can time policies individually.
+pub fn run_policy(policy: DispatchPolicy, plan: &[PlannedJob], scale: &LoadScale) -> PolicyRow {
+    let soc = elaborate(bkernels::vecadd::config(scale.n_cores), &Platform::kria())
+        .expect("vecadd elaborates");
+    let handle = FpgaHandle::new(soc);
+    let config = ServerConfig {
+        policy,
+        queue_capacity: scale.queue_capacity,
+        ..ServerConfig::default()
+    };
+    let mut server = AccelServer::new(&handle, bkernels::vecadd::SYSTEM, scale.tenants, config)
+        .expect("server opens");
+
+    // One buffer per tenant, allocated through that tenant's session (the
+    // multi-session alloc path), sized for the largest job in the mix.
+    // Jobs add in place; concurrent cores touching one tenant's buffer is
+    // timing-deterministic, and values are not checked here.
+    let max_eles = plan.iter().map(|j| j.n_eles).max().unwrap_or(64);
+    let buffers: Vec<bruntime::RemotePtr> = server
+        .sessions()
+        .iter()
+        .map(|s| {
+            let mem = s.malloc(u64::from(max_eles) * 4).expect("tenant buffer");
+            s.write_u32_slice(mem, &vec![1u32; max_eles as usize]);
+            mem
+        })
+        .collect();
+
+    let t0 = handle.now();
+    let arrivals: Vec<Arrival> = plan
+        .iter()
+        .map(|j| Arrival {
+            at_cycle: t0 + j.at_cycle,
+            tenant: j.tenant,
+            spec: JobSpec::new(bkernels::vecadd::args(
+                1,
+                buffers[j.tenant].device_addr(),
+                j.n_eles,
+            ))
+            .with_cost_hint(u64::from(j.n_eles)),
+        })
+        .collect();
+    let outcomes = server.run_open_loop(arrivals);
+
+    let completed = outcomes.iter().filter(|o| o.is_completed()).count();
+    let rejected = outcomes.len() - completed;
+    let hist = handle
+        .with_soc(|soc| soc.perf().histogram("server/latency_cycles"))
+        .expect("server registers its latency histogram");
+    let latency = (
+        hist.p50().unwrap_or(0),
+        hist.p90().unwrap_or(0),
+        hist.p99().unwrap_or(0),
+        hist.max().unwrap_or(0),
+    );
+    let stats = server.stats();
+    let queue_depth_peak = handle
+        .with_soc(|soc| soc.perf().counter("server/queue_depth_peak"))
+        .unwrap_or(0);
+    let row = PolicyRow {
+        policy,
+        offered: outcomes.len(),
+        completed,
+        rejected,
+        latency,
+        makespan_cycles: handle.now() - t0,
+        lock_wait_cycles: stats.get("lock_wait_cycles"),
+        queue_depth_peak,
+    };
+    drop(outcomes);
+
+    // Interleaved teardown across sessions: the shared allocator must
+    // coalesce the holes (regression shape for multi-session `free`).
+    for (i, mem) in buffers.into_iter().enumerate().rev() {
+        server.sessions()[i].free(mem).expect("free tenant buffer");
+    }
+    row
+}
+
+/// Runs every policy over the seeded schedule on `workers` host threads
+/// (one fresh SoC per policy) and returns `(rows, total simulated
+/// cycles)`. Rows come back in [`DispatchPolicy::all`] order — baseline
+/// first — at any worker count.
+pub fn run_on(seed: u64, scale: &LoadScale, workers: usize) -> (Vec<PolicyRow>, u64) {
+    let plan = plan(seed, scale);
+    let s = *scale;
+    let jobs: Vec<crate::par::Job<PolicyRow>> = DispatchPolicy::all()
+        .into_iter()
+        .map(|policy| {
+            let plan = plan.clone();
+            crate::par::Job::new(format!("loadgen: {policy}"), move || {
+                let row = run_policy(policy, &plan, &s);
+                eprintln!(
+                    "loadgen: {} done ({} completed, {} rejected, {} cycles)",
+                    policy, row.completed, row.rejected, row.makespan_cycles
+                );
+                row
+            })
+        })
+        .collect();
+    let rows = crate::par::run_jobs_on(jobs, workers);
+    let total_cycles = rows.iter().map(|r| r.makespan_cycles).sum();
+    (rows, total_cycles)
+}
+
+/// [`run_on`] at the ambient [`crate::worker_count`].
+pub fn run(seed: u64, scale: &LoadScale) -> (Vec<PolicyRow>, u64) {
+    run_on(seed, scale, crate::worker_count())
+}
+
+/// Renders the text report (the deterministic stdout artifact).
+pub fn render(seed: u64, scale: &LoadScale, rows: &[PolicyRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Load generator: {} jobs, {} tenants, {} cores, mean gap {} cycles, seed {}\n\n",
+        scale.jobs, scale.tenants, scale.n_cores, scale.mean_gap_cycles, seed
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>6} {:>6} {:>8} {:>9} {:>9} {:>9} {:>12} {:>11} {:>6}\n",
+        "policy", "done", "rej", "p50", "p90", "p99", "max", "makespan", "lock_wait", "peakq"
+    ));
+    out.push_str(&"-".repeat(102));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!(
+            "{:<16} {:>6} {:>6} {:>8} {:>9} {:>9} {:>9} {:>12} {:>11} {:>6}\n",
+            row.policy.name(),
+            row.completed,
+            row.rejected,
+            row.latency.0,
+            row.latency.1,
+            row.latency.2,
+            row.latency.3,
+            row.makespan_cycles,
+            row.lock_wait_cycles,
+            row.queue_depth_peak,
+        ));
+    }
+    out.push_str("\n(latencies in fabric cycles, from the server/latency_cycles histogram)\n");
+    out
+}
+
+/// Renders the machine-readable JSON summary (the `--json` artifact; CI's
+/// smoke step parses it). The vendored `serde` is a stub, so this is
+/// hand-rolled — `bsim::perf::validate_json` guards its shape in tests.
+pub fn render_json(seed: u64, scale: &LoadScale, rows: &[PolicyRow]) -> String {
+    let mut out = format!(
+        "{{\"seed\":{},\"tenants\":{},\"jobs\":{},\"cores\":{},\
+         \"mean_gap_cycles\":{},\"queue_capacity\":{},\"policies\":[",
+        seed, scale.tenants, scale.jobs, scale.n_cores, scale.mean_gap_cycles, scale.queue_capacity
+    );
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"policy\":\"{}\",\"offered\":{},\"completed\":{},\"rejected\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\
+             \"makespan_cycles\":{},\"lock_wait_cycles\":{},\"queue_depth_peak\":{}}}",
+            row.policy.name(),
+            row.offered,
+            row.completed,
+            row.rejected,
+            row.latency.0,
+            row.latency.1,
+            row.latency.2,
+            row.latency.3,
+            row.makespan_cycles,
+            row.lock_wait_cycles,
+            row.queue_depth_peak,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs[0], xs[1]);
+        let mut c = SplitMix64::new(43);
+        assert_ne!(xs[0], c.next_u64(), "seed must matter");
+    }
+
+    #[test]
+    fn plan_is_seed_deterministic_and_in_bounds() {
+        let scale = LoadScale::small();
+        let p1 = plan(7, &scale);
+        let p2 = plan(7, &scale);
+        assert_eq!(format!("{p1:?}"), format!("{p2:?}"));
+        assert_eq!(p1.len(), scale.jobs);
+        let mut last = 0;
+        for j in &p1 {
+            assert!(j.tenant < scale.tenants);
+            assert!(matches!(j.n_eles, 64 | 512 | 4096));
+            assert!(j.at_cycle > last, "arrival cycles strictly increase");
+            last = j.at_cycle;
+        }
+        assert_ne!(
+            format!("{:?}", plan(8, &scale)),
+            format!("{p1:?}"),
+            "different seeds give different schedules"
+        );
+    }
+
+    #[test]
+    fn improved_policies_beat_the_baseline_p99() {
+        // The acceptance shape: at saturating load, round-robin or SJF
+        // must beat the lock-arbitrated baseline on p99 latency.
+        let scale = LoadScale::small();
+        let (rows, _) = run_on(42, &scale, 1);
+        assert_eq!(rows[0].policy, DispatchPolicy::LockArbitrated);
+        let baseline_p99 = rows[0].latency.2;
+        let best_improved = rows[1..].iter().map(|r| r.latency.2).min().unwrap();
+        assert!(
+            best_improved < baseline_p99,
+            "an event-driven policy must beat the baseline p99 \
+             ({best_improved} vs {baseline_p99})"
+        );
+        for row in &rows {
+            assert!(row.completed > 0, "{}: some jobs must complete", row.policy);
+            assert_eq!(row.offered, scale.jobs);
+        }
+    }
+
+    #[test]
+    fn json_summary_is_valid_and_parsable_shape() {
+        let scale = LoadScale {
+            jobs: 8,
+            ..LoadScale::small()
+        };
+        let (rows, _) = run_on(1, &scale, 1);
+        let json = render_json(1, &scale, &rows);
+        bsim::perf::validate_json(&json).expect("summary must be valid JSON");
+        assert!(json.contains("\"policy\":\"lock-arbitrated\""));
+        assert!(json.contains("\"p99\":"));
+    }
+}

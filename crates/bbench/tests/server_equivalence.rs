@@ -1,0 +1,85 @@
+//! Cycle-identity of the runtime server's lock-arbitrated baseline
+//! against driving `bruntime` directly — the guarantee that lets the
+//! Figure 6 measured leg run through `bserver` without moving a single
+//! cycle: same calls, same spins, same polls, same clock.
+
+use std::collections::BTreeMap;
+
+use bcore::elaborate;
+use bkernels::machsuite::nw;
+use bplatform::Platform;
+use bruntime::FpgaHandle;
+use bserver::{AccelServer, DispatchPolicy, JobOutcome, JobSpec, ServerConfig};
+
+const NW_N: usize = 32;
+
+/// Elaborates the Figure 6 multi-core shape (NW on AWS F1 at the paper's
+/// 125 MHz) and prepares `cmds` invocations' buffers, exactly as the
+/// fig6 harness does.
+fn prepared_soc(n_cores: u32, cmds: usize) -> (FpgaHandle, Vec<BTreeMap<String, u64>>) {
+    let mut platform = Platform::aws_f1();
+    platform.fabric_mhz = 125;
+    let soc = elaborate(nw::config(n_cores, NW_N), &platform).expect("NW elaborates");
+    let handle = FpgaHandle::new(soc);
+    let prepared = (0..cmds)
+        .map(|idx| {
+            let (a, b) = nw::workload(NW_N, idx as u64);
+            let pa = handle.malloc(NW_N as u64).unwrap();
+            let pb = handle.malloc(NW_N as u64).unwrap();
+            let po = handle.malloc((4 * NW_N) as u64).unwrap();
+            handle.write_at(pa, 0, &a);
+            handle.write_at(pb, 0, &b);
+            handle.copy_to_fpga(pa);
+            handle.copy_to_fpga(pb);
+            nw::args(pa.device_addr(), pb.device_addr(), po.device_addr(), NW_N)
+        })
+        .collect();
+    (handle, prepared)
+}
+
+#[test]
+fn fig6_measured_leg_is_cycle_identical_through_the_server() {
+    let n_cores = 2u32;
+    let cmds = 4usize;
+
+    // Leg 1: the original Figure 6 sequence, driving the handle directly.
+    let (handle, prepared) = prepared_soc(n_cores, cmds);
+    let mut responses = Vec::with_capacity(cmds);
+    for (i, args) in prepared.into_iter().enumerate() {
+        let core = (i % n_cores as usize) as u16;
+        responses.push(handle.call(nw::SYSTEM, core, args).expect("call"));
+    }
+    let direct_values: Vec<u64> = responses
+        .into_iter()
+        .map(|r| r.get().expect("invocation completes"))
+        .collect();
+    let direct_cycles = handle.now();
+
+    // Leg 2: the same workload through the server's baseline policy.
+    let (handle, prepared) = prepared_soc(n_cores, cmds);
+    let config = ServerConfig {
+        policy: DispatchPolicy::LockArbitrated,
+        ..ServerConfig::default()
+    };
+    let mut server = AccelServer::new(&handle, nw::SYSTEM, 1, config).expect("server opens");
+    let outcomes = server.run_batch(
+        prepared
+            .into_iter()
+            .map(|args| (0, JobSpec::new(args)))
+            .collect(),
+    );
+    let server_values: Vec<u64> = outcomes
+        .iter()
+        .map(|o| match o {
+            JobOutcome::Completed { value, .. } => *value,
+            other => panic!("batch job must complete: {other:?}"),
+        })
+        .collect();
+
+    assert_eq!(
+        handle.now(),
+        direct_cycles,
+        "the lock-arbitrated baseline must not move the clock by even one cycle"
+    );
+    assert_eq!(server_values, direct_values, "same responses, same order");
+}

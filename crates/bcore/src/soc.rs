@@ -266,6 +266,22 @@ impl SocSim {
             .is_some_and(|l| l.cmd_tx.can_send())
     }
 
+    /// Occupancy snapshot of `(system, core)`'s command queue — what a
+    /// depth-aware dispatcher (`bserver`) reads before placing work, so it
+    /// never has to discover backpressure by spinning on `QueueFull`.
+    pub fn cmd_queue_state(&self, system: u16, core: u16) -> Option<bsim::ChannelState> {
+        self.links
+            .get(system as usize)
+            .and_then(|c| c.get(core as usize))
+            .map(|l| l.cmd_tx.state())
+    }
+
+    /// Free command-queue slots on `(system, core)`, in whole commands.
+    pub fn cmd_queue_free(&self, system: u16, core: u16) -> Option<usize> {
+        self.cmd_queue_state(system, core)
+            .map(|s| s.capacity - s.occupancy)
+    }
+
     /// Sends a command; returns a token to poll for the response.
     ///
     /// Arguments are validated by round-tripping through the RoCC packing
@@ -428,6 +444,51 @@ impl SocSim {
         }
     }
 
+    /// Runs the fabric until *any* outstanding command completes or
+    /// `max_cycles` pass — the runtime server's "doorbell" wait. Like
+    /// [`SocSim::run_until_response`], the watched response channels force
+    /// a completion check on the exact cycle a response becomes visible,
+    /// so under the active-set scheduler a sleeping dispatcher costs no
+    /// per-cycle host work across quiescent gaps.
+    ///
+    /// Completions are left in the completed set; harvest them by polling
+    /// each in-flight token ([`SocSim::poll`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(max_cycles)` if nothing completed within the budget.
+    pub fn run_until_any_response(&mut self, max_cycles: Cycle) -> Result<(), Cycle> {
+        const RESPONSE_POLL_STRIDE: Cycle = 64;
+        self.drain_responses();
+        if !self.completed.is_empty() {
+            return Ok(());
+        }
+        let Self {
+            sim,
+            links,
+            outstanding,
+            completed,
+            mmio_stats,
+            ..
+        } = self;
+        let result = sim.run_until_strided(max_cycles, RESPONSE_POLL_STRIDE, |now| {
+            for (sys, cores) in links.iter().enumerate() {
+                for (core, link) in cores.iter().enumerate() {
+                    while let Some(resp) = link.resp_rx.recv(now) {
+                        let (seq, sent) = outstanding[sys][core]
+                            .pop_front()
+                            .expect("response without outstanding command");
+                        mmio_stats.incr("responses");
+                        mmio_stats.record("cmd_latency_cycles", now.saturating_sub(sent));
+                        completed.insert((sys as u16, core as u16, seq), resp.data);
+                    }
+                }
+            }
+            !completed.is_empty()
+        });
+        result.map(|_| ()).map_err(|_| max_cycles)
+    }
+
     /// Whether any command is still awaiting a response.
     pub fn has_outstanding(&self) -> bool {
         self.outstanding
@@ -531,6 +592,16 @@ impl SocSim {
     /// word traffic) and read as zero here.
     pub fn mmio_read(&mut self, reg: MmioRegister) -> u32 {
         match reg {
+            // Free command-queue slots, minimized across every core: the
+            // conservative "may I push another frame anywhere" answer a
+            // host dispatcher reads before writing the command FIFO.
+            MmioRegister::CmdStatus => self
+                .links
+                .iter()
+                .flatten()
+                .map(|l| l.cmd_tx.free_slots())
+                .min()
+                .unwrap_or(0) as u32,
             MmioRegister::PerfSelect => self.perf_select,
             MmioRegister::PerfDataLo => self.perf_latched as u32,
             MmioRegister::PerfDataHi => (self.perf_latched >> 32) as u32,

@@ -53,6 +53,8 @@ pub struct DeviceAllocator {
     free: Vec<(u64, u64)>,
     /// Live allocations (addr -> len).
     live: std::collections::BTreeMap<u64, u64>,
+    /// Peak concurrently-allocated bytes over the allocator's lifetime.
+    high_water: u64,
 }
 
 const ALIGN: u64 = 4096;
@@ -70,6 +72,7 @@ impl DeviceAllocator {
             size,
             free: vec![(base, size)],
             live: std::collections::BTreeMap::new(),
+            high_water: 0,
         }
     }
 
@@ -93,6 +96,7 @@ impl DeviceAllocator {
                     self.free[i] = (addr + len, flen - len);
                 }
                 self.live.insert(addr, len);
+                self.high_water = self.high_water.max(self.allocated_bytes());
                 Ok(addr)
             }
             None => Err(AllocError::OutOfMemory {
@@ -140,6 +144,13 @@ impl DeviceAllocator {
     /// Number of live allocations.
     pub fn live_allocations(&self) -> usize {
         self.live.len()
+    }
+
+    /// Peak concurrently-allocated bytes ever observed — reported alongside
+    /// allocation failures so a multi-session caller can tell true memory
+    /// pressure from fragmentation.
+    pub fn high_water_mark(&self) -> u64 {
+        self.high_water
     }
 
     /// The managed region.
@@ -206,6 +217,20 @@ mod tests {
     fn zero_size_rejected() {
         let mut a = DeviceAllocator::new(0, 1 << 20);
         assert_eq!(a.malloc(0), Err(AllocError::ZeroSize));
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut a = DeviceAllocator::new(0, 1 << 20);
+        let p1 = a.malloc(8 * 4096).unwrap();
+        let p2 = a.malloc(4 * 4096).unwrap();
+        assert_eq!(a.high_water_mark(), 12 * 4096);
+        a.free(p1).unwrap();
+        a.free(p2).unwrap();
+        assert_eq!(a.allocated_bytes(), 0);
+        assert_eq!(a.high_water_mark(), 12 * 4096, "peak survives frees");
+        a.malloc(4096).unwrap();
+        assert_eq!(a.high_water_mark(), 12 * 4096);
     }
 
     #[test]

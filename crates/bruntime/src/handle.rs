@@ -89,8 +89,18 @@ pub enum CallError {
     UnknownSystem(String),
     /// The underlying send failed (bad core index or arguments).
     Send(bcore::soc::SendError),
-    /// Allocation failed.
-    Alloc(AllocError),
+    /// Allocation failed. Carries enough context for a multi-session
+    /// caller to distinguish genuine memory pressure from fragmentation
+    /// without reaching back into the shared allocator.
+    Alloc {
+        /// The underlying allocator failure.
+        error: AllocError,
+        /// Bytes the caller asked for (pre-alignment).
+        requested: u64,
+        /// The shared allocator's peak concurrently-allocated bytes at
+        /// failure time ([`DeviceAllocator::high_water_mark`]).
+        high_water: u64,
+    },
     /// A blocking `get` exceeded its cycle budget.
     Timeout {
         /// Cycles waited.
@@ -103,19 +113,21 @@ impl std::fmt::Display for CallError {
         match self {
             CallError::UnknownSystem(name) => write!(f, "no system named '{name}'"),
             CallError::Send(e) => write!(f, "command send failed: {e}"),
-            CallError::Alloc(e) => write!(f, "allocation failed: {e}"),
+            CallError::Alloc {
+                error,
+                requested,
+                high_water,
+            } => write!(
+                f,
+                "allocation failed: {error} (requested {requested} bytes, \
+                 allocator high-water mark {high_water} bytes)"
+            ),
             CallError::Timeout { waited } => write!(f, "response timed out after {waited} cycles"),
         }
     }
 }
 
 impl std::error::Error for CallError {}
-
-impl From<AllocError> for CallError {
-    fn from(e: AllocError) -> Self {
-        CallError::Alloc(e)
-    }
-}
 
 struct Inner {
     soc: SocSim,
@@ -126,6 +138,8 @@ struct Inner {
     stats: RuntimeStats,
     /// Default budget for blocking `get`s, fabric cycles.
     get_timeout_cycles: Cycle,
+    /// Session ids handed out so far (see [`FpgaHandle::open_session`]).
+    next_session: u32,
 }
 
 impl Inner {
@@ -176,6 +190,7 @@ impl FpgaHandle {
                 opts,
                 stats: RuntimeStats::default(),
                 get_timeout_cycles: 2_000_000_000,
+                next_session: 0,
             })),
         }
     }
@@ -187,7 +202,14 @@ impl FpgaHandle {
     /// Propagates allocator failures.
     pub fn malloc(&self, n_bytes: u64) -> Result<RemotePtr, CallError> {
         let mut inner = self.inner.borrow_mut();
-        let addr = inner.allocator.malloc(n_bytes)?;
+        let addr = inner
+            .allocator
+            .malloc(n_bytes)
+            .map_err(|error| CallError::Alloc {
+                error,
+                requested: n_bytes,
+                high_water: inner.allocator.high_water_mark(),
+            })?;
         let len = inner
             .allocator
             .allocation_len(addr)
@@ -205,7 +227,14 @@ impl FpgaHandle {
     /// Propagates allocator failures (double free, foreign pointer).
     pub fn free(&self, ptr: RemotePtr) -> Result<(), CallError> {
         let mut inner = self.inner.borrow_mut();
-        inner.allocator.free(ptr.addr)?;
+        inner
+            .allocator
+            .free(ptr.addr)
+            .map_err(|error| CallError::Alloc {
+                error,
+                requested: ptr.len,
+                high_water: inner.allocator.high_water_mark(),
+            })?;
         inner.host_shadow.remove(&ptr.addr);
         Ok(())
     }
@@ -453,6 +482,159 @@ impl FpgaHandle {
     /// Sets the blocking-`get` budget in fabric cycles.
     pub fn set_get_timeout(&self, cycles: Cycle) {
         self.inner.borrow_mut().get_timeout_cycles = cycles;
+    }
+
+    /// The runtime timing options this handle was opened with.
+    pub fn options(&self) -> RuntimeOptions {
+        self.inner.borrow().opts
+    }
+
+    /// Advances the device while `ns` of host time passes — the primitive a
+    /// runtime-server layer (`bserver`) uses to charge its own host-side
+    /// costs (lock arbitration, MMIO traffic) against the shared clock.
+    pub fn advance_ns(&self, ns: u64) {
+        self.inner.borrow_mut().advance_ns(ns);
+    }
+
+    /// Opens a client session over this handle's runtime server. Sessions
+    /// share the device, the allocator, and simulated time (one `SocSim`
+    /// behind one server), but keep their own submission statistics — the
+    /// multi-tenant shape `bserver` arbitrates between.
+    pub fn open_session(&self) -> SessionHandle {
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            let id = inner.next_session;
+            inner.next_session += 1;
+            id
+        };
+        SessionHandle {
+            handle: self.clone(),
+            id,
+            stats: Rc::new(RefCell::new(SessionStats::default())),
+        }
+    }
+}
+
+/// Per-session statistics (see [`FpgaHandle::open_session`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Commands this session submitted.
+    pub commands: u64,
+    /// Allocations this session performed.
+    pub mallocs: u64,
+    /// Frees this session performed.
+    pub frees: u64,
+    /// Bytes currently allocated by this session (post-alignment).
+    pub live_bytes: u64,
+}
+
+/// One client session over a shared [`FpgaHandle`]: same device, same
+/// allocator, same simulated clock, separate bookkeeping. Clone freely —
+/// clones share the session.
+#[derive(Clone)]
+pub struct SessionHandle {
+    handle: FpgaHandle,
+    id: u32,
+    stats: Rc<RefCell<SessionStats>>,
+}
+
+impl SessionHandle {
+    /// The session's id (dense, in open order).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The shared handle this session was opened from.
+    pub fn handle(&self) -> &FpgaHandle {
+        &self.handle
+    }
+
+    /// This session's statistics.
+    pub fn stats(&self) -> SessionStats {
+        *self.stats.borrow()
+    }
+
+    /// Allocates accelerator-visible memory from the shared allocator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures with request/high-water context.
+    pub fn malloc(&self, n_bytes: u64) -> Result<RemotePtr, CallError> {
+        let ptr = self.handle.malloc(n_bytes)?;
+        let mut stats = self.stats.borrow_mut();
+        stats.mallocs += 1;
+        stats.live_bytes += ptr.len();
+        Ok(ptr)
+    }
+
+    /// Releases an allocation back to the shared allocator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures (double free, foreign pointer).
+    pub fn free(&self, ptr: RemotePtr) -> Result<(), CallError> {
+        self.handle.free(ptr)?;
+        let mut stats = self.stats.borrow_mut();
+        stats.frees += 1;
+        stats.live_bytes = stats.live_bytes.saturating_sub(ptr.len());
+        Ok(())
+    }
+
+    /// Writes host data at `ptr + offset` (see [`FpgaHandle::write_at`]).
+    pub fn write_at(&self, ptr: RemotePtr, offset: u64, data: &[u8]) {
+        self.handle.write_at(ptr, offset, data);
+    }
+
+    /// Reads host-visible data at `ptr + offset` (see
+    /// [`FpgaHandle::read_at`]).
+    pub fn read_at(&self, ptr: RemotePtr, offset: u64, len: usize) -> Vec<u8> {
+        self.handle.read_at(ptr, offset, len)
+    }
+
+    /// Convenience: write a `u32` slice at offset 0.
+    pub fn write_u32_slice(&self, ptr: RemotePtr, values: &[u32]) {
+        self.handle.write_u32_slice(ptr, values);
+    }
+
+    /// Convenience: read a `u32` slice from offset 0.
+    pub fn read_u32_slice(&self, ptr: RemotePtr, count: usize) -> Vec<u32> {
+        self.handle.read_u32_slice(ptr, count)
+    }
+
+    /// DMA host→device (see [`FpgaHandle::copy_to_fpga`]).
+    pub fn copy_to_fpga(&self, ptr: RemotePtr) {
+        self.handle.copy_to_fpga(ptr);
+    }
+
+    /// DMA device→host (see [`FpgaHandle::copy_from_fpga`]).
+    pub fn copy_from_fpga(&self, ptr: RemotePtr) {
+        self.handle.copy_from_fpga(ptr);
+    }
+
+    /// Sends a command through the shared runtime server (see
+    /// [`FpgaHandle::call`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`FpgaHandle::call`].
+    pub fn call(
+        &self,
+        system: &str,
+        core_idx: u16,
+        args: std::collections::BTreeMap<String, u64>,
+    ) -> Result<ResponseHandle, CallError> {
+        let resp = self.handle.call(system, core_idx, args)?;
+        self.stats.borrow_mut().commands += 1;
+        Ok(resp)
+    }
+}
+
+impl std::fmt::Debug for SessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHandle")
+            .field("id", &self.id)
+            .field("stats", &*self.stats.borrow())
+            .finish()
     }
 }
 
@@ -720,6 +902,104 @@ mod tests {
         // (frees b); the next free of the same address must then fail.
         handle.free(a).unwrap();
         assert!(handle.free(b).is_err(), "double free of the same region");
+    }
+
+    #[test]
+    fn alloc_errors_carry_request_and_high_water_context() {
+        // sim platform: 256 MiB of device memory.
+        let handle = make_handle(&Platform::sim(), 1);
+        let total = handle.with_soc(|soc| soc.platform().mem_size);
+        let big = handle.malloc(total / 2).unwrap();
+        let err = handle.malloc(total).unwrap_err();
+        match err {
+            CallError::Alloc {
+                error: AllocError::OutOfMemory { .. },
+                requested,
+                high_water,
+            } => {
+                assert_eq!(requested, total, "carries the caller's byte count");
+                assert_eq!(
+                    high_water,
+                    big.len(),
+                    "high-water mark reflects the peak at failure time"
+                );
+            }
+            other => panic!("expected contextful Alloc error, got {other:?}"),
+        }
+        let msg = handle.malloc(total).unwrap_err().to_string();
+        assert!(
+            msg.contains("requested"),
+            "display shows the request: {msg}"
+        );
+        assert!(msg.contains("high-water"), "display shows the mark: {msg}");
+    }
+
+    #[test]
+    fn two_sessions_share_the_allocator_without_fragmenting() {
+        // Alloc–free–alloc patterns interleaved across two sessions over
+        // one SocSim must coalesce back to a fully reusable region: the
+        // regression this guards is per-session state leaking into the
+        // shared free list.
+        let handle = make_handle(&Platform::sim(), 1);
+        let s0 = handle.open_session();
+        let s1 = handle.open_session();
+        assert_ne!(s0.id(), s1.id());
+
+        let a = s0.malloc(8 * 4096).unwrap();
+        let b = s1.malloc(4 * 4096).unwrap();
+        let c = s0.malloc(4096).unwrap();
+        // Free the middle allocation from the *other* session's sibling
+        // and re-fill the hole: first-fit must reuse it exactly.
+        s1.free(b).unwrap();
+        let b2 = s0.malloc(2 * 4096).unwrap();
+        assert_eq!(b2.device_addr(), b.device_addr(), "hole reused first-fit");
+
+        // Interleaved teardown in neither allocation nor session order.
+        s0.free(a).unwrap();
+        s0.free(b2).unwrap();
+        s0.free(c).unwrap();
+
+        // After full teardown the whole region must be one coalesced block:
+        // a single max-size allocation succeeds again.
+        let total = handle.with_soc(|soc| soc.platform().mem_size);
+        let whole = handle.malloc(total).unwrap();
+        handle.free(whole).unwrap();
+
+        let st0 = s0.stats();
+        assert_eq!(st0.mallocs, 3);
+        assert_eq!(st0.frees, 3);
+        assert_eq!(st0.live_bytes, 0);
+        assert_eq!(s1.stats().mallocs, 1);
+        assert_eq!(s1.stats().frees, 1);
+    }
+
+    #[test]
+    fn sessions_share_device_and_clock() {
+        // Shared-memory platform: session writes are immediately
+        // device-visible, no DMA staging.
+        let handle = make_handle(&Platform::kria(), 2);
+        let s0 = handle.open_session();
+        let s1 = handle.open_session();
+        let m0 = s0.malloc(4096).unwrap();
+        let m1 = s1.malloc(4096).unwrap();
+        s0.write_u32_slice(m0, &[5; 16]);
+        s1.write_u32_slice(m1, &[9; 16]);
+        let r0 = s0
+            .call("Doubler", 0, call_args(m0.device_addr(), 16))
+            .unwrap();
+        let r1 = s1
+            .call("Doubler", 1, call_args(m1.device_addr(), 16))
+            .unwrap();
+        r0.get().unwrap();
+        r1.get().unwrap();
+        assert_eq!(s0.read_u32_slice(m0, 16), vec![10; 16]);
+        assert_eq!(s1.read_u32_slice(m1, 16), vec![18; 16]);
+        assert_eq!(s0.stats().commands, 1);
+        assert_eq!(s1.stats().commands, 1);
+        // Both sessions observe the same clock (one device underneath).
+        assert_eq!(s0.handle().now(), s1.handle().now());
+        // The shared handle's aggregate stats see both sessions.
+        assert_eq!(handle.stats().commands, 2);
     }
 
     #[test]

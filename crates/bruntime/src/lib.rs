@@ -24,4 +24,7 @@ mod alloc;
 mod handle;
 
 pub use alloc::{AllocError, DeviceAllocator};
-pub use handle::{CallError, FpgaHandle, RemotePtr, ResponseHandle, RuntimeOptions, RuntimeStats};
+pub use handle::{
+    CallError, FpgaHandle, RemotePtr, ResponseHandle, RuntimeOptions, RuntimeStats, SessionHandle,
+    SessionStats,
+};

@@ -1,0 +1,46 @@
+//! # bserver — the multi-tenant accelerator-service runtime
+//!
+//! The paper attributes Figure 6's measured-vs-ideal scaling gap to the
+//! host runtime's lock arbitration: "low-latency operations have much
+//! higher contention for the runtime server lock". `bruntime` models that
+//! cost for a *single* client; this crate grows the layer above it — a
+//! real job-dispatch runtime that sits between N client sessions
+//! ([`bruntime::SessionHandle`]) and the elaborated SoC's cores, in the
+//! spirit of ThreadPoolComposer's thread→PE dispatcher and HEROv2's
+//! host-runtime stack.
+//!
+//! The server owns:
+//!
+//! * **per-tenant submission queues** with admission control (a bounded
+//!   queue per tenant; arrivals beyond the bound are rejected, giving
+//!   open-loop clients backpressure instead of unbounded latency);
+//! * **a core-allocation dispatcher** with pluggable policies
+//!   ([`DispatchPolicy`]): the paper's lock-arbitrated baseline (so the
+//!   Figure 6 contention shape stays reproducible), plus `Fifo`,
+//!   per-tenant `RoundRobin`, and `ShortestJobFirst` over caller-supplied
+//!   cost hints;
+//! * **per-command deadlines** with a `Retry`/`Reject` outcome model
+//!   ([`DeadlineAction`], [`JobOutcome`]);
+//! * **observability**: a `server/` [`bsim::perf`] counter set
+//!   (`queue_depth`, `lock_wait_cycles`, `rejected`, …) and per-tenant
+//!   latency histograms, visible through the MMIO counter window,
+//!   `counter_snapshot()`, and `perf_report()` like any hardware layer.
+//!
+//! Timing is simulated, not wall-clock: every host-side cost the server
+//! pays (lock acquisition, MMIO command words, response polling) advances
+//! the shared [`bcore::SocSim`] clock through the same
+//! [`bruntime::FpgaHandle`] cost model the single-client runtime uses, so
+//! policies are compared cycle-exactly and deterministically. The
+//! open-loop load harness lives in `bbench::loadgen`
+//! (`cargo run -p bbench --bin loadgen`).
+
+#![warn(missing_docs)]
+
+mod policy;
+mod server;
+
+pub use policy::DispatchPolicy;
+pub use server::{
+    AccelServer, Arrival, DeadlineAction, JobOutcome, JobSpec, RejectReason, ServerConfig,
+    ServerError,
+};

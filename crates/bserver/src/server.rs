@@ -1,0 +1,1128 @@
+//! The multi-tenant runtime server: queues, dispatcher, outcome model.
+
+use std::cell::Cell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use bruntime::{FpgaHandle, ResponseHandle, SessionHandle};
+use bsim::{Cycle, Stats};
+
+use crate::policy::DispatchPolicy;
+
+/// A command the server accepts from a tenant.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Named command arguments (what the generated bindings build).
+    pub args: BTreeMap<String, u64>,
+    /// Caller-supplied cost hint in arbitrary monotone units (e.g.
+    /// elements to process). Only `ShortestJobFirst` reads it.
+    pub cost_hint: u64,
+    /// Maximum fabric cycles the job may wait in the submission queue
+    /// before the deadline action fires. `None` waits forever.
+    pub deadline_cycles: Option<Cycle>,
+}
+
+impl JobSpec {
+    /// A job with no deadline and a zero cost hint.
+    pub fn new(args: BTreeMap<String, u64>) -> Self {
+        Self {
+            args,
+            cost_hint: 0,
+            deadline_cycles: None,
+        }
+    }
+
+    /// Sets the cost hint (builder style).
+    pub fn with_cost_hint(mut self, cost_hint: u64) -> Self {
+        self.cost_hint = cost_hint;
+        self
+    }
+
+    /// Sets the queue-wait deadline (builder style).
+    pub fn with_deadline(mut self, cycles: Cycle) -> Self {
+        self.deadline_cycles = Some(cycles);
+        self
+    }
+}
+
+/// One scheduled submission for [`AccelServer::run_open_loop`].
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Fabric cycle at which the tenant submits the job.
+    pub at_cycle: Cycle,
+    /// Submitting tenant (dense index, `< n_tenants`).
+    pub tenant: usize,
+    /// The job itself.
+    pub spec: JobSpec,
+}
+
+/// Why the server refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant's submission queue was at capacity on arrival.
+    AdmissionFull,
+    /// The job's queue-wait deadline expired (and retries, if any, were
+    /// exhausted).
+    DeadlineExpired,
+}
+
+/// What happened to a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job ran; carries its response and measured latencies.
+    Completed {
+        /// The accelerator's response payload.
+        value: u64,
+        /// Cycles from scheduled arrival to host-observed completion.
+        latency_cycles: Cycle,
+        /// Cycles from scheduled arrival to dispatch (queue + lock wait).
+        queue_wait_cycles: Cycle,
+        /// Core the job ran on.
+        core: u16,
+        /// Deadline retries the job went through before completing.
+        retries: u32,
+    },
+    /// The server refused the job.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+        /// Deadline retries consumed before the rejection.
+        retries: u32,
+    },
+}
+
+impl JobOutcome {
+    /// The completion latency, if the job completed.
+    pub fn latency_cycles(&self) -> Option<Cycle> {
+        match self {
+            JobOutcome::Completed { latency_cycles, .. } => Some(*latency_cycles),
+            JobOutcome::Rejected { .. } => None,
+        }
+    }
+
+    /// Whether the job completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed { .. })
+    }
+}
+
+/// What the server does when a queued job's deadline expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineAction {
+    /// Drop the job with [`RejectReason::DeadlineExpired`].
+    Reject,
+    /// Re-enqueue at the tenant's tail with a re-armed deadline, up to
+    /// `max_retries` times; then reject. Models a client that resubmits.
+    Retry {
+        /// Retries before giving up.
+        max_retries: u32,
+    },
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Dispatch policy.
+    pub policy: DispatchPolicy,
+    /// Per-tenant submission-queue bound (admission control).
+    pub queue_capacity: usize,
+    /// What expired deadlines do.
+    pub deadline_action: DeadlineAction,
+    /// Budget for a single "wait for any completion" step; exceeding it
+    /// means the device wedged and the server panics rather than hanging.
+    pub response_budget_cycles: Cycle,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            policy: DispatchPolicy::Fifo,
+            queue_capacity: 64,
+            deadline_action: DeadlineAction::Reject,
+            response_budget_cycles: 2_000_000_000,
+        }
+    }
+}
+
+/// Errors constructing an [`AccelServer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// No system with that name exists on the device.
+    UnknownSystem(String),
+    /// The server needs at least one tenant.
+    NoTenants,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::UnknownSystem(name) => write!(f, "no system named '{name}'"),
+            ServerError::NoTenants => write!(f, "server needs at least one tenant"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// A job sitting in a tenant's submission queue.
+struct Queued {
+    /// Index into the outcome vector (arrival order).
+    idx: usize,
+    tenant: usize,
+    spec: JobSpec,
+    /// Scheduled arrival cycle (re-armed on deadline retry).
+    arrival_cycle: Cycle,
+    /// Original scheduled arrival (latency is measured from here even
+    /// across retries).
+    first_arrival_cycle: Cycle,
+    /// Global arrival sequence (FIFO and tie-break key).
+    seq: u64,
+    retries: u32,
+}
+
+/// A dispatched job awaiting its response.
+struct InFlight {
+    idx: usize,
+    tenant: usize,
+    resp: ResponseHandle,
+    first_arrival_cycle: Cycle,
+    dispatch_cycle: Cycle,
+    retries: u32,
+}
+
+/// The multi-tenant runtime server over one [`bcore::SocSim`].
+///
+/// One server arbitrates one accelerator system's cores between
+/// `n_tenants` client sessions. Jobs flow: admission → per-tenant queue →
+/// dispatcher (policy) → core command FIFO → completion harvest →
+/// [`JobOutcome`]. All host-side costs advance the shared simulated
+/// clock; nothing here consumes wall-clock time.
+pub struct AccelServer {
+    handle: FpgaHandle,
+    sessions: Vec<SessionHandle>,
+    system: String,
+    sys_id: u16,
+    n_cores: u16,
+    config: ServerConfig,
+    queues: Vec<VecDeque<Queued>>,
+    /// Per-core FIFOs of dispatched jobs (responses return in order).
+    inflight: Vec<VecDeque<InFlight>>,
+    /// Round-robin tenant cursor.
+    rr_cursor: usize,
+    /// Global submission sequence (the baseline's `seq % n_cores` core
+    /// binding and every policy's tie-break).
+    next_seq: u64,
+    /// Instantaneous queued-job count, shared with the perf provider.
+    depth: Rc<Cell<u64>>,
+    /// Peak queued-job count, shared with the perf provider.
+    depth_peak: Rc<Cell<u64>>,
+    /// Counters and histograms registered under `server/`.
+    stats: Stats,
+}
+
+impl AccelServer {
+    /// Opens a server for `system` with `n_tenants` client sessions.
+    ///
+    /// Registers the `server/` counter set in the SoC's perf registry:
+    /// `queue_depth` / `queue_depth_peak` (live providers),
+    /// `lock_wait_cycles`, `rejected`, `retried`, `dispatched`,
+    /// `completed`, and per-tenant `tenant{i}/latency_cycles` histograms
+    /// (plus an aggregate `latency_cycles`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownSystem`] or [`ServerError::NoTenants`].
+    pub fn new(
+        handle: &FpgaHandle,
+        system: &str,
+        n_tenants: usize,
+        config: ServerConfig,
+    ) -> Result<Self, ServerError> {
+        if n_tenants == 0 {
+            return Err(ServerError::NoTenants);
+        }
+        let (sys_id, n_cores) = handle
+            .with_soc(|soc| soc.system_id(system).map(|id| (id, soc.cores_in(id))))
+            .ok_or_else(|| ServerError::UnknownSystem(system.to_owned()))?;
+        assert!(n_cores > 0, "system '{system}' has no cores");
+        let sessions = (0..n_tenants).map(|_| handle.open_session()).collect();
+        let stats = Stats::new();
+        let depth = Rc::new(Cell::new(0u64));
+        let depth_peak = Rc::new(Cell::new(0u64));
+        handle.with_soc(|soc| {
+            let set = soc.perf().set("server");
+            set.attach_stats(&stats);
+            let (d, p) = (Rc::clone(&depth), Rc::clone(&depth_peak));
+            set.add_provider(move || {
+                vec![
+                    ("queue_depth".to_owned(), d.get()),
+                    ("queue_depth_peak".to_owned(), p.get()),
+                ]
+            });
+        });
+        Ok(Self {
+            handle: handle.clone(),
+            sessions,
+            system: system.to_owned(),
+            sys_id,
+            n_cores,
+            config,
+            queues: (0..n_tenants).map(|_| VecDeque::new()).collect(),
+            inflight: (0..n_cores as usize).map(|_| VecDeque::new()).collect(),
+            rr_cursor: 0,
+            next_seq: 0,
+            depth,
+            depth_peak,
+            stats,
+        })
+    }
+
+    /// The shared handle the server drives.
+    pub fn handle(&self) -> &FpgaHandle {
+        &self.handle
+    }
+
+    /// The per-tenant client sessions.
+    pub fn sessions(&self) -> &[SessionHandle] {
+        &self.sessions
+    }
+
+    /// Number of cores the dispatcher allocates over.
+    pub fn n_cores(&self) -> u16 {
+        self.n_cores
+    }
+
+    /// The server's counter/histogram bag (also reachable through the
+    /// SoC perf registry under `server/`).
+    pub fn stats(&self) -> Stats {
+        self.stats.clone()
+    }
+
+    /// Runs a closed batch: every job arrives "now", submitted in order.
+    /// This is the Figure 6 measured-leg shape — under
+    /// [`DispatchPolicy::LockArbitrated`] it reproduces the single-client
+    /// runtime's serialized submit-then-drain sequence cycle-exactly.
+    ///
+    /// Returns outcomes in job order.
+    pub fn run_batch(&mut self, jobs: Vec<(usize, JobSpec)>) -> Vec<JobOutcome> {
+        if self.config.policy == DispatchPolicy::LockArbitrated {
+            return self.run_batch_lock_arbitrated(jobs);
+        }
+        let now = self.handle.now();
+        let arrivals = jobs
+            .into_iter()
+            .map(|(tenant, spec)| Arrival {
+                at_cycle: now,
+                tenant,
+                spec,
+            })
+            .collect();
+        self.run_open_loop(arrivals)
+    }
+
+    /// The paper's serialized runtime server, verbatim: one client at a
+    /// time takes the lock, submits to core `seq % n_cores` (spinning on
+    /// a full command FIFO), and responses are drained by polling in
+    /// submission order. Byte-identical to driving [`bruntime`] directly
+    /// — `bbench`'s `server_equivalence` test holds this to the original
+    /// Figure 6 implementation cycle for cycle.
+    fn run_batch_lock_arbitrated(&mut self, jobs: Vec<(usize, JobSpec)>) -> Vec<JobOutcome> {
+        let t0 = self.handle.now();
+        let mut pending = Vec::with_capacity(jobs.len());
+        for (tenant, spec) in jobs {
+            let core = (self.next_seq % u64::from(self.n_cores)) as u16;
+            self.next_seq += 1;
+            let before = self.handle.now();
+            let resp = self.sessions[tenant]
+                .call(&self.system, core, spec.args)
+                .expect("job arguments must match the system's command spec");
+            self.stats
+                .add("lock_wait_cycles", self.handle.now().saturating_sub(before));
+            self.stats.incr("dispatched");
+            pending.push((tenant, core, resp));
+        }
+        let mut outcomes = Vec::with_capacity(pending.len());
+        for (tenant, core, resp) in pending {
+            let value = resp.get().expect("batch job completes");
+            let now = self.handle.now();
+            let latency = now.saturating_sub(t0);
+            self.record_completion(tenant, latency);
+            outcomes.push(JobOutcome::Completed {
+                value,
+                latency_cycles: latency,
+                queue_wait_cycles: 0,
+                core,
+                retries: 0,
+            });
+        }
+        outcomes
+    }
+
+    /// Serves an open-loop arrival schedule to completion and returns one
+    /// outcome per arrival, in input order.
+    ///
+    /// Arrivals are stably sorted by cycle; the clock never waits for
+    /// admission — if the server is busy when a job's cycle passes, the
+    /// job is ingested late but its latency still counts from the
+    /// scheduled arrival (open-loop semantics).
+    pub fn run_open_loop(&mut self, arrivals: Vec<Arrival>) -> Vec<JobOutcome> {
+        let mut order: Vec<usize> = (0..arrivals.len()).collect();
+        order.sort_by_key(|&i| arrivals[i].at_cycle);
+        let mut outcomes: Vec<Option<JobOutcome>> = vec![None; arrivals.len()];
+        let mut next = 0usize;
+        let poll_cycles = self
+            .ns_to_cycles(self.handle.options().poll_interval_ns)
+            .max(1);
+        let mmio_ns = self
+            .handle
+            .with_soc(|soc| soc.platform().host_link.mmio_latency_ns);
+        // The baseline's pending response-poll tick, if armed.
+        let mut next_poll: Option<Cycle> = None;
+        let baseline = self.config.policy == DispatchPolicy::LockArbitrated;
+
+        loop {
+            let now = self.handle.now();
+            // 1. Ingest every arrival whose cycle has passed (admission).
+            while next < order.len() && arrivals[order[next]].at_cycle <= now {
+                let idx = order[next];
+                let a = &arrivals[idx];
+                next += 1;
+                self.admit(idx, a, &mut outcomes);
+            }
+            // 2. Harvest completions that are already host-visible. The
+            //    baseline only looks at poll boundaries (and pays for the
+            //    status read); event-driven policies observe for free on
+            //    the doorbell cycle.
+            if baseline {
+                if next_poll.is_some_and(|t| t <= now) {
+                    self.handle.advance_ns(mmio_ns);
+                    self.stats
+                        .add("poll_mmio_cycles", self.ns_to_cycles(mmio_ns));
+                    self.harvest(&mut outcomes);
+                    next_poll = None;
+                }
+            } else {
+                self.harvest(&mut outcomes);
+            }
+            // 3. Dispatch one job if the policy allows; time moves under
+            //    us (lock + MMIO), so loop back to re-ingest.
+            if self.dispatch_one(&mut outcomes) {
+                continue;
+            }
+            let busy = self.inflight.iter().any(|q| !q.is_empty());
+            if busy && baseline && next_poll.is_none() {
+                next_poll = Some(self.handle.now() + poll_cycles);
+            }
+            // 4. Nothing dispatchable: decide how long to sleep.
+            let now = self.handle.now();
+            let next_arrival = (next < order.len()).then(|| arrivals[order[next]].at_cycle);
+            if busy {
+                let bound = match (next_poll, next_arrival) {
+                    (Some(p), Some(a)) => Some(p.min(a)),
+                    (Some(p), None) => Some(p),
+                    (None, a) => a,
+                };
+                match bound {
+                    // The baseline sleeps to its poll tick (or the next
+                    // arrival); event-driven policies sleep on the
+                    // response doorbell, bounded by the next arrival.
+                    Some(t) if baseline => self.handle.run_for(t.saturating_sub(now)),
+                    bound => {
+                        let budget = bound
+                            .map(|t| t.saturating_sub(now))
+                            .unwrap_or(self.config.response_budget_cycles)
+                            .max(1);
+                        let result = self
+                            .handle
+                            .with_soc(|soc| soc.run_until_any_response(budget));
+                        if result.is_err() && next_arrival.is_none() {
+                            assert!(
+                                budget < self.config.response_budget_cycles,
+                                "device wedged: no completion within the response budget"
+                            );
+                        }
+                    }
+                }
+            } else if let Some(t) = next_arrival {
+                self.handle.run_for(t.saturating_sub(now));
+            } else {
+                // No work in flight, nothing queued (dispatch_one returned
+                // false with idle cores ⇒ queues are drained), no arrivals
+                // left: done.
+                break;
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every arrival resolves to an outcome"))
+            .collect()
+    }
+
+    /// Admission control: bounded per-tenant queues.
+    fn admit(&mut self, idx: usize, a: &Arrival, outcomes: &mut [Option<JobOutcome>]) {
+        assert!(a.tenant < self.queues.len(), "tenant index out of range");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.queues[a.tenant].len() >= self.config.queue_capacity {
+            self.stats.incr("rejected");
+            outcomes[idx] = Some(JobOutcome::Rejected {
+                reason: RejectReason::AdmissionFull,
+                retries: 0,
+            });
+            return;
+        }
+        self.queues[a.tenant].push_back(Queued {
+            idx,
+            tenant: a.tenant,
+            spec: a.spec.clone(),
+            arrival_cycle: a.at_cycle,
+            first_arrival_cycle: a.at_cycle,
+            seq,
+            retries: 0,
+        });
+        self.bump_depth();
+    }
+
+    fn bump_depth(&self) {
+        let d = self.queues.iter().map(|q| q.len() as u64).sum();
+        self.depth.set(d);
+        self.depth_peak.set(self.depth_peak.get().max(d));
+    }
+
+    /// Pops the job the policy wants next, handling expired deadlines
+    /// (lazily, at pick time) along the way.
+    fn pick(&mut self, outcomes: &mut [Option<JobOutcome>]) -> Option<Queued> {
+        loop {
+            let now = self.handle.now();
+            let picked = match self.config.policy {
+                // Baseline and Fifo both take the global arrival order;
+                // they differ in core binding and completion observation.
+                DispatchPolicy::LockArbitrated | DispatchPolicy::Fifo => self
+                    .queues
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(t, q)| q.front().map(|j| (j.seq, t, 0usize)))
+                    .min()
+                    .map(|(_, t, i)| (t, i)),
+                DispatchPolicy::RoundRobin => {
+                    let n = self.queues.len();
+                    let found = (0..n)
+                        .map(|o| (self.rr_cursor + o) % n)
+                        .find(|&t| !self.queues[t].is_empty());
+                    if let Some(t) = found {
+                        self.rr_cursor = (t + 1) % n;
+                    }
+                    found.map(|t| (t, 0usize))
+                }
+                DispatchPolicy::ShortestJobFirst => self
+                    .queues
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(t, q)| {
+                        q.iter()
+                            .enumerate()
+                            .map(move |(i, j)| (j.spec.cost_hint, j.seq, t, i))
+                    })
+                    .min()
+                    .map(|(_, _, t, i)| (t, i)),
+            };
+            let (tenant, pos) = picked?;
+            let job = self.queues[tenant].remove(pos).expect("picked index live");
+            self.bump_depth();
+            // Lazy deadline check: the job is examined when it reaches
+            // the dispatcher, not on a timer.
+            let expired = job
+                .spec
+                .deadline_cycles
+                .is_some_and(|d| now.saturating_sub(job.arrival_cycle) > d);
+            if !expired {
+                return Some(job);
+            }
+            match self.config.deadline_action {
+                DeadlineAction::Retry { max_retries } if job.retries < max_retries => {
+                    self.stats.incr("retried");
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.queues[tenant].push_back(Queued {
+                        arrival_cycle: now,
+                        seq,
+                        retries: job.retries + 1,
+                        ..job
+                    });
+                    self.bump_depth();
+                }
+                _ => {
+                    self.stats.incr("rejected");
+                    outcomes[job.idx] = Some(JobOutcome::Rejected {
+                        reason: RejectReason::DeadlineExpired,
+                        retries: job.retries,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Dispatches at most one job. Returns whether anything moved.
+    fn dispatch_one(&mut self, outcomes: &mut [Option<JobOutcome>]) -> bool {
+        let core = if self.config.policy == DispatchPolicy::LockArbitrated {
+            // The baseline binds by submission order, blind to core state
+            // (a full command FIFO is discovered by spinning inside the
+            // lock, never avoided).
+            None
+        } else {
+            // Depth-aware placement: only idle cores with command-queue
+            // space, lowest index first.
+            let found = (0..self.n_cores).find(|&c| {
+                self.inflight[c as usize].is_empty()
+                    && self
+                        .handle
+                        .with_soc(|soc| soc.cmd_queue_free(self.sys_id, c))
+                        .unwrap_or(0)
+                        > 0
+            });
+            match found {
+                Some(c) => Some(c),
+                None => return false,
+            }
+        };
+        let Some(job) = self.pick(outcomes) else {
+            return false;
+        };
+        let core = core.unwrap_or((job.seq % u64::from(self.n_cores)) as u16);
+        let before = self.handle.now();
+        if self.config.policy == DispatchPolicy::LockArbitrated {
+            // The serialized server spins on the chosen core's status
+            // register while its response thread keeps draining
+            // completions — without the drain, a core whose (bounded)
+            // response channel fills can never retire a command and the
+            // spin would wedge forever.
+            let poll_ns = self.handle.options().poll_interval_ns.max(1);
+            while self
+                .handle
+                .with_soc(|soc| soc.cmd_queue_free(self.sys_id, core))
+                .unwrap_or(1)
+                == 0
+            {
+                self.handle.advance_ns(poll_ns);
+                self.harvest(outcomes);
+            }
+        }
+        let resp = self.sessions[job.tenant]
+            .call(&self.system, core, job.spec.args.clone())
+            .expect("job arguments must match the system's command spec");
+        let now = self.handle.now();
+        self.stats
+            .add("lock_wait_cycles", now.saturating_sub(before));
+        self.stats.incr("dispatched");
+        self.stats.record(
+            "queue_wait_cycles",
+            now.saturating_sub(job.first_arrival_cycle),
+        );
+        self.inflight[core as usize].push_back(InFlight {
+            idx: job.idx,
+            tenant: job.tenant,
+            resp,
+            first_arrival_cycle: job.first_arrival_cycle,
+            dispatch_cycle: now,
+            retries: job.retries,
+        });
+        true
+    }
+
+    /// Harvests every host-visible completion (responses return per core
+    /// in dispatch order).
+    fn harvest(&mut self, outcomes: &mut [Option<JobOutcome>]) {
+        let now = self.handle.now();
+        for core in 0..self.inflight.len() {
+            while let Some(front) = self.inflight[core].front() {
+                let token = front.resp.token();
+                let Some(value) = self.handle.with_soc(|soc| soc.poll(token)) else {
+                    break;
+                };
+                let job = self.inflight[core].pop_front().expect("front exists");
+                let latency = now.saturating_sub(job.first_arrival_cycle);
+                self.record_completion(job.tenant, latency);
+                outcomes[job.idx] = Some(JobOutcome::Completed {
+                    value,
+                    latency_cycles: latency,
+                    queue_wait_cycles: job.dispatch_cycle.saturating_sub(job.first_arrival_cycle),
+                    core: core as u16,
+                    retries: job.retries,
+                });
+            }
+        }
+    }
+
+    fn record_completion(&self, tenant: usize, latency: Cycle) {
+        self.stats.incr("completed");
+        self.stats.record("latency_cycles", latency);
+        self.stats
+            .record(&format!("tenant{tenant}/latency_cycles"), latency);
+    }
+
+    fn ns_to_cycles(&self, ns: u64) -> Cycle {
+        self.handle
+            .with_soc(|soc| soc.clock().ps_to_cycles(ns * 1000))
+    }
+}
+
+impl std::fmt::Debug for AccelServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccelServer")
+            .field("system", &self.system)
+            .field("policy", &self.config.policy)
+            .field("tenants", &self.sessions.len())
+            .field("cores", &self.n_cores)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcore::elaborate;
+    use bkernels::vecadd;
+    use bplatform::Platform;
+
+    /// A 1-core vecadd SoC on the shared-memory platform with one live
+    /// buffer per tenant, plus a job factory.
+    fn setup(
+        n_cores: u32,
+        n_tenants: usize,
+        config: ServerConfig,
+    ) -> (FpgaHandle, AccelServer, bruntime::RemotePtr) {
+        let soc = elaborate(vecadd::config(n_cores), &Platform::kria()).expect("elaboration");
+        let handle = FpgaHandle::new(soc);
+        let server =
+            AccelServer::new(&handle, vecadd::SYSTEM, n_tenants, config).expect("server opens");
+        let mem = handle.malloc(64 * 1024).expect("buffer");
+        handle.write_u32_slice(mem, &vec![1u32; 16 * 1024]);
+        (handle, server, mem)
+    }
+
+    /// A vecadd job over `n` elements (cost hint = elements).
+    fn job(mem: bruntime::RemotePtr, n: u32) -> JobSpec {
+        JobSpec::new(vecadd::args(1, mem.device_addr(), n)).with_cost_hint(u64::from(n))
+    }
+
+    #[test]
+    fn unknown_system_and_zero_tenants_error() {
+        let soc = elaborate(vecadd::config(1), &Platform::kria()).unwrap();
+        let handle = FpgaHandle::new(soc);
+        assert!(matches!(
+            AccelServer::new(&handle, "Nope", 1, ServerConfig::default()),
+            Err(ServerError::UnknownSystem(_))
+        ));
+        assert!(matches!(
+            AccelServer::new(&handle, vecadd::SYSTEM, 0, ServerConfig::default()),
+            Err(ServerError::NoTenants)
+        ));
+    }
+
+    #[test]
+    fn batch_completes_under_every_policy() {
+        for policy in DispatchPolicy::all() {
+            let config = ServerConfig {
+                policy,
+                ..ServerConfig::default()
+            };
+            let (_handle, mut server, mem) = setup(2, 2, config);
+            let outcomes = server.run_batch(vec![
+                (0, job(mem, 64)),
+                (1, job(mem, 64)),
+                (0, job(mem, 64)),
+            ]);
+            assert_eq!(outcomes.len(), 3, "{policy}");
+            for o in &outcomes {
+                assert!(o.is_completed(), "{policy}: {o:?}");
+            }
+            assert_eq!(server.stats().get("completed"), 3, "{policy}");
+        }
+    }
+
+    #[test]
+    fn admission_control_bounds_each_tenant_queue() {
+        // One slow job occupies the single core; a burst beyond the
+        // 2-deep tenant queue must be rejected at admission.
+        let config = ServerConfig {
+            policy: DispatchPolicy::Fifo,
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        };
+        let (handle, mut server, mem) = setup(1, 1, config);
+        let t0 = handle.now();
+        let arrivals: Vec<Arrival> = (0..8)
+            .map(|i| Arrival {
+                at_cycle: t0 + i,
+                tenant: 0,
+                spec: job(mem, 4096),
+            })
+            .collect();
+        let outcomes = server.run_open_loop(arrivals);
+        let rejected = outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    JobOutcome::Rejected {
+                        reason: RejectReason::AdmissionFull,
+                        ..
+                    }
+                )
+            })
+            .count();
+        // Core takes job 0; jobs fill the 2-deep queue; the rest of the
+        // burst (arriving while the queue is full) bounces.
+        assert!(rejected > 0, "burst beyond capacity must reject");
+        assert_eq!(server.stats().get("rejected"), rejected as u64);
+        assert_eq!(
+            server.stats().get("completed") as usize,
+            outcomes.len() - rejected
+        );
+        // The peak depth provider must have seen the bound, never more.
+        let peak = handle
+            .with_soc(|soc| soc.perf().counter("server/queue_depth_peak"))
+            .expect("provider registered");
+        assert_eq!(peak, 2, "peak queue depth clamps at capacity");
+    }
+
+    #[test]
+    fn sjf_beats_fifo_on_mean_latency_under_backlog() {
+        // One core, mixed sizes arriving back to back: letting the short
+        // jobs jump the queue must lower mean latency versus FIFO.
+        let run = |policy| {
+            let config = ServerConfig {
+                policy,
+                ..ServerConfig::default()
+            };
+            let (handle, mut server, mem) = setup(1, 1, config);
+            let t0 = handle.now();
+            let sizes = [8192u32, 64, 4096, 64, 2048, 64];
+            let arrivals = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| Arrival {
+                    at_cycle: t0 + i as Cycle,
+                    tenant: 0,
+                    spec: job(mem, n),
+                })
+                .collect();
+            let outcomes = server.run_open_loop(arrivals);
+            let total: u64 = outcomes
+                .iter()
+                .map(|o| o.latency_cycles().expect("all complete"))
+                .sum();
+            total / outcomes.len() as u64
+        };
+        let fifo = run(DispatchPolicy::Fifo);
+        let sjf = run(DispatchPolicy::ShortestJobFirst);
+        assert!(
+            sjf < fifo,
+            "SJF must lower mean latency (sjf {sjf} vs fifo {fifo})"
+        );
+    }
+
+    #[test]
+    fn sjf_reorders_queue_by_cost_hint() {
+        // Saturate the core with a long job, then queue long-then-short.
+        // SJF must dispatch the short one first despite arrival order.
+        let config = ServerConfig {
+            policy: DispatchPolicy::ShortestJobFirst,
+            ..ServerConfig::default()
+        };
+        let (handle, mut server, mem) = setup(1, 1, config);
+        let t0 = handle.now();
+        let arrivals = vec![
+            Arrival {
+                at_cycle: t0,
+                tenant: 0,
+                spec: job(mem, 4096), // occupies the core
+            },
+            Arrival {
+                at_cycle: t0 + 1,
+                tenant: 0,
+                spec: job(mem, 2048), // queued long
+            },
+            Arrival {
+                at_cycle: t0 + 2,
+                tenant: 0,
+                spec: job(mem, 32), // queued short, arrives last
+            },
+        ];
+        let outcomes = server.run_open_loop(arrivals);
+        let (
+            JobOutcome::Completed {
+                queue_wait_cycles: w_long,
+                ..
+            },
+            JobOutcome::Completed {
+                queue_wait_cycles: w_short,
+                ..
+            },
+        ) = (&outcomes[1], &outcomes[2])
+        else {
+            panic!("queued jobs must complete: {outcomes:?}");
+        };
+        assert!(
+            w_short < w_long,
+            "SJF dispatches the short job first (short waited {w_short}, long {w_long})"
+        );
+    }
+
+    #[test]
+    fn round_robin_interleaves_tenants() {
+        // Tenant 0 floods the queue before tenant 1's single job arrives.
+        // Round-robin must not make tenant 1 wait behind the whole flood.
+        let mk = |policy| ServerConfig {
+            policy,
+            ..ServerConfig::default()
+        };
+        let run = |policy| {
+            let (handle, mut server, mem) = setup(1, 2, mk(policy));
+            let t0 = handle.now();
+            let mut arrivals: Vec<Arrival> = (0..6)
+                .map(|i| Arrival {
+                    at_cycle: t0 + i,
+                    tenant: 0,
+                    spec: job(mem, 1024),
+                })
+                .collect();
+            arrivals.push(Arrival {
+                at_cycle: t0 + 6,
+                tenant: 1,
+                spec: job(mem, 1024),
+            });
+            let outcomes = server.run_open_loop(arrivals);
+            outcomes
+                .last()
+                .unwrap()
+                .latency_cycles()
+                .expect("tenant 1's job completes")
+        };
+        let fifo = run(DispatchPolicy::Fifo);
+        let rr = run(DispatchPolicy::RoundRobin);
+        assert!(
+            rr < fifo,
+            "round-robin must serve tenant 1 ahead of tenant 0's backlog \
+             (rr {rr} vs fifo {fifo})"
+        );
+    }
+
+    #[test]
+    fn deadline_reject_drops_stale_jobs() {
+        let config = ServerConfig {
+            policy: DispatchPolicy::Fifo,
+            deadline_action: DeadlineAction::Reject,
+            ..ServerConfig::default()
+        };
+        let (handle, mut server, mem) = setup(1, 1, config);
+        let t0 = handle.now();
+        let arrivals = vec![
+            Arrival {
+                at_cycle: t0,
+                tenant: 0,
+                spec: job(mem, 8192), // occupies the core for a long time
+            },
+            Arrival {
+                at_cycle: t0 + 1,
+                tenant: 0,
+                spec: job(mem, 64).with_deadline(10), // cannot make it
+            },
+        ];
+        let outcomes = server.run_open_loop(arrivals);
+        assert!(outcomes[0].is_completed());
+        assert_eq!(
+            outcomes[1],
+            JobOutcome::Rejected {
+                reason: RejectReason::DeadlineExpired,
+                retries: 0
+            }
+        );
+        assert_eq!(server.stats().get("rejected"), 1);
+    }
+
+    #[test]
+    fn deadline_retry_reenqueues_then_completes_or_rejects() {
+        // Retried jobs re-arm their deadline from the retry cycle, so a
+        // job that keeps missing eventually completes (core frees up) and
+        // records its retry count.
+        let config = ServerConfig {
+            policy: DispatchPolicy::Fifo,
+            deadline_action: DeadlineAction::Retry { max_retries: 50 },
+            ..ServerConfig::default()
+        };
+        let (handle, mut server, mem) = setup(1, 1, config);
+        let t0 = handle.now();
+        let arrivals = vec![
+            Arrival {
+                at_cycle: t0,
+                tenant: 0,
+                spec: job(mem, 8192),
+            },
+            Arrival {
+                at_cycle: t0 + 1,
+                tenant: 0,
+                spec: job(mem, 64).with_deadline(10),
+            },
+        ];
+        let outcomes = server.run_open_loop(arrivals);
+        match outcomes[1] {
+            JobOutcome::Completed { retries, .. } => {
+                assert!(retries > 0, "job must have been retried before completing")
+            }
+            other => panic!("retry budget of 50 should suffice: {other:?}"),
+        }
+        assert!(server.stats().get("retried") > 0);
+
+        // With a tiny retry budget and competing traffic the retried job
+        // lands behind the competitor (retry re-enqueues at the tail), its
+        // re-armed deadline expires again, and the budget runs out.
+        let config = ServerConfig {
+            deadline_action: DeadlineAction::Retry { max_retries: 1 },
+            ..config
+        };
+        let (handle, mut server, mem) = setup(1, 1, config);
+        let t0 = handle.now();
+        let arrivals = vec![
+            Arrival {
+                at_cycle: t0,
+                tenant: 0,
+                spec: job(mem, 8192),
+            },
+            Arrival {
+                at_cycle: t0 + 1,
+                tenant: 0,
+                spec: job(mem, 64).with_deadline(10),
+            },
+            Arrival {
+                at_cycle: t0 + 2,
+                tenant: 0,
+                spec: job(mem, 8192),
+            },
+        ];
+        let outcomes = server.run_open_loop(arrivals);
+        assert_eq!(
+            outcomes[1],
+            JobOutcome::Rejected {
+                reason: RejectReason::DeadlineExpired,
+                retries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn server_counters_surface_through_perf_registry() {
+        let (handle, mut server, mem) = setup(2, 2, ServerConfig::default());
+        let outcomes = server.run_batch(vec![(0, job(mem, 64)), (1, job(mem, 128))]);
+        assert!(outcomes.iter().all(JobOutcome::is_completed));
+        let names = handle.counter_names();
+        for expected in [
+            "server/completed",
+            "server/dispatched",
+            "server/queue_depth",
+            "server/queue_depth_peak",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "{expected} missing from {names:?}"
+            );
+        }
+        // Histograms: aggregate + per-tenant latency, through the registry.
+        let perf = handle.with_soc(|soc| soc.perf());
+        let agg = perf.histogram("server/latency_cycles").expect("aggregate");
+        assert_eq!(agg.count(), 2);
+        assert_eq!(
+            perf.histogram("server/tenant0/latency_cycles")
+                .expect("tenant 0")
+                .count(),
+            1
+        );
+        assert_eq!(
+            perf.histogram("server/tenant1/latency_cycles")
+                .expect("tenant 1")
+                .count(),
+            1
+        );
+        // The MMIO counter window can read a live server counter.
+        assert_eq!(handle.read_counter("server/completed"), Some(2));
+        // And the text report includes the set.
+        let report = handle.with_soc(|soc| soc.perf().report());
+        assert!(report.contains("[server]"));
+        assert!(report.contains("latency_cycles"));
+    }
+
+    #[test]
+    fn lock_arbitrated_batch_matches_direct_runtime_driving() {
+        // The baseline policy must cost exactly what driving bruntime
+        // directly costs — same calls, same polls, same cycles.
+        let n_cores = 2u32;
+        let jobs = 6usize;
+
+        let soc = elaborate(vecadd::config(n_cores), &Platform::kria()).unwrap();
+        let handle = FpgaHandle::new(soc);
+        let mem = handle.malloc(4096).unwrap();
+        handle.write_u32_slice(mem, &vec![1u32; 1024]);
+        let mut responses = Vec::new();
+        for i in 0..jobs {
+            responses.push(
+                handle
+                    .call(
+                        vecadd::SYSTEM,
+                        (i % n_cores as usize) as u16,
+                        vecadd::args(1, mem.device_addr(), 256),
+                    )
+                    .unwrap(),
+            );
+        }
+        for r in responses {
+            r.get().unwrap();
+        }
+        let direct_cycles = handle.now();
+
+        let config = ServerConfig {
+            policy: DispatchPolicy::LockArbitrated,
+            ..ServerConfig::default()
+        };
+        let (handle, mut server, mem) = {
+            let soc = elaborate(vecadd::config(n_cores), &Platform::kria()).unwrap();
+            let handle = FpgaHandle::new(soc);
+            let server = AccelServer::new(&handle, vecadd::SYSTEM, 1, config).unwrap();
+            let mem = handle.malloc(4096).unwrap();
+            handle.write_u32_slice(mem, &vec![1u32; 1024]);
+            (handle, server, mem)
+        };
+        let outcomes = server.run_batch(
+            (0..jobs)
+                .map(|_| (0, JobSpec::new(vecadd::args(1, mem.device_addr(), 256))))
+                .collect(),
+        );
+        assert!(outcomes.iter().all(JobOutcome::is_completed));
+        assert_eq!(
+            handle.now(),
+            direct_cycles,
+            "lock-arbitrated baseline must be cycle-identical to direct driving"
+        );
+    }
+
+    #[test]
+    fn open_loop_results_are_deterministic() {
+        let run = || {
+            let config = ServerConfig {
+                policy: DispatchPolicy::RoundRobin,
+                ..ServerConfig::default()
+            };
+            let (handle, mut server, mem) = setup(2, 3, config);
+            let t0 = handle.now();
+            let arrivals: Vec<Arrival> = (0..12)
+                .map(|i| Arrival {
+                    at_cycle: t0 + i * 700,
+                    tenant: (i % 3) as usize,
+                    spec: job(mem, 64 << (i % 3)),
+                })
+                .collect();
+            let outcomes = server.run_open_loop(arrivals);
+            (format!("{outcomes:?}"), handle.now())
+        };
+        assert_eq!(run(), run(), "same schedule, same cycles, same outcomes");
+    }
+}

@@ -210,6 +210,15 @@ impl PerfRegistry {
             .map(|(_, v)| v)
     }
 
+    /// One histogram by its flattened `path/name`, if an attached stats bag
+    /// recorded it (e.g. `server/tenant0/latency_cycles`).
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
     /// All histograms from attached stats bags as sorted flattened pairs.
     /// Histograms are not baselined (samples cannot be un-recorded).
     pub fn histograms(&self) -> Vec<(String, Histogram)> {
