@@ -223,10 +223,10 @@ impl AcceleratorCore for A3Core {
         self.mode == Mode::Idle
     }
 
-    fn tick(&mut self, ctx: &mut CoreContext) {
+    fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
         match self.mode {
             Mode::Idle => {
-                if let Some(cmd) = ctx.take_command() {
+                if let Some(cmd) = ctx.take_command(sim) {
                     match cmd.arg("mode") {
                         MODE_LOAD_KV => {
                             self.n_keys = cmd.arg("n") as usize;
@@ -276,7 +276,7 @@ impl AcceleratorCore for A3Core {
             Mode::LoadingValues => {
                 let (sp, reader) = ctx.scratchpad_and_reader("values", "kv_in");
                 sp.service_init(reader);
-                if !ctx.scratchpad("values").initializing() && ctx.respond(0) {
+                if !ctx.scratchpad("values").initializing() && ctx.respond(sim, 0) {
                     self.mode = Mode::Idle;
                 }
             }
@@ -290,7 +290,7 @@ impl AcceleratorCore for A3Core {
                     && self.outputs_pending == 0
                     && self.pipeline_idle()
                     && ctx.writer("out").done()
-                    && ctx.respond(0)
+                    && ctx.respond(sim, 0)
                 {
                     self.mode = Mode::Idle;
                 }

@@ -11,19 +11,45 @@
 //!   "transaction-level parallelism" Beethoven exploits by striping long
 //!   copies across IDs.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use bdram::{DramRequest, DramSystem};
 use bsim::perf::{Counter, CounterSet};
-use bsim::{ClockDomain, Component, Cycle, SparseMemory, Stats, Tracer};
+use bsim::{ClockDomain, Component, Cycle, SimCtx, SparseMemory, Stats, Tracer};
 
 use crate::port::AxiSlavePort;
 use crate::types::{validate_burst, AxiParams, BFlit, RFlit};
 
-/// Shared handle to the functional memory image.
-pub type SharedMemory = Rc<RefCell<SparseMemory>>;
+/// Shared handle to the functional memory image. Backed by `Arc<Mutex<..>>`
+/// so a controller — and the `Simulation` holding it — stays `Send`; the
+/// lock is uncontended within one simulation. The `borrow`/`borrow_mut`
+/// accessor names are kept from the earlier `Rc<RefCell<..>>` incarnation.
+#[derive(Debug, Clone)]
+pub struct SharedMemory(Arc<Mutex<SparseMemory>>);
+
+impl SharedMemory {
+    /// Wraps a functional memory image in a shared handle.
+    pub fn new(memory: SparseMemory) -> Self {
+        Self(Arc::new(Mutex::new(memory)))
+    }
+
+    /// Locks the image for reading.
+    pub fn borrow(&self) -> MutexGuard<'_, SparseMemory> {
+        self.0.lock().unwrap()
+    }
+
+    /// Locks the image for writing.
+    pub fn borrow_mut(&self) -> MutexGuard<'_, SparseMemory> {
+        self.0.lock().unwrap()
+    }
+}
+
+impl Default for SharedMemory {
+    fn default() -> Self {
+        Self::new(SparseMemory::new())
+    }
+}
 
 /// Controller tuning knobs.
 #[derive(Debug, Clone)]
@@ -174,7 +200,7 @@ impl AxiMemoryController {
 
     /// The functional memory image.
     pub fn memory(&self) -> SharedMemory {
-        Rc::clone(&self.memory)
+        self.memory.clone()
     }
 
     /// DRAM-side statistics.
@@ -232,11 +258,11 @@ impl AxiMemoryController {
             .unwrap_or(usize::MAX)
     }
 
-    fn accept_ar(&mut self, now: Cycle) {
+    fn accept_ar(&mut self, ctx: &SimCtx, now: Cycle) {
         if self.read_txns.len() >= self.config.max_outstanding_reads {
             return;
         }
-        let Some(ar) = self.port.ar.recv(now) else {
+        let Some(ar) = self.port.ar.recv(ctx, now) else {
             return;
         };
         validate_burst(&self.config.axi, ar.id, ar.addr, ar.beats)
@@ -275,11 +301,11 @@ impl AxiMemoryController {
         );
     }
 
-    fn accept_aw(&mut self, now: Cycle) {
+    fn accept_aw(&mut self, ctx: &SimCtx, now: Cycle) {
         if self.write_txns.len() >= self.config.max_outstanding_writes {
             return;
         }
-        let Some(aw) = self.port.aw.recv(now) else {
+        let Some(aw) = self.port.aw.recv(ctx, now) else {
             return;
         };
         validate_burst(&self.config.axi, aw.id, aw.addr, aw.beats)
@@ -320,12 +346,12 @@ impl AxiMemoryController {
         );
     }
 
-    fn accept_w(&mut self, now: Cycle) {
+    fn accept_w(&mut self, ctx: &SimCtx, now: Cycle) {
         let Some(&seq) = self.w_data_order.front() else {
             // No open write burst: leave beats queued in the channel.
             return;
         };
-        let Some(w) = self.port.w.recv(now) else {
+        let Some(w) = self.port.w.recv(ctx, now) else {
             return;
         };
         let txn = self
@@ -482,8 +508,8 @@ impl AxiMemoryController {
     }
 
     /// Emits at most one R beat per cycle; a burst streams contiguously.
-    fn emit_r(&mut self, now: Cycle) {
-        if !self.port.r.can_send() {
+    fn emit_r(&mut self, ctx: &SimCtx, now: Cycle) {
+        if !self.port.r.can_send(ctx) {
             // Only counted while reads are in flight, so the controller is
             // dense-ticking in both scheduler modes (skip-invariant).
             if !self.read_txns.is_empty() {
@@ -516,7 +542,7 @@ impl AxiMemoryController {
         let data = self.memory.borrow().read_vec(beat_addr, db as usize);
         let last = txn.beats_sent + 1 == txn.beats;
         let id = txn.id;
-        self.port.r.send(now, RFlit { id, data, last });
+        self.port.r.send(ctx, now, RFlit { id, data, last });
         self.stats.incr("r_beats");
         self.tracer
             .record(now, "R", id, if last { "last" } else { "beat" });
@@ -533,8 +559,8 @@ impl AxiMemoryController {
     }
 
     /// Emits at most one B response per cycle, per-ID in order.
-    fn emit_b(&mut self, now: Cycle) {
-        if !self.port.b.can_send() {
+    fn emit_b(&mut self, ctx: &SimCtx, now: Cycle) {
+        if !self.port.b.can_send(ctx) {
             if !self.write_txns.is_empty() {
                 self.perf_b_backpressure.incr();
             }
@@ -555,7 +581,7 @@ impl AxiMemoryController {
         let txn = self.write_txns.remove(&seq).expect("seq live");
         let q = self.write_order.get_mut(&txn.id).expect("order queue");
         assert_eq!(q.pop_front(), Some(seq));
-        self.port.b.send(now, BFlit { id: txn.id });
+        self.port.b.send(ctx, now, BFlit { id: txn.id });
         self.stats.incr("b_sent");
         self.stats
             .record("write_latency_cycles", now - txn.accepted_at);
@@ -564,32 +590,32 @@ impl AxiMemoryController {
 }
 
 impl Component for AxiMemoryController {
-    fn tick(&mut self, now: Cycle) {
+    fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
         self.dram
             .advance_to_ps(self.config.fabric.cycles_to_ps(now));
         self.collect_dram(now);
-        self.accept_ar(now);
-        self.accept_aw(now);
-        self.accept_w(now);
+        self.accept_ar(ctx, now);
+        self.accept_aw(ctx, now);
+        self.accept_w(ctx, now);
         self.issue_dram(now);
-        self.emit_r(now);
-        self.emit_b(now);
+        self.emit_r(ctx, now);
+        self.emit_b(ctx, now);
     }
 
     fn name(&self) -> &str {
         "axi-memory-controller"
     }
 
-    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+    fn next_event(&self, ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
         if !self.is_idle() {
             return Some(now + 1);
         }
         // Idle on the AXI side: wake when a request flit becomes visible...
         let mut wake = Cycle::MAX;
         for vis in [
-            self.port.ar.next_visible_at(),
-            self.port.aw.next_visible_at(),
-            self.port.w.next_visible_at(),
+            self.port.ar.next_visible_at(ctx),
+            self.port.aw.next_visible_at(ctx),
+            self.port.w.next_visible_at(ctx),
         ]
         .into_iter()
         .flatten()
@@ -609,13 +635,13 @@ impl Component for AxiMemoryController {
         Some(wake.min(dram_wake))
     }
 
-    fn register_wakes(&self, waker: &bsim::Waker) {
+    fn register_wakes(&self, ctx: &SimCtx, waker: &bsim::Waker) {
         // The three request directions are the only external inputs; R/B
         // are our outputs and the DRAM heartbeat in `next_event` already
         // bounds refresh work, so no other hook is needed.
-        self.port.ar.wake_on_send(waker);
-        self.port.aw.wake_on_send(waker);
-        self.port.w.wake_on_send(waker);
+        self.port.ar.wake_on_send(ctx, waker);
+        self.port.aw.wake_on_send(ctx, waker);
+        self.port.w.wake_on_send(ctx, waker);
     }
 }
 
@@ -644,17 +670,20 @@ mod tests {
         Simulation,
         SharedMemory,
     ) {
-        let (master, slave) = axi_link(PortDepths {
-            ar: 16,
-            r: 128,
-            aw: 16,
-            w: 128,
-            b: 16,
-        });
-        let memory: SharedMemory = Rc::new(RefCell::new(SparseMemory::new()));
-        let dram = DramSystem::new(DramConfig::ddr4_2400());
-        let ctrl = AxiMemoryController::new(cfg, dram, slave, Rc::clone(&memory));
         let mut sim = Simulation::new();
+        let (master, slave) = axi_link(
+            &mut sim,
+            PortDepths {
+                ar: 16,
+                r: 128,
+                aw: 16,
+                w: 128,
+                b: 16,
+            },
+        );
+        let memory = SharedMemory::default();
+        let dram = DramSystem::new(DramConfig::ddr4_2400());
+        let ctrl = AxiMemoryController::new(cfg, dram, slave, memory.clone());
         let handle = sim.add_shared(ctrl);
         (master, handle, sim, memory)
     }
@@ -665,6 +694,7 @@ mod tests {
         let payload: Vec<u8> = (0..256).map(|i| (i % 251) as u8).collect();
         memory.borrow_mut().write(0x1000, &payload);
         master.ar.send(
+            sim.ctx(),
             0,
             ArFlit {
                 id: 2,
@@ -674,21 +704,22 @@ mod tests {
         );
         let mut got = Vec::new();
         let mut saw_last = false;
-        sim.run_until(10_000, || false).ok();
-        while let Some(r) = master.r.recv(sim.now()) {
+        sim.run_until(10_000, |_| false).ok();
+        while let Some(r) = master.r.recv(sim.ctx(), sim.now()) {
             assert_eq!(r.id, 2);
             saw_last = r.last;
             got.extend_from_slice(&r.data);
         }
         assert!(saw_last, "burst should terminate with last");
         assert_eq!(got, payload);
-        assert!(ctrl.borrow().is_idle());
+        assert!(sim.get(ctrl).is_idle());
     }
 
     #[test]
     fn single_write_lands_in_memory_and_acks() {
         let (master, ctrl, mut sim, memory) = setup(ControllerConfig::default());
         master.aw.send(
+            sim.ctx(),
             0,
             AwFlit {
                 id: 1,
@@ -697,11 +728,13 @@ mod tests {
             },
         );
         for beat in 0..2u8 {
-            master.w.send(0, WFlit::full(vec![beat + 1; 64], beat == 1));
+            master
+                .w
+                .send(sim.ctx(), 0, WFlit::full(vec![beat + 1; 64], beat == 1));
         }
         let b = loop {
             sim.step();
-            if let Some(b) = master.b.recv(sim.now()) {
+            if let Some(b) = master.b.recv(sim.ctx(), sim.now()) {
                 break b;
             }
             assert!(sim.now() < 10_000, "write never acknowledged");
@@ -709,7 +742,7 @@ mod tests {
         assert_eq!(b.id, 1);
         assert_eq!(memory.borrow().read_vec(0x2000, 64), vec![1u8; 64]);
         assert_eq!(memory.borrow().read_vec(0x2040, 64), vec![2u8; 64]);
-        assert!(ctrl.borrow().is_idle());
+        assert!(sim.get(ctrl).is_idle());
     }
 
     #[test]
@@ -720,6 +753,7 @@ mod tests {
         strb[0] = true;
         strb[63] = true;
         master.aw.send(
+            sim.ctx(),
             0,
             AwFlit {
                 id: 0,
@@ -728,6 +762,7 @@ mod tests {
             },
         );
         master.w.send(
+            sim.ctx(),
             0,
             WFlit {
                 data: vec![0xAA; 64],
@@ -737,7 +772,7 @@ mod tests {
         );
         loop {
             sim.step();
-            if master.b.recv(sim.now()).is_some() {
+            if master.b.recv(sim.ctx(), sim.now()).is_some() {
                 break;
             }
             assert!(sim.now() < 10_000);
@@ -756,6 +791,7 @@ mod tests {
             let (master, _ctrl, mut sim, _memory) = setup(ControllerConfig::default());
             for (i, id) in ids.into_iter().enumerate() {
                 master.ar.send(
+                    sim.ctx(),
                     0,
                     ArFlit {
                         id,
@@ -768,7 +804,7 @@ mod tests {
             let mut finish = 0;
             while lasts < 4 {
                 sim.step();
-                while let Some(r) = master.r.recv(sim.now()) {
+                while let Some(r) = master.r.recv(sim.ctx(), sim.now()) {
                     if r.last {
                         lasts += 1;
                         finish = sim.now();
@@ -790,6 +826,7 @@ mod tests {
     fn read_your_write() {
         let (master, _ctrl, mut sim, _memory) = setup(ControllerConfig::default());
         master.aw.send(
+            sim.ctx(),
             0,
             AwFlit {
                 id: 0,
@@ -797,15 +834,18 @@ mod tests {
                 beats: 1,
             },
         );
-        master.w.send(0, WFlit::full(vec![7u8; 64], true));
+        master
+            .w
+            .send(sim.ctx(), 0, WFlit::full(vec![7u8; 64], true));
         loop {
             sim.step();
-            if master.b.recv(sim.now()).is_some() {
+            if master.b.recv(sim.ctx(), sim.now()).is_some() {
                 break;
             }
             assert!(sim.now() < 10_000);
         }
         master.ar.send(
+            sim.ctx(),
             sim.now(),
             ArFlit {
                 id: 0,
@@ -815,7 +855,7 @@ mod tests {
         );
         loop {
             sim.step();
-            if let Some(r) = master.r.recv(sim.now()) {
+            if let Some(r) = master.r.recv(sim.ctx(), sim.now()) {
                 assert_eq!(r.data, vec![7u8; 64]);
                 break;
             }
@@ -828,6 +868,7 @@ mod tests {
     fn oversized_burst_panics() {
         let (master, _ctrl, mut sim, _memory) = setup(ControllerConfig::default());
         master.ar.send(
+            sim.ctx(),
             0,
             ArFlit {
                 id: 0,
@@ -842,6 +883,7 @@ mod tests {
     fn stats_count_traffic() {
         let (master, ctrl, mut sim, _memory) = setup(ControllerConfig::default());
         master.ar.send(
+            sim.ctx(),
             0,
             ArFlit {
                 id: 0,
@@ -852,14 +894,14 @@ mod tests {
         let mut lasts = 0;
         while lasts < 1 {
             sim.step();
-            while let Some(r) = master.r.recv(sim.now()) {
+            while let Some(r) = master.r.recv(sim.ctx(), sim.now()) {
                 if r.last {
                     lasts += 1;
                 }
             }
             assert!(sim.now() < 10_000);
         }
-        let stats = ctrl.borrow().stats();
+        let stats = sim.get(ctrl).stats();
         assert_eq!(stats.get("ar_accepted"), 1);
         assert_eq!(stats.get("r_beats"), 4);
         assert!(stats.histogram("read_latency_cycles").unwrap().count() == 1);
@@ -870,6 +912,7 @@ mod tests {
         let (master, ctrl, mut sim, _memory) = setup(ControllerConfig::default());
         for i in 0..4u32 {
             master.ar.send(
+                sim.ctx(),
                 0,
                 ArFlit {
                     id: i,
@@ -881,12 +924,12 @@ mod tests {
         let mut lasts = 0;
         while lasts < 4 {
             sim.step();
-            while let Some(r) = master.r.recv(sim.now()) {
+            while let Some(r) = master.r.recv(sim.ctx(), sim.now()) {
                 lasts += u64::from(r.last);
             }
             assert!(sim.now() < 100_000);
         }
-        let stats = ctrl.borrow().stats();
+        let stats = sim.get(ctrl).stats();
         let occ = stats.histogram("read_outstanding").unwrap();
         assert_eq!(occ.count(), 4, "one occupancy sample per accepted AR");
         assert_eq!(occ.max(), Some(4), "all four reads overlapped");
@@ -899,22 +942,26 @@ mod tests {
     fn backpressure_counter_counts_only_when_enabled() {
         use bsim::PerfRegistry;
         // A tiny R queue the host never drains forces backpressure.
-        let (master, slave) = axi_link(PortDepths {
-            ar: 16,
-            r: 1,
-            aw: 16,
-            w: 16,
-            b: 16,
-        });
-        let memory: SharedMemory = Rc::new(RefCell::new(SparseMemory::new()));
+        let mut sim = Simulation::new();
+        let (master, slave) = axi_link(
+            &mut sim,
+            PortDepths {
+                ar: 16,
+                r: 1,
+                aw: 16,
+                w: 16,
+                b: 16,
+            },
+        );
+        let memory = SharedMemory::default();
         let dram = DramSystem::new(DramConfig::ddr4_2400());
         let mut ctrl = AxiMemoryController::new(ControllerConfig::default(), dram, slave, memory);
         let perf = PerfRegistry::new();
         ctrl.attach_perf(&perf.set("mem0"));
         perf.set_enabled(true);
-        let mut sim = Simulation::new();
         sim.add_shared(ctrl);
         master.ar.send(
+            sim.ctx(),
             0,
             ArFlit {
                 id: 0,
@@ -931,8 +978,9 @@ mod tests {
     #[test]
     fn tracer_records_channel_events() {
         let (master, ctrl, mut sim, _memory) = setup(ControllerConfig::default());
-        ctrl.borrow().tracer().set_enabled(true);
+        sim.get(ctrl).tracer().set_enabled(true);
         master.ar.send(
+            sim.ctx(),
             0,
             ArFlit {
                 id: 3,
@@ -943,12 +991,12 @@ mod tests {
         let mut done = false;
         while !done {
             sim.step();
-            while let Some(r) = master.r.recv(sim.now()) {
+            while let Some(r) = master.r.recv(sim.ctx(), sim.now()) {
                 done |= r.last;
             }
             assert!(sim.now() < 10_000);
         }
-        let tracer = ctrl.borrow().tracer();
+        let tracer = sim.get(ctrl).tracer();
         assert_eq!(tracer.events_on("AR").len(), 1);
         assert_eq!(tracer.events_on("R").len(), 2);
     }

@@ -1,6 +1,6 @@
 //! Channel bundles tying the five AXI channels together.
 
-use bsim::{Receiver, Sender};
+use bsim::{Receiver, Sender, Simulation};
 
 use crate::types::{ArFlit, AwFlit, BFlit, RFlit, WFlit};
 
@@ -32,7 +32,7 @@ impl Default for PortDepths {
 }
 
 /// The master side of an AXI link: drives AR/AW/W, receives R/B.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub struct AxiMasterPort {
     /// Read-address channel (out).
     pub ar: Sender<ArFlit>,
@@ -47,7 +47,7 @@ pub struct AxiMasterPort {
 }
 
 /// The slave side of an AXI link: receives AR/AW/W, drives R/B.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub struct AxiSlavePort {
     /// Read-address channel (in).
     pub ar: Receiver<ArFlit>,
@@ -62,22 +62,25 @@ pub struct AxiSlavePort {
 }
 
 /// Creates a master/slave pair of AXI port bundles connected by bounded
-/// channels with the given depths.
-pub fn axi_link(depths: PortDepths) -> (AxiMasterPort, AxiSlavePort) {
-    axi_link_with_latency(depths, 1)
+/// channels (owned by `sim`) with the given depths.
+pub fn axi_link(sim: &mut Simulation, depths: PortDepths) -> (AxiMasterPort, AxiSlavePort) {
+    axi_link_with_latency(sim, depths, 1)
 }
 
 /// Like [`axi_link`] but with `latency` cycles of wire delay on every
 /// channel — how the elaborator injects NoC traversal latency between a
 /// core's memory ports and the interconnect. Channel depths should be at
 /// least `latency` to sustain full throughput.
-pub fn axi_link_with_latency(depths: PortDepths, latency: u64) -> (AxiMasterPort, AxiSlavePort) {
-    use bsim::channel_with_latency as cwl;
-    let (ar_tx, ar_rx) = cwl(depths.ar.max(latency as usize), latency);
-    let (r_tx, r_rx) = cwl(depths.r.max(latency as usize), latency);
-    let (aw_tx, aw_rx) = cwl(depths.aw.max(latency as usize), latency);
-    let (w_tx, w_rx) = cwl(depths.w.max(latency as usize), latency);
-    let (b_tx, b_rx) = cwl(depths.b.max(latency as usize), latency);
+pub fn axi_link_with_latency(
+    sim: &mut Simulation,
+    depths: PortDepths,
+    latency: u64,
+) -> (AxiMasterPort, AxiSlavePort) {
+    let (ar_tx, ar_rx) = sim.channel_with_latency(depths.ar.max(latency as usize), latency);
+    let (r_tx, r_rx) = sim.channel_with_latency(depths.r.max(latency as usize), latency);
+    let (aw_tx, aw_rx) = sim.channel_with_latency(depths.aw.max(latency as usize), latency);
+    let (w_tx, w_rx) = sim.channel_with_latency(depths.w.max(latency as usize), latency);
+    let (b_tx, b_rx) = sim.channel_with_latency(depths.b.max(latency as usize), latency);
     (
         AxiMasterPort {
             ar: ar_tx,
@@ -102,8 +105,11 @@ mod tests {
 
     #[test]
     fn link_moves_flits_with_one_cycle_latency() {
-        let (master, slave) = axi_link(PortDepths::default());
+        let mut sim = Simulation::new();
+        let (master, slave) = axi_link(&mut sim, PortDepths::default());
+        let ctx = sim.ctx();
         master.ar.send(
+            ctx,
             0,
             ArFlit {
                 id: 1,
@@ -111,23 +117,29 @@ mod tests {
                 beats: 4,
             },
         );
-        assert!(slave.ar.recv(0).is_none(), "not visible same cycle");
-        let flit = slave.ar.recv(1).expect("visible next cycle");
+        assert!(slave.ar.recv(ctx, 0).is_none(), "not visible same cycle");
+        let flit = slave.ar.recv(ctx, 1).expect("visible next cycle");
         assert_eq!(flit.id, 1);
-        slave.b.send(1, BFlit { id: 1 });
-        assert_eq!(master.b.recv(2), Some(BFlit { id: 1 }));
+        slave.b.send(ctx, 1, BFlit { id: 1 });
+        assert_eq!(master.b.recv(ctx, 2), Some(BFlit { id: 1 }));
     }
 
     #[test]
     fn depths_bound_each_channel() {
-        let (master, _slave) = axi_link(PortDepths {
-            ar: 1,
-            r: 1,
-            aw: 1,
-            w: 1,
-            b: 1,
-        });
+        let mut sim = Simulation::new();
+        let (master, _slave) = axi_link(
+            &mut sim,
+            PortDepths {
+                ar: 1,
+                r: 1,
+                aw: 1,
+                w: 1,
+                b: 1,
+            },
+        );
+        let ctx = sim.ctx();
         master.ar.send(
+            ctx,
             0,
             ArFlit {
                 id: 0,
@@ -135,6 +147,6 @@ mod tests {
                 beats: 1,
             },
         );
-        assert!(!master.ar.can_send());
+        assert!(!master.ar.can_send(ctx));
     }
 }

@@ -3,16 +3,14 @@
 //! most recent completed write), and every transaction must complete with
 //! protocol-correct framing.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
 
 use baxi::{
     axi_link, ArFlit, AwFlit, AxiMasterPort, AxiMemoryController, ControllerConfig, PortDepths,
     SharedMemory, WFlit,
 };
 use bdram::{DramConfig, DramSystem};
-use bsim::{Simulation, SparseMemory};
+use bsim::Simulation;
 use proptest::prelude::*;
 
 struct Rig {
@@ -21,21 +19,24 @@ struct Rig {
 }
 
 fn rig() -> (Rig, SharedMemory) {
-    let (master, slave) = axi_link(PortDepths {
-        ar: 16,
-        r: 256,
-        aw: 16,
-        w: 256,
-        b: 16,
-    });
-    let memory: SharedMemory = Rc::new(RefCell::new(SparseMemory::new()));
+    let mut sim = Simulation::new();
+    let (master, slave) = axi_link(
+        &mut sim,
+        PortDepths {
+            ar: 16,
+            r: 256,
+            aw: 16,
+            w: 256,
+            b: 16,
+        },
+    );
+    let memory = SharedMemory::default();
     let ctrl = AxiMemoryController::new(
         ControllerConfig::default(),
         DramSystem::new(DramConfig::ddr4_2400()),
         slave,
-        Rc::clone(&memory),
+        memory.clone(),
     );
-    let mut sim = Simulation::new();
     sim.add(ctrl);
     (Rig { sim, master }, memory)
 }
@@ -74,15 +75,16 @@ proptest! {
             match *op {
                 Op::Write { block, beats, fill } => {
                     let addr = base + u64::from(block) * 4096;
-                    rig.master.aw.send(rig.sim.now(), AwFlit { id: 0, addr, beats: u32::from(beats) });
+                    rig.master.aw.send(rig.sim.ctx(), rig.sim.now(), AwFlit { id: 0, addr, beats: u32::from(beats) });
                     // Feed beats as channel space allows while ticking.
                     let mut sent = 0u8;
                     let mut acked = false;
                     let mut guard = 0;
                     while !acked {
-                        while sent < beats && rig.master.w.can_send() {
+                        while sent < beats && rig.master.w.can_send(rig.sim.ctx()) {
                             let value = fill.wrapping_add(sent);
                             rig.master.w.send(
+                                rig.sim.ctx(),
                                 rig.sim.now(),
                                 WFlit::full(vec![value; 64], sent + 1 == beats),
                             );
@@ -92,7 +94,7 @@ proptest! {
                             sent += 1;
                         }
                         rig.sim.step();
-                        if rig.master.b.recv(rig.sim.now()).is_some() {
+                        if rig.master.b.recv(rig.sim.ctx(), rig.sim.now()).is_some() {
                             acked = true;
                         }
                         guard += 1;
@@ -102,6 +104,7 @@ proptest! {
                 Op::Read { block, beats, id } => {
                     let addr = base + u64::from(block) * 4096;
                     rig.master.ar.send(
+                        rig.sim.ctx(),
                         rig.sim.now(),
                         ArFlit { id: u32::from(id), addr, beats: u32::from(beats) },
                     );
@@ -110,7 +113,7 @@ proptest! {
                     let mut guard = 0;
                     while !last_seen {
                         rig.sim.step();
-                        while let Some(r) = rig.master.r.recv(rig.sim.now()) {
+                        while let Some(r) = rig.master.r.recv(rig.sim.ctx(), rig.sim.now()) {
                             prop_assert_eq!(r.id, u32::from(id));
                             got.extend_from_slice(&r.data);
                             last_seen |= r.last;

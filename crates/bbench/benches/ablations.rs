@@ -467,6 +467,74 @@ fn ablation_server_policies(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fleet-sharding ablation: the same saturating open-loop schedule
+/// served by a [`bserver::FleetServer`] of 1, 2, and 4 single-core
+/// replicas. The printed data are simulated and deterministic —
+/// aggregate goodput (completed jobs per megacycle of fleet makespan)
+/// must scale near-linearly with shard count because admission hashing
+/// splits the tenant load across independent SoCs. The criterion
+/// timings measure host simulation cost only (a 4-shard run elaborates
+/// four SoCs and completes more jobs, so it is *not* expected to be
+/// faster wall-clock at this scale).
+fn ablation_fleet(c: &mut Criterion) {
+    use bbench::loadgen::{plan, run_policy_fleet, LoadScale};
+    use bserver::DispatchPolicy;
+
+    // Saturating load: 8 tenants offer far more than one core drains, so
+    // a single shard rejects most of it and extra shards convert
+    // rejections into goodput.
+    let scale = LoadScale {
+        tenants: 8,
+        jobs: 800,
+        n_cores: 1,
+        mean_gap_cycles: 10,
+        queue_capacity: 2,
+    };
+    let schedule = plan(42, &scale);
+    let throughput = |shards: usize| {
+        let (row, shard_rows) = run_policy_fleet(DispatchPolicy::Fifo, &schedule, &scale, shards);
+        let per_mcyc = row.completed as f64 * 1_000_000.0 / row.makespan_cycles as f64;
+        println!(
+            "ablation datum: fleet {} shard(s): {}/{} completed, {} rejected, \
+             makespan {} cyc, {:.1} jobs/Mcyc (p99 {} cyc, {} shards live)",
+            shards,
+            row.completed,
+            row.offered,
+            row.rejected,
+            row.makespan_cycles,
+            per_mcyc,
+            row.latency.2,
+            shard_rows.len()
+        );
+        per_mcyc
+    };
+    let t1 = throughput(1);
+    let t2 = throughput(2);
+    let t4 = throughput(4);
+    println!(
+        "ablation datum: fleet aggregate-throughput scaling: {:.2}x at 2 shards, \
+         {:.2}x at 4 shards (near-linear target: 2x / 4x)",
+        t2 / t1,
+        t4 / t1
+    );
+    assert!(
+        t4 / t1 >= 3.0,
+        "4-shard fleet must deliver >= 3x aggregate goodput over 1 shard \
+         (got {:.2}x)",
+        t4 / t1
+    );
+
+    let mut group = c.benchmark_group("ablation_fleet");
+    group.sample_size(10);
+    group.bench_function("fleet_1_shard", |b| {
+        b.iter(|| black_box(run_policy_fleet(DispatchPolicy::Fifo, &schedule, &scale, 1)))
+    });
+    group.bench_function("fleet_4_shards", |b| {
+        b.iter(|| black_box(run_policy_fleet(DispatchPolicy::Fifo, &schedule, &scale, 4)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     ablation_noc,
@@ -476,6 +544,7 @@ criterion_group!(
     ablation_scheduler,
     ablation_active_set,
     ablation_parallel_sweep,
-    ablation_server_policies
+    ablation_server_policies,
+    ablation_fleet
 );
 criterion_main!(benches);

@@ -8,10 +8,15 @@
 //!
 //! Flags: `--seed N` (default 42), `--tenants N`, `--small` (scaled-down
 //! run), `--json` (machine-readable summary on stdout instead of the
-//! table). stdout is byte-identical at any `BBENCH_JOBS` and scheduler
-//! mode; diagnostics go to stderr.
+//! table), `--shards N` (serve through a [`bserver::FleetServer`] of N
+//! replicas with hashed session admission; per-shard stats appear in the
+//! JSON summary). stdout is byte-identical at any `BBENCH_JOBS`,
+//! `BSERVER_SHARDS` (which only caps the fleet's execution width), and
+//! scheduler mode; diagnostics go to stderr.
 
-use bbench::loadgen::{render, render_json, run, LoadScale};
+use bbench::loadgen::{
+    render, render_json, render_json_sharded, render_sharded, run, run_fleet_on, LoadScale,
+};
 
 fn parse_flag(name: &str) -> Option<u64> {
     let args: Vec<String> = std::env::args().collect();
@@ -32,14 +37,26 @@ fn main() {
         scale.tenants = (tenants as usize).max(1);
     }
     let json = std::env::args().any(|a| a == "--json");
+    let shards = parse_flag("--shards").map(|n| (n as usize).max(1));
     eprintln!("running load generator at scale {scale:?}, seed {seed}");
-    bbench::with_sim_rate(|| {
-        let (rows, cycles) = run(seed, &scale);
-        if json {
-            println!("{}", render_json(seed, &scale, &rows));
-        } else {
-            print!("{}", render(seed, &scale, &rows));
+    bbench::with_sim_rate(|| match shards {
+        Some(shards) => {
+            let (rows, cycles) = run_fleet_on(seed, &scale, shards, bbench::worker_count());
+            if json {
+                println!("{}", render_json_sharded(seed, &scale, shards, &rows));
+            } else {
+                print!("{}", render_sharded(seed, &scale, shards, &rows));
+            }
+            ((), cycles)
         }
-        ((), cycles)
+        None => {
+            let (rows, cycles) = run(seed, &scale);
+            if json {
+                println!("{}", render_json(seed, &scale, &rows));
+            } else {
+                print!("{}", render(seed, &scale, &rows));
+            }
+            ((), cycles)
+        }
     });
 }

@@ -21,7 +21,9 @@
 use bcore::elaborate;
 use bplatform::Platform;
 use bruntime::FpgaHandle;
-use bserver::{AccelServer, Arrival, DispatchPolicy, JobSpec, ServerConfig};
+use bserver::{
+    AccelServer, Arrival, DispatchPolicy, FleetConfig, FleetServer, JobSpec, ServerConfig,
+};
 
 /// Sebastiano Vigna's SplitMix64: a tiny, splittable, well-distributed
 /// 64-bit PRNG. Used for arrival gaps and size mixing — statistical
@@ -227,6 +229,188 @@ pub fn run_policy(policy: DispatchPolicy, plan: &[PlannedJob], scale: &LoadScale
     row
 }
 
+/// One shard's slice of a fleet run: admission-hashed tenant count and
+/// the shard-local serving counters (the per-shard stats the `--shards`
+/// JSON artifact reports).
+#[derive(Debug, Clone)]
+pub struct ShardRow {
+    /// Shard index.
+    pub shard: usize,
+    /// Tenants admission hashed onto this shard.
+    pub tenants: usize,
+    /// Jobs dispatched on this shard (`server/dispatched`).
+    pub dispatched: u64,
+    /// Jobs completed on this shard.
+    pub completed: u64,
+    /// Jobs rejected on this shard.
+    pub rejected: u64,
+    /// Shard-local p99 latency in fabric cycles.
+    pub p99: u64,
+}
+
+/// Runs one policy against the schedule on a [`FleetServer`] with
+/// `shards` replicas (1 replica degrades to the exact single-server
+/// path — the `fleet_loadgen` test holds the rendered row byte-identical
+/// to [`run_policy`]'s). Returns the aggregate row plus per-shard stats.
+pub fn run_policy_fleet(
+    policy: DispatchPolicy,
+    plan: &[PlannedJob],
+    scale: &LoadScale,
+    shards: usize,
+) -> (PolicyRow, Vec<ShardRow>) {
+    let n_cores = scale.n_cores;
+    let config = FleetConfig {
+        shards,
+        server: ServerConfig {
+            policy,
+            queue_capacity: scale.queue_capacity,
+            ..ServerConfig::default()
+        },
+    };
+    let mut fleet = FleetServer::new(
+        move |_| {
+            elaborate(bkernels::vecadd::config(n_cores), &Platform::kria())
+                .expect("vecadd elaborates")
+        },
+        bkernels::vecadd::SYSTEM,
+        scale.tenants,
+        config,
+    )
+    .expect("fleet opens");
+    let n_shards = fleet.n_shards();
+
+    // Same buffer discipline as the single-server path: one buffer per
+    // tenant through that tenant's session, on whichever shard admission
+    // hashed the session to.
+    let max_eles = plan.iter().map(|j| j.n_eles).max().unwrap_or(64);
+    let buffers: Vec<bruntime::RemotePtr> = (0..scale.tenants)
+        .map(|t| {
+            let s = fleet.session(t);
+            let mem = s.malloc(u64::from(max_eles) * 4).expect("tenant buffer");
+            s.write_u32_slice(mem, &vec![1u32; max_eles as usize]);
+            mem
+        })
+        .collect();
+
+    // Per-shard clock origins, captured after setup so `at_cycle`
+    // offsets mean the same thing on every replica.
+    let t0: Vec<u64> = (0..n_shards).map(|s| fleet.handle(s).now()).collect();
+    let arrivals: Vec<Arrival> = plan
+        .iter()
+        .map(|j| Arrival {
+            at_cycle: j.at_cycle,
+            tenant: j.tenant,
+            spec: JobSpec::new(bkernels::vecadd::args(
+                1,
+                buffers[j.tenant].device_addr(),
+                j.n_eles,
+            ))
+            .with_cost_hint(u64::from(j.n_eles)),
+        })
+        .collect();
+    let outcomes = fleet.run_open_loop(arrivals);
+    fleet.sync_rollup();
+
+    let completed = outcomes.iter().filter(|o| o.is_completed()).count();
+    let rejected = outcomes.len() - completed;
+    let hist = fleet.latency_histogram();
+    let latency = (
+        hist.p50().unwrap_or(0),
+        hist.p90().unwrap_or(0),
+        hist.p99().unwrap_or(0),
+        hist.max().unwrap_or(0),
+    );
+    let makespan_cycles = (0..n_shards)
+        .map(|s| fleet.handle(s).now() - t0[s])
+        .max()
+        .unwrap_or(0);
+    let queue_depth_peak = (0..n_shards)
+        .map(|s| {
+            fleet
+                .handle(s)
+                .with_soc(|soc| soc.perf().counter("server/queue_depth_peak"))
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0);
+    let row = PolicyRow {
+        policy,
+        offered: outcomes.len(),
+        completed,
+        rejected,
+        latency,
+        makespan_cycles,
+        lock_wait_cycles: fleet.counter_total("lock_wait_cycles"),
+        queue_depth_peak,
+    };
+    let shard_rows = (0..n_shards)
+        .map(|s| {
+            let counter = |name: &str| {
+                fleet
+                    .handle(s)
+                    .with_soc(|soc| soc.perf().counter(&format!("server/{name}")))
+                    .unwrap_or(0)
+            };
+            let p99 = fleet
+                .handle(s)
+                .with_soc(|soc| soc.perf().histogram("server/latency_cycles"))
+                .and_then(|h| h.p99())
+                .unwrap_or(0);
+            ShardRow {
+                shard: s,
+                tenants: fleet.tenants_of(s).len(),
+                dispatched: counter("dispatched"),
+                completed: counter("completed"),
+                rejected: counter("rejected"),
+                p99,
+            }
+        })
+        .collect();
+    drop(outcomes);
+
+    // Interleaved teardown across sessions, as in the single-server path.
+    for (t, mem) in buffers.into_iter().enumerate().rev() {
+        fleet.session(t).free(mem).expect("free tenant buffer");
+    }
+    (row, shard_rows)
+}
+
+/// Runs every policy over the seeded schedule through a `shards`-replica
+/// fleet, one policy per host thread. Rows come back in
+/// [`DispatchPolicy::all`] order; the per-policy shard slices ride
+/// along. `BSERVER_SHARDS` only caps the fleet's *execution* width, so
+/// stdout rendered from these rows is byte-identical at any value of it.
+pub fn run_fleet_on(
+    seed: u64,
+    scale: &LoadScale,
+    shards: usize,
+    workers: usize,
+) -> (Vec<(PolicyRow, Vec<ShardRow>)>, u64) {
+    let plan = plan(seed, scale);
+    let s = *scale;
+    let jobs: Vec<crate::par::Job<(PolicyRow, Vec<ShardRow>)>> = DispatchPolicy::all()
+        .into_iter()
+        .map(|policy| {
+            let plan = plan.clone();
+            crate::par::Job::new(format!("loadgen-fleet: {policy}"), move || {
+                let (row, shard_rows) = run_policy_fleet(policy, &plan, &s, shards);
+                eprintln!(
+                    "loadgen: {} done ({} completed, {} rejected, {} cycles, {} shards)",
+                    policy,
+                    row.completed,
+                    row.rejected,
+                    row.makespan_cycles,
+                    shard_rows.len()
+                );
+                (row, shard_rows)
+            })
+        })
+        .collect();
+    let rows = crate::par::run_jobs_on(jobs, workers);
+    let total_cycles = rows.iter().map(|(r, _)| r.makespan_cycles).sum();
+    (rows, total_cycles)
+}
+
 /// Runs every policy over the seeded schedule on `workers` host threads
 /// (one fresh SoC per policy) and returns `(rows, total simulated
 /// cycles)`. Rows come back in [`DispatchPolicy::all`] order — baseline
@@ -260,10 +444,37 @@ pub fn run(seed: u64, scale: &LoadScale) -> (Vec<PolicyRow>, u64) {
 
 /// Renders the text report (the deterministic stdout artifact).
 pub fn render(seed: u64, scale: &LoadScale, rows: &[PolicyRow]) -> String {
+    render_with_header_suffix(seed, scale, rows, "")
+}
+
+/// [`render`] for a fleet run: identical bytes at 1 shard (the
+/// `fleet_loadgen` test enforces it); at N > 1 only the header gains a
+/// `, N shards` annotation — per-shard stats live in the JSON artifact.
+pub fn render_sharded(
+    seed: u64,
+    scale: &LoadScale,
+    shards: usize,
+    rows: &[(PolicyRow, Vec<ShardRow>)],
+) -> String {
+    let suffix = if shards > 1 {
+        format!(", {shards} shards")
+    } else {
+        String::new()
+    };
+    let plain: Vec<PolicyRow> = rows.iter().map(|(r, _)| r.clone()).collect();
+    render_with_header_suffix(seed, scale, &plain, &suffix)
+}
+
+fn render_with_header_suffix(
+    seed: u64,
+    scale: &LoadScale,
+    rows: &[PolicyRow],
+    suffix: &str,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "Load generator: {} jobs, {} tenants, {} cores, mean gap {} cycles, seed {}\n\n",
-        scale.jobs, scale.tenants, scale.n_cores, scale.mean_gap_cycles, seed
+        "Load generator: {} jobs, {} tenants, {} cores, mean gap {} cycles, seed {}{}\n\n",
+        scale.jobs, scale.tenants, scale.n_cores, scale.mean_gap_cycles, seed, suffix
     ));
     out.push_str(&format!(
         "{:<16} {:>6} {:>6} {:>8} {:>9} {:>9} {:>9} {:>12} {:>11} {:>6}\n",
@@ -324,6 +535,65 @@ pub fn render_json(seed: u64, scale: &LoadScale, rows: &[PolicyRow]) -> String {
     out
 }
 
+/// Renders the fleet JSON summary: the [`render_json`] shape with a
+/// top-level `"shards"` count and, per policy, a `"shard_stats"` array
+/// of dispatched/completed/rejected/p99 per shard next to the aggregate
+/// fields. Hand-rolled like [`render_json`]; `bsim::perf::validate_json`
+/// guards the shape in tests.
+pub fn render_json_sharded(
+    seed: u64,
+    scale: &LoadScale,
+    shards: usize,
+    rows: &[(PolicyRow, Vec<ShardRow>)],
+) -> String {
+    let mut out = format!(
+        "{{\"seed\":{},\"tenants\":{},\"jobs\":{},\"cores\":{},\
+         \"mean_gap_cycles\":{},\"queue_capacity\":{},\"shards\":{},\"policies\":[",
+        seed,
+        scale.tenants,
+        scale.jobs,
+        scale.n_cores,
+        scale.mean_gap_cycles,
+        scale.queue_capacity,
+        shards
+    );
+    for (i, (row, shard_rows)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"policy\":\"{}\",\"offered\":{},\"completed\":{},\"rejected\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\
+             \"makespan_cycles\":{},\"lock_wait_cycles\":{},\"queue_depth_peak\":{},\
+             \"shard_stats\":[",
+            row.policy.name(),
+            row.offered,
+            row.completed,
+            row.rejected,
+            row.latency.0,
+            row.latency.1,
+            row.latency.2,
+            row.latency.3,
+            row.makespan_cycles,
+            row.lock_wait_cycles,
+            row.queue_depth_peak,
+        ));
+        for (j, s) in shard_rows.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"shard\":{},\"tenants\":{},\"dispatched\":{},\"completed\":{},\
+                 \"rejected\":{},\"p99\":{}}}",
+                s.shard, s.tenants, s.dispatched, s.completed, s.rejected, s.p99
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +648,47 @@ mod tests {
         for row in &rows {
             assert!(row.completed > 0, "{}: some jobs must complete", row.policy);
             assert_eq!(row.offered, scale.jobs);
+        }
+    }
+
+    #[test]
+    fn fleet_at_one_shard_renders_identical_bytes() {
+        let scale = LoadScale {
+            jobs: 10,
+            ..LoadScale::small()
+        };
+        let (rows, _) = run_on(42, &scale, 1);
+        let (fleet_rows, _) = run_fleet_on(42, &scale, 1, 1);
+        assert_eq!(
+            render(42, &scale, &rows),
+            render_sharded(42, &scale, 1, &fleet_rows),
+            "a 1-shard fleet run must render the single-server bytes"
+        );
+    }
+
+    #[test]
+    fn fleet_run_is_deterministic_and_json_carries_shard_stats() {
+        let scale = LoadScale {
+            jobs: 10,
+            ..LoadScale::small()
+        };
+        let (a, _) = run_fleet_on(7, &scale, 2, 2);
+        let (b, _) = run_fleet_on(7, &scale, 2, 1);
+        assert_eq!(
+            render_sharded(7, &scale, 2, &a),
+            render_sharded(7, &scale, 2, &b),
+            "same seed and shard count must render identically at any \
+             execution width"
+        );
+        let json = render_json_sharded(7, &scale, 2, &a);
+        bsim::perf::validate_json(&json).expect("sharded summary must be valid JSON");
+        assert!(json.contains("\"shards\":2"));
+        assert!(json.contains("\"shard_stats\":[{\"shard\":0,"));
+        assert!(json.contains("\"p99\":"));
+        // Aggregate counts equal the sum of the per-shard slices.
+        for (row, shard_rows) in &a {
+            let done: u64 = shard_rows.iter().map(|s| s.completed).sum();
+            assert_eq!(done, row.completed as u64, "{}", row.policy);
         }
     }
 

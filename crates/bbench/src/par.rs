@@ -10,10 +10,12 @@
 //!
 //! Two facts shape the design:
 //!
-//! * [`bsim::Simulation`] is `Rc`-based and `!Send`, so a job is a `Send`
-//!   **closure** that constructs *and* runs its SoC entirely inside the
-//!   worker thread, returning a plain (`Send`) result struct. No
-//!   simulation state ever crosses a thread boundary.
+//! * A job is a `Send` **closure** that constructs *and* runs its SoC
+//!   entirely inside the worker thread, returning a plain (`Send`) result
+//!   struct. Since the arena refactor [`bsim::Simulation`] is itself
+//!   `Send` (the `bserver` fleet relies on that to move whole SoCs onto
+//!   shard threads), but the sweep executor keeps the simpler contract:
+//!   no simulation state ever crosses a thread boundary.
 //! * Determinism comes from isolation plus ordering: each simulation is a
 //!   closed system (its only inputs are the job's parameters), and the
 //!   executor returns results **in submission order** regardless of which
@@ -61,23 +63,20 @@ impl<R> std::fmt::Debug for Job<R> {
     }
 }
 
-/// Parses a `BBENCH_JOBS`-style override: a positive integer wins (zero
-/// is clamped to one so `BBENCH_JOBS=0` means "serial", not a panic);
-/// anything unparsable is ignored so a typo falls back to the host
-/// default rather than silently serializing a long sweep.
+/// Parses a `BBENCH_JOBS`-style override (see [`bsim::host::parse_jobs`],
+/// the shared implementation).
 pub fn parse_jobs(raw: Option<&str>) -> Option<usize> {
-    raw.and_then(|s| s.trim().parse::<usize>().ok())
-        .map(|n| n.max(1))
+    bsim::host::parse_jobs(raw)
 }
 
 /// Worker threads for sweep execution: the `BBENCH_JOBS` environment
 /// override if set, else the host's [`std::thread::available_parallelism`].
-/// Shared by every harness that sizes a thread pool (including the
-/// Table III host-CPU baseline, so its provenance reports the count
-/// actually used).
+/// Resolved through the shared [`bsim::host::worker_count`] — the same
+/// helper the `bserver` fleet uses for `BSERVER_SHARDS` — and used by
+/// every harness here that sizes a thread pool (including the Table III
+/// host-CPU baseline, so its provenance reports the count actually used).
 pub fn worker_count() -> usize {
-    parse_jobs(std::env::var("BBENCH_JOBS").ok().as_deref())
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    bsim::host::worker_count("BBENCH_JOBS")
 }
 
 /// How one job ended inside a worker.

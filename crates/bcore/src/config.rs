@@ -157,7 +157,7 @@ impl MemoryChannelConfig {
 
 /// Builds fresh core instances at elaboration (`moduleConstructor` in the
 /// paper's configuration).
-pub type CoreFactory = Box<dyn Fn() -> Box<dyn AcceleratorCore>>;
+pub type CoreFactory = Box<dyn Fn() -> Box<dyn AcceleratorCore + Send>>;
 
 /// One Beethoven *System*: `nCores` identical cores sharing a command
 /// format and memory interface declarations.
@@ -185,7 +185,7 @@ impl SystemConfig {
         name: impl Into<String>,
         n_cores: u32,
         command: AccelCommandSpec,
-        factory: impl Fn() -> Box<dyn AcceleratorCore> + 'static,
+        factory: impl Fn() -> Box<dyn AcceleratorCore + Send> + 'static,
     ) -> Self {
         Self {
             name: name.into(),
@@ -322,7 +322,7 @@ mod tests {
     struct NullCore;
 
     impl AcceleratorCore for NullCore {
-        fn tick(&mut self, _ctx: &mut CoreContext) {}
+        fn tick(&mut self, _sim: &bsim::SimCtx, _ctx: &mut CoreContext) {}
     }
 
     fn spec() -> AccelCommandSpec {

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use bsim::{Cycle, Receiver, Sender, Stats};
+use bsim::{Cycle, Receiver, Sender, SimCtx, Stats};
 
 use crate::command::{RoccResponse, UnpackedCommand};
 use crate::intracore::{RemoteWritePort, RemoteWriteSink};
@@ -24,8 +24,11 @@ use crate::primitives::{Reader, Scratchpad, Writer};
 /// 2. drives its [`Reader`]s / [`Writer`]s / [`Scratchpad`]s,
 /// 3. calls [`CoreContext::respond`] when the command completes.
 pub trait AcceleratorCore {
-    /// Advances the core by one cycle.
-    fn tick(&mut self, ctx: &mut CoreContext);
+    /// Advances the core by one cycle. `sim` is the simulation context that
+    /// owns the channel arena behind the context's command/response/memory
+    /// plumbing; cores pass it back into [`CoreContext`] calls that move
+    /// data (and otherwise ignore it).
+    fn tick(&mut self, sim: &SimCtx, ctx: &mut CoreContext);
 
     /// Whether the core has no internal work pending and its next `tick`
     /// would do nothing until a command or remote write arrives.
@@ -116,8 +119,8 @@ impl CoreContext {
 
     /// Takes the next pending command, if any (the `io.req.fire` moment of
     /// the paper's Figure 2).
-    pub fn take_command(&mut self) -> Option<UnpackedCommand> {
-        let cmd = self.cmd_rx.recv(self.now);
+    pub fn take_command(&mut self, sim: &SimCtx) -> Option<UnpackedCommand> {
+        let cmd = self.cmd_rx.recv(sim, self.now);
         if cmd.is_some() {
             self.stats.incr("commands_accepted");
         }
@@ -126,11 +129,12 @@ impl CoreContext {
 
     /// Sends the command response (`io.resp.fire`). Returns false if the
     /// response channel is momentarily full — retry next cycle.
-    pub fn respond(&mut self, data: u64) -> bool {
-        if !self.resp_tx.can_send() {
+    pub fn respond(&mut self, sim: &SimCtx, data: u64) -> bool {
+        if !self.resp_tx.can_send(sim) {
             return false;
         }
         self.resp_tx.send(
+            sim,
             self.now,
             RoccResponse {
                 system_id: self.system_id,
@@ -237,7 +241,7 @@ impl CoreContext {
     /// Applies remote writes that have arrived over the intra-accelerator
     /// network (called by the harness before the core's tick, so a core
     /// observes writes with the modelled network latency).
-    pub(crate) fn drain_remote_writes(&mut self, now: Cycle) {
+    pub(crate) fn drain_remote_writes(&mut self, sim: &SimCtx, now: Cycle) {
         for sink in &mut self.intra_sinks {
             let sp = self
                 .scratchpads
@@ -248,23 +252,23 @@ impl CoreContext {
                         sink.scratchpad
                     )
                 });
-            while let Some(write) = sink.rx.recv(now) {
+            while let Some(write) = sink.rx.recv(sim, now) {
                 sp.write(write.idx as usize, write.data);
             }
         }
     }
 
     /// Ticks every primitive (called by the harness after the core's tick).
-    pub(crate) fn tick_primitives(&mut self, now: Cycle) {
+    pub(crate) fn tick_primitives(&mut self, sim: &SimCtx, now: Cycle) {
         self.now = now;
         for readers in self.readers.values_mut() {
             for reader in readers {
-                reader.tick(now);
+                reader.tick(sim, now);
             }
         }
         for writers in self.writers.values_mut() {
             for writer in writers {
-                writer.tick(now);
+                writer.tick(sim, now);
             }
         }
     }
@@ -276,7 +280,7 @@ impl CoreContext {
     /// Earliest cycle after `now` at which any primitive or inbound channel
     /// needs a tick, or `None` when everything is quiescent. Only
     /// meaningful while the core itself reports [`AcceleratorCore::idle`].
-    pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
+    pub(crate) fn next_event(&self, sim: &SimCtx, now: Cycle) -> Option<Cycle> {
         // Scratchpad init is driven from the core's own tick; an idle()
         // claim during init would be a core bug — stay awake regardless.
         if self.scratchpads.values().any(Scratchpad::initializing) {
@@ -290,14 +294,14 @@ impl CoreContext {
             }
         };
         for reader in self.readers.values().flatten() {
-            consider(reader.next_event(now));
+            consider(reader.next_event(sim, now));
         }
         for writer in self.writers.values().flatten() {
-            consider(writer.next_event(now));
+            consider(writer.next_event(sim, now));
         }
-        consider(self.cmd_rx.next_visible_at());
+        consider(self.cmd_rx.next_visible_at(sim));
         for sink in &self.intra_sinks {
-            consider(sink.rx.next_visible_at());
+            consider(sink.rx.next_visible_at(sim));
         }
         wake
     }
@@ -307,16 +311,16 @@ impl CoreContext {
     /// a remote write from another core, read data, or a write ack. The
     /// core's own `idle` flag can only change inside a tick, so these
     /// external inputs are the complete wake surface.
-    pub(crate) fn register_wakes(&self, waker: &bsim::Waker) {
-        self.cmd_rx.wake_on_send(waker);
+    pub(crate) fn register_wakes(&self, sim: &SimCtx, waker: &bsim::Waker) {
+        self.cmd_rx.wake_on_send(sim, waker);
         for sink in &self.intra_sinks {
-            sink.rx.wake_on_send(waker);
+            sink.rx.wake_on_send(sim, waker);
         }
         for reader in self.readers.values().flatten() {
-            reader.register_wakes(waker);
+            reader.register_wakes(sim, waker);
         }
         for writer in self.writers.values().flatten() {
-            writer.register_wakes(waker);
+            writer.register_wakes(sim, waker);
         }
     }
 }
@@ -337,30 +341,30 @@ impl std::fmt::Debug for CoreContext {
 /// The component wrapper that ticks a core and its context inside the SoC
 /// simulation.
 pub(crate) struct CoreHarness {
-    pub(crate) core: Box<dyn AcceleratorCore>,
+    pub(crate) core: Box<dyn AcceleratorCore + Send>,
     pub(crate) ctx: CoreContext,
 }
 
 impl bsim::Component for CoreHarness {
-    fn tick(&mut self, now: Cycle) {
+    fn tick(&mut self, sim: &SimCtx, now: Cycle) {
         self.ctx.set_now(now);
-        self.ctx.drain_remote_writes(now);
-        self.core.tick(&mut self.ctx);
-        self.ctx.tick_primitives(now);
+        self.ctx.drain_remote_writes(sim, now);
+        self.core.tick(sim, &mut self.ctx);
+        self.ctx.tick_primitives(sim, now);
     }
 
     fn name(&self) -> &str {
         "core-harness"
     }
 
-    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+    fn next_event(&self, sim: &SimCtx, now: Cycle) -> Option<Cycle> {
         if !self.core.idle() {
             return Some(now + 1);
         }
-        self.ctx.next_event(now)
+        self.ctx.next_event(sim, now)
     }
 
-    fn register_wakes(&self, waker: &bsim::Waker) {
-        self.ctx.register_wakes(waker);
+    fn register_wakes(&self, sim: &SimCtx, waker: &bsim::Waker) {
+        self.ctx.register_wakes(sim, waker);
     }
 }

@@ -8,7 +8,6 @@
 //! constraints, and a resource report.
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
 
 use baxi::{
     axi_link, axi_link_with_latency, AxiMemoryController, AxiParams, AxiSlavePort,
@@ -20,7 +19,7 @@ use bplatform::{
     CellKind, Floorplanner, MemoryCellMapper, MemoryRequest, PlacementError, Platform,
     ResourceVector,
 };
-use bsim::{channel_with_latency, ClockDomain, PerfRegistry, Simulation, SparseMemory, Stats};
+use bsim::{ClockDomain, PerfRegistry, Simulation, SparseMemory, Stats};
 
 use crate::bindings::generate_bindings;
 use crate::config::{AcceleratorConfig, MemoryChannelConfig};
@@ -418,7 +417,7 @@ pub fn elaborate_with(
     if opts.profile {
         perf.set_enabled(true);
     }
-    let memory: baxi::SharedMemory = Rc::new(std::cell::RefCell::new(SparseMemory::new()));
+    let memory = baxi::SharedMemory::new(SparseMemory::new());
     let axi_params = AxiParams {
         data_bytes: platform.mem_bus_bytes,
         id_bits: platform.mem_id_bits,
@@ -482,7 +481,7 @@ pub fn elaborate_with(
                 for t_core in targets {
                     let dst_flat = flat_of[&(t_idx, t_core)];
                     let latency = link_latency(src_flat, dst_flat);
-                    let (tx, rx) = channel_with_latency(16.max(latency as usize), latency);
+                    let (tx, rx) = sim.channel_with_latency(16.max(latency as usize), latency);
                     senders.push(tx);
                     in_sinks.entry((t_idx, t_core)).or_default().push(
                         crate::intracore::RemoteWriteSink {
@@ -521,7 +520,7 @@ pub fn elaborate_with(
                 MemoryChannelConfig::Read(r) => {
                     let mut channels = Vec::new();
                     for i in 0..r.n_channels {
-                        let (master, slave) = axi_link_with_latency(depths, mem_latency);
+                        let (master, slave) = axi_link_with_latency(&mut sim, depths, mem_latency);
                         slave_ports[mem_port].push(slave);
                         let mut reader = Reader::new(
                             ReaderConfig {
@@ -543,7 +542,7 @@ pub fn elaborate_with(
                 MemoryChannelConfig::Write(w) => {
                     let mut channels = Vec::new();
                     for i in 0..w.n_channels {
-                        let (master, slave) = axi_link_with_latency(depths, mem_latency);
+                        let (master, slave) = axi_link_with_latency(&mut sim, depths, mem_latency);
                         slave_ports[mem_port].push(slave);
                         let mut writer = Writer::new(
                             WriterConfig {
@@ -578,8 +577,8 @@ pub fn elaborate_with(
         }
 
         let (cmd_tx, cmd_rx) =
-            channel_with_latency(opts.cmd_queue_depth.max(cmd_latency as usize), cmd_latency);
-        let (resp_tx, resp_rx) = channel_with_latency(8.max(cmd_latency as usize), cmd_latency);
+            sim.channel_with_latency(opts.cmd_queue_depth.max(cmd_latency as usize), cmd_latency);
+        let (resp_tx, resp_rx) = sim.channel_with_latency(8.max(cmd_latency as usize), cmd_latency);
         let core_stats = Stats::new();
         perf.set(&core_label).attach_stats(&core_stats);
         let mut ctx = CoreContext::new(
@@ -618,13 +617,16 @@ pub fn elaborate_with(
     let mut interconnect_stats = Stats::new();
     let mut controllers = Vec::with_capacity(mem_ports);
     for (port, port_slaves) in slave_ports.into_iter().enumerate() {
-        let (down_master, down_slave) = axi_link(PortDepths {
-            ar: 16,
-            r: 256,
-            aw: 16,
-            w: 256,
-            b: 16,
-        });
+        let (down_master, down_slave) = axi_link(
+            &mut sim,
+            PortDepths {
+                ar: 16,
+                r: 256,
+                aw: 16,
+                w: 256,
+                b: 16,
+            },
+        );
         if port_slaves.is_empty() {
             // No core uses this port (fewer cores than ports): still
             // instantiate the controller so port indexing stays stable,
@@ -653,38 +655,21 @@ pub fn elaborate_with(
             },
             DramSystem::new(platform.dram.clone()),
             down_slave,
-            Rc::clone(&memory),
+            memory.clone(),
         );
         controller.attach_perf(&perf.set(&format!("mem{port}")));
         if opts.trace {
             controller.tracer().set_enabled(true);
         }
         let shared = sim.add_shared(controller);
-        // DRAM channel stats live in plain structs inside the controller;
-        // a pull-model provider reads them through the shared handle (only
-        // invoked from host context, so the borrow never conflicts with a
-        // tick).
-        let dram_handle = shared.clone();
-        perf.set(&format!("mem{port}/dram")).add_provider(move || {
-            let ctrl = dram_handle.borrow();
-            let burst = ctrl.dram_bytes_per_burst();
-            let mut out = Vec::new();
-            for (i, s) in ctrl.dram_channel_stats().into_iter().enumerate() {
-                out.push((format!("ch{i}_reads"), s.reads));
-                out.push((format!("ch{i}_writes"), s.writes));
-                out.push((format!("ch{i}_row_hits"), s.row_hits));
-                out.push((format!("ch{i}_row_conflicts"), s.row_conflicts));
-                out.push((format!("ch{i}_activates"), s.activates));
-                out.push((format!("ch{i}_refreshes"), s.refreshes));
-                out.push((
-                    format!("ch{i}_refresh_stall_cycles"),
-                    s.refresh_stall_cycles,
-                ));
-                out.push((format!("ch{i}_bytes_read"), s.reads * burst));
-                out.push((format!("ch{i}_bytes_written"), s.writes * burst));
-            }
-            out
-        });
+        // DRAM channel stats live in plain structs inside the controller.
+        // They used to reach the registry through a pull-model provider
+        // closure holding the shared handle; with arena handles a closure
+        // cannot resolve the controller without the simulation, so the SoC
+        // mirrors them into the registry before every read instead
+        // (`SocSim::sync_scheduler_counters`). Touch the set here so the
+        // registry path exists from cycle 0 either way.
+        let _ = perf.set(&format!("mem{port}/dram"));
         controllers.push(shared);
     }
 
@@ -815,9 +800,9 @@ mod tests {
     }
 
     impl AcceleratorCore for VecAddCore {
-        fn tick(&mut self, ctx: &mut CoreContext) {
+        fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
             if !self.active {
-                if let Some(cmd) = ctx.take_command() {
+                if let Some(cmd) = ctx.take_command(sim) {
                     self.addend = cmd.arg("addend") as u32;
                     let n = cmd.arg("n_eles") as u32;
                     let addr = cmd.arg("vec_addr");
@@ -846,7 +831,7 @@ mod tests {
                 ctx.writer("vec_out").push_u32(out);
                 self.remaining -= 1;
             }
-            if self.remaining == 0 && ctx.writer("vec_out").done() && ctx.respond(0) {
+            if self.remaining == 0 && ctx.writer("vec_out").done() && ctx.respond(sim, 0) {
                 self.active = false;
             }
         }

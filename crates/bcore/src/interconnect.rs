@@ -11,7 +11,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use baxi::{AxiMasterPort, AxiSlavePort, BFlit, RFlit};
-use bsim::{Component, Cycle, Stats};
+use bsim::{Component, Cycle, SimCtx, Stats};
 
 /// A round-robin AXI interconnect with per-transaction ID remapping.
 pub struct AxiInterconnect {
@@ -77,20 +77,21 @@ impl AxiInterconnect {
         self.stats.clone()
     }
 
-    fn route_r(&mut self, now: Cycle) {
+    fn route_r(&mut self, ctx: &SimCtx, now: Cycle) {
         // Forward as many R beats as the upstream ports can take.
-        while let Some(flit) = self.downstream.r.peek(now) {
+        while let Some(flit) = self.downstream.r.peek(ctx, now) {
             let &(master, orig_id, _) = self
                 .read_map
                 .get(&flit.id)
                 .expect("R beat with unmapped controller id");
-            if !self.masters[master].r.can_send() {
+            if !self.masters[master].r.can_send(ctx) {
                 break;
             }
-            let flit = self.downstream.r.recv(now).expect("peeked");
+            let flit = self.downstream.r.recv(ctx, now).expect("peeked");
             let last = flit.last;
             let ctrl_id = flit.id;
             self.masters[master].r.send(
+                ctx,
                 now,
                 RFlit {
                     id: orig_id,
@@ -110,17 +111,17 @@ impl AxiInterconnect {
         }
     }
 
-    fn route_b(&mut self, now: Cycle) {
-        while let Some(flit) = self.downstream.b.peek(now) {
+    fn route_b(&mut self, ctx: &SimCtx, now: Cycle) {
+        while let Some(flit) = self.downstream.b.peek(ctx, now) {
             let &(master, orig_id, _) = self
                 .write_map
                 .get(&flit.id)
                 .expect("B with unmapped controller id");
-            if !self.masters[master].b.can_send() {
+            if !self.masters[master].b.can_send(ctx) {
                 break;
             }
-            let flit = self.downstream.b.recv(now).expect("peeked");
-            self.masters[master].b.send(now, BFlit { id: orig_id });
+            let flit = self.downstream.b.recv(ctx, now).expect("peeked");
+            self.masters[master].b.send(ctx, now, BFlit { id: orig_id });
             let entry = self.write_map.get_mut(&flit.id).expect("mapped");
             entry.2 -= 1;
             if entry.2 == 0 {
@@ -131,14 +132,14 @@ impl AxiInterconnect {
         }
     }
 
-    fn accept_ar(&mut self, now: Cycle) {
-        if !self.downstream.ar.can_send() {
+    fn accept_ar(&mut self, ctx: &SimCtx, now: Cycle) {
+        if !self.downstream.ar.can_send(ctx) {
             return;
         }
         let n = self.masters.len();
         for offset in 0..n {
             let m = (self.rr_ar + offset) % n;
-            let Some(peeked) = self.masters[m].ar.peek(now) else {
+            let Some(peeked) = self.masters[m].ar.peek(ctx, now) else {
                 continue;
             };
             let ctrl_id = match self.read_alloc.get(&(m, peeked.id)) {
@@ -153,24 +154,24 @@ impl AxiInterconnect {
                     id
                 }
             };
-            let mut ar = self.masters[m].ar.recv(now).expect("peeked");
+            let mut ar = self.masters[m].ar.recv(ctx, now).expect("peeked");
             self.read_map.get_mut(&ctrl_id).expect("mapped").2 += 1;
             ar.id = ctrl_id;
-            self.downstream.ar.send(now, ar);
+            self.downstream.ar.send(ctx, now, ar);
             self.stats.incr("ar_forwarded");
             self.rr_ar = (m + 1) % n;
             return; // one AR per cycle
         }
     }
 
-    fn accept_aw(&mut self, now: Cycle) {
-        if !self.downstream.aw.can_send() {
+    fn accept_aw(&mut self, ctx: &SimCtx, now: Cycle) {
+        if !self.downstream.aw.can_send(ctx) {
             return;
         }
         let n = self.masters.len();
         for offset in 0..n {
             let m = (self.rr_aw + offset) % n;
-            let Some(peeked) = self.masters[m].aw.peek(now) else {
+            let Some(peeked) = self.masters[m].aw.peek(ctx, now) else {
                 continue;
             };
             let ctrl_id = match self.write_alloc.get(&(m, peeked.id)) {
@@ -185,11 +186,11 @@ impl AxiInterconnect {
                     id
                 }
             };
-            let mut aw = self.masters[m].aw.recv(now).expect("peeked");
+            let mut aw = self.masters[m].aw.recv(ctx, now).expect("peeked");
             self.write_map.get_mut(&ctrl_id).expect("mapped").2 += 1;
             aw.id = ctrl_id;
             let beats = aw.beats;
-            self.downstream.aw.send(now, aw);
+            self.downstream.aw.send(ctx, now, aw);
             self.w_route.push_back((m, beats));
             self.stats.incr("aw_forwarded");
             self.rr_aw = (m + 1) % n;
@@ -197,21 +198,21 @@ impl AxiInterconnect {
         }
     }
 
-    fn stream_w(&mut self, now: Cycle) {
+    fn stream_w(&mut self, ctx: &SimCtx, now: Cycle) {
         // W data must follow AW order downstream; stream the front burst.
         while let Some(&(master, beats_left)) = self.w_route.front() {
             if beats_left == 0 {
                 self.w_route.pop_front();
                 continue;
             }
-            if !self.downstream.w.can_send() {
+            if !self.downstream.w.can_send(ctx) {
                 return;
             }
-            let Some(w) = self.masters[master].w.recv(now) else {
+            let Some(w) = self.masters[master].w.recv(ctx, now) else {
                 return;
             };
             let last = w.last;
-            self.downstream.w.send(now, w);
+            self.downstream.w.send(ctx, now, w);
             let front = self.w_route.front_mut().expect("non-empty");
             front.1 -= 1;
             debug_assert_eq!(last, front.1 == 0, "W last flag mismatches AW beat count");
@@ -223,19 +224,19 @@ impl AxiInterconnect {
 }
 
 impl Component for AxiInterconnect {
-    fn tick(&mut self, now: Cycle) {
-        self.route_r(now);
-        self.route_b(now);
-        self.accept_ar(now);
-        self.accept_aw(now);
-        self.stream_w(now);
+    fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
+        self.route_r(ctx, now);
+        self.route_b(ctx, now);
+        self.accept_ar(ctx, now);
+        self.accept_aw(ctx, now);
+        self.stream_w(ctx, now);
     }
 
     fn name(&self) -> &str {
         "axi-interconnect"
     }
 
-    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+    fn next_event(&self, ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
         // Any routed transaction still in flight keeps the mux active: R/B
         // beats can arrive and W beats can stream on any cycle.
         if !self.read_map.is_empty() || !self.write_map.is_empty() || !self.w_route.is_empty() {
@@ -251,24 +252,24 @@ impl Component for AxiInterconnect {
             }
         };
         for m in &self.masters {
-            consider(m.ar.next_visible_at());
-            consider(m.aw.next_visible_at());
+            consider(m.ar.next_visible_at(ctx));
+            consider(m.aw.next_visible_at(ctx));
         }
-        consider(self.downstream.r.next_visible_at());
-        consider(self.downstream.b.next_visible_at());
+        consider(self.downstream.r.next_visible_at(ctx));
+        consider(self.downstream.b.next_visible_at(ctx));
         wake
     }
 
-    fn register_wakes(&self, waker: &bsim::Waker) {
+    fn register_wakes(&self, ctx: &SimCtx, waker: &bsim::Waker) {
         // The in-flight branch of `next_event` only holds while the maps
         // are nonempty, and the maps only change inside our own tick; the
         // idle branch depends exactly on these four channel directions.
         for m in &self.masters {
-            m.ar.wake_on_send(waker);
-            m.aw.wake_on_send(waker);
+            m.ar.wake_on_send(ctx, waker);
+            m.aw.wake_on_send(ctx, waker);
         }
-        self.downstream.r.wake_on_send(waker);
-        self.downstream.b.wake_on_send(waker);
+        self.downstream.r.wake_on_send(ctx, waker);
+        self.downstream.b.wake_on_send(ctx, waker);
     }
 }
 
@@ -288,25 +289,23 @@ mod tests {
     use crate::primitives::{Reader, ReaderConfig, Writer, WriterConfig};
     use baxi::{axi_link, AxiMemoryController, ControllerConfig, PortDepths, SharedMemory};
     use bdram::{DramConfig, DramSystem};
-    use bsim::{Simulation, SparseMemory};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use bsim::{Shared, Simulation};
 
-    struct TickReader(bsim::Shared<Reader>);
+    struct TickReader(Reader);
     impl Component for TickReader {
-        fn tick(&mut self, now: Cycle) {
-            self.0.borrow_mut().tick(now);
+        fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
+            self.0.tick(ctx, now);
         }
         // always-on: deliberately left without `next_event`/`register_wakes`
         // so these tests exercise the scheduler's polled fallback set with a
         // primitive that *does* have real event structure. The host drives
-        // `request` through the Shared handle between steps, which the
+        // `request` through the arena handle between steps, which the
         // always-tick fallback absorbs without any wake plumbing.
     }
-    struct TickWriter(bsim::Shared<Writer>);
+    struct TickWriter(Writer);
     impl Component for TickWriter {
-        fn tick(&mut self, now: Cycle) {
-            self.0.borrow_mut().tick(now);
+        fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
+            self.0.tick(ctx, now);
         }
         // always-on: see TickReader.
     }
@@ -316,11 +315,11 @@ mod tests {
         n_readers: usize,
     ) -> (
         Simulation,
-        Vec<bsim::Shared<Reader>>,
-        bsim::Shared<Writer>,
+        Vec<Shared<TickReader>>,
+        Shared<TickWriter>,
         SharedMemory,
     ) {
-        let memory: SharedMemory = Rc::new(RefCell::new(SparseMemory::new()));
+        let memory = SharedMemory::default();
         let mut sim = Simulation::new();
         let depths = PortDepths {
             ar: 8,
@@ -333,34 +332,35 @@ mod tests {
         let mut slave_ports = Vec::new();
         let mut readers = Vec::new();
         for i in 0..n_readers {
-            let (master, slave) = axi_link(depths);
+            let (master, slave) = axi_link(&mut sim, depths);
             slave_ports.push(slave);
             let mut cfg = ReaderConfig::new(format!("r{i}"), 64);
             cfg.burst_beats = 8;
-            let reader = bsim::Shared::new(Reader::new(cfg, master));
-            sim.add(TickReader(reader.clone()));
+            let reader = sim.add_shared(TickReader(Reader::new(cfg, master)));
             readers.push(reader);
         }
-        let (wmaster, wslave) = axi_link(depths);
+        let (wmaster, wslave) = axi_link(&mut sim, depths);
         slave_ports.push(wslave);
         let mut wcfg = WriterConfig::new("w", 64);
         wcfg.burst_beats = 8;
-        let writer = bsim::Shared::new(Writer::new(wcfg, wmaster));
-        sim.add(TickWriter(writer.clone()));
+        let writer = sim.add_shared(TickWriter(Writer::new(wcfg, wmaster)));
 
-        let (down_master, down_slave) = axi_link(PortDepths {
-            ar: 16,
-            r: 128,
-            aw: 16,
-            w: 128,
-            b: 16,
-        });
+        let (down_master, down_slave) = axi_link(
+            &mut sim,
+            PortDepths {
+                ar: 16,
+                r: 128,
+                aw: 16,
+                w: 128,
+                b: 16,
+            },
+        );
         sim.add(AxiInterconnect::new(slave_ports, down_master, 16));
         let ctrl = AxiMemoryController::new(
             ControllerConfig::default(),
             DramSystem::new(DramConfig::ddr4_2400()),
             down_slave,
-            Rc::clone(&memory),
+            memory.clone(),
         );
         sim.add(ctrl);
         (sim, readers, writer, memory)
@@ -374,8 +374,8 @@ mod tests {
             memory
                 .borrow_mut()
                 .write(0x10_000 + u64::from(i) * 0x1000, &block);
-            readers[i as usize]
-                .borrow_mut()
+            sim.get_mut(readers[i as usize])
+                .0
                 .request(0x10_000 + u64::from(i) * 0x1000, 2048)
                 .unwrap();
         }
@@ -383,7 +383,7 @@ mod tests {
         while collected.iter().any(|c| c.len() < 2048) {
             sim.step();
             for (i, reader) in readers.iter().enumerate() {
-                while let Some(chunk) = reader.borrow_mut().pop_chunk() {
+                while let Some(chunk) = sim.get_mut(*reader).0.pop_chunk() {
                     collected[i].extend(chunk);
                 }
             }
@@ -401,20 +401,20 @@ mod tests {
     fn reads_and_writes_interleave_safely() {
         let (mut sim, readers, writer, memory) = build(1);
         memory.borrow_mut().write(0x50_000, &vec![9u8; 4096]);
-        readers[0].borrow_mut().request(0x50_000, 4096).unwrap();
-        writer.borrow_mut().request(0x80_000, 4096).unwrap();
+        sim.get_mut(readers[0]).0.request(0x50_000, 4096).unwrap();
+        sim.get_mut(writer).0.request(0x80_000, 4096).unwrap();
         let mut read_bytes = 0usize;
         let mut pushed = 0usize;
-        while read_bytes < 4096 || !writer.borrow().done() {
+        while read_bytes < 4096 || !sim.get(writer).0.done() {
             {
-                let mut w = writer.borrow_mut();
+                let w = &mut sim.get_mut(writer).0;
                 while pushed < 4096 && w.can_push() {
                     w.push_chunk(&[0xAB; 64]);
                     pushed += 64;
                 }
             }
             sim.step();
-            while let Some(chunk) = readers[0].borrow_mut().pop_chunk() {
+            while let Some(chunk) = sim.get_mut(readers[0]).0.pop_chunk() {
                 read_bytes += chunk.len();
             }
             assert!(sim.now() < 200_000);
@@ -429,13 +429,13 @@ mod tests {
         let (mut sim, readers, _writer, memory) = build(2);
         memory.borrow_mut().write(0x10_000, &vec![1u8; 32768]);
         memory.borrow_mut().write(0x20_000, &vec![2u8; 32768]);
-        readers[0].borrow_mut().request(0x10_000, 32768).unwrap();
-        readers[1].borrow_mut().request(0x20_000, 32768).unwrap();
+        sim.get_mut(readers[0]).0.request(0x10_000, 32768).unwrap();
+        sim.get_mut(readers[1]).0.request(0x20_000, 32768).unwrap();
         let mut got = [0usize; 2];
         while got[0] < 32768 || got[1] < 32768 {
             sim.step();
             for i in 0..2 {
-                while let Some(chunk) = readers[i].borrow_mut().pop_chunk() {
+                while let Some(chunk) = sim.get_mut(readers[i]).0.pop_chunk() {
                     assert!(chunk.iter().all(|&b| b == i as u8 + 1));
                     got[i] += chunk.len();
                 }

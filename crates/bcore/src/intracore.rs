@@ -12,7 +12,7 @@
 //! network: each link carries the SLR-crossing latency between the two
 //! placed cores.
 
-use bsim::{Cycle, Receiver, Sender};
+use bsim::{Cycle, Receiver, Sender, SimCtx};
 use serde::{Deserialize, Serialize};
 
 /// How an Out port's cores map onto the target In port's cores
@@ -128,8 +128,8 @@ impl RemoteWritePort {
 
     /// Whether a write can be accepted this cycle (all downstream links
     /// ready — broadcast backpressures on the slowest target).
-    pub fn can_send(&self) -> bool {
-        self.links.iter().all(Sender::can_send)
+    pub fn can_send(&self, ctx: &SimCtx) -> bool {
+        self.links.iter().all(|link| link.can_send(ctx))
     }
 
     /// Sends one word to the remote scratchpad(s).
@@ -138,15 +138,19 @@ impl RemoteWritePort {
     ///
     /// Panics if the port is not ready (check [`RemoteWritePort::can_send`])
     /// or the value exceeds the declared width.
-    pub fn send(&mut self, now: Cycle, idx: u64, data: u64) {
+    pub fn send(&mut self, ctx: &SimCtx, now: Cycle, idx: u64, data: u64) {
         assert!(
             self.width_bits == 64 || data >> self.width_bits == 0,
             "value wider than intra-core port '{}'",
             self.name
         );
-        assert!(self.can_send(), "intra-core port '{}' not ready", self.name);
+        assert!(
+            self.can_send(ctx),
+            "intra-core port '{}' not ready",
+            self.name
+        );
         for link in &self.links {
-            link.send(now, RemoteWrite { idx, data });
+            link.send(ctx, now, RemoteWrite { idx, data });
         }
     }
 

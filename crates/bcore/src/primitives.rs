@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 
 use baxi::{ArFlit, AwFlit, AxiMasterPort, WFlit};
 use bsim::perf::{Counter, CounterSet};
-use bsim::{Cycle, Stats};
+use bsim::{Cycle, SimCtx, Stats};
 
 /// Returned when a stream request is issued while a previous one is still
 /// active (hardware would deassert `ready`).
@@ -190,19 +190,19 @@ impl Reader {
     }
 
     /// Advances the reader one fabric cycle.
-    pub fn tick(&mut self, now: Cycle) {
-        self.issue_ar(now);
-        self.collect_r(now);
+    pub fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
+        self.issue_ar(ctx, now);
+        self.collect_r(ctx, now);
         self.drain_to_stream();
     }
 
-    fn issue_ar(&mut self, now: Cycle) {
+    fn issue_ar(&mut self, ctx: &SimCtx, now: Cycle) {
         while let Some((addr, remaining)) = self.fetch {
             if self.txns.len() >= self.cfg.max_inflight as usize {
                 self.perf_stall_inflight.incr();
                 return;
             }
-            if !self.port.ar.can_send() {
+            if !self.port.ar.can_send(ctx) {
                 self.perf_stall_ar.incr();
                 return;
             }
@@ -224,6 +224,7 @@ impl Reader {
             let id = self.cfg.ids[self.next_id % self.cfg.ids.len()];
             self.next_id += 1;
             self.port.ar.send(
+                ctx,
                 now,
                 ArFlit {
                     id,
@@ -250,8 +251,8 @@ impl Reader {
         }
     }
 
-    fn collect_r(&mut self, now: Cycle) {
-        while let Some(r) = self.port.r.recv(now) {
+    fn collect_r(&mut self, ctx: &SimCtx, now: Cycle) {
+        while let Some(r) = self.port.r.recv(ctx, now) {
             let txn = self
                 .txns
                 .iter_mut()
@@ -294,18 +295,18 @@ impl Reader {
     ///
     /// Undelivered stream bytes do not keep the reader awake: popping is a
     /// core-side action, not something `tick` advances.
-    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+    pub fn next_event(&self, ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
         if self.fetch.is_some() || !self.txns.is_empty() {
             return Some(now + 1);
         }
-        self.port.r.next_visible_at().map(|v| v.max(now + 1))
+        self.port.r.next_visible_at(ctx).map(|v| v.max(now + 1))
     }
 
     /// Hooks the channels [`Reader::next_event`] depends on: only the R
     /// channel can start work while the reader is idle (`request` is a
     /// core-side call, made while the owning harness is already awake).
-    pub fn register_wakes(&self, waker: &bsim::Waker) {
-        self.port.r.wake_on_send(waker);
+    pub fn register_wakes(&self, ctx: &SimCtx, waker: &bsim::Waker) {
+        self.port.r.wake_on_send(ctx, waker);
     }
 }
 
@@ -507,20 +508,20 @@ impl Writer {
     }
 
     /// Advances the writer one fabric cycle.
-    pub fn tick(&mut self, now: Cycle) {
-        self.collect_b(now);
-        self.start_burst(now);
-        self.stream_w(now);
+    pub fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
+        self.collect_b(ctx, now);
+        self.start_burst(ctx, now);
+        self.stream_w(ctx, now);
     }
 
-    fn collect_b(&mut self, now: Cycle) {
-        while self.port.b.recv(now).is_some() {
+    fn collect_b(&mut self, ctx: &SimCtx, now: Cycle) {
+        while self.port.b.recv(ctx, now).is_some() {
             self.inflight_bs -= 1;
             self.stats.incr("b_received");
         }
     }
 
-    fn start_burst(&mut self, now: Cycle) {
+    fn start_burst(&mut self, ctx: &SimCtx, now: Cycle) {
         if self.current.is_some() {
             return;
         }
@@ -531,7 +532,7 @@ impl Writer {
             self.perf_stall_inflight.incr();
             return;
         }
-        if !self.port.aw.can_send() {
+        if !self.port.aw.can_send(ctx) {
             self.perf_stall_aw.incr();
             return;
         }
@@ -547,7 +548,7 @@ impl Writer {
         }
         let beats = span.div_ceil(bus) as u32;
         let id = self.cfg.ids[(self.stats.get("aw_issued") as usize) % self.cfg.ids.len()];
-        self.port.aw.send(now, AwFlit { id, addr, beats });
+        self.port.aw.send(ctx, now, AwFlit { id, addr, beats });
         let data: Vec<u8> = self.staging.drain(..span as usize).collect();
         self.current = Some(WriteBurst {
             id,
@@ -565,11 +566,11 @@ impl Writer {
         }
     }
 
-    fn stream_w(&mut self, now: Cycle) {
+    fn stream_w(&mut self, ctx: &SimCtx, now: Cycle) {
         let Some(burst) = &mut self.current else {
             return;
         };
-        if !self.port.w.can_send() {
+        if !self.port.w.can_send(ctx) {
             self.perf_stall_w.incr();
             return;
         }
@@ -587,7 +588,7 @@ impl Writer {
             Some(s)
         };
         let last = burst.beats_sent + 1 == burst.beats;
-        self.port.w.send(now, WFlit { data, strb, last });
+        self.port.w.send(ctx, now, WFlit { data, strb, last });
         burst.beats_sent += 1;
         self.stats.incr("w_beats");
         if last {
@@ -609,19 +610,19 @@ impl Writer {
     /// Outstanding B responses wake the writer through its B channel's
     /// visibility horizon; the issuing controller stays active until it has
     /// sent them, so the scheduler cannot skip past their arrival.
-    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+    pub fn next_event(&self, ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
         if self.emit.is_some() || self.current.is_some() || !self.staging.is_empty() {
             return Some(now + 1);
         }
-        self.port.b.next_visible_at().map(|v| v.max(now + 1))
+        self.port.b.next_visible_at(ctx).map(|v| v.max(now + 1))
     }
 
     /// Hooks the channels [`Writer::next_event`] depends on: only the B
     /// channel can start work while the writer is idle (`request` and
     /// `push_chunk` are core-side calls, made while the owning harness is
     /// already awake).
-    pub fn register_wakes(&self, waker: &bsim::Waker) {
-        self.port.b.wake_on_send(waker);
+    pub fn register_wakes(&self, ctx: &SimCtx, waker: &bsim::Waker) {
+        self.port.b.wake_on_send(ctx, waker);
     }
 }
 
@@ -775,23 +776,23 @@ mod tests {
     use super::*;
     use baxi::{axi_link, AxiMemoryController, ControllerConfig, PortDepths, SharedMemory};
     use bdram::{DramConfig, DramSystem};
-    use bsim::{Component, Simulation, SparseMemory};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use bsim::{Component, Simulation};
 
     /// A harness: one reader and one writer wired straight to a controller.
     struct Rig {
         sim: Simulation,
-        reader: bsim::Shared<Reader>,
-        writer: bsim::Shared<Writer>,
+        reader: bsim::Shared<TickPrim<Reader>>,
+        writer: bsim::Shared<TickPrim<Writer>>,
         memory: SharedMemory,
     }
 
-    struct TickPrim<T>(bsim::Shared<T>, fn(&mut T, Cycle));
+    /// Owns a primitive and ticks it as a component; tests reach the
+    /// primitive through `sim.get_mut(handle).0`.
+    struct TickPrim<T>(T, fn(&mut T, &SimCtx, Cycle));
 
-    impl<T> Component for TickPrim<T> {
-        fn tick(&mut self, now: Cycle) {
-            (self.1)(&mut self.0.borrow_mut(), now);
+    impl<T: Send + 'static> Component for TickPrim<T> {
+        fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
+            (self.1)(&mut self.0, ctx, now);
         }
     }
 
@@ -799,42 +800,52 @@ mod tests {
         // Two independent AXI links, two controllers sharing one memory
         // image (keeps the unit test free of the interconnect, which is
         // exercised in interconnect.rs).
-        let memory: SharedMemory = Rc::new(RefCell::new(SparseMemory::new()));
+        let memory = SharedMemory::default();
         let mut sim = Simulation::new();
 
-        let (rd_master, rd_slave) = axi_link(PortDepths {
-            ar: 8,
-            r: 64,
-            aw: 8,
-            w: 64,
-            b: 8,
-        });
+        let (rd_master, rd_slave) = axi_link(
+            &mut sim,
+            PortDepths {
+                ar: 8,
+                r: 64,
+                aw: 8,
+                w: 64,
+                b: 8,
+            },
+        );
         let ctrl_r = AxiMemoryController::new(
             ControllerConfig::default(),
             DramSystem::new(DramConfig::ddr4_2400()),
             rd_slave,
-            Rc::clone(&memory),
+            memory.clone(),
         );
         sim.add(ctrl_r);
-        let reader = bsim::Shared::new(Reader::new(reader_cfg, rd_master));
-        sim.add(TickPrim(reader.clone(), |r, now| r.tick(now)));
+        let reader = sim.add_shared(TickPrim(
+            Reader::new(reader_cfg, rd_master),
+            |r, ctx, now| r.tick(ctx, now),
+        ));
 
-        let (wr_master, wr_slave) = axi_link(PortDepths {
-            ar: 8,
-            r: 64,
-            aw: 8,
-            w: 64,
-            b: 8,
-        });
+        let (wr_master, wr_slave) = axi_link(
+            &mut sim,
+            PortDepths {
+                ar: 8,
+                r: 64,
+                aw: 8,
+                w: 64,
+                b: 8,
+            },
+        );
         let ctrl_w = AxiMemoryController::new(
             ControllerConfig::default(),
             DramSystem::new(DramConfig::ddr4_2400()),
             wr_slave,
-            Rc::clone(&memory),
+            memory.clone(),
         );
         sim.add(ctrl_w);
-        let writer = bsim::Shared::new(Writer::new(writer_cfg, wr_master));
-        sim.add(TickPrim(writer.clone(), |w, now| w.tick(now)));
+        let writer = sim.add_shared(TickPrim(
+            Writer::new(writer_cfg, wr_master),
+            |w, ctx, now| w.tick(ctx, now),
+        ));
 
         Rig {
             sim,
@@ -849,17 +860,17 @@ mod tests {
         let mut r = rig(ReaderConfig::new("in", 4), WriterConfig::new("out", 4));
         let data: Vec<u8> = (0..4096u32).map(|i| (i % 256) as u8).collect();
         r.memory.borrow_mut().write(0x10_000, &data);
-        r.reader.borrow_mut().request(0x10_000, 4096).unwrap();
+        r.sim.get_mut(r.reader).0.request(0x10_000, 4096).unwrap();
         let mut got = Vec::new();
         while got.len() < 4096 {
             r.sim.step();
-            while let Some(chunk) = r.reader.borrow_mut().pop_chunk() {
+            while let Some(chunk) = r.sim.get_mut(r.reader).0.pop_chunk() {
                 got.extend(chunk);
             }
             assert!(r.sim.now() < 100_000, "reader stalled");
         }
         assert_eq!(got, data);
-        assert!(!r.reader.borrow().busy());
+        assert!(!r.sim.get(r.reader).0.busy());
     }
 
     #[test]
@@ -867,11 +878,11 @@ mod tests {
         let mut r = rig(ReaderConfig::new("in", 4), WriterConfig::new("out", 4));
         let data: Vec<u8> = (0..100).collect();
         r.memory.borrow_mut().write(0x10_004, &data);
-        r.reader.borrow_mut().request(0x10_004, 100).unwrap();
+        r.sim.get_mut(r.reader).0.request(0x10_004, 100).unwrap();
         let mut got = Vec::new();
         while got.len() < 100 {
             r.sim.step();
-            while let Some(b) = r.reader.borrow_mut().pop_bytes(4) {
+            while let Some(b) = r.sim.get_mut(r.reader).0.pop_bytes(4) {
                 got.extend(b);
             }
             assert!(r.sim.now() < 100_000);
@@ -882,8 +893,8 @@ mod tests {
     #[test]
     fn reader_rejects_overlapping_requests() {
         let mut r = rig(ReaderConfig::new("in", 4), WriterConfig::new("out", 4));
-        r.reader.borrow_mut().request(0, 64).unwrap();
-        assert!(r.reader.borrow_mut().request(64, 64).is_err());
+        r.sim.get_mut(r.reader).0.request(0, 64).unwrap();
+        assert!(r.sim.get_mut(r.reader).0.request(64, 64).is_err());
         r.sim.run_for(1);
     }
 
@@ -893,26 +904,26 @@ mod tests {
         cfg.burst_beats = 16;
         cfg.max_inflight = 4;
         let mut r = rig(cfg, WriterConfig::new("out", 4));
-        r.reader.borrow_mut().request(0, 16384).unwrap();
+        r.sim.get_mut(r.reader).0.request(0, 16384).unwrap();
         let mut drained = 0usize;
         while drained < 16384 {
             r.sim.step();
-            while let Some(c) = r.reader.borrow_mut().pop_chunk() {
+            while let Some(c) = r.sim.get_mut(r.reader).0.pop_chunk() {
                 drained += c.len();
             }
             assert!(r.sim.now() < 100_000);
         }
-        assert!(r.reader.borrow().stats().get("ar_issued") >= 4);
+        assert!(r.sim.get(r.reader).0.stats().get("ar_issued") >= 4);
     }
 
     #[test]
     fn writer_roundtrip_through_memory() {
         let mut r = rig(ReaderConfig::new("in", 4), WriterConfig::new("out", 4));
-        r.writer.borrow_mut().request(0x20_000, 1024).unwrap();
+        r.sim.get_mut(r.writer).0.request(0x20_000, 1024).unwrap();
         let mut pushed = 0u32;
-        while !r.writer.borrow().done() {
+        while !r.sim.get(r.writer).0.done() {
             {
-                let mut w = r.writer.borrow_mut();
+                let w = &mut r.sim.get_mut(r.writer).0;
                 while pushed < 256 && w.can_push() {
                     w.push_u32(pushed * 7);
                     pushed += 1;
@@ -931,11 +942,11 @@ mod tests {
         let mut r = rig(ReaderConfig::new("in", 4), WriterConfig::new("out", 4));
         // Pre-fill so we can detect clobbering beyond the 100-byte write.
         r.memory.borrow_mut().write(0x30_000, &[0xEE; 256]);
-        r.writer.borrow_mut().request(0x30_000, 100).unwrap();
+        r.sim.get_mut(r.writer).0.request(0x30_000, 100).unwrap();
         let mut pushed = 0usize;
-        while !r.writer.borrow().done() {
+        while !r.sim.get(r.writer).0.done() {
             {
-                let mut w = r.writer.borrow_mut();
+                let w = &mut r.sim.get_mut(r.writer).0;
                 while pushed < 100 && w.can_push() {
                     let n = 4.min(100 - pushed);
                     let chunk: Vec<u8> = (pushed..pushed + n).map(|i| i as u8).collect();
@@ -959,10 +970,11 @@ mod tests {
         let words: Vec<u32> = (0..320).map(|i| i * 3 + 1).collect();
         r.memory.borrow_mut().write_u32_slice(0x40_000, &words);
         let mut sp = Scratchpad::new("keys", 32, 320, 2);
-        sp.start_init(&mut r.reader.borrow_mut(), 0x40_000).unwrap();
+        sp.start_init(&mut r.sim.get_mut(r.reader).0, 0x40_000)
+            .unwrap();
         while sp.initializing() {
             r.sim.step();
-            sp.service_init(&mut r.reader.borrow_mut());
+            sp.service_init(&mut r.sim.get_mut(r.reader).0);
             assert!(r.sim.now() < 100_000, "init stalled");
         }
         for (i, &w) in words.iter().enumerate() {
@@ -983,10 +995,10 @@ mod tests {
 
     #[test]
     fn zero_length_request_is_a_noop() {
-        let r = rig(ReaderConfig::new("in", 4), WriterConfig::new("out", 4));
-        r.reader.borrow_mut().request(0, 0).unwrap();
-        assert!(!r.reader.borrow().busy());
-        r.writer.borrow_mut().request(0, 0).unwrap();
-        assert!(r.writer.borrow().done());
+        let mut r = rig(ReaderConfig::new("in", 4), WriterConfig::new("out", 4));
+        r.sim.get_mut(r.reader).0.request(0, 0).unwrap();
+        assert!(!r.sim.get(r.reader).0.busy());
+        r.sim.get_mut(r.writer).0.request(0, 0).unwrap();
+        assert!(r.sim.get(r.writer).0.done());
     }
 }

@@ -193,7 +193,7 @@ impl SocSim {
 
     /// The functional device memory image.
     pub fn memory(&self) -> baxi::SharedMemory {
-        std::rc::Rc::clone(&self.memory)
+        self.memory.clone()
     }
 
     /// Current fabric cycle.
@@ -216,8 +216,9 @@ impl SocSim {
     /// cycle-exact; this exists so tests and benches can compare them.
     pub fn set_event_driven(&mut self, enabled: bool) {
         self.sim.set_event_driven(enabled);
-        for controller in &self.controllers {
-            controller.borrow_mut().set_event_driven(enabled);
+        let controllers = self.controllers.clone();
+        for controller in controllers {
+            self.sim.get_mut(controller).set_event_driven(enabled);
         }
     }
 
@@ -226,9 +227,10 @@ impl SocSim {
     /// the DRAM model's own idle skipping follows suit (on unless naive).
     pub fn set_scheduler_mode(&mut self, mode: bsim::SchedulerMode) {
         self.sim.set_scheduler_mode(mode);
-        for controller in &self.controllers {
-            controller
-                .borrow_mut()
+        let controllers = self.controllers.clone();
+        for controller in controllers {
+            self.sim
+                .get_mut(controller)
                 .set_event_driven(mode != bsim::SchedulerMode::Naive);
         }
     }
@@ -263,7 +265,7 @@ impl SocSim {
         self.links
             .get(system as usize)
             .and_then(|c| c.get(core as usize))
-            .is_some_and(|l| l.cmd_tx.can_send())
+            .is_some_and(|l| l.cmd_tx.can_send(self.sim.ctx()))
     }
 
     /// Occupancy snapshot of `(system, core)`'s command queue — what a
@@ -273,7 +275,7 @@ impl SocSim {
         self.links
             .get(system as usize)
             .and_then(|c| c.get(core as usize))
-            .map(|l| l.cmd_tx.state())
+            .map(|l| l.cmd_tx.state(self.sim.ctx()))
     }
 
     /// Free command-queue slots on `(system, core)`, in whole commands.
@@ -309,7 +311,10 @@ impl SocSim {
                 n_cores: cores.len() as u16,
             });
         }
-        if !self.links[system as usize][core as usize].cmd_tx.can_send() {
+        if !self.links[system as usize][core as usize]
+            .cmd_tx
+            .can_send(self.sim.ctx())
+        {
             return Err(SendError::QueueFull);
         }
         // The full host→MMIO→RoCC→core path: pack the arguments onto RoCC
@@ -349,10 +354,10 @@ impl SocSim {
         let unpacked = unpack_command(spec, &beats);
         let link = &self.links[key.0 as usize][key.1 as usize];
         assert!(
-            link.cmd_tx.can_send(),
+            link.cmd_tx.can_send(self.sim.ctx()),
             "command FIFO overrun: host must check CMD_STATUS before writing"
         );
-        link.cmd_tx.send(self.sim.now(), unpacked);
+        link.cmd_tx.send(self.sim.ctx(), self.sim.now(), unpacked);
     }
 
     /// Total 32-bit words the host has pushed through the command FIFO.
@@ -364,7 +369,7 @@ impl SocSim {
         let now = self.sim.now();
         for (sys, cores) in self.links.iter().enumerate() {
             for (core, link) in cores.iter().enumerate() {
-                while let Some(resp) = link.resp_rx.recv(now) {
+                while let Some(resp) = link.resp_rx.recv(self.sim.ctx(), now) {
                     let (seq, sent) = self.outstanding[sys][core]
                         .pop_front()
                         .expect("response without outstanding command");
@@ -420,10 +425,11 @@ impl SocSim {
             mmio_stats,
             ..
         } = self;
-        let result = sim.run_until_strided(max_cycles, RESPONSE_POLL_STRIDE, |now| {
+        let result = sim.run_until_strided(max_cycles, RESPONSE_POLL_STRIDE, |sim| {
+            let now = sim.now();
             for (sys, cores) in links.iter().enumerate() {
                 for (core, link) in cores.iter().enumerate() {
-                    while let Some(resp) = link.resp_rx.recv(now) {
+                    while let Some(resp) = link.resp_rx.recv(sim.ctx(), now) {
                         let (seq, sent) = outstanding[sys][core]
                             .pop_front()
                             .expect("response without outstanding command");
@@ -471,10 +477,11 @@ impl SocSim {
             mmio_stats,
             ..
         } = self;
-        let result = sim.run_until_strided(max_cycles, RESPONSE_POLL_STRIDE, |now| {
+        let result = sim.run_until_strided(max_cycles, RESPONSE_POLL_STRIDE, |sim| {
+            let now = sim.now();
             for (sys, cores) in links.iter().enumerate() {
                 for (core, link) in cores.iter().enumerate() {
-                    while let Some(resp) = link.resp_rx.recv(now) {
+                    while let Some(resp) = link.resp_rx.recv(sim.ctx(), now) {
                         let (seq, sent) = outstanding[sys][core]
                             .pop_front()
                             .expect("response without outstanding command");
@@ -499,12 +506,12 @@ impl SocSim {
     /// Memory port 0's controller stats bag (the port a single-core design
     /// uses).
     pub fn controller_stats(&self) -> Stats {
-        self.controllers[0].borrow().stats()
+        self.sim.get(self.controllers[0]).stats()
     }
 
     /// Memory port 0's AXI event tracer (for Figure-5 timelines).
     pub fn tracer(&self) -> Tracer {
-        self.controllers[0].borrow().tracer()
+        self.sim.get(self.controllers[0]).tracer()
     }
 
     /// Number of independent memory ports.
@@ -516,7 +523,7 @@ impl SocSim {
     pub fn dram_stats(&self) -> bdram::ChannelStats {
         let mut total = bdram::ChannelStats::default();
         for c in &self.controllers {
-            total.merge(c.borrow().dram_stats());
+            total.merge(self.sim.get(*c).dram_stats());
         }
         total
     }
@@ -563,6 +570,37 @@ impl SocSim {
             "registered_component_cycles",
             self.sim.registered_component_cycles(),
         );
+        // DRAM channel stats live in plain structs inside each controller;
+        // mirror them here (before every registry read) instead of via a
+        // stored pull provider, which cannot resolve an arena handle
+        // without the simulation.
+        for (port, c) in self.controllers.iter().enumerate() {
+            let ctrl = self.sim.get(*c);
+            let burst = ctrl.dram_bytes_per_burst();
+            let path = format!("mem{port}/dram");
+            for (i, s) in ctrl.dram_channel_stats().into_iter().enumerate() {
+                self.perf.set_value(&path, &format!("ch{i}_reads"), s.reads);
+                self.perf
+                    .set_value(&path, &format!("ch{i}_writes"), s.writes);
+                self.perf
+                    .set_value(&path, &format!("ch{i}_row_hits"), s.row_hits);
+                self.perf
+                    .set_value(&path, &format!("ch{i}_row_conflicts"), s.row_conflicts);
+                self.perf
+                    .set_value(&path, &format!("ch{i}_activates"), s.activates);
+                self.perf
+                    .set_value(&path, &format!("ch{i}_refreshes"), s.refreshes);
+                self.perf.set_value(
+                    &path,
+                    &format!("ch{i}_refresh_stall_cycles"),
+                    s.refresh_stall_cycles,
+                );
+                self.perf
+                    .set_value(&path, &format!("ch{i}_bytes_read"), s.reads * burst);
+                self.perf
+                    .set_value(&path, &format!("ch{i}_bytes_written"), s.writes * burst);
+            }
+        }
     }
 
     /// Host-side MMIO register write (the counter window plus the command
@@ -599,7 +637,7 @@ impl SocSim {
                 .links
                 .iter()
                 .flatten()
-                .map(|l| l.cmd_tx.free_slots())
+                .map(|l| l.cmd_tx.free_slots(self.sim.ctx()))
                 .min()
                 .unwrap_or(0) as u32,
             MmioRegister::PerfSelect => self.perf_select,

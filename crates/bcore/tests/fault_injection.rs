@@ -12,8 +12,8 @@ struct MisbehavingCore {
 }
 
 impl AcceleratorCore for MisbehavingCore {
-    fn tick(&mut self, ctx: &mut CoreContext) {
-        if let Some(cmd) = ctx.take_command() {
+    fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
+        if let Some(cmd) = ctx.take_command(sim) {
             self.mode = cmd.arg("mode");
             match self.mode {
                 // 1: double-request a busy reader.
@@ -34,7 +34,7 @@ impl AcceleratorCore for MisbehavingCore {
                     ctx.reader("nonexistent").request(0, 4).unwrap();
                 }
                 _ => {
-                    ctx.respond(0);
+                    ctx.respond(sim, 0);
                 }
             }
         }

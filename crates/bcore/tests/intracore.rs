@@ -29,9 +29,9 @@ impl Producer {
 }
 
 impl AcceleratorCore for Producer {
-    fn tick(&mut self, ctx: &mut CoreContext) {
+    fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
         if !self.active {
-            if let Some(cmd) = ctx.take_command() {
+            if let Some(cmd) = ctx.take_command(sim) {
                 self.base = cmd.arg("base");
                 self.n = cmd.arg("n");
                 self.next = 0;
@@ -39,13 +39,13 @@ impl AcceleratorCore for Producer {
             }
             return;
         }
-        while self.next < self.n && ctx.intra_out("ring").can_send() {
+        while self.next < self.n && ctx.intra_out("ring").can_send(sim) {
             let (idx, value) = (self.next, self.base + self.next + 1);
             let now = ctx.now();
-            ctx.intra_out("ring").send(now, idx, value);
+            ctx.intra_out("ring").send(sim, now, idx, value);
             self.next += 1;
         }
-        if self.next == self.n && ctx.respond(0) {
+        if self.next == self.n && ctx.respond(sim, 0) {
             self.active = false;
         }
     }
@@ -68,9 +68,9 @@ impl Consumer {
 }
 
 impl AcceleratorCore for Consumer {
-    fn tick(&mut self, ctx: &mut CoreContext) {
+    fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
         if !self.active {
-            if let Some(cmd) = ctx.take_command() {
+            if let Some(cmd) = ctx.take_command(sim) {
                 self.n = cmd.arg("n");
                 self.active = true;
             }
@@ -81,7 +81,7 @@ impl AcceleratorCore for Consumer {
             let sum: u64 = (0..self.n as usize)
                 .map(|i| ctx.scratchpad("mailbox").read(i))
                 .sum();
-            if ctx.respond(sum) {
+            if ctx.respond(sim, sum) {
                 self.active = false;
             }
         }

@@ -17,9 +17,9 @@ struct PairAdd {
 }
 
 impl AcceleratorCore for PairAdd {
-    fn tick(&mut self, ctx: &mut CoreContext) {
+    fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
         if !self.active {
-            if let Some(cmd) = ctx.take_command() {
+            if let Some(cmd) = ctx.take_command(sim) {
                 let n = cmd.arg("n") as u32;
                 let bytes = u64::from(n) * 4;
                 ctx.reader_at("operands", 0)
@@ -48,7 +48,7 @@ impl AcceleratorCore for PairAdd {
             ctx.writer("sum").push_u32(a.wrapping_add(b));
             self.remaining -= 1;
         }
-        if self.remaining == 0 && ctx.writer("sum").done() && ctx.respond(0) {
+        if self.remaining == 0 && ctx.writer("sum").done() && ctx.respond(sim, 0) {
             self.active = false;
         }
     }

@@ -69,10 +69,10 @@ impl AcceleratorCore for GemmCore {
         self.phase == Phase::Idle
     }
 
-    fn tick(&mut self, ctx: &mut CoreContext) {
+    fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
         match self.phase {
             Phase::Idle => {
-                if let Some(cmd) = ctx.take_command() {
+                if let Some(cmd) = ctx.take_command(sim) {
                     self.n = cmd.arg("n") as usize;
                     self.a_addr = cmd.arg("a");
                     self.c_addr = cmd.arg("c");
@@ -157,7 +157,7 @@ impl AcceleratorCore for GemmCore {
                 }
             }
             Phase::Finish => {
-                if ctx.writer("c").done() && ctx.respond(0) {
+                if ctx.writer("c").done() && ctx.respond(sim, 0) {
                     self.phase = Phase::Idle;
                 }
             }

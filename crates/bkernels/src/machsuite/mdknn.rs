@@ -81,10 +81,10 @@ impl AcceleratorCore for MdKnnCore {
         self.phase == Phase::Idle
     }
 
-    fn tick(&mut self, ctx: &mut CoreContext) {
+    fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
         match self.phase {
             Phase::Idle => {
-                if let Some(cmd) = ctx.take_command() {
+                if let Some(cmd) = ctx.take_command(sim) {
                     self.n = cmd.arg("n") as usize;
                     self.k = cmd.arg("k") as usize;
                     assert!(self.n * 3 <= ctx.scratchpad("pos").len());
@@ -171,7 +171,7 @@ impl AcceleratorCore for MdKnnCore {
                 }
             }
             Phase::Finish => {
-                if ctx.writer("force").done() && ctx.respond(0) {
+                if ctx.writer("force").done() && ctx.respond(sim, 0) {
                     self.phase = Phase::Idle;
                 }
             }

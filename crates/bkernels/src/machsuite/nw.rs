@@ -94,10 +94,10 @@ impl AcceleratorCore for NwCore {
         self.phase == Phase::Idle
     }
 
-    fn tick(&mut self, ctx: &mut CoreContext) {
+    fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
         match self.phase {
             Phase::Idle => {
-                if let Some(cmd) = ctx.take_command() {
+                if let Some(cmd) = ctx.take_command(sim) {
                     self.n = cmd.arg("n") as usize;
                     self.out_addr = cmd.arg("out");
                     assert!(
@@ -257,7 +257,7 @@ impl AcceleratorCore for NwCore {
                 }
             }
             Phase::Finish => {
-                if ctx.writer("out").done() && ctx.respond(0) {
+                if ctx.writer("out").done() && ctx.respond(sim, 0) {
                     self.phase = Phase::Idle;
                 }
             }

@@ -57,10 +57,10 @@ impl AcceleratorCore for Stencil2dCore {
         self.phase == Phase::Idle
     }
 
-    fn tick(&mut self, ctx: &mut CoreContext) {
+    fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
         match self.phase {
             Phase::Idle => {
-                if let Some(cmd) = ctx.take_command() {
+                if let Some(cmd) = ctx.take_command(sim) {
                     self.n = cmd.arg("n") as usize;
                     assert!(self.n * self.n <= ctx.scratchpad("grid").len());
                     let orig = cmd.arg("orig");
@@ -124,7 +124,7 @@ impl AcceleratorCore for Stencil2dCore {
                 }
             }
             Phase::Finish => {
-                if ctx.writer("sol").done() && ctx.respond(0) {
+                if ctx.writer("sol").done() && ctx.respond(sim, 0) {
                     self.phase = Phase::Idle;
                 }
             }

@@ -60,10 +60,10 @@ impl AcceleratorCore for Stencil3dCore {
         self.phase == Phase::Idle
     }
 
-    fn tick(&mut self, ctx: &mut CoreContext) {
+    fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
         match self.phase {
             Phase::Idle => {
-                if let Some(cmd) = ctx.take_command() {
+                if let Some(cmd) = ctx.take_command(sim) {
                     self.n = cmd.arg("n") as usize;
                     assert!(self.n * self.n * self.n <= ctx.scratchpad("grid").len());
                     self.c0 = cmd.arg("c0") as u32 as i32;
@@ -126,7 +126,7 @@ impl AcceleratorCore for Stencil3dCore {
                 }
             }
             Phase::Finish => {
-                if ctx.writer("sol").done() && ctx.respond(0) {
+                if ctx.writer("sol").done() && ctx.respond(sim, 0) {
                     self.phase = Phase::Idle;
                 }
             }

@@ -49,9 +49,9 @@ impl AcceleratorCore for MemcpyCore {
         !self.active
     }
 
-    fn tick(&mut self, ctx: &mut CoreContext) {
+    fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
         if !self.active {
-            if let Some(cmd) = ctx.take_command() {
+            if let Some(cmd) = ctx.take_command(sim) {
                 let src = cmd.arg("src");
                 let dst = cmd.arg("dst");
                 let len = cmd.arg("len");
@@ -72,7 +72,7 @@ impl AcceleratorCore for MemcpyCore {
             ctx.writer("dst").push_chunk(&chunk);
             self.remaining -= chunk_len as u64;
         }
-        if self.remaining == 0 && ctx.writer("dst").done() && ctx.respond(0) {
+        if self.remaining == 0 && ctx.writer("dst").done() && ctx.respond(sim, 0) {
             self.active = false;
         }
     }

@@ -32,9 +32,9 @@ impl AcceleratorCore for VecAddCore {
         !self.active
     }
 
-    fn tick(&mut self, ctx: &mut CoreContext) {
+    fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
         if !self.active {
-            if let Some(cmd) = ctx.take_command() {
+            if let Some(cmd) = ctx.take_command(sim) {
                 self.addend = cmd.arg("addend") as u32;
                 let n = cmd.arg("n_eles") as u32;
                 let addr = cmd.arg("vec_addr");
@@ -59,7 +59,7 @@ impl AcceleratorCore for VecAddCore {
             ctx.writer("vec_out").push_u32(out);
             self.remaining -= 1;
         }
-        if self.remaining == 0 && ctx.writer("vec_out").done() && ctx.respond(0) {
+        if self.remaining == 0 && ctx.writer("vec_out").done() && ctx.respond(sim, 0) {
             self.active = false;
         }
     }

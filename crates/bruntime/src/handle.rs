@@ -1,8 +1,7 @@
 //! [`FpgaHandle`]: the user-library + runtime-server pair of §II-C.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bcore::{CommandToken, MmioRegister, SocSim};
 use bplatform::AddressSpace;
@@ -160,16 +159,16 @@ impl Inner {
 /// like multiple library handles talking to one runtime server.
 #[derive(Clone)]
 pub struct FpgaHandle {
-    inner: Rc<RefCell<Inner>>,
+    inner: Arc<Mutex<Inner>>,
 }
 
 /// The paper's `response_handle<T>`: poll or block for a command's
 /// completion.
 #[derive(Clone)]
 pub struct ResponseHandle {
-    inner: Rc<RefCell<Inner>>,
+    inner: Arc<Mutex<Inner>>,
     token: CommandToken,
-    resolved: Rc<RefCell<Option<u64>>>,
+    resolved: Arc<Mutex<Option<u64>>>,
 }
 
 impl FpgaHandle {
@@ -183,7 +182,7 @@ impl FpgaHandle {
         let platform = soc.platform().clone();
         let allocator = DeviceAllocator::new(platform.mem_base.max(4096), platform.mem_size);
         Self {
-            inner: Rc::new(RefCell::new(Inner {
+            inner: Arc::new(Mutex::new(Inner {
                 soc,
                 allocator,
                 host_shadow: HashMap::new(),
@@ -201,7 +200,7 @@ impl FpgaHandle {
     ///
     /// Propagates allocator failures.
     pub fn malloc(&self, n_bytes: u64) -> Result<RemotePtr, CallError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("runtime lock poisoned");
         let addr = inner
             .allocator
             .malloc(n_bytes)
@@ -226,7 +225,7 @@ impl FpgaHandle {
     ///
     /// Propagates allocator failures (double free, foreign pointer).
     pub fn free(&self, ptr: RemotePtr) -> Result<(), CallError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("runtime lock poisoned");
         inner
             .allocator
             .free(ptr.addr)
@@ -252,7 +251,7 @@ impl FpgaHandle {
             offset + data.len() as u64 <= ptr.len,
             "write beyond allocation"
         );
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("runtime lock poisoned");
         match inner.soc.platform().address_space {
             AddressSpace::Shared => {
                 inner
@@ -280,7 +279,7 @@ impl FpgaHandle {
     /// Panics if the range exceeds the allocation.
     pub fn read_at(&self, ptr: RemotePtr, offset: u64, len: usize) -> Vec<u8> {
         assert!(offset + len as u64 <= ptr.len, "read beyond allocation");
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().expect("runtime lock poisoned");
         match inner.soc.platform().address_space {
             AddressSpace::Shared => inner.soc.memory().borrow().read_vec(ptr.addr + offset, len),
             AddressSpace::Discrete => {
@@ -310,7 +309,7 @@ impl FpgaHandle {
     /// DMA host→device (no-op on shared-memory platforms). Advances
     /// simulated time by the platform's DMA cost model.
     pub fn copy_to_fpga(&self, ptr: RemotePtr) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("runtime lock poisoned");
         if inner.soc.platform().address_space == AddressSpace::Shared {
             return;
         }
@@ -324,7 +323,7 @@ impl FpgaHandle {
 
     /// DMA device→host (no-op on shared-memory platforms).
     pub fn copy_from_fpga(&self, ptr: RemotePtr) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("runtime lock poisoned");
         if inner.soc.platform().address_space == AddressSpace::Shared {
             return;
         }
@@ -355,7 +354,7 @@ impl FpgaHandle {
         core_idx: u16,
         args: std::collections::BTreeMap<String, u64>,
     ) -> Result<ResponseHandle, CallError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("runtime lock poisoned");
         let sys_id = inner
             .soc
             .system_id(system)
@@ -380,48 +379,65 @@ impl FpgaHandle {
         };
         inner.stats.commands += 1;
         Ok(ResponseHandle {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
             token,
-            resolved: Rc::new(RefCell::new(None)),
+            resolved: Arc::new(Mutex::new(None)),
         })
     }
 
     /// Runs the device for `cycles` fabric cycles (host idle).
     pub fn run_for(&self, cycles: Cycle) {
-        self.inner.borrow_mut().soc.run_for(cycles);
+        self.inner
+            .lock()
+            .expect("runtime lock poisoned")
+            .soc
+            .run_for(cycles);
     }
 
     /// Current fabric cycle.
     pub fn now(&self) -> Cycle {
-        self.inner.borrow().soc.now()
+        self.inner.lock().expect("runtime lock poisoned").soc.now()
     }
 
     /// Elapsed simulated wall-clock seconds.
     pub fn elapsed_secs(&self) -> f64 {
-        self.inner.borrow().soc.elapsed_secs()
+        self.inner
+            .lock()
+            .expect("runtime lock poisoned")
+            .soc
+            .elapsed_secs()
     }
 
     /// Runtime statistics.
     pub fn stats(&self) -> RuntimeStats {
-        self.inner.borrow().stats
+        self.inner.lock().expect("runtime lock poisoned").stats
     }
 
     /// Borrows the device for direct inspection (stats, tracer, report).
     pub fn with_soc<R>(&self, f: impl FnOnce(&mut SocSim) -> R) -> R {
-        f(&mut self.inner.borrow_mut().soc)
+        f(&mut self.inner.lock().expect("runtime lock poisoned").soc)
     }
 
     /// Turns the device's gated performance counters on or off (a debug
     /// control register in the real shell; free of host-time cost here).
     pub fn set_profiling(&self, enabled: bool) {
-        self.inner.borrow_mut().soc.set_profiling(enabled);
+        self.inner
+            .lock()
+            .expect("runtime lock poisoned")
+            .soc
+            .set_profiling(enabled);
     }
 
     /// Sorted flattened counter names — the MMIO counter window's index
     /// space. The real runtime gets this map from the generated platform
     /// header, so reading it costs no device traffic.
     pub fn counter_names(&self) -> Vec<String> {
-        self.inner.borrow().soc.perf().counter_names()
+        self.inner
+            .lock()
+            .expect("runtime lock poisoned")
+            .soc
+            .perf()
+            .counter_names()
     }
 
     /// Reads one performance counter by name through the MMIO counter
@@ -432,7 +448,7 @@ impl FpgaHandle {
     ///
     /// Returns `None` for a name the window does not expose.
     pub fn read_counter(&self, name: &str) -> Option<u64> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("runtime lock poisoned");
         let link_ns = inner.soc.platform().host_link.mmio_latency_ns;
         inner.advance_ns(link_ns);
         // Resolve the index only after the link delay: counter names
@@ -455,7 +471,11 @@ impl FpgaHandle {
     /// Snapshot of every counter (sorted `path/name` pairs, baseline-
     /// subtracted). A host-side bulk read; costs no simulated time.
     pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
-        self.inner.borrow().soc.perf_counters()
+        self.inner
+            .lock()
+            .expect("runtime lock poisoned")
+            .soc
+            .perf_counters()
     }
 
     /// Per-counter difference between the current values and an earlier
@@ -476,24 +496,34 @@ impl FpgaHandle {
     /// device-side sources are never written, matching a real PMU whose
     /// counters may be load-bearing).
     pub fn reset_counters(&self) {
-        self.inner.borrow().soc.reset_perf();
+        self.inner
+            .lock()
+            .expect("runtime lock poisoned")
+            .soc
+            .reset_perf();
     }
 
     /// Sets the blocking-`get` budget in fabric cycles.
     pub fn set_get_timeout(&self, cycles: Cycle) {
-        self.inner.borrow_mut().get_timeout_cycles = cycles;
+        self.inner
+            .lock()
+            .expect("runtime lock poisoned")
+            .get_timeout_cycles = cycles;
     }
 
     /// The runtime timing options this handle was opened with.
     pub fn options(&self) -> RuntimeOptions {
-        self.inner.borrow().opts
+        self.inner.lock().expect("runtime lock poisoned").opts
     }
 
     /// Advances the device while `ns` of host time passes — the primitive a
     /// runtime-server layer (`bserver`) uses to charge its own host-side
     /// costs (lock arbitration, MMIO traffic) against the shared clock.
     pub fn advance_ns(&self, ns: u64) {
-        self.inner.borrow_mut().advance_ns(ns);
+        self.inner
+            .lock()
+            .expect("runtime lock poisoned")
+            .advance_ns(ns);
     }
 
     /// Opens a client session over this handle's runtime server. Sessions
@@ -502,7 +532,7 @@ impl FpgaHandle {
     /// multi-tenant shape `bserver` arbitrates between.
     pub fn open_session(&self) -> SessionHandle {
         let id = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.inner.lock().expect("runtime lock poisoned");
             let id = inner.next_session;
             inner.next_session += 1;
             id
@@ -510,7 +540,7 @@ impl FpgaHandle {
         SessionHandle {
             handle: self.clone(),
             id,
-            stats: Rc::new(RefCell::new(SessionStats::default())),
+            stats: Arc::new(Mutex::new(SessionStats::default())),
         }
     }
 }
@@ -535,7 +565,7 @@ pub struct SessionStats {
 pub struct SessionHandle {
     handle: FpgaHandle,
     id: u32,
-    stats: Rc<RefCell<SessionStats>>,
+    stats: Arc<Mutex<SessionStats>>,
 }
 
 impl SessionHandle {
@@ -551,7 +581,7 @@ impl SessionHandle {
 
     /// This session's statistics.
     pub fn stats(&self) -> SessionStats {
-        *self.stats.borrow()
+        *self.stats.lock().expect("runtime lock poisoned")
     }
 
     /// Allocates accelerator-visible memory from the shared allocator.
@@ -561,7 +591,7 @@ impl SessionHandle {
     /// Propagates allocator failures with request/high-water context.
     pub fn malloc(&self, n_bytes: u64) -> Result<RemotePtr, CallError> {
         let ptr = self.handle.malloc(n_bytes)?;
-        let mut stats = self.stats.borrow_mut();
+        let mut stats = self.stats.lock().expect("runtime lock poisoned");
         stats.mallocs += 1;
         stats.live_bytes += ptr.len();
         Ok(ptr)
@@ -574,7 +604,7 @@ impl SessionHandle {
     /// Propagates allocator failures (double free, foreign pointer).
     pub fn free(&self, ptr: RemotePtr) -> Result<(), CallError> {
         self.handle.free(ptr)?;
-        let mut stats = self.stats.borrow_mut();
+        let mut stats = self.stats.lock().expect("runtime lock poisoned");
         stats.frees += 1;
         stats.live_bytes = stats.live_bytes.saturating_sub(ptr.len());
         Ok(())
@@ -624,7 +654,7 @@ impl SessionHandle {
         args: std::collections::BTreeMap<String, u64>,
     ) -> Result<ResponseHandle, CallError> {
         let resp = self.handle.call(system, core_idx, args)?;
-        self.stats.borrow_mut().commands += 1;
+        self.stats.lock().expect("runtime lock poisoned").commands += 1;
         Ok(resp)
     }
 }
@@ -633,14 +663,14 @@ impl std::fmt::Debug for SessionHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SessionHandle")
             .field("id", &self.id)
-            .field("stats", &*self.stats.borrow())
+            .field("stats", &*self.stats.lock().expect("runtime lock poisoned"))
             .finish()
     }
 }
 
 impl std::fmt::Debug for FpgaHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().expect("runtime lock poisoned");
         f.debug_struct("FpgaHandle")
             .field("platform", &inner.soc.platform().name)
             .field("now", &inner.soc.now())
@@ -652,16 +682,16 @@ impl std::fmt::Debug for FpgaHandle {
 impl ResponseHandle {
     /// Non-blocking check (the paper's `try_get()`), at one MMIO read cost.
     pub fn try_get(&self) -> Option<u64> {
-        if let Some(v) = *self.resolved.borrow() {
+        if let Some(v) = *self.resolved.lock().expect("runtime lock poisoned") {
             return Some(v);
         }
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("runtime lock poisoned");
         let link_ns = inner.soc.platform().host_link.mmio_latency_ns;
         inner.advance_ns(link_ns);
         let polled = inner.soc.poll(self.token);
         if let Some(v) = polled {
             inner.stats.responses += 1;
-            *self.resolved.borrow_mut() = Some(v);
+            *self.resolved.lock().expect("runtime lock poisoned") = Some(v);
         }
         polled
     }
@@ -674,15 +704,15 @@ impl ResponseHandle {
     /// [`CallError::Timeout`] if the cycle budget set via
     /// [`FpgaHandle::set_get_timeout`] is exceeded.
     pub fn get(&self) -> Result<u64, CallError> {
-        if let Some(v) = *self.resolved.borrow() {
+        if let Some(v) = *self.resolved.lock().expect("runtime lock poisoned") {
             return Ok(v);
         }
-        let start = self.inner.borrow().soc.now();
+        let start = self.inner.lock().expect("runtime lock poisoned").soc.now();
         loop {
             if let Some(v) = self.try_get() {
                 return Ok(v);
             }
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.inner.lock().expect("runtime lock poisoned");
             let waited = inner.soc.now() - start;
             if waited > inner.get_timeout_cycles {
                 return Err(CallError::Timeout { waited });
@@ -702,7 +732,14 @@ impl std::fmt::Debug for ResponseHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ResponseHandle")
             .field("token", &self.token)
-            .field("resolved", &self.resolved.borrow().is_some())
+            .field(
+                "resolved",
+                &self
+                    .resolved
+                    .lock()
+                    .expect("runtime lock poisoned")
+                    .is_some(),
+            )
             .finish()
     }
 }
@@ -723,9 +760,9 @@ mod tests {
     }
 
     impl AcceleratorCore for DoubleCore {
-        fn tick(&mut self, ctx: &mut CoreContext) {
+        fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
             if !self.active {
-                if let Some(cmd) = ctx.take_command() {
+                if let Some(cmd) = ctx.take_command(sim) {
                     let n = cmd.arg("n") as u32;
                     let addr = cmd.arg("addr");
                     self.remaining = n;
@@ -746,7 +783,7 @@ mod tests {
                 ctx.writer("dst").push_u32(v.wrapping_mul(2));
                 self.remaining -= 1;
             }
-            if self.remaining == 0 && ctx.writer("dst").done() && ctx.respond(1) {
+            if self.remaining == 0 && ctx.writer("dst").done() && ctx.respond(sim, 1) {
                 self.active = false;
             }
         }

@@ -19,9 +19,9 @@ struct AddK {
 }
 
 impl AcceleratorCore for AddK {
-    fn tick(&mut self, ctx: &mut CoreContext) {
+    fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
         if !self.active {
-            if let Some(cmd) = ctx.take_command() {
+            if let Some(cmd) = ctx.take_command(sim) {
                 self.k = cmd.arg("k") as u32;
                 let n = cmd.arg("n") as u32;
                 self.remaining = n;
@@ -42,7 +42,7 @@ impl AcceleratorCore for AddK {
             ctx.writer("dst").push_u32(v.wrapping_add(self.k));
             self.remaining -= 1;
         }
-        if self.remaining == 0 && ctx.writer("dst").done() && ctx.respond(u64::from(self.k)) {
+        if self.remaining == 0 && ctx.writer("dst").done() && ctx.respond(sim, u64::from(self.k)) {
             self.active = false;
         }
     }

@@ -1,0 +1,368 @@
+//! The sharded accelerator fleet: one [`AccelServer`]+SoC per worker
+//! thread, with a deterministic admission layer hashing sessions to
+//! shards.
+//!
+//! A single [`AccelServer`] arbitrates one SoC; since the arena refactor
+//! made [`bsim::Simulation`] (and therefore [`bcore::SocSim`] and
+//! [`bruntime::FpgaHandle`]) `Send`, a whole server — simulation, device
+//! allocator, sessions, in-flight queues — can be built on one thread and
+//! run on another. The fleet exploits that: it elaborates `shards`
+//! independent replicas of the same system, assigns every tenant session
+//! to exactly one replica with a seed-free hash ([`shard_for_session`]),
+//! and serves each shard's slice of the arrival schedule on its own
+//! worker thread.
+//!
+//! Determinism is by construction, the same way `bbench::par` gets it:
+//! each shard is a closed simulation whose only inputs are its tenant
+//! set and arrival slice, both fixed by the (shard-count, schedule) pair
+//! before any thread starts; results are reassembled by original arrival
+//! index. Host thread scheduling can reorder *execution*, never
+//! *outcomes* — `run_open_loop` returns byte-identical results whether
+//! the shards run serially or on every core ([`FleetServer::run_open_loop_on`]
+//! pins the execution width for the equivalence tests, and the
+//! `BSERVER_SHARDS` environment variable caps it otherwise).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+use bcore::SocSim;
+use bruntime::{FpgaHandle, SessionHandle};
+use bsim::Histogram;
+
+use crate::{AccelServer, Arrival, JobOutcome, JobSpec, ServerConfig, ServerError};
+
+/// The fleet's shard count when the embedder does not pin one: the
+/// `BSERVER_SHARDS` environment override if set, else the host's
+/// available parallelism — resolved through the shared
+/// [`bsim::host::worker_count`], exactly like `bbench`'s `BBENCH_JOBS`.
+pub fn shard_count() -> usize {
+    bsim::host::worker_count("BSERVER_SHARDS")
+}
+
+/// Deterministic session→shard admission hash: the SplitMix64 finalizer
+/// over the session id, reduced mod `shards`. Seed-free and stable
+/// across runs, platforms, and thread counts, so the same tenant always
+/// lands on the same shard for a given shard count.
+pub fn shard_for_session(session: u64, shards: usize) -> usize {
+    assert!(shards > 0, "fleet needs at least one shard");
+    let mut z = session.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % shards as u64) as usize
+}
+
+/// Fleet configuration: how many replicas, and the per-shard server
+/// config every replica shares.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetConfig {
+    /// Number of shard replicas. `0` means "resolve through
+    /// [`shard_count`]" (`BSERVER_SHARDS`, else host parallelism). The
+    /// resolved count is clamped to the tenant count — a shard with no
+    /// possible tenant would never receive work.
+    pub shards: usize,
+    /// Per-shard [`AccelServer`] configuration.
+    pub server: ServerConfig,
+}
+
+/// One replica: a full SoC behind its own server, plus the global tenant
+/// ids assigned to it.
+struct Shard {
+    handle: FpgaHandle,
+    server: AccelServer,
+    /// Global tenant ids served here (ascending).
+    tenants: Vec<usize>,
+}
+
+/// A fleet of [`AccelServer`] replicas behind one deterministic
+/// admission layer.
+///
+/// Tenants are global (`0..n_tenants`); the fleet maps each to
+/// `(shard, local session)` at construction and keeps that mapping for
+/// the fleet's lifetime. Per-shard perf counters stay in each shard's
+/// own registry; [`FleetServer::sync_rollup`] mirrors them into the
+/// primary (shard 0) registry under `server/shard{i}/…` plus an
+/// aggregate `server/fleet/…`, so the existing `server/` observability
+/// surface covers the whole fleet.
+pub struct FleetServer {
+    shards: Vec<Shard>,
+    /// Global tenant → (shard index, local tenant index on that shard).
+    tenant_map: Vec<(usize, usize)>,
+    config: FleetConfig,
+}
+
+impl FleetServer {
+    /// Builds a fleet of `config.shards` replicas (see [`FleetConfig`])
+    /// for `system`, elaborating one fresh SoC per shard via `mk_soc`
+    /// (called with the shard index) and hashing the `n_tenants` global
+    /// sessions across them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServerError`] from any shard's [`AccelServer::new`]
+    /// (unknown system, or `n_tenants == 0`).
+    pub fn new(
+        mk_soc: impl Fn(usize) -> SocSim,
+        system: &str,
+        n_tenants: usize,
+        config: FleetConfig,
+    ) -> Result<Self, ServerError> {
+        if n_tenants == 0 {
+            return Err(ServerError::NoTenants);
+        }
+        let n_shards = if config.shards == 0 {
+            shard_count()
+        } else {
+            config.shards
+        }
+        .clamp(1, n_tenants);
+        // The admission hash fixes every tenant's shard before any
+        // replica exists; local session indices follow ascending global
+        // id, so a 1-shard fleet's session order is exactly the
+        // single-server path's.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+        let mut tenant_map = Vec::with_capacity(n_tenants);
+        for tenant in 0..n_tenants {
+            let shard = shard_for_session(tenant as u64, n_shards);
+            tenant_map.push((shard, members[shard].len()));
+            members[shard].push(tenant);
+        }
+        let mut shards = Vec::with_capacity(n_shards);
+        for (i, tenants) in members.into_iter().enumerate() {
+            let handle = FpgaHandle::new(mk_soc(i));
+            // A shard the hash left empty still elaborates (replica
+            // count is part of the fleet's shape) but opens a single
+            // idle session so the server constructor's invariant holds.
+            let server = AccelServer::new(&handle, system, tenants.len().max(1), config.server)?;
+            shards.push(Shard {
+                handle,
+                server,
+                tenants,
+            });
+        }
+        Ok(Self {
+            shards,
+            tenant_map,
+            config,
+        })
+    }
+
+    /// Number of shard replicas.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total cores across all shards.
+    pub fn n_cores_total(&self) -> u32 {
+        self.shards
+            .iter()
+            .map(|s| u32::from(s.server.n_cores()))
+            .sum()
+    }
+
+    /// The shard a global tenant's session lives on.
+    pub fn shard_of(&self, tenant: usize) -> usize {
+        self.tenant_map[tenant].0
+    }
+
+    /// The global tenant ids assigned to `shard`, ascending.
+    pub fn tenants_of(&self, shard: usize) -> &[usize] {
+        &self.shards[shard].tenants
+    }
+
+    /// A shard's device handle (e.g. for buffer setup or perf reads).
+    pub fn handle(&self, shard: usize) -> &FpgaHandle {
+        &self.shards[shard].handle
+    }
+
+    /// A shard's server.
+    pub fn server(&self, shard: usize) -> &AccelServer {
+        &self.shards[shard].server
+    }
+
+    /// The session for a global tenant, on whichever shard admission
+    /// hashed it to.
+    pub fn session(&self, tenant: usize) -> &SessionHandle {
+        let (shard, local) = self.tenant_map[tenant];
+        &self.shards[shard].server.sessions()[local]
+    }
+
+    /// Serves an open-loop schedule (global tenant ids, shared cycle
+    /// origin) to completion; one outcome per arrival, in input order.
+    ///
+    /// Arrival cycles are interpreted on each shard's own clock relative
+    /// to its current cycle: `at_cycle` is an offset from "now", so the
+    /// same schedule means the same thing on every shard regardless of
+    /// how much setup (allocation, buffer writes) each replica ran.
+    /// Shards execute on up to [`shard_count`] worker threads; the
+    /// results are identical at any execution width.
+    pub fn run_open_loop(&mut self, arrivals: Vec<Arrival>) -> Vec<JobOutcome> {
+        self.run_open_loop_on(arrivals, shard_count())
+    }
+
+    /// [`FleetServer::run_open_loop`] with an explicit execution width.
+    /// `workers <= 1` runs the shards serially, in shard order, on the
+    /// calling thread — the equivalence tests pin both ends of that
+    /// spectrum and assert byte-identical outcomes.
+    pub fn run_open_loop_on(&mut self, arrivals: Vec<Arrival>, workers: usize) -> Vec<JobOutcome> {
+        let n = arrivals.len();
+        // Partition by the tenant's shard, remapping to local session
+        // indices and remembering each arrival's original slot.
+        let mut parts: Vec<(Vec<usize>, Vec<Arrival>)> =
+            (0..self.shards.len()).map(|_| Default::default()).collect();
+        for (idx, a) in arrivals.into_iter().enumerate() {
+            let (shard, local) = self.tenant_map[a.tenant];
+            let t0 = self.shards[shard].handle.now();
+            parts[shard].0.push(idx);
+            parts[shard].1.push(Arrival {
+                at_cycle: t0 + a.at_cycle,
+                tenant: local,
+                spec: a.spec,
+            });
+        }
+        let mut outcomes: Vec<Option<JobOutcome>> = (0..n).map(|_| None).collect();
+        let live: Vec<(&mut Shard, Vec<usize>, Vec<Arrival>)> = self
+            .shards
+            .iter_mut()
+            .zip(parts)
+            .filter(|(_, (_, slice))| !slice.is_empty())
+            .map(|(shard, (idxs, slice))| (shard, idxs, slice))
+            .collect();
+        if workers <= 1 || live.len() <= 1 {
+            for (shard, idxs, slice) in live {
+                for (idx, outcome) in idxs.into_iter().zip(shard.server.run_open_loop(slice)) {
+                    outcomes[idx] = Some(outcome);
+                }
+            }
+        } else {
+            // The par-executor shape: a slot-tagged work queue drained by
+            // scoped workers; completion order is scheduling noise, the
+            // original arrival indices put every outcome back in its slot.
+            // One queue entry per live shard: result slot, the shard
+            // itself, original arrival indices, local arrival slice.
+            type WorkItem<'s> = (usize, &'s mut Shard, Vec<usize>, Vec<Arrival>);
+            let n_live = live.len();
+            let queue: Mutex<VecDeque<WorkItem>> = Mutex::new(
+                live.into_iter()
+                    .enumerate()
+                    .map(|(slot, (shard, idxs, slice))| (slot, shard, idxs, slice))
+                    .collect(),
+            );
+            let slots: Vec<Mutex<Vec<(usize, JobOutcome)>>> =
+                (0..n_live).map(|_| Mutex::new(Vec::new())).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers.min(n_live) {
+                    scope.spawn(|| loop {
+                        let Some((slot, shard, idxs, slice)) =
+                            queue.lock().expect("fleet queue").pop_front()
+                        else {
+                            break;
+                        };
+                        let results: Vec<(usize, JobOutcome)> = idxs
+                            .iter()
+                            .copied()
+                            .zip(shard.server.run_open_loop(slice))
+                            .collect();
+                        *slots[slot].lock().expect("fleet slot") = results;
+                    });
+                }
+            });
+            for slot in slots {
+                for (idx, outcome) in slot.into_inner().expect("fleet slot") {
+                    outcomes[idx] = Some(outcome);
+                }
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every arrival resolves to an outcome"))
+            .collect()
+    }
+
+    /// Runs a closed batch (every job arrives "now") across the fleet;
+    /// outcomes in job order.
+    pub fn run_batch(&mut self, jobs: Vec<(usize, JobSpec)>) -> Vec<JobOutcome> {
+        let arrivals = jobs
+            .into_iter()
+            .map(|(tenant, spec)| Arrival {
+                at_cycle: 0,
+                tenant,
+                spec,
+            })
+            .collect();
+        self.run_open_loop(arrivals)
+    }
+
+    /// The fleet's aggregate `server/latency_cycles` histogram: every
+    /// shard's bucket-merged into one (see [`Histogram::merge`]).
+    pub fn latency_histogram(&self) -> Histogram {
+        let mut merged = Histogram::new();
+        for shard in &self.shards {
+            if let Some(h) = shard
+                .handle
+                .with_soc(|soc| soc.perf().histogram("server/latency_cycles"))
+            {
+                merged.merge(&h);
+            }
+        }
+        merged
+    }
+
+    /// Sums a `server/` counter across shards (e.g. `"dispatched"`).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.handle
+                    .with_soc(|soc| soc.perf().counter(&format!("server/{name}")))
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Snapshot of every shard's `server/` counters, as
+    /// `shard{i}/<name>` → value plus `fleet/<name>` aggregate sums.
+    pub fn rollup(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            for (name, value) in shard.handle.counter_snapshot() {
+                let Some(rest) = name.strip_prefix("server/") else {
+                    continue;
+                };
+                out.insert(format!("shard{i}/{rest}"), value);
+                *out.entry(format!("fleet/{rest}")).or_insert(0) += value;
+            }
+        }
+        out
+    }
+
+    /// Mirrors [`FleetServer::rollup`] into the primary (shard 0) perf
+    /// registry: per-shard counters under `server/shard{i}/…` and
+    /// aggregates under `server/fleet/…`, next to shard 0's own live
+    /// `server/` set — so one `counter_snapshot()`/`perf_report()` on
+    /// the primary handle observes the whole fleet.
+    pub fn sync_rollup(&self) {
+        let perf = self.shards[0].handle.with_soc(|soc| soc.perf());
+        for (name, value) in self.rollup() {
+            let (path, leaf) = match name.rsplit_once('/') {
+                Some((prefix, leaf)) => (format!("server/{prefix}"), leaf.to_owned()),
+                None => ("server".to_owned(), name),
+            };
+            perf.set_value(&path, &leaf, value);
+        }
+    }
+
+    /// The per-shard server config the fleet was built with.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+}
+
+impl std::fmt::Debug for FleetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetServer")
+            .field("shards", &self.shards.len())
+            .field("tenants", &self.tenant_map.len())
+            .field("policy", &self.config.server.policy)
+            .finish()
+    }
+}

@@ -33,12 +33,24 @@
 //! policies are compared cycle-exactly and deterministically. The
 //! open-loop load harness lives in `bbench::loadgen`
 //! (`cargo run -p bbench --bin loadgen`).
+//!
+//! Above the single server sits the **sharded fleet** ([`FleetServer`]):
+//! N independent server+SoC replicas with tenants partitioned by a
+//! stable admission hash ([`shard_for_session`]). Shards are `Send`
+//! (the `bsim` arena refactor makes a built `Simulation` movable), so
+//! the fleet drives them on scoped worker threads — `BSERVER_SHARDS`
+//! caps that execution width without ever changing results, a 1-shard
+//! fleet is byte-identical to driving [`AccelServer`] directly, and
+//! per-shard counters roll up into the primary registry
+//! ([`FleetServer::sync_rollup`]).
 
 #![warn(missing_docs)]
 
+mod fleet;
 mod policy;
 mod server;
 
+pub use fleet::{shard_count, shard_for_session, FleetConfig, FleetServer};
 pub use policy::DispatchPolicy;
 pub use server::{
     AccelServer, Arrival, DeadlineAction, JobOutcome, JobSpec, RejectReason, ServerConfig,

@@ -1,8 +1,8 @@
 //! The multi-tenant runtime server: queues, dispatcher, outcome model.
 
-use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bruntime::{FpgaHandle, ResponseHandle, SessionHandle};
 use bsim::{Cycle, Stats};
@@ -213,9 +213,9 @@ pub struct AccelServer {
     /// binding and every policy's tie-break).
     next_seq: u64,
     /// Instantaneous queued-job count, shared with the perf provider.
-    depth: Rc<Cell<u64>>,
+    depth: Arc<AtomicU64>,
     /// Peak queued-job count, shared with the perf provider.
-    depth_peak: Rc<Cell<u64>>,
+    depth_peak: Arc<AtomicU64>,
     /// Counters and histograms registered under `server/`.
     stats: Stats,
 }
@@ -247,16 +247,16 @@ impl AccelServer {
         assert!(n_cores > 0, "system '{system}' has no cores");
         let sessions = (0..n_tenants).map(|_| handle.open_session()).collect();
         let stats = Stats::new();
-        let depth = Rc::new(Cell::new(0u64));
-        let depth_peak = Rc::new(Cell::new(0u64));
+        let depth = Arc::new(AtomicU64::new(0));
+        let depth_peak = Arc::new(AtomicU64::new(0));
         handle.with_soc(|soc| {
             let set = soc.perf().set("server");
             set.attach_stats(&stats);
-            let (d, p) = (Rc::clone(&depth), Rc::clone(&depth_peak));
+            let (d, p) = (Arc::clone(&depth), Arc::clone(&depth_peak));
             set.add_provider(move || {
                 vec![
-                    ("queue_depth".to_owned(), d.get()),
-                    ("queue_depth_peak".to_owned(), p.get()),
+                    ("queue_depth".to_owned(), d.load(Ordering::Relaxed)),
+                    ("queue_depth_peak".to_owned(), p.load(Ordering::Relaxed)),
                 ]
             });
         });
@@ -485,8 +485,11 @@ impl AccelServer {
 
     fn bump_depth(&self) {
         let d = self.queues.iter().map(|q| q.len() as u64).sum();
-        self.depth.set(d);
-        self.depth_peak.set(self.depth_peak.get().max(d));
+        self.depth.store(d, Ordering::Relaxed);
+        self.depth_peak.store(
+            self.depth_peak.load(Ordering::Relaxed).max(d),
+            Ordering::Relaxed,
+        );
     }
 
     /// Pops the job the policy wants next, handling expired deadlines

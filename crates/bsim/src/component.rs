@@ -20,24 +20,37 @@
 //! All three modes produce bit-identical cycle counts and component
 //! state. See `DESIGN.md` for the full contract and the lockstep guard
 //! mode.
+//!
+//! Ownership follows the arena model (see [`SimCtx`]): the simulation
+//! owns all component and channel storage in `Vec`s, and the handles this
+//! module hands out ([`Shared`], [`Waker`], channel endpoints) are `Copy`
+//! IDs resolved through the owning simulation. No `Rc` remains anywhere
+//! in the tree, so `Simulation` is `Send` and a fully built SoC can be
+//! moved to another thread (the `bserver` fleet does exactly that).
 
-use std::cell::{Cell, RefCell};
+use std::any::Any;
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::rc::Rc;
+use std::marker::PhantomData;
 
+use crate::chan::{Receiver, Sender};
+use crate::ctx::{SimCtx, WakeState};
 use crate::time::Cycle;
-use crate::wake::{WakeQueue, Waker};
+use crate::wake::Waker;
 
 /// A hardware module with per-cycle behaviour.
 ///
-/// `tick(now)` is called exactly once per cycle of the component's clock
-/// domain (see [`Simulation::add_with_divider`]). All communication with
-/// other components flows through [`crate::channel`]s, whose default
-/// 1-cycle visibility latency keeps results independent of tick order.
+/// `tick(ctx, now)` is called exactly once per cycle of the component's
+/// clock domain (see [`Simulation::add_with_divider`]). All communication
+/// with other components flows through channels
+/// ([`Simulation::channel`]), whose default 1-cycle visibility latency
+/// keeps results independent of tick order; the `ctx` argument is the
+/// owning simulation's arena, through which every channel operation
+/// resolves.
 pub trait Component {
     /// Advances the component by one cycle of its own clock.
-    fn tick(&mut self, now: Cycle);
+    fn tick(&mut self, ctx: &SimCtx, now: Cycle);
 
     /// A human-readable name for traces and error messages.
     fn name(&self) -> &str {
@@ -72,7 +85,8 @@ pub trait Component {
     /// scheduler an input change re-arms the component through its
     /// [wake hooks](Component::register_wakes) (or, for components without
     /// hooks, through the always-tick fallback set).
-    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+    fn next_event(&self, ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
+        let _ = ctx;
         Some(now + 1)
     }
 
@@ -93,8 +107,8 @@ pub trait Component {
     /// its clock domain (exact naive semantics) and its `next_event` only
     /// bounds whole-simulation fast-forward jumps — correct for every
     /// component, merely slower for ones that could have slept.
-    fn register_wakes(&self, waker: &Waker) {
-        let _ = waker;
+    fn register_wakes(&self, ctx: &SimCtx, waker: &Waker) {
+        let _ = (ctx, waker);
     }
 }
 
@@ -116,78 +130,63 @@ pub enum SchedulerMode {
     ActiveSet,
 }
 
-/// A shared, inspectable handle to a component that has been added to a
-/// [`Simulation`]. The simulation ticks it; the host can `borrow()` it
-/// between cycles to read results or inject stimuli.
-pub struct Shared<T: ?Sized>(Rc<RefCell<T>>);
-
-impl<T> Shared<T> {
-    /// Wraps a value for shared ownership between the host and a simulation.
-    pub fn new(value: T) -> Self {
-        Shared(Rc::new(RefCell::new(value)))
-    }
-
-    /// Immutably borrows the component.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called while the simulation is inside this component's
-    /// `tick` (cannot happen from host code between `step`s).
-    pub fn borrow(&self) -> std::cell::Ref<'_, T> {
-        self.0.borrow()
-    }
-
-    /// Mutably borrows the component.
-    ///
-    /// # Panics
-    ///
-    /// Panics under the same conditions as [`Shared::borrow`].
-    pub fn borrow_mut(&self) -> std::cell::RefMut<'_, T> {
-        self.0.borrow_mut()
-    }
+/// An inspectable handle to a component that has been added to a
+/// [`Simulation`]: a `Copy` ID into the simulation's component arena.
+///
+/// The simulation owns and ticks the component; the host resolves the
+/// handle with [`Simulation::get`] / [`Simulation::get_mut`] between
+/// cycles to read results or inject stimuli. Handles are plain indices —
+/// cloning them shares no ownership, and using one against a different
+/// simulation than the one that minted it panics.
+pub struct Shared<T> {
+    pub(crate) idx: usize,
+    pub(crate) serial: u32,
+    pub(crate) _marker: PhantomData<fn() -> T>,
 }
 
-impl<T: ?Sized> Clone for Shared<T> {
+impl<T> Clone for Shared<T> {
     fn clone(&self) -> Self {
-        Shared(Rc::clone(&self.0))
+        *self
     }
 }
+impl<T> Copy for Shared<T> {}
 
-impl<T: std::fmt::Debug> std::fmt::Debug for Shared<T> {
+impl<T> std::fmt::Debug for Shared<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Shared({:?})", self.0.borrow())
+        f.debug_struct("Shared").field("idx", &self.idx).finish()
     }
 }
 
-/// The registration wrapper behind [`Simulation::add_shared`]: forwards
-/// `tick`/`next_event` to the shared component and carries its name,
-/// captured at registration time (a `RefCell` borrow cannot escape
-/// `name(&self) -> &str`, so the label must be cached outside the cell).
-struct SharedComponent<T> {
-    inner: Rc<RefCell<T>>,
-    label: String,
+/// Object-safe erasure over [`Component`] plus `Any`, so [`Shared`]
+/// handles can downcast back to the concrete type.
+trait ErasedComponent {
+    fn tick(&mut self, ctx: &SimCtx, now: Cycle);
+    fn name(&self) -> &str;
+    fn next_event(&self, ctx: &SimCtx, now: Cycle) -> Option<Cycle>;
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
-impl<T: Component> Component for SharedComponent<T> {
-    fn tick(&mut self, now: Cycle) {
-        self.inner.borrow_mut().tick(now);
+impl<T: Component + Send + 'static> ErasedComponent for T {
+    fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
+        Component::tick(self, ctx, now);
     }
-
     fn name(&self) -> &str {
-        &self.label
+        Component::name(self)
     }
-
-    fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        self.inner.borrow().next_event(now)
+    fn next_event(&self, ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
+        Component::next_event(self, ctx, now)
     }
-
-    fn register_wakes(&self, waker: &Waker) {
-        self.inner.borrow().register_wakes(waker);
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
 struct Registered {
-    component: Box<dyn Component>,
+    component: Box<dyn ErasedComponent + Send>,
     /// Index into [`Simulation::groups`] of this component's clock-domain
     /// group, which holds the divider and next-due bookkeeping.
     group: usize,
@@ -212,7 +211,6 @@ struct Registered {
     /// Active-set: dedupe stamp for the due-queue of the cycle currently
     /// being executed.
     due_mark: Cycle,
-    waker: Waker,
 }
 
 /// Per-divider bookkeeping shared by every component in one clock domain.
@@ -231,6 +229,10 @@ struct DividerGroup {
     pending_fires: Cycle,
 }
 
+/// A host-side wake source: given the arena, report the earliest cycle
+/// at which it needs the scheduler's attention (`None` = never).
+type WakeSource = Box<dyn Fn(&SimCtx) -> Option<Cycle> + Send>;
+
 /// Owns a set of components and drives the base clock.
 ///
 /// Components in slower clock domains are registered with a divider: they
@@ -245,24 +247,33 @@ struct DividerGroup {
 /// [`Simulation::set_event_driven`]`(false)`) to force the naive
 /// cycle-by-cycle loop, or `BSIM_SCHED=skip` for the idle-skipping
 /// scheduler; results are bit-identical in every mode, only slower.
+///
+/// A `Simulation` owns its entire object graph — components, channels,
+/// wake queue — through the [`SimCtx`] arena, so it is `Send`: build an
+/// SoC on one thread and move it to a worker (checked by a compile-time
+/// assertion below).
 pub struct Simulation {
+    /// The arena: channel storage, wake queue, per-component wake flags.
+    /// Handed to components as `&SimCtx` on every tick; host code borrows
+    /// it via [`Simulation::ctx`].
+    ctx: SimCtx,
     components: Vec<Registered>,
     groups: Vec<DividerGroup>,
     /// Host-side wake sources consulted alongside component events, e.g.
     /// response channels the host polls between cycles. See
     /// [`Simulation::add_wake_source`].
-    watches: Vec<Box<dyn Fn() -> Option<Cycle>>>,
+    watches: Vec<WakeSource>,
     /// Channel-backed wake sources ([`Simulation::watch_receiver`]) whose
     /// combined horizon is cached in `watch_horizon`: only a send can move
     /// a channel's visibility clock earlier, and every watched channel
-    /// sets `watch_dirty` on send, so between sends the cached minimum is
-    /// conservative and the per-cycle scan is O(1) instead of O(watches).
-    watched: Vec<Box<dyn Fn() -> Option<Cycle>>>,
-    /// Set by any watched channel's `send`; forces a `watched` re-scan.
-    watch_dirty: Rc<Cell<bool>>,
-    /// Cached minimum of the `watched` horizons; valid while `watch_dirty`
-    /// is clear and the cached cycle is still in the future (a due-or-past
-    /// horizon is re-scanned so draining the channel can move it forward).
+    /// sets the arena's `watch_dirty` flag on send, so between sends the
+    /// cached minimum is conservative and the per-cycle scan is O(1)
+    /// instead of O(watches).
+    watched: Vec<WakeSource>,
+    /// Cached minimum of the `watched` horizons; valid while the arena's
+    /// `watch_dirty` is clear and the cached cycle is still in the future
+    /// (a due-or-past horizon is re-scanned so draining the channel can
+    /// move it forward).
     watch_horizon: Cell<Option<Cycle>>,
     now: Cycle,
     mode: SchedulerMode,
@@ -274,9 +285,6 @@ pub struct Simulation {
     /// that registered no wake hooks. They tick on every executed fire of
     /// their domain and are re-queried for every fast-forward decision.
     polled: Vec<usize>,
-    /// Indices enqueued by [`Waker::wake`] (channel hooks or host code),
-    /// drained by the scheduler between ticks.
-    wake_queue: WakeQueue,
     /// Active-set scratch: min-queue of component indices due on the
     /// cycle being executed, popped in registration order.
     due_queue: BinaryHeap<Reverse<usize>>,
@@ -294,6 +302,14 @@ pub struct Simulation {
     /// executed cycle and panic if one of them should have ticked.
     verify_idle: bool,
 }
+
+/// `Simulation` must stay `Send` — the `bserver` fleet and the parallel
+/// sweep executor move fully built SoCs across threads. If a field
+/// regresses to `Rc` or a non-`Send` trait object, this fails to compile.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Simulation>()
+};
 
 impl Default for Simulation {
     fn default() -> Self {
@@ -325,23 +341,52 @@ impl Simulation {
     /// variables select another [`SchedulerMode`].
     pub fn new() -> Self {
         Simulation {
+            ctx: SimCtx::new(),
             components: Vec::new(),
             groups: Vec::new(),
             watches: Vec::new(),
             watched: Vec::new(),
-            watch_dirty: Rc::new(Cell::new(false)),
             watch_horizon: Cell::new(None),
             now: 0,
             mode: scheduler_mode_from_env(),
             heap: BinaryHeap::new(),
             polled: Vec::new(),
-            wake_queue: Rc::new(RefCell::new(Vec::new())),
             due_queue: BinaryHeap::new(),
             executed_cycles: 0,
             skipped_cycles: 0,
             ticked_component_cycles: 0,
             verify_idle: verify_idle_from_env(),
         }
+    }
+
+    /// Borrows the simulation's arena, through which host code performs
+    /// channel operations between cycles:
+    /// `tx.send(sim.ctx(), sim.now(), v)`.
+    pub fn ctx(&self) -> &SimCtx {
+        &self.ctx
+    }
+
+    /// Creates a bounded channel with the default 1-cycle visibility
+    /// latency and returns its `Copy` endpoint IDs. See the
+    /// [`chan`](crate::chan) module docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn channel<T: Send + 'static>(&mut self, capacity: usize) -> (Sender<T>, Receiver<T>) {
+        self.channel_with_latency(capacity, 1)
+    }
+
+    /// [`Simulation::channel`] with an explicit visibility latency.
+    /// Latency 0 is combinational: an item is receivable on its send
+    /// cycle (making results dependent on component tick order — use
+    /// deliberately).
+    pub fn channel_with_latency<T: Send + 'static>(
+        &mut self,
+        capacity: usize,
+        latency: u64,
+    ) -> (Sender<T>, Receiver<T>) {
+        crate::chan::make_channel(&mut self.ctx, capacity, latency)
     }
 
     /// Enables or disables event-driven scheduling. Cycle counts and
@@ -402,7 +447,7 @@ impl Simulation {
     }
 
     /// Adds a component on the base clock.
-    pub fn add<C: Component + 'static>(&mut self, component: C) {
+    pub fn add<C: Component + Send + 'static>(&mut self, component: C) {
         self.add_with_divider(component, 1);
     }
 
@@ -411,14 +456,17 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics if `divider` is zero.
-    pub fn add_with_divider<C: Component + 'static>(&mut self, component: C, divider: u64) {
+    pub fn add_with_divider<C: Component + Send + 'static>(&mut self, component: C, divider: u64) {
         assert!(divider > 0, "clock divider must be nonzero");
         let group = self.group_for(divider);
         let idx = self.components.len();
-        let waker = Waker::new(idx, Rc::clone(&self.wake_queue));
-        component.register_wakes(&waker);
+        // The wake-state slot must exist before `register_wakes` runs:
+        // hooks mark it, and `wake_component` indexes it.
+        self.ctx.wake_state.push(WakeState::default());
+        let waker = Waker::new(idx, self.ctx.serial);
+        component.register_wakes(&self.ctx, &waker);
         let first_due = self.groups[group].next_due;
-        let hooked = waker.is_hooked();
+        let hooked = self.ctx.is_hooked(idx);
         self.components.push(Registered {
             component: Box::new(component),
             group,
@@ -427,7 +475,6 @@ impl Simulation {
             sched_at: Cycle::MAX,
             last_fire: Cycle::MAX,
             due_mark: Cycle::MAX,
-            waker,
         });
         if hooked {
             // A component's first tick is never skipped (it has not yet
@@ -460,28 +507,57 @@ impl Simulation {
         self.groups.len() - 1
     }
 
-    /// Adds a component and returns a [`Shared`] handle for host inspection.
-    pub fn add_shared<C: Component + 'static>(&mut self, component: C) -> Shared<C> {
+    /// Adds a component and returns a [`Shared`] handle for host
+    /// inspection via [`Simulation::get`] / [`Simulation::get_mut`].
+    pub fn add_shared<C: Component + Send + 'static>(&mut self, component: C) -> Shared<C> {
         self.add_shared_with_divider(component, 1)
     }
 
     /// Combines [`Simulation::add_shared`] and
     /// [`Simulation::add_with_divider`].
-    pub fn add_shared_with_divider<C: Component + 'static>(
+    pub fn add_shared_with_divider<C: Component + Send + 'static>(
         &mut self,
         component: C,
         divider: u64,
     ) -> Shared<C> {
-        let label = component.name().to_owned();
-        let shared = Shared::new(component);
-        self.add_with_divider(
-            SharedComponent {
-                inner: Rc::clone(&shared.0),
-                label,
-            },
-            divider,
-        );
-        shared
+        let idx = self.components.len();
+        self.add_with_divider(component, divider);
+        Shared {
+            idx,
+            serial: self.ctx.serial,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Resolves a [`Shared`] handle to the component it names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was minted by a different simulation.
+    pub fn get<T: Component + Send + 'static>(&self, handle: Shared<T>) -> &T {
+        self.ctx.assert_serial(handle.serial, "Shared handle");
+        self.components[handle.idx]
+            .component
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("Shared handle type matches the registered component")
+    }
+
+    /// Mutably resolves a [`Shared`] handle. Host code that mutates a
+    /// sleeping hooked component this way is covered by the re-arm pass
+    /// at every public run entry point (see
+    /// [`Component::register_wakes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was minted by a different simulation.
+    pub fn get_mut<T: Component + Send + 'static>(&mut self, handle: Shared<T>) -> &mut T {
+        self.ctx.assert_serial(handle.serial, "Shared handle");
+        self.components[handle.idx]
+            .component
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("Shared handle type matches the registered component")
     }
 
     /// Registers a host-side wake source: a closure reporting the earliest
@@ -498,7 +574,7 @@ impl Simulation {
     /// A source registered here is re-queried on every scheduling
     /// decision; prefer [`Simulation::watch_receiver`] for channel-backed
     /// sources, whose horizon the scheduler can cache between sends.
-    pub fn add_wake_source(&mut self, wake: impl Fn() -> Option<Cycle> + 'static) {
+    pub fn add_wake_source(&mut self, wake: impl Fn(&SimCtx) -> Option<Cycle> + Send + 'static) {
         self.watches.push(Box::new(wake));
     }
 
@@ -508,14 +584,15 @@ impl Simulation {
     /// registered component.
     ///
     /// Unlike a generic [`Simulation::add_wake_source`] closure, a watched
-    /// receiver's horizon is cached: the channel sets a dirty flag on
-    /// every send, so quiet cycles cost O(1) regardless of how many
-    /// channels the host watches.
-    pub fn watch_receiver<T: 'static>(&mut self, rx: &crate::Receiver<T>) {
-        let rx = rx.clone();
-        rx.notify_sends(&self.watch_dirty);
-        self.watch_dirty.set(true);
-        self.watched.push(Box::new(move || rx.next_visible_at()));
+    /// receiver's horizon is cached: the channel sets the arena's dirty
+    /// flag on every send, so quiet cycles cost O(1) regardless of how
+    /// many channels the host watches.
+    pub fn watch_receiver<T: Send + 'static>(&mut self, rx: &Receiver<T>) {
+        let rx = *rx;
+        self.ctx.chan(rx.chan, rx.serial).borrow_mut().watched = true;
+        self.ctx.watch_dirty.set(true);
+        self.watched
+            .push(Box::new(move |ctx| rx.next_visible_at(ctx)));
     }
 
     /// The current base-clock cycle.
@@ -554,9 +631,10 @@ impl Simulation {
             g.due = g.next_due == now;
         }
         let groups = &self.groups;
+        let ctx = &self.ctx;
         for reg in &mut self.components {
             if groups[reg.group].due {
-                reg.component.tick(reg.local_cycles);
+                reg.component.tick(ctx, reg.local_cycles);
                 reg.local_cycles += 1;
                 self.ticked_component_cycles += 1;
             }
@@ -621,19 +699,19 @@ impl Simulation {
                 let local = now / divider - reg.fire_offset;
                 reg.sched_at = Cycle::MAX;
                 reg.last_fire = now;
-                reg.component.tick(local);
+                reg.component.tick(&self.ctx, local);
                 reg.local_cycles = local + 1;
                 local
             };
             self.ticked_component_cycles += 1;
             // Re-arm from the fresh declaration. Polled components skip
             // this: they are swept every executed cycle instead.
-            if self.components[idx].waker.is_hooked() {
+            if self.ctx.is_hooked(idx) {
                 let next = {
                     let reg = &self.components[idx];
                     let g = &self.groups[reg.group];
                     let next_fire = g.next_due + g.divider;
-                    match reg.component.next_event(local) {
+                    match reg.component.next_event(&self.ctx, local) {
                         None => None,
                         Some(e) if e <= local + 1 => Some(next_fire),
                         Some(e) => Some(
@@ -687,8 +765,8 @@ impl Simulation {
     /// Pops one pending wake, clearing its queued flag so later input
     /// changes enqueue the component again.
     fn pop_wake(&mut self) -> Option<usize> {
-        let idx = self.wake_queue.borrow_mut().pop()?;
-        self.components[idx].waker.clear_queued();
+        let idx = self.ctx.wake_queue.borrow_mut().pop()?;
+        self.ctx.clear_queued(idx);
         Some(idx)
     }
 
@@ -733,7 +811,7 @@ impl Simulation {
             // chance to declare anything.
             return Some(g.next_due);
         }
-        match reg.component.next_event(fires - 1) {
+        match reg.component.next_event(&self.ctx, fires - 1) {
             None => None,
             // Stale or self-referential declarations clamp to the next
             // scheduled tick (no skipping for this component).
@@ -753,7 +831,7 @@ impl Simulation {
         self.heap.clear();
         for idx in 0..self.components.len() {
             self.components[idx].sched_at = Cycle::MAX;
-            if self.components[idx].waker.is_hooked() {
+            if self.ctx.is_hooked(idx) {
                 if let Some(base) = self.component_event_base(idx) {
                     self.schedule(idx, base);
                 }
@@ -771,7 +849,7 @@ impl Simulation {
             return;
         }
         for idx in 0..self.components.len() {
-            if self.components[idx].waker.is_hooked() {
+            if self.ctx.is_hooked(idx) {
                 if let Some(base) = self.component_event_base(idx) {
                     self.schedule(idx, base);
                 }
@@ -785,7 +863,7 @@ impl Simulation {
     fn verify_sleepers(&self, now: Cycle) {
         for idx in 0..self.components.len() {
             let reg = &self.components[idx];
-            if !self.groups[reg.group].due || reg.due_mark == now || !reg.waker.is_hooked() {
+            if !self.groups[reg.group].due || reg.due_mark == now || !self.ctx.is_hooked(idx) {
                 continue;
             }
             if let Some(base) = self.component_event_base(idx) {
@@ -811,7 +889,7 @@ impl Simulation {
         }
         for idx in 0..self.components.len() {
             let reg = &self.components[idx];
-            if !reg.waker.is_hooked() || reg.sched_at != Cycle::MAX {
+            if !self.ctx.is_hooked(idx) || reg.sched_at != Cycle::MAX {
                 continue;
             }
             if let Some(base) = self.component_event_base(idx) {
@@ -930,22 +1008,22 @@ impl Simulation {
     ///
     /// Watched-channel horizons are served from the cache: a re-scan is
     /// only needed when a watched channel sent since the last scan (the
-    /// dirty flag — the one way a horizon moves *earlier*) or when the
-    /// cached horizon is due-or-past (the host may have drained the
+    /// arena's dirty flag — the one way a horizon moves *earlier*) or when
+    /// the cached horizon is due-or-past (the host may have drained the
     /// channel since, which moves it later; re-scanning keeps a drained
     /// channel from forcing checks forever). Generic closures from
     /// [`Simulation::add_wake_source`] are always re-queried.
     fn earliest_watch(&self) -> Option<Cycle> {
-        let channels = if self.watch_dirty.replace(false)
+        let channels = if self.ctx.watch_dirty.replace(false)
             || self.watch_horizon.get().is_some_and(|h| h <= self.now)
         {
-            let h = self.watched.iter().filter_map(|w| w()).min();
+            let h = self.watched.iter().filter_map(|w| w(&self.ctx)).min();
             self.watch_horizon.set(h);
             h
         } else {
             self.watch_horizon.get()
         };
-        let generic = self.watches.iter().filter_map(|w| w()).min();
+        let generic = self.watches.iter().filter_map(|w| w(&self.ctx)).min();
         match (channels, generic) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -998,21 +1076,24 @@ impl Simulation {
         }
     }
 
-    /// Runs until `done()` returns true or `max_cycles` elapse, whichever is
-    /// first. Returns `Ok(cycles_elapsed)` on completion and
-    /// `Err(max_cycles)` on timeout. `done` is evaluated between cycles.
+    /// Runs until `done(&sim)` returns true or `max_cycles` elapse,
+    /// whichever is first. Returns `Ok(cycles_elapsed)` on completion and
+    /// `Err(max_cycles)` on timeout. `done` is evaluated between cycles
+    /// and receives the simulation itself, through which it can read
+    /// component state ([`Simulation::get`]) and channels
+    /// (`rx.has_data(sim.ctx(), sim.now())`).
     pub fn run_until(
         &mut self,
         max_cycles: Cycle,
-        mut done: impl FnMut() -> bool,
+        done: impl FnMut(&Simulation) -> bool,
     ) -> Result<Cycle, Cycle> {
-        self.run_until_strided(max_cycles, 1, move |_| done())
+        self.run_until_strided(max_cycles, 1, done)
     }
 
     /// [`Simulation::run_until`] with the completion check amortised: `done`
     /// is evaluated before the first cycle, then after every `stride`
     /// executed cycles, before every fast-forward jump, and once at the
-    /// timeout. `done` receives the current base cycle.
+    /// timeout.
     ///
     /// With `stride == 1` this is exactly `run_until`. A larger stride
     /// reduces host overhead for expensive predicates, at the cost of
@@ -1043,7 +1124,7 @@ impl Simulation {
         &mut self,
         max_cycles: Cycle,
         stride: Cycle,
-        mut done: impl FnMut(Cycle) -> bool,
+        mut done: impl FnMut(&Simulation) -> bool,
     ) -> Result<Cycle, Cycle> {
         assert!(stride > 0, "stride must be nonzero");
         self.rearm_hooked();
@@ -1054,7 +1135,7 @@ impl Simulation {
         let mut since_check = stride;
         loop {
             if self.now >= end {
-                return if done(self.now) {
+                return if done(self) {
                     Ok(self.now - start)
                 } else {
                     Err(max_cycles)
@@ -1072,7 +1153,7 @@ impl Simulation {
                 None
             };
             if since_check >= stride || watch_due || (jump_target.is_some() && since_check > 0) {
-                if done(self.now) {
+                if done(self) {
                     return Ok(self.now - start);
                 }
                 since_check = 0;
@@ -1110,16 +1191,29 @@ impl std::fmt::Debug for Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::chan::channel;
 
     struct Counter {
         ticks: u64,
     }
 
     impl Component for Counter {
-        fn tick(&mut self, _now: Cycle) {
+        fn tick(&mut self, _ctx: &SimCtx, _now: Cycle) {
             self.ticks += 1;
         }
+    }
+
+    #[test]
+    fn simulation_is_send() {
+        fn _assert_send<T: Send>() {}
+        _assert_send::<Simulation>();
+        // And prove it dynamically: build on this thread, run on another.
+        let mut sim = Simulation::new();
+        let c = sim.add_shared(Counter { ticks: 0 });
+        let handle = std::thread::spawn(move || {
+            sim.run_for(10);
+            (sim.now(), sim.get(c).ticks)
+        });
+        assert_eq!(handle.join().unwrap(), (10, 10));
     }
 
     #[test]
@@ -1128,8 +1222,8 @@ mod tests {
         let a = sim.add_shared(Counter { ticks: 0 });
         let b = sim.add_shared(Counter { ticks: 0 });
         sim.run_for(10);
-        assert_eq!(a.borrow().ticks, 10);
-        assert_eq!(b.borrow().ticks, 10);
+        assert_eq!(sim.get(a).ticks, 10);
+        assert_eq!(sim.get(b).ticks, 10);
         assert_eq!(sim.now(), 10);
     }
 
@@ -1139,37 +1233,47 @@ mod tests {
         let fast = sim.add_shared(Counter { ticks: 0 });
         let slow = sim.add_shared_with_divider(Counter { ticks: 0 }, 2);
         sim.run_for(10);
-        assert_eq!(fast.borrow().ticks, 10);
-        assert_eq!(slow.borrow().ticks, 5);
+        assert_eq!(sim.get(fast).ticks, 10);
+        assert_eq!(sim.get(slow).ticks, 5);
     }
 
     #[test]
     fn run_until_stops_on_predicate() {
         let mut sim = Simulation::new();
         let c = sim.add_shared(Counter { ticks: 0 });
-        let c2 = c.clone();
-        let elapsed = sim.run_until(1000, move || c2.borrow().ticks >= 7).unwrap();
+        let elapsed = sim
+            .run_until(1000, move |sim| sim.get(c).ticks >= 7)
+            .unwrap();
         assert_eq!(elapsed, 7);
-        assert_eq!(c.borrow().ticks, 7);
+        assert_eq!(sim.get(c).ticks, 7);
     }
 
     #[test]
     fn run_until_times_out() {
         let mut sim = Simulation::new();
         sim.add(Counter { ticks: 0 });
-        assert_eq!(sim.run_until(5, || false), Err(5));
+        assert_eq!(sim.run_until(5, |_| false), Err(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "different Simulation")]
+    fn shared_handle_cross_sim_use_is_caught() {
+        let mut a = Simulation::new();
+        let b = Simulation::new();
+        let h = a.add_shared(Counter { ticks: 0 });
+        let _ = b.get(h);
     }
 
     struct Pipe {
-        rx: crate::Receiver<u64>,
-        tx: crate::Sender<u64>,
+        rx: Receiver<u64>,
+        tx: Sender<u64>,
     }
 
     impl Component for Pipe {
-        fn tick(&mut self, now: Cycle) {
-            if self.tx.can_send() {
-                if let Some(v) = self.rx.recv(now) {
-                    self.tx.send(now, v + 1);
+        fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
+            if self.tx.can_send(ctx) {
+                if let Some(v) = self.rx.recv(ctx, now) {
+                    self.tx.send(ctx, now, v + 1);
                 }
             }
         }
@@ -1178,19 +1282,19 @@ mod tests {
     #[test]
     fn chained_pipes_accumulate_latency() {
         // Three pipe stages each add a +1 and a cycle of channel latency.
-        let (tx0, rx0) = channel::<u64>(1);
-        let (tx1, rx1) = channel::<u64>(1);
-        let (tx2, rx2) = channel::<u64>(1);
-        let (tx3, rx3) = channel::<u64>(1);
         let mut sim = Simulation::new();
+        let (tx0, rx0) = sim.channel::<u64>(1);
+        let (tx1, rx1) = sim.channel::<u64>(1);
+        let (tx2, rx2) = sim.channel::<u64>(1);
+        let (tx3, rx3) = sim.channel::<u64>(1);
         sim.add(Pipe { rx: rx0, tx: tx1 });
         sim.add(Pipe { rx: rx1, tx: tx2 });
         sim.add(Pipe { rx: rx2, tx: tx3 });
-        tx0.send(0, 100);
+        tx0.send(sim.ctx(), 0, 100);
         let mut result = None;
         for _ in 0..20 {
             sim.step();
-            if let Some(v) = rx3.recv(sim.now()) {
+            if let Some(v) = rx3.recv(sim.ctx(), sim.now()) {
                 result = Some((v, sim.now()));
                 break;
             }
@@ -1219,14 +1323,14 @@ mod tests {
     }
 
     impl Component for Burster {
-        fn tick(&mut self, now: Cycle) {
+        fn tick(&mut self, _ctx: &SimCtx, now: Cycle) {
             if now.is_multiple_of(self.period) {
                 self.fires += 1;
                 self.tick_log.push(now);
             }
         }
 
-        fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        fn next_event(&self, _ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
             Some(now + (self.period - now % self.period))
         }
     }
@@ -1242,8 +1346,7 @@ mod tests {
                 tick_log: Vec::new(),
             });
             sim.run_for(1000);
-            let result = (sim.now(), b.borrow().fires, b.borrow().tick_log.clone());
-            result
+            (sim.now(), sim.get(b).fires, sim.get(b).tick_log.clone())
         };
         let naive = run(false);
         let fast = run(true);
@@ -1266,8 +1369,7 @@ mod tests {
                 3,
             );
             sim.run_for(100);
-            let result = (sim.now(), b.borrow().fires, b.borrow().tick_log.clone());
-            result
+            (sim.now(), sim.get(b).fires, sim.get(b).tick_log.clone())
         };
         let naive = run(false);
         let fast = run(true);
@@ -1278,20 +1380,20 @@ mod tests {
 
     /// Sends one value after `delay` cycles, then goes idle forever.
     struct OneShot {
-        tx: crate::Sender<u64>,
+        tx: Sender<u64>,
         delay: Cycle,
         sent: bool,
     }
 
     impl Component for OneShot {
-        fn tick(&mut self, now: Cycle) {
+        fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
             if now == self.delay && !self.sent {
-                self.tx.send(now, now);
+                self.tx.send(ctx, now, now);
                 self.sent = true;
             }
         }
 
-        fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        fn next_event(&self, _ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
             if self.sent {
                 None
             } else {
@@ -1302,27 +1404,26 @@ mod tests {
 
     #[test]
     fn watched_receiver_bounds_fast_forward() {
-        let (tx, rx) = channel::<u64>(1);
         let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u64>(1);
         sim.add(OneShot {
             tx,
             delay: 40,
             sent: false,
         });
         sim.watch_receiver(&rx);
-        let rx2 = rx.clone();
         let elapsed = sim
-            .run_until(10_000, move || rx2.has_data(41))
+            .run_until(10_000, move |sim| rx.has_data(sim.ctx(), 41))
             .expect("value should arrive");
         // Sent at 40, visible at 41: identical to the naive loop's answer.
         assert_eq!(elapsed, 41);
-        assert_eq!(rx.recv(sim.now()), Some(40));
+        assert_eq!(rx.recv(sim.ctx(), sim.now()), Some(40));
     }
 
     #[test]
     fn unwatched_idle_sim_skips_to_horizon() {
-        let (tx, _rx) = channel::<u64>(1);
         let mut sim = Simulation::new();
+        let (tx, _rx) = sim.channel::<u64>(1);
         sim.add(OneShot {
             tx,
             delay: 3,
@@ -1337,17 +1438,18 @@ mod tests {
         // Completion coincides with the system going quiescent, so every
         // stride returns the identical elapsed-cycle count.
         let run = |stride: Cycle| {
-            let (tx, rx) = channel::<u64>(1);
             let mut sim = Simulation::new();
+            let (tx, rx) = sim.channel::<u64>(1);
             sim.add(OneShot {
                 tx,
                 delay: 523,
                 sent: false,
             });
             sim.watch_receiver(&rx);
-            let rx2 = rx.clone();
-            sim.run_until_strided(100_000, stride, move |now| rx2.has_data(now))
-                .expect("value should arrive")
+            sim.run_until_strided(100_000, stride, move |sim| {
+                rx.has_data(sim.ctx(), sim.now())
+            })
+            .expect("value should arrive")
         };
         let baseline = run(1);
         assert_eq!(baseline, 524);
@@ -1364,7 +1466,7 @@ mod tests {
     fn shared_name_reports_wrapped_component() {
         struct Named;
         impl Component for Named {
-            fn tick(&mut self, _now: Cycle) {}
+            fn tick(&mut self, _ctx: &SimCtx, _now: Cycle) {}
             fn name(&self) -> &str {
                 "alu0"
             }
@@ -1435,8 +1537,7 @@ mod tests {
             sim.run_for(7);
             let b = sim.add_shared_with_divider(Counter { ticks: 0 }, 3);
             sim.run_for(7);
-            let result = (sim.now(), a.borrow().ticks, b.borrow().ticks);
-            result
+            (sim.now(), sim.get(a).ticks, sim.get(b).ticks)
         };
         assert_eq!(run(false), run(true));
         // Base cycles 0..14 tick the divider-3 domain at 0, 3, 6, 9, 12;
@@ -1447,33 +1548,33 @@ mod tests {
     /// A consumer that sleeps (`None`) whenever its input is empty and
     /// registers a wake hook on it — the canonical active-set citizen.
     struct HookedSink {
-        rx: crate::Receiver<u64>,
+        rx: Receiver<u64>,
         got: Vec<(Cycle, u64)>,
         ticks: u64,
     }
 
     impl Component for HookedSink {
-        fn tick(&mut self, now: Cycle) {
+        fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
             self.ticks += 1;
-            while let Some(v) = self.rx.recv(now) {
+            while let Some(v) = self.rx.recv(ctx, now) {
                 self.got.push((now, v));
             }
         }
 
-        fn next_event(&self, now: Cycle) -> Option<Cycle> {
-            self.rx.next_visible_at().map(|v| v.max(now + 1))
+        fn next_event(&self, ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
+            self.rx.next_visible_at(ctx).map(|v| v.max(now + 1))
         }
 
-        fn register_wakes(&self, waker: &Waker) {
-            self.rx.wake_on_send(waker);
+        fn register_wakes(&self, ctx: &SimCtx, waker: &Waker) {
+            self.rx.wake_on_send(ctx, waker);
         }
     }
 
     #[test]
     fn hooked_sink_sleeps_and_wakes_on_send() {
         let run = |mode: SchedulerMode| {
-            let (tx, rx) = channel::<u64>(4);
             let mut sim = Simulation::new();
+            let (tx, rx) = sim.channel::<u64>(4);
             sim.set_scheduler_mode(mode);
             sim.add(OneShot {
                 tx,
@@ -1486,13 +1587,12 @@ mod tests {
                 ticks: 0,
             });
             sim.run_for(1000);
-            let result = (
+            (
                 sim.now(),
-                sink.borrow().got.clone(),
-                sink.borrow().ticks,
+                sim.get(sink).got.clone(),
+                sim.get(sink).ticks,
                 sim.ticked_component_cycles(),
-            );
-            result
+            )
         };
         let naive = run(SchedulerMode::Naive);
         let active = run(SchedulerMode::ActiveSet);
@@ -1514,8 +1614,8 @@ mod tests {
 
     #[test]
     fn ticked_vs_registered_component_cycles() {
-        let (tx, rx) = channel::<u64>(4);
         let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u64>(4);
         sim.set_scheduler_mode(SchedulerMode::ActiveSet);
         sim.add(OneShot {
             tx,
@@ -1545,8 +1645,8 @@ mod tests {
     #[test]
     fn same_cycle_wake_matches_naive_ordering() {
         let run = |mode: SchedulerMode, producer_first: bool| {
-            let (tx, rx) = crate::chan::channel_with_latency::<u64>(4, 0);
             let mut sim = Simulation::new();
+            let (tx, rx) = sim.channel_with_latency::<u64>(4, 0);
             sim.set_scheduler_mode(mode);
             let producer = OneShot {
                 tx,
@@ -1567,8 +1667,7 @@ mod tests {
                 s
             };
             sim.run_for(200);
-            let got = s.borrow().got.clone();
-            got
+            sim.get(s).got.clone()
         };
         for producer_first in [true, false] {
             let naive = run(SchedulerMode::Naive, producer_first);
@@ -1593,8 +1692,8 @@ mod tests {
             SchedulerMode::ActiveSet,
         ];
         let run = |switch: bool| {
-            let (tx, rx) = channel::<u64>(4);
             let mut sim = Simulation::new();
+            let (tx, rx) = sim.channel::<u64>(4);
             if !switch {
                 sim.set_scheduler_mode(SchedulerMode::Naive);
             }
@@ -1622,12 +1721,11 @@ mod tests {
                 }
                 sim.run_for(50);
             }
-            let result = (
+            (
                 sim.now(),
-                b.borrow().tick_log.clone(),
-                sink.borrow().got.clone(),
-            );
-            result
+                sim.get(b).tick_log.clone(),
+                sim.get(sink).got.clone(),
+            )
         };
         assert_eq!(run(false), run(true));
     }
@@ -1635,33 +1733,33 @@ mod tests {
     #[test]
     fn host_poke_through_shared_handle_rearms_hooked_component() {
         // The sink is hooked (so it heap-sleeps), but the host feeds it
-        // through a Shared borrow, not a channel: the rearm pass at every
+        // through a Shared handle, not a channel: the rearm pass at every
         // run_for/step entry must still pick the work up.
-        let (_tx, rx) = channel::<u64>(1);
         struct Poked {
-            rx: crate::Receiver<u64>,
+            rx: Receiver<u64>,
             pending: u64,
             done: Vec<Cycle>,
         }
         impl Component for Poked {
-            fn tick(&mut self, now: Cycle) {
-                let _ = self.rx.recv(now);
+            fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
+                let _ = self.rx.recv(ctx, now);
                 if self.pending > 0 {
                     self.pending -= 1;
                     self.done.push(now);
                 }
             }
-            fn next_event(&self, now: Cycle) -> Option<Cycle> {
+            fn next_event(&self, ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
                 if self.pending > 0 {
                     return Some(now + 1);
                 }
-                self.rx.next_visible_at().map(|v| v.max(now + 1))
+                self.rx.next_visible_at(ctx).map(|v| v.max(now + 1))
             }
-            fn register_wakes(&self, waker: &Waker) {
-                self.rx.wake_on_send(waker);
+            fn register_wakes(&self, ctx: &SimCtx, waker: &Waker) {
+                self.rx.wake_on_send(ctx, waker);
             }
         }
         let mut sim = Simulation::new();
+        let (_tx, rx) = sim.channel::<u64>(1);
         sim.set_scheduler_mode(SchedulerMode::ActiveSet);
         let p = sim.add_shared(Poked {
             rx,
@@ -1669,13 +1767,13 @@ mod tests {
             done: Vec::new(),
         });
         sim.run_for(10);
-        assert!(p.borrow().done.is_empty());
-        p.borrow_mut().pending = 2;
+        assert!(sim.get(p).done.is_empty());
+        sim.get_mut(p).pending = 2;
         sim.run_for(10);
-        assert_eq!(p.borrow().done, vec![10, 11]);
-        p.borrow_mut().pending = 1;
+        assert_eq!(sim.get(p).done, vec![10, 11]);
+        sim.get_mut(p).pending = 1;
         sim.step();
-        assert_eq!(p.borrow().done, vec![10, 11, 20]);
+        assert_eq!(sim.get(p).done, vec![10, 11, 20]);
     }
 
     #[test]
@@ -1685,23 +1783,23 @@ mod tests {
         // `rx` — with the debug verifier on, the first sleeping cycle where
         // `rx` holds work must panic instead of silently diverging.
         struct BadHooks {
-            rx: crate::Receiver<u64>,
-            decoy: crate::Receiver<u64>,
+            rx: Receiver<u64>,
+            decoy: Receiver<u64>,
         }
         impl Component for BadHooks {
-            fn tick(&mut self, now: Cycle) {
-                let _ = self.rx.recv(now);
+            fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
+                let _ = self.rx.recv(ctx, now);
             }
-            fn next_event(&self, now: Cycle) -> Option<Cycle> {
-                self.rx.next_visible_at().map(|v| v.max(now + 1))
+            fn next_event(&self, ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
+                self.rx.next_visible_at(ctx).map(|v| v.max(now + 1))
             }
-            fn register_wakes(&self, waker: &Waker) {
-                self.decoy.wake_on_send(waker);
+            fn register_wakes(&self, ctx: &SimCtx, waker: &Waker) {
+                self.decoy.wake_on_send(ctx, waker);
             }
         }
-        let (tx, rx) = channel::<u64>(4);
-        let (_decoy_tx, decoy) = channel::<u64>(4);
         let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u64>(4);
+        let (_decoy_tx, decoy) = sim.channel::<u64>(4);
         sim.set_scheduler_mode(SchedulerMode::ActiveSet);
         sim.set_verify_idle(true);
         sim.add(OneShot {
@@ -1719,8 +1817,8 @@ mod tests {
         // exactly the same cycle in every mode, even when the stride is far
         // larger than the gap to the first wake (send at 3, stride 64).
         let run = |mode: SchedulerMode, stride: Cycle| {
-            let (tx, rx) = channel::<u64>(4);
             let mut sim = Simulation::new();
+            let (tx, rx) = sim.channel::<u64>(4);
             sim.set_scheduler_mode(mode);
             sim.add(OneShot {
                 tx,
@@ -1728,8 +1826,7 @@ mod tests {
                 sent: false,
             });
             sim.watch_receiver(&rx);
-            let rx2 = rx.clone();
-            sim.run_until_strided(1000, stride, move |now| rx2.has_data(now))
+            sim.run_until_strided(1000, stride, move |sim| rx.has_data(sim.ctx(), sim.now()))
                 .expect("value should arrive")
         };
         let baseline = run(SchedulerMode::Naive, 1);

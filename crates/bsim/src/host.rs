@@ -1,0 +1,52 @@
+//! Host-parallelism sizing shared by every harness that spawns worker
+//! threads over `Send` simulations.
+//!
+//! Since the arena refactor a [`crate::Simulation`] can be built on one
+//! thread and run on another, so several layers size thread pools: the
+//! `bbench` sweep executor (`BBENCH_JOBS`), the `bserver` fleet
+//! (`BSERVER_SHARDS`), and the Table III host-CPU baseline. They all
+//! resolve their count through [`worker_count`] so an explicit
+//! environment override wins and the fallback (the host's available
+//! parallelism) is computed exactly one way.
+
+/// Parses a `BBENCH_JOBS`/`BSERVER_SHARDS`-style override: a positive
+/// integer wins (zero is clamped to one so `=0` means "serial", not a
+/// panic); anything unparsable is ignored so a typo falls back to the
+/// host default rather than silently serializing a long sweep.
+pub fn parse_jobs(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+}
+
+/// Worker threads for host-parallel execution: the `env_var` override if
+/// set (and parsable), else the host's
+/// [`std::thread::available_parallelism`].
+pub fn worker_count(env_var: &str) -> usize {
+    parse_jobs(std::env::var(env_var).ok().as_deref())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_jobs_clamps_and_ignores_garbage() {
+        assert_eq!(parse_jobs(None), None);
+        assert_eq!(parse_jobs(Some("8")), Some(8));
+        assert_eq!(parse_jobs(Some(" 2 ")), Some(2));
+        assert_eq!(parse_jobs(Some("0")), Some(1), "0 clamps to serial");
+        assert_eq!(parse_jobs(Some("four")), None, "typos fall through");
+        assert_eq!(parse_jobs(Some("")), None);
+    }
+
+    #[test]
+    fn worker_count_prefers_the_env_override() {
+        // Use a variable name no other test touches; set/remove is safe
+        // here because the test binary runs its cases in one process.
+        std::env::set_var("BSIM_HOST_TEST_JOBS", "3");
+        assert_eq!(worker_count("BSIM_HOST_TEST_JOBS"), 3);
+        std::env::remove_var("BSIM_HOST_TEST_JOBS");
+        assert!(worker_count("BSIM_HOST_TEST_JOBS") >= 1);
+    }
+}

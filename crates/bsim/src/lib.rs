@@ -8,10 +8,16 @@
 //! The kernel is deliberately small:
 //!
 //! * [`Component`] — anything with per-cycle behaviour (`tick`).
-//! * [`channel`] / [`Sender`] / [`Receiver`] — ready/valid ("Decoupled" in
-//!   Chisel terms) bounded channels with register-like visibility latency.
-//! * [`Simulation`] — owns components and drives the clock, including
-//!   multi-clock-domain ticking via per-component dividers. The driver is
+//! * [`Simulation::channel`] / [`Sender`] / [`Receiver`] — ready/valid
+//!   ("Decoupled" in Chisel terms) bounded channels with register-like
+//!   visibility latency. Endpoints are plain `Copy` IDs into channel
+//!   storage owned by the simulation, so every operation takes the
+//!   [`SimCtx`] that owns the arena.
+//! * [`Simulation`] — owns components, channel storage, and the wake
+//!   arena, and drives the clock, including multi-clock-domain ticking
+//!   via per-component dividers. Because all simulation state lives in
+//!   these arenas (no shared-ownership cells), a `Simulation` is `Send`
+//!   and can be moved to a worker thread wholesale. The driver is
 //!   event-aware: components that implement [`Component::next_event`] let
 //!   it fast-forward across provably quiescent gaps with bit-identical
 //!   cycle counts (guarded by [`Lockstep`], measured by [`SimRate`]).
@@ -25,13 +31,13 @@
 //! ## Example
 //!
 //! ```rust
-//! use bsim::{channel, Component, Cycle, Simulation};
+//! use bsim::{Component, Cycle, SimCtx, Simulation};
 //!
 //! struct Producer { tx: bsim::Sender<u32>, next: u32 }
 //! impl Component for Producer {
-//!     fn tick(&mut self, now: Cycle) {
-//!         if self.tx.can_send() {
-//!             self.tx.send(now, self.next);
+//!     fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
+//!         if self.tx.can_send(ctx) {
+//!             self.tx.send(ctx, now, self.next);
 //!             self.next += 1;
 //!         }
 //!     }
@@ -39,25 +45,27 @@
 //!
 //! struct Consumer { rx: bsim::Receiver<u32>, sum: u64 }
 //! impl Component for Consumer {
-//!     fn tick(&mut self, now: Cycle) {
-//!         while let Some(v) = self.rx.recv(now) {
+//!     fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
+//!         while let Some(v) = self.rx.recv(ctx, now) {
 //!             self.sum += u64::from(v);
 //!         }
 //!     }
 //! }
 //!
-//! let (tx, rx) = channel::<u32>(4);
 //! let mut sim = Simulation::new();
+//! let (tx, rx) = sim.channel::<u32>(4);
 //! sim.add(Producer { tx, next: 0 });
 //! let consumer = sim.add_shared(Consumer { rx, sum: 0 });
 //! sim.run_for(100);
-//! assert!(consumer.borrow().sum > 0);
+//! assert!(sim.get(consumer).sum > 0);
 //! ```
 
 #![warn(missing_docs)]
 
 mod chan;
 mod component;
+mod ctx;
+pub mod host;
 mod lockstep;
 mod mem;
 pub mod perf;
@@ -67,8 +75,9 @@ mod trace;
 mod vcd;
 mod wake;
 
-pub use chan::{channel, channel_with_latency, ChannelState, Receiver, Sender};
+pub use chan::{ChannelState, Receiver, Sender};
 pub use component::{Component, SchedulerMode, Shared, Simulation};
+pub use ctx::SimCtx;
 pub use lockstep::Lockstep;
 pub use mem::SparseMemory;
 pub use perf::{Counter, CounterSet, PerfRegistry};

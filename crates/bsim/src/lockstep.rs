@@ -147,6 +147,7 @@ impl std::fmt::Debug for Lockstep {
 mod tests {
     use super::*;
     use crate::component::Component;
+    use crate::ctx::SimCtx;
 
     /// Counts ticks; correct `next_event` when `honest`, a lying one (skips
     /// cycles that actually do work) when not.
@@ -157,13 +158,13 @@ mod tests {
     }
 
     impl Component for Sparse {
-        fn tick(&mut self, now: Cycle) {
+        fn tick(&mut self, _ctx: &SimCtx, now: Cycle) {
             if now.is_multiple_of(self.period) {
                 self.stats.incr("fires");
             }
         }
 
-        fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        fn next_event(&self, _ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
             if self.honest {
                 Some(now + (self.period - now % self.period))
             } else {

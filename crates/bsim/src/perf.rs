@@ -20,21 +20,23 @@
 //! simulated behaviour, so cycle counts are byte-identical with profiling
 //! on or off (guarded by a lockstep test in `bkernels`).
 
-use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::stats::{Histogram, Stats};
 use crate::time::Cycle;
 use crate::trace::TraceEvent;
 
 /// A cheap shared `u64` counter. Incrementing is a branch on the
-/// registry's enabled flag plus a `Cell` store — suitable for per-cycle
-/// hot paths. Clone freely; clones share the value.
+/// registry's enabled flag plus a relaxed atomic add — suitable for
+/// per-cycle hot paths (uncontended within one simulation, and `Send` so
+/// counters can ride along when an SoC moves threads). Clone freely;
+/// clones share the value.
 #[derive(Clone)]
 pub struct Counter {
-    value: Rc<Cell<u64>>,
-    enabled: Rc<Cell<bool>>,
+    value: Arc<AtomicU64>,
+    enabled: Arc<AtomicBool>,
 }
 
 impl Counter {
@@ -43,16 +45,16 @@ impl Counter {
     /// [`CounterSet::counter`] replaces it at elaboration.
     pub fn detached() -> Self {
         Counter {
-            value: Rc::new(Cell::new(0)),
-            enabled: Rc::new(Cell::new(false)),
+            value: Arc::new(AtomicU64::new(0)),
+            enabled: Arc::new(AtomicBool::new(false)),
         }
     }
 
     /// Adds `delta` if the owning registry is enabled.
     #[inline]
     pub fn add(&self, delta: u64) {
-        if self.enabled.get() {
-            self.value.set(self.value.get().wrapping_add(delta));
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(delta, Ordering::Relaxed);
         }
     }
 
@@ -65,7 +67,7 @@ impl Counter {
     /// Current raw value (ignores reset baselines; host-facing reads go
     /// through [`PerfRegistry::counters`]).
     pub fn get(&self) -> u64 {
-        self.value.get()
+        self.value.load(Ordering::Relaxed)
     }
 }
 
@@ -77,16 +79,16 @@ impl Default for Counter {
 
 impl std::fmt::Debug for Counter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Counter({})", self.value.get())
+        write!(f, "Counter({})", self.get())
     }
 }
 
 /// Pull-model counter source: returns `(name, value)` pairs on demand.
-type Provider = Box<dyn Fn() -> Vec<(String, u64)>>;
+type Provider = Box<dyn Fn() -> Vec<(String, u64)> + Send>;
 
 #[derive(Default)]
 struct SetEntries {
-    counters: BTreeMap<String, Rc<Cell<u64>>>,
+    counters: BTreeMap<String, Arc<AtomicU64>>,
     stats: Vec<Stats>,
     providers: Vec<Provider>,
 }
@@ -108,7 +110,7 @@ impl RegistryInner {
     fn set_values(&self, entries: &SetEntries) -> BTreeMap<String, u64> {
         let mut out = BTreeMap::new();
         for (name, cell) in &entries.counters {
-            *out.entry(name.clone()).or_insert(0) += cell.get();
+            *out.entry(name.clone()).or_insert(0) += cell.load(Ordering::Relaxed);
         }
         for stats in &entries.stats {
             for (name, value) in stats.counters() {
@@ -141,8 +143,8 @@ impl RegistryInner {
 /// clones share state, like handles to one PMU block.
 #[derive(Clone, Default)]
 pub struct PerfRegistry {
-    enabled: Rc<Cell<bool>>,
-    inner: Rc<RefCell<RegistryInner>>,
+    enabled: Arc<AtomicBool>,
+    inner: Arc<Mutex<RegistryInner>>,
 }
 
 impl PerfRegistry {
@@ -155,26 +157,27 @@ impl PerfRegistry {
     /// Attached [`Stats`] bags and providers are *not* gated — they belong
     /// to the components and may be load-bearing.
     pub fn set_enabled(&self, enabled: bool) {
-        self.enabled.set(enabled);
+        self.enabled.store(enabled, Ordering::Relaxed);
     }
 
     /// Whether counters are live.
     pub fn is_enabled(&self) -> bool {
-        self.enabled.get()
+        self.enabled.load(Ordering::Relaxed)
     }
 
     /// Gets or creates the counter set registered under `path`
     /// (`/`-separated hierarchy, e.g. `"mem0"` or `"cores/Doubler0"`).
     pub fn set(&self, path: &str) -> CounterSet {
         self.inner
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .sets
             .entry(path.to_owned())
             .or_default();
         CounterSet {
             path: path.to_owned(),
-            enabled: Rc::clone(&self.enabled),
-            inner: Rc::clone(&self.inner),
+            enabled: Arc::clone(&self.enabled),
+            inner: Arc::clone(&self.inner),
         }
     }
 
@@ -182,19 +185,19 @@ impl PerfRegistry {
     /// Used for externally-owned values pushed into the registry (e.g. the
     /// scheduler's executed/skipped cycle counts, synced before reads).
     pub fn set_value(&self, path: &str, name: &str, value: u64) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         let entries = inner.sets.entry(path.to_owned()).or_default();
         entries
             .counters
             .entry(name.to_owned())
-            .or_insert_with(|| Rc::new(Cell::new(0)))
-            .set(value);
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .store(value, Ordering::Relaxed);
     }
 
     /// All counters as sorted, flattened `path/name` pairs, with the reset
     /// baseline subtracted.
     pub fn counters(&self) -> Vec<(String, u64)> {
-        self.inner.borrow().flat_counters()
+        self.inner.lock().unwrap().flat_counters()
     }
 
     /// Sorted flattened counter names — the MMIO window's index space.
@@ -222,7 +225,7 @@ impl PerfRegistry {
     /// All histograms from attached stats bags as sorted flattened pairs.
     /// Histograms are not baselined (samples cannot be un-recorded).
     pub fn histograms(&self) -> Vec<(String, Histogram)> {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         let mut out = Vec::new();
         for (path, entries) in &inner.sets {
             for stats in &entries.stats {
@@ -240,7 +243,7 @@ impl PerfRegistry {
     /// load-bearing for component behaviour, so reset must never write
     /// back into them.
     pub fn reset(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         let mut baseline = BTreeMap::new();
         for (path, entries) in &inner.sets {
             for (name, value) in inner.set_values(entries) {
@@ -253,20 +256,20 @@ impl PerfRegistry {
     /// Records a windowed sample of every counter at `cycle`, for the
     /// trace exporter's counter tracks.
     pub fn sample(&self, cycle: Cycle) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         let snap = inner.flat_counters();
         inner.samples.push((cycle, snap));
     }
 
     /// All windowed samples recorded so far.
     pub fn samples(&self) -> Vec<(Cycle, Vec<(String, u64)>)> {
-        self.inner.borrow().samples.clone()
+        self.inner.lock().unwrap().samples.clone()
     }
 
     /// Renders the text profile report: counters grouped by set, plus
     /// every histogram with count/mean/percentiles.
     pub fn report(&self) -> String {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         let mut out = String::from("perf report\n===========\n");
         for (path, entries) in &inner.sets {
             let values = inner.set_values(entries);
@@ -354,7 +357,7 @@ impl PerfRegistry {
                 ),
             );
         }
-        for (cycle, counters) in self.inner.borrow().samples.iter() {
+        for (cycle, counters) in self.inner.lock().unwrap().samples.iter() {
             for (name, value) in counters {
                 push(
                     &mut out,
@@ -376,8 +379,8 @@ impl PerfRegistry {
 impl std::fmt::Debug for PerfRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PerfRegistry")
-            .field("enabled", &self.enabled.get())
-            .field("sets", &self.inner.borrow().sets.len())
+            .field("enabled", &self.is_enabled())
+            .field("sets", &self.inner.lock().unwrap().sets.len())
             .finish()
     }
 }
@@ -389,8 +392,8 @@ impl std::fmt::Debug for PerfRegistry {
 #[derive(Clone)]
 pub struct CounterSet {
     path: String,
-    enabled: Rc<Cell<bool>>,
-    inner: Rc<RefCell<RegistryInner>>,
+    enabled: Arc<AtomicBool>,
+    inner: Arc<Mutex<RegistryInner>>,
 }
 
 impl CounterSet {
@@ -401,17 +404,17 @@ impl CounterSet {
 
     /// Gets or creates the cheap counter `name` in this set.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         let entries = inner.sets.entry(self.path.clone()).or_default();
-        let value = Rc::clone(
+        let value = Arc::clone(
             entries
                 .counters
                 .entry(name.to_owned())
-                .or_insert_with(|| Rc::new(Cell::new(0))),
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
         );
         Counter {
             value,
-            enabled: Rc::clone(&self.enabled),
+            enabled: Arc::clone(&self.enabled),
         }
     }
 
@@ -420,7 +423,8 @@ impl CounterSet {
     /// component and is never written by the registry.
     pub fn attach_stats(&self, stats: &Stats) {
         self.inner
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .sets
             .entry(self.path.clone())
             .or_default()
@@ -431,9 +435,10 @@ impl CounterSet {
     /// Attaches a pull-model provider: invoked on every registry read to
     /// contribute (name, value) pairs (e.g. DRAM channel stats that live
     /// in a plain struct). Must not re-enter the registry.
-    pub fn add_provider(&self, provider: impl Fn() -> Vec<(String, u64)> + 'static) {
+    pub fn add_provider(&self, provider: impl Fn() -> Vec<(String, u64)> + Send + 'static) {
         self.inner
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .sets
             .entry(self.path.clone())
             .or_default()
@@ -709,12 +714,12 @@ mod tests {
     #[test]
     fn providers_contribute_on_read() {
         let perf = PerfRegistry::new();
-        let value = Rc::new(Cell::new(3u64));
-        let v2 = Rc::clone(&value);
+        let value = Arc::new(AtomicU64::new(3));
+        let v2 = Arc::clone(&value);
         perf.set("ch0")
-            .add_provider(move || vec![("bytes".to_owned(), v2.get())]);
+            .add_provider(move || vec![("bytes".to_owned(), v2.load(Ordering::Relaxed))]);
         assert_eq!(perf.counter("ch0/bytes"), Some(3));
-        value.set(9);
+        value.store(9, Ordering::Relaxed);
         assert_eq!(perf.counter("ch0/bytes"), Some(9));
     }
 

@@ -1,8 +1,7 @@
 //! Counters and histograms shared between components and the host.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A latency/occupancy histogram with power-of-two buckets.
 #[derive(Debug, Clone)]
@@ -125,6 +124,27 @@ impl Histogram {
     pub fn p99(&self) -> Option<u64> {
         self.percentile(99.0)
     }
+
+    /// Merges another histogram into this one, bucket-wise. Because the
+    /// buckets are fixed power-of-two ranges, merging shard-local
+    /// histograms and then reading percentiles gives the same answer as
+    /// recording every sample into one histogram — which is how the
+    /// `bserver` fleet rolls per-shard latency into one aggregate row.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &n) in other.buckets.iter().enumerate() {
+            self.buckets[i] += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 #[derive(Debug, Default)]
@@ -136,11 +156,12 @@ struct StatsInner {
 /// A shared, cloneable bag of named counters and histograms.
 ///
 /// Components hold clones and increment counters during `tick`; the host
-/// reads them after the run. Single-threaded by design (`Rc`), matching the
-/// simulation kernel.
+/// reads them after the run. Backed by `Arc<Mutex>` so a stats bag — and
+/// the `Simulation` holding clones of it — stays `Send`; within one
+/// simulation the lock is uncontended.
 #[derive(Debug, Default, Clone)]
 pub struct Stats {
-    inner: Rc<RefCell<StatsInner>>,
+    inner: Arc<Mutex<StatsInner>>,
 }
 
 impl Stats {
@@ -153,7 +174,8 @@ impl Stats {
     pub fn add(&self, name: &str, delta: u64) {
         *self
             .inner
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .counters
             .entry(name.to_owned())
             .or_insert(0) += delta;
@@ -166,13 +188,20 @@ impl Stats {
 
     /// Current value of counter `name` (zero if never written).
     pub fn get(&self, name: &str) -> u64 {
-        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Records a histogram sample under `name`.
     pub fn record(&self, name: &str, value: u64) {
         self.inner
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .histograms
             .entry(name.to_owned())
             .or_default()
@@ -181,13 +210,14 @@ impl Stats {
 
     /// A snapshot of histogram `name`, if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        self.inner.borrow().histograms.get(name).cloned()
+        self.inner.lock().unwrap().histograms.get(name).cloned()
     }
 
     /// All histograms as sorted (name, histogram) pairs.
     pub fn histograms(&self) -> Vec<(String, Histogram)> {
         self.inner
-            .borrow()
+            .lock()
+            .unwrap()
             .histograms
             .iter()
             .map(|(k, h)| (k.clone(), h.clone()))
@@ -197,7 +227,8 @@ impl Stats {
     /// All counters as sorted (name, value) pairs.
     pub fn counters(&self) -> Vec<(String, u64)> {
         self.inner
-            .borrow()
+            .lock()
+            .unwrap()
             .counters
             .iter()
             .map(|(k, v)| (k.clone(), *v))
@@ -207,7 +238,7 @@ impl Stats {
     /// A comparable snapshot of every counter and histogram, for
     /// equivalence checks such as [`crate::Lockstep`] guards.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         StatsSnapshot {
             counters: inner
                 .counters

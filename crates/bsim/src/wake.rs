@@ -14,25 +14,24 @@
 //! [`recv`](crate::Receiver::recv)) on a hooked channel enqueues the
 //! component for re-examination.
 //!
+//! A `Waker` is a `Copy` ID into the simulation's [`SimCtx`] arena: the
+//! wake queue and the per-component queued/hooked flags live in the
+//! arena, not behind shared `Rc` handles, so registering hooks never
+//! creates a second owner of scheduler state.
+//!
 //! Waking is intentionally conservative: a woken component is scheduled
 //! for its next clock-domain fire regardless of whether the new input is
 //! visible yet. Extra ticks are always sound — they are exactly what the
 //! naive loop executes — and the component's post-tick `next_event`
 //! re-arms it precisely.
 
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
-
-/// The shared queue of component indices waiting to be re-examined by the
-/// active-set scheduler. Channels hold [`Waker`] clones; the simulation
-/// drains the queue between ticks.
-pub(crate) type WakeQueue = Rc<RefCell<Vec<usize>>>;
+use crate::ctx::SimCtx;
 
 /// Re-arms one registered component in its [`Simulation`](crate::Simulation).
 ///
 /// A `Waker` is handed to each component once, via
 /// [`Component::register_wakes`](crate::Component::register_wakes), when
-/// the component is added to a simulation. The component attaches clones
+/// the component is added to a simulation. The component attaches it
 /// to the channels whose state its
 /// [`next_event`](crate::Component::next_event) declarations depend on:
 ///
@@ -48,32 +47,17 @@ pub(crate) type WakeQueue = Rc<RefCell<Vec<usize>>>;
 /// return the active-set scheduler lets it sleep without polling.
 /// Components that register nothing stay in the always-tick fallback set
 /// (naive semantics on every executed cycle). See `DESIGN.md`.
-#[derive(Clone)]
+#[derive(Clone, Copy)]
 pub struct Waker {
-    inner: Rc<WakeTarget>,
-}
-
-struct WakeTarget {
-    /// Index of the component in `Simulation::components`.
-    idx: usize,
-    queue: WakeQueue,
-    /// Already enqueued and not yet drained (dedupe: a hot channel fires
-    /// its hooks every cycle, but each component appears at most once).
-    queued: Cell<bool>,
-    /// Whether any hook was ever registered through this waker.
-    hooked: Cell<bool>,
+    /// Index of the component in the simulation's registration order.
+    pub(crate) idx: usize,
+    /// Serial of the owning simulation's arena (cross-sim misuse check).
+    pub(crate) serial: u32,
 }
 
 impl Waker {
-    pub(crate) fn new(idx: usize, queue: WakeQueue) -> Self {
-        Waker {
-            inner: Rc::new(WakeTarget {
-                idx,
-                queue,
-                queued: Cell::new(false),
-                hooked: Cell::new(false),
-            }),
-        }
+    pub(crate) fn new(idx: usize, serial: u32) -> Self {
+        Waker { idx, serial }
     }
 
     /// Enqueues the owning component for re-examination by the scheduler.
@@ -81,37 +65,16 @@ impl Waker {
     /// Channels call this from their hook lists; host code may also call
     /// it directly after mutating a sleeping component's state through a
     /// [`Shared`](crate::Shared) handle outside any channel.
-    pub fn wake(&self) {
-        if !self.inner.queued.replace(true) {
-            self.inner.queue.borrow_mut().push(self.inner.idx);
-        }
-    }
-
-    /// Clears the queued flag after the scheduler drains this component's
-    /// entry, so later input changes enqueue it again.
-    pub(crate) fn clear_queued(&self) {
-        self.inner.queued.set(false);
-    }
-
-    /// Marks that a hook was registered (called by the channel endpoints).
-    pub(crate) fn mark_hooked(&self) {
-        self.inner.hooked.set(true);
-    }
-
-    /// Whether any channel hook was registered through this waker. Hooked
-    /// components are heap-scheduled; unhooked ones stay in the polled
-    /// fallback set.
-    pub(crate) fn is_hooked(&self) -> bool {
-        self.inner.hooked.get()
+    pub fn wake(&self, ctx: &SimCtx) {
+        ctx.assert_serial(self.serial, "Waker");
+        ctx.wake_component(self.idx);
     }
 }
 
 impl std::fmt::Debug for Waker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Waker")
-            .field("component", &self.inner.idx)
-            .field("queued", &self.inner.queued.get())
-            .field("hooked", &self.inner.hooked.get())
+            .field("component", &self.idx)
             .finish()
     }
 }

@@ -23,8 +23,8 @@
 //! random graph panics instead of silently diverging.
 
 use bsim::{
-    channel_with_latency, ChannelState, Component, Cycle, Receiver, SchedulerMode, Sender, Shared,
-    Simulation, Waker,
+    ChannelState, Component, Cycle, Receiver, SchedulerMode, Sender, Shared, SimCtx, Simulation,
+    Waker,
 };
 use proptest::prelude::*;
 
@@ -60,20 +60,20 @@ impl Node {
         !self.inputs.is_empty() || self.sent >= self.items || now < self.sent * self.period
     }
 
-    fn quiescent(&self) -> bool {
+    fn quiescent(&self, ctx: &SimCtx) -> bool {
         (!self.inputs.is_empty() || self.sent == self.items)
             && self.holding.is_none()
-            && self.inputs.iter().all(|rx| rx.state().occupancy == 0)
+            && self.inputs.iter().all(|rx| rx.state(ctx).occupancy == 0)
     }
 }
 
 impl Component for Node {
-    fn tick(&mut self, now: Cycle) {
+    fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
         // Producer role: emit the next sequence number when due.
         if self.inputs.is_empty() && self.sent < self.items && now >= self.sent * self.period {
             if let Some(tx) = &self.tx {
-                if tx.can_send() {
-                    tx.send(now, self.sent);
+                if tx.can_send(ctx) {
+                    tx.send(ctx, now, self.sent);
                     self.sent += 1;
                 }
             }
@@ -82,8 +82,8 @@ impl Component for Node {
         if let Some((v, ready_at)) = self.holding {
             if now >= ready_at {
                 if let Some(tx) = &self.tx {
-                    if tx.can_send() {
-                        tx.send(now, v);
+                    if tx.can_send(ctx) {
+                        tx.send(ctx, now, v);
                         self.holding = None;
                     }
                 }
@@ -93,13 +93,13 @@ impl Component for Node {
         if self.holding.is_none() && !self.inputs.is_empty() {
             if self.tx.is_none() {
                 for rx in &self.inputs {
-                    while let Some(v) = rx.recv(now) {
+                    while let Some(v) = rx.recv(ctx, now) {
                         self.log.push((v, now));
                     }
                 }
             } else {
                 for rx in &self.inputs {
-                    if let Some(v) = rx.recv(now) {
+                    if let Some(v) = rx.recv(ctx, now) {
                         self.log.push((v, now));
                         self.holding = Some((v, now + self.delay));
                         break;
@@ -109,7 +109,7 @@ impl Component for Node {
         }
     }
 
-    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+    fn next_event(&self, ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
         if self.flavor == Flavor::Legacy {
             return Some(now + 1);
         }
@@ -123,7 +123,7 @@ impl Component for Node {
         if self.inputs.is_empty() && self.sent < self.items {
             if self.producer_due(now) {
                 consider(Some(self.sent * self.period));
-            } else if self.tx.as_ref().is_some_and(|tx| tx.can_send()) {
+            } else if self.tx.as_ref().is_some_and(|tx| tx.can_send(ctx)) {
                 consider(Some(now + 1));
             } else if self.flavor != Flavor::HookedSleepy {
                 // Output-blocked: stay awake and retry (Sleepy instead
@@ -134,7 +134,7 @@ impl Component for Node {
         match self.holding {
             Some((_, ready_at)) if ready_at > now => consider(Some(ready_at)),
             Some(_) => {
-                if self.tx.as_ref().is_some_and(|tx| tx.can_send())
+                if self.tx.as_ref().is_some_and(|tx| tx.can_send(ctx))
                     || self.flavor != Flavor::HookedSleepy
                 {
                     consider(Some(now + 1));
@@ -142,23 +142,23 @@ impl Component for Node {
             }
             None => {
                 for rx in &self.inputs {
-                    consider(rx.next_visible_at());
+                    consider(rx.next_visible_at(ctx));
                 }
             }
         }
         wake
     }
 
-    fn register_wakes(&self, waker: &Waker) {
+    fn register_wakes(&self, ctx: &SimCtx, waker: &Waker) {
         match self.flavor {
             Flavor::Legacy | Flavor::Aware => {}
             Flavor::Hooked | Flavor::HookedSleepy => {
                 for rx in &self.inputs {
-                    rx.wake_on_send(waker);
+                    rx.wake_on_send(ctx, waker);
                 }
                 if self.flavor == Flavor::HookedSleepy {
                     if let Some(tx) = &self.tx {
-                        tx.wake_on_recv(waker);
+                        tx.wake_on_recv(ctx, waker);
                     }
                 }
             }
@@ -236,13 +236,13 @@ fn build(sim: &mut Simulation, specs: &[NodeSpec], divider: u64) -> Vec<Shared<N
         }
     }
     // One output channel per node that has at least one reader; its
-    // receiver is cloned per child (children steal work deterministically
+    // receiver is copied per child (children steal work deterministically
     // in tick order, identically in every scheduler mode).
     let mut txs: Vec<Option<Sender<u64>>> = Vec::with_capacity(n);
     let mut rxs: Vec<Option<Receiver<u64>>> = Vec::with_capacity(n);
     for (i, spec) in specs.iter().enumerate() {
         if edges.iter().any(|&(from, _)| from == i) {
-            let (tx, rx) = channel_with_latency::<u64>(spec.capacity, spec.latency);
+            let (tx, rx) = sim.channel_with_latency::<u64>(spec.capacity, spec.latency);
             txs.push(Some(tx));
             rxs.push(Some(rx));
         } else {
@@ -257,7 +257,7 @@ fn build(sim: &mut Simulation, specs: &[NodeSpec], divider: u64) -> Vec<Shared<N
             let inputs: Vec<Receiver<u64>> = edges
                 .iter()
                 .filter(|&&(_, to)| to == i)
-                .map(|&(from, _)| rxs[from].clone().expect("edge source has a channel"))
+                .map(|&(from, _)| rxs[from].expect("edge source has a channel"))
                 .collect();
             sim.add_shared_with_divider(
                 Node {
@@ -290,18 +290,18 @@ struct Observation {
 fn observe(sim: &Simulation, nodes: &[Shared<Node>]) -> Observation {
     Observation {
         now: sim.now(),
-        sent: nodes.iter().map(|n| n.borrow().sent).collect(),
-        holding: nodes.iter().map(|n| n.borrow().holding).collect(),
-        logs: nodes.iter().map(|n| n.borrow().log.clone()).collect(),
+        sent: nodes.iter().map(|n| sim.get(*n).sent).collect(),
+        holding: nodes.iter().map(|n| sim.get(*n).holding).collect(),
+        logs: nodes.iter().map(|n| sim.get(*n).log.clone()).collect(),
         channels: nodes
             .iter()
-            .map(|n| n.borrow().tx.as_ref().map(|tx| tx.state()))
+            .map(|n| sim.get(*n).tx.as_ref().map(|tx| tx.state(sim.ctx())))
             .collect(),
     }
 }
 
-fn quiescent(nodes: &[Shared<Node>]) -> bool {
-    nodes.iter().all(|n| n.borrow().quiescent())
+fn quiescent(sim: &Simulation, nodes: &[Shared<Node>]) -> bool {
+    nodes.iter().all(|n| sim.get(*n).quiescent(sim.ctx()))
 }
 
 proptest! {
@@ -357,7 +357,7 @@ proptest! {
             .zip(&graphs)
             .map(|(sim, nodes)| {
                 let nodes = nodes.clone();
-                sim.run_until(max, move || quiescent(&nodes))
+                sim.run_until(max, move |sim| quiescent(sim, &nodes))
             })
             .collect();
         prop_assert_eq!(elapsed[0], elapsed[1]);

@@ -2,7 +2,7 @@
 //! conservation, and latency bounds under arbitrary interleavings of
 //! sends, receives, and clock advances.
 
-use bsim::{channel_with_latency, Cycle};
+use bsim::{Cycle, Simulation};
 use proptest::prelude::*;
 
 /// A script step for the channel exerciser.
@@ -31,7 +31,9 @@ proptest! {
         capacity in 1usize..8,
         latency in 0u64..4,
     ) {
-        let (tx, rx) = channel_with_latency::<u64>(capacity, latency);
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel_with_latency::<u64>(capacity, latency);
+        let ctx = sim.ctx();
         let mut now: Cycle = 0;
         let mut next_seq = 0u64;
         let mut sent: Vec<(u64, Cycle)> = Vec::new();
@@ -39,14 +41,14 @@ proptest! {
         for step in steps {
             match step {
                 Step::Send => {
-                    if tx.can_send() {
-                        tx.send(now, next_seq);
+                    if tx.can_send(ctx) {
+                        tx.send(ctx, now, next_seq);
                         sent.push((next_seq, now));
                         next_seq += 1;
                     }
                 }
                 Step::Recv => {
-                    if let Some(v) = rx.recv(now) {
+                    if let Some(v) = rx.recv(ctx, now) {
                         // Latency respected: the item's send cycle must be
                         // at least `latency` cycles ago.
                         let (_, sent_at) = sent[v as usize];
@@ -58,26 +60,28 @@ proptest! {
                 Step::Tick(n) => now += u64::from(n),
             }
             // Occupancy never exceeds capacity.
-            prop_assert!(tx.state().occupancy <= capacity);
+            prop_assert!(tx.state(ctx).occupancy <= capacity);
         }
         // FIFO: received is a prefix of the sent order.
         let expect: Vec<u64> = (0..received.len() as u64).collect();
         prop_assert_eq!(&received, &expect, "receive order must be send order");
         // Conservation: everything still in flight is accounted for.
-        let s = tx.state();
+        let s = tx.state(ctx);
         prop_assert_eq!(s.total_sent - s.total_received, s.occupancy as u64);
         prop_assert_eq!(s.total_sent, sent.len() as u64);
     }
 
     #[test]
     fn drain_after_quiesce_recovers_everything(count in 1usize..50) {
-        let (tx, rx) = channel_with_latency::<u64>(64, 2);
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel_with_latency::<u64>(64, 2);
+        let ctx = sim.ctx();
         for i in 0..count as u64 {
-            tx.send(i, i);
+            tx.send(ctx, i, i);
         }
         let settle = count as u64 + 2;
         let mut got = Vec::new();
-        while let Some(v) = rx.recv(settle) {
+        while let Some(v) = rx.recv(ctx, settle) {
             got.push(v);
         }
         let expect: Vec<u64> = (0..count as u64).collect();

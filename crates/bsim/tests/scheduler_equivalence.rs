@@ -6,9 +6,7 @@
 //! the same final cycle, the same per-item delivery cycles, and the same
 //! channel totals.
 
-use bsim::{
-    channel_with_latency, ChannelState, Component, Cycle, Receiver, Sender, Shared, Simulation,
-};
+use bsim::{ChannelState, Component, Cycle, Receiver, Sender, Shared, SimCtx, Simulation};
 use proptest::prelude::*;
 
 /// Emits sequence numbers on a fixed period (item `i` becomes due at local
@@ -27,14 +25,14 @@ impl Producer {
 }
 
 impl Component for Producer {
-    fn tick(&mut self, now: Cycle) {
-        if self.due(now) && self.tx.can_send() {
-            self.tx.send(now, self.sent);
+    fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
+        if self.due(now) && self.tx.can_send(ctx) {
+            self.tx.send(ctx, now, self.sent);
             self.sent += 1;
         }
     }
 
-    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+    fn next_event(&self, _ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
         if self.sent == self.items {
             return None;
         }
@@ -56,24 +54,24 @@ struct Stage {
 }
 
 impl Component for Stage {
-    fn tick(&mut self, now: Cycle) {
+    fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
         if let Some((v, ready_at)) = self.holding {
-            if now >= ready_at && self.tx.can_send() {
-                self.tx.send(now, v);
+            if now >= ready_at && self.tx.can_send(ctx) {
+                self.tx.send(ctx, now, v);
                 self.holding = None;
             }
         }
         if self.holding.is_none() {
-            if let Some(v) = self.rx.recv(now) {
+            if let Some(v) = self.rx.recv(ctx, now) {
                 self.holding = Some((v, now + self.delay));
             }
         }
     }
 
-    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+    fn next_event(&self, ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
         match self.holding {
             Some((_, ready_at)) => Some(ready_at.max(now + 1)),
-            None => self.rx.next_visible_at().map(|v| v.max(now + 1)),
+            None => self.rx.next_visible_at(ctx).map(|v| v.max(now + 1)),
         }
     }
 }
@@ -85,14 +83,14 @@ struct Sink {
 }
 
 impl Component for Sink {
-    fn tick(&mut self, now: Cycle) {
-        while let Some(v) = self.rx.recv(now) {
+    fn tick(&mut self, ctx: &SimCtx, now: Cycle) {
+        while let Some(v) = self.rx.recv(ctx, now) {
             self.received.push((v, now));
         }
     }
 
-    fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        self.rx.next_visible_at().map(|v| v.max(now + 1))
+    fn next_event(&self, ctx: &SimCtx, now: Cycle) -> Option<Cycle> {
+        self.rx.next_visible_at(ctx).map(|v| v.max(now + 1))
     }
 }
 
@@ -128,8 +126,8 @@ struct BuiltPipeline {
 }
 
 fn build(sim: &mut Simulation, spec: &PipelineSpec) -> BuiltPipeline {
-    let (tx_a, rx_a) = channel_with_latency::<u64>(spec.capacity, spec.latency);
-    let (tx_b, rx_b) = channel_with_latency::<u64>(spec.capacity, spec.latency);
+    let (tx_a, rx_a) = sim.channel_with_latency::<u64>(spec.capacity, spec.latency);
+    let (tx_b, rx_b) = sim.channel_with_latency::<u64>(spec.capacity, spec.latency);
     let producer = sim.add_shared_with_divider(
         Producer {
             tx: tx_a,
@@ -175,15 +173,20 @@ struct Observation {
 fn observe(sim: &Simulation, pipelines: &[BuiltPipeline]) -> Observation {
     Observation {
         now: sim.now(),
-        sent: pipelines.iter().map(|p| p.producer.borrow().sent).collect(),
-        holding: pipelines.iter().map(|p| p.stage.borrow().holding).collect(),
+        sent: pipelines.iter().map(|p| sim.get(p.producer).sent).collect(),
+        holding: pipelines.iter().map(|p| sim.get(p.stage).holding).collect(),
         received: pipelines
             .iter()
-            .map(|p| p.sink.borrow().received.clone())
+            .map(|p| sim.get(p.sink).received.clone())
             .collect(),
         channels: pipelines
             .iter()
-            .flat_map(|p| [p.producer.borrow().tx.state(), p.stage.borrow().tx.state()])
+            .flat_map(|p| {
+                [
+                    sim.get(p.producer).tx.state(sim.ctx()),
+                    sim.get(p.stage).tx.state(sim.ctx()),
+                ]
+            })
             .collect(),
     }
 }
@@ -212,8 +215,10 @@ proptest! {
         // elapsed count must match the naive stepper exactly.
         let total: u64 = specs.iter().map(|s| s.items).sum();
         let done = |pipes: &[BuiltPipeline]| {
-            let sinks: Vec<Shared<Sink>> = pipes.iter().map(|p| p.sink.clone()).collect();
-            move || sinks.iter().map(|s| s.borrow().received.len() as u64).sum::<u64>() == total
+            let sinks: Vec<Shared<Sink>> = pipes.iter().map(|p| p.sink).collect();
+            move |sim: &Simulation| {
+                sinks.iter().map(|s| sim.get(*s).received.len() as u64).sum::<u64>() == total
+            }
         };
         let max = 1_000_000;
         let naive_elapsed = naive.run_until(max, done(&naive_pipes));

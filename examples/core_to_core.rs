@@ -24,9 +24,9 @@ struct Loader {
 }
 
 impl AcceleratorCore for Loader {
-    fn tick(&mut self, ctx: &mut CoreContext) {
+    fn tick(&mut self, sim: &beethoven::sim::SimCtx, ctx: &mut CoreContext) {
         if !self.active {
-            if let Some(cmd) = ctx.take_command() {
+            if let Some(cmd) = ctx.take_command(sim) {
                 self.n = cmd.arg("n");
                 self.sent = 0;
                 self.active = true;
@@ -36,15 +36,15 @@ impl AcceleratorCore for Loader {
             }
             return;
         }
-        while self.sent < self.n && ctx.intra_out("feed").can_send() {
+        while self.sent < self.n && ctx.intra_out("feed").can_send(sim) {
             let Some(v) = ctx.reader("src").pop_u32() else {
                 break;
             };
             let (now, idx) = (ctx.now(), self.sent);
-            ctx.intra_out("feed").send(now, idx, u64::from(v) + 1); // +1 tags "written"
+            ctx.intra_out("feed").send(sim, now, idx, u64::from(v) + 1); // +1 tags "written"
             self.sent += 1;
         }
-        if self.sent == self.n && ctx.respond(0) {
+        if self.sent == self.n && ctx.respond(sim, 0) {
             self.active = false;
         }
     }
@@ -60,9 +60,9 @@ struct Reducer {
 }
 
 impl AcceleratorCore for Reducer {
-    fn tick(&mut self, ctx: &mut CoreContext) {
+    fn tick(&mut self, sim: &beethoven::sim::SimCtx, ctx: &mut CoreContext) {
         if !self.active {
-            if let Some(cmd) = ctx.take_command() {
+            if let Some(cmd) = ctx.take_command(sim) {
                 self.n = cmd.arg("n");
                 self.mode = cmd.arg("mode");
                 self.active = true;
@@ -78,7 +78,7 @@ impl AcceleratorCore for Reducer {
             0 => values.sum::<u64>(),
             _ => values.max().unwrap_or(0),
         };
-        if ctx.respond(result) {
+        if ctx.respond(sim, result) {
             self.active = false;
         }
     }
