@@ -10,20 +10,31 @@
 //! run), `--json` (machine-readable summary on stdout instead of the
 //! table), `--shards N` (serve through a [`bserver::FleetServer`] of N
 //! replicas with hashed session admission; per-shard stats appear in the
-//! JSON summary). stdout is byte-identical at any `BBENCH_JOBS`,
+//! JSON summary), `--telemetry` (request tracing + windowed metrics; the
+//! JSON summary gains a per-policy `"telemetry"` time-series — the table
+//! stays byte-identical), `--window N` (telemetry window width in
+//! cycles), `--trace DIR` (write one merged Perfetto trace per policy,
+//! implies `--telemetry`), `--flight DIR` (arm the stall watchdog; flight
+//! recorder dumps land here only if a shard wedges, implies
+//! `--telemetry`). stdout is byte-identical at any `BBENCH_JOBS`,
 //! `BSERVER_SHARDS` (which only caps the fleet's execution width), and
-//! scheduler mode; diagnostics go to stderr.
+//! scheduler mode, with or without telemetry; diagnostics go to stderr.
 
 use bbench::loadgen::{
-    render, render_json, render_json_sharded, render_sharded, run, run_fleet_on, LoadScale,
+    render, render_json, render_json_sharded_telemetry, render_sharded_telemetry, run,
+    run_fleet_on_telemetry, LoadScale, TelemetryOpts,
 };
 
 fn parse_flag(name: &str) -> Option<u64> {
+    parse_arg(name).and_then(|v| v.parse().ok())
+}
+
+fn parse_arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+        .cloned()
 }
 
 fn main() {
@@ -38,18 +49,34 @@ fn main() {
     }
     let json = std::env::args().any(|a| a == "--json");
     let shards = parse_flag("--shards").map(|n| (n as usize).max(1));
+    let trace_dir = parse_arg("--trace").map(std::path::PathBuf::from);
+    let flight_dir = parse_arg("--flight").map(std::path::PathBuf::from);
+    let telemetry =
+        std::env::args().any(|a| a == "--telemetry") || trace_dir.is_some() || flight_dir.is_some();
+    let opts = telemetry.then(|| TelemetryOpts {
+        window_cycles: parse_flag("--window").unwrap_or(0),
+        trace_dir,
+        flight_dir,
+    });
+    // Telemetry rides the fleet path; without --shards it runs a 1-shard
+    // fleet, whose table renders the single-server bytes.
+    let fleet = shards.is_some() || opts.is_some();
     eprintln!("running load generator at scale {scale:?}, seed {seed}");
-    bbench::with_sim_rate(|| match shards {
-        Some(shards) => {
-            let (rows, cycles) = run_fleet_on(seed, &scale, shards, bbench::worker_count());
+    bbench::with_sim_rate(|| {
+        if fleet {
+            let shards = shards.unwrap_or(1);
+            let (rows, cycles) =
+                run_fleet_on_telemetry(seed, &scale, shards, bbench::worker_count(), opts);
             if json {
-                println!("{}", render_json_sharded(seed, &scale, shards, &rows));
+                println!(
+                    "{}",
+                    render_json_sharded_telemetry(seed, &scale, shards, &rows)
+                );
             } else {
-                print!("{}", render_sharded(seed, &scale, shards, &rows));
+                print!("{}", render_sharded_telemetry(seed, &scale, shards, &rows));
             }
             ((), cycles)
-        }
-        None => {
+        } else {
             let (rows, cycles) = run(seed, &scale);
             if json {
                 println!("{}", render_json(seed, &scale, &rows));

@@ -17,12 +17,22 @@
 //! per-policy simulations run as independent [`crate::par`] jobs — so
 //! stdout is byte-identical at any `BBENCH_JOBS` and under any
 //! `bsim::SchedulerMode` (enforced by the `loadgen_determinism` test).
+//!
+//! Fleet runs can additionally carry telemetry ([`TelemetryOpts`]):
+//! request spans merged into one Perfetto trace per policy, a windowed
+//! metrics time-series in the JSON summary, and an optional stall
+//! watchdog with flight-recorder dumps. Telemetry is pure observation —
+//! the rendered table and every measured quantity stay byte-identical
+//! with it on or off (the `telemetry_invariance` tests pin this).
+
+use std::path::PathBuf;
 
 use bcore::elaborate;
 use bplatform::Platform;
 use bruntime::FpgaHandle;
 use bserver::{
-    AccelServer, Arrival, DispatchPolicy, FleetConfig, FleetServer, JobSpec, ServerConfig,
+    AccelServer, Arrival, DispatchPolicy, FleetConfig, FleetMetrics, FleetServer, JobSpec,
+    MetricsSnapshot, ServerConfig, TelemetryConfig, WatchdogConfig,
 };
 
 /// Sebastiano Vigna's SplitMix64: a tiny, splittable, well-distributed
@@ -248,6 +258,32 @@ pub struct ShardRow {
     pub p99: u64,
 }
 
+/// Telemetry knobs for a loadgen fleet run (the `--telemetry`,
+/// `--trace`, and `--flight` flags).
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryOpts {
+    /// Tumbling-window width in fabric cycles; `0` means the
+    /// [`TelemetryConfig`] default.
+    pub window_cycles: u64,
+    /// Directory to write one merged Perfetto trace per policy into
+    /// (`trace-<policy>.json`).
+    pub trace_dir: Option<PathBuf>,
+    /// Directory for flight-recorder dumps; arming the stall watchdog
+    /// with a threshold far beyond any healthy run, so dumps appear only
+    /// if the fleet genuinely wedges.
+    pub flight_dir: Option<PathBuf>,
+}
+
+/// One policy's telemetry artifacts from a fleet run.
+#[derive(Debug, Clone)]
+pub struct PolicyTelemetry {
+    /// Windowed time-series: the cross-shard aggregate plus per-shard
+    /// snapshots.
+    pub metrics: FleetMetrics,
+    /// Where the merged Perfetto trace was written, if requested.
+    pub trace_path: Option<PathBuf>,
+}
+
 /// Runs one policy against the schedule on a [`FleetServer`] with
 /// `shards` replicas (1 replica degrades to the exact single-server
 /// path — the `fleet_loadgen` test holds the rendered row byte-identical
@@ -258,6 +294,21 @@ pub fn run_policy_fleet(
     scale: &LoadScale,
     shards: usize,
 ) -> (PolicyRow, Vec<ShardRow>) {
+    let (row, shard_rows, _) = run_policy_fleet_telemetry(policy, plan, scale, shards, None);
+    (row, shard_rows)
+}
+
+/// [`run_policy_fleet`] with optional request telemetry. Telemetry is
+/// strictly off-path (never advances the simulated clock), so the
+/// returned rows are byte-identical with `opts` `Some` or `None` — the
+/// `telemetry_invariance` test pins that.
+pub fn run_policy_fleet_telemetry(
+    policy: DispatchPolicy,
+    plan: &[PlannedJob],
+    scale: &LoadScale,
+    shards: usize,
+    opts: Option<&TelemetryOpts>,
+) -> (PolicyRow, Vec<ShardRow>, Option<PolicyTelemetry>) {
     let n_cores = scale.n_cores;
     let config = FleetConfig {
         shards,
@@ -278,6 +329,25 @@ pub fn run_policy_fleet(
     )
     .expect("fleet opens");
     let n_shards = fleet.n_shards();
+    if let Some(o) = opts {
+        let defaults = TelemetryConfig::default();
+        let watchdog = o.flight_dir.as_ref().map(|dir| {
+            // Healthy runs complete jobs every few thousand cycles; a
+            // 200M-cycle stall threshold only ever fires on a real wedge.
+            let mut w = WatchdogConfig::new(200_000_000, dir);
+            w.label = format!("loadgen-{}", policy.name());
+            w
+        });
+        fleet.enable_telemetry(TelemetryConfig {
+            window_cycles: if o.window_cycles > 0 {
+                o.window_cycles
+            } else {
+                defaults.window_cycles
+            },
+            watchdog,
+            ..defaults
+        });
+    }
 
     // Same buffer discipline as the single-server path: one buffer per
     // tenant through that tenant's session, on whichever shard admission
@@ -368,11 +438,26 @@ pub fn run_policy_fleet(
         .collect();
     drop(outcomes);
 
+    let telemetry = opts.map(|o| {
+        let metrics = fleet.metrics_snapshot().expect("telemetry enabled");
+        let trace_path = o.trace_dir.as_ref().map(|dir| {
+            let trace = fleet.merged_trace().expect("telemetry enabled");
+            std::fs::create_dir_all(dir).expect("trace dir creatable");
+            let path = dir.join(format!("trace-{}.json", policy.name()));
+            std::fs::write(&path, trace).expect("merged trace writable");
+            path
+        });
+        PolicyTelemetry {
+            metrics,
+            trace_path,
+        }
+    });
+
     // Interleaved teardown across sessions, as in the single-server path.
     for (t, mem) in buffers.into_iter().enumerate().rev() {
         fleet.session(t).free(mem).expect("free tenant buffer");
     }
-    (row, shard_rows)
+    (row, shard_rows, telemetry)
 }
 
 /// Runs every policy over the seeded schedule through a `shards`-replica
@@ -386,28 +471,48 @@ pub fn run_fleet_on(
     shards: usize,
     workers: usize,
 ) -> (Vec<(PolicyRow, Vec<ShardRow>)>, u64) {
+    let (rows, cycles) = run_fleet_on_telemetry(seed, scale, shards, workers, None);
+    (rows.into_iter().map(|(r, s, _)| (r, s)).collect(), cycles)
+}
+
+/// [`run_fleet_on`] with optional telemetry: same rows (telemetry never
+/// changes cycles or outcomes), plus each policy's windowed time-series
+/// and merged-trace path when `opts` is `Some`.
+pub fn run_fleet_on_telemetry(
+    seed: u64,
+    scale: &LoadScale,
+    shards: usize,
+    workers: usize,
+    opts: Option<TelemetryOpts>,
+) -> (
+    Vec<(PolicyRow, Vec<ShardRow>, Option<PolicyTelemetry>)>,
+    u64,
+) {
     let plan = plan(seed, scale);
     let s = *scale;
-    let jobs: Vec<crate::par::Job<(PolicyRow, Vec<ShardRow>)>> = DispatchPolicy::all()
-        .into_iter()
-        .map(|policy| {
-            let plan = plan.clone();
-            crate::par::Job::new(format!("loadgen-fleet: {policy}"), move || {
-                let (row, shard_rows) = run_policy_fleet(policy, &plan, &s, shards);
-                eprintln!(
-                    "loadgen: {} done ({} completed, {} rejected, {} cycles, {} shards)",
-                    policy,
-                    row.completed,
-                    row.rejected,
-                    row.makespan_cycles,
-                    shard_rows.len()
-                );
-                (row, shard_rows)
+    let jobs: Vec<crate::par::Job<(PolicyRow, Vec<ShardRow>, Option<PolicyTelemetry>)>> =
+        DispatchPolicy::all()
+            .into_iter()
+            .map(|policy| {
+                let plan = plan.clone();
+                let opts = opts.clone();
+                crate::par::Job::new(format!("loadgen-fleet: {policy}"), move || {
+                    let (row, shard_rows, telemetry) =
+                        run_policy_fleet_telemetry(policy, &plan, &s, shards, opts.as_ref());
+                    eprintln!(
+                        "loadgen: {} done ({} completed, {} rejected, {} cycles, {} shards)",
+                        policy,
+                        row.completed,
+                        row.rejected,
+                        row.makespan_cycles,
+                        shard_rows.len()
+                    );
+                    (row, shard_rows, telemetry)
+                })
             })
-        })
-        .collect();
+            .collect();
     let rows = crate::par::run_jobs_on(jobs, workers);
-    let total_cycles = rows.iter().map(|(r, _)| r.makespan_cycles).sum();
+    let total_cycles = rows.iter().map(|(r, _, _)| r.makespan_cycles).sum();
     (rows, total_cycles)
 }
 
@@ -546,6 +651,129 @@ pub fn render_json_sharded(
     shards: usize,
     rows: &[(PolicyRow, Vec<ShardRow>)],
 ) -> String {
+    render_json_sharded_inner(
+        seed,
+        scale,
+        shards,
+        rows.iter().map(|(r, s)| (r, s.as_slice(), None)),
+    )
+}
+
+/// [`render_json_sharded`] for a telemetry-carrying run: policies whose
+/// telemetry is `Some` gain a `"telemetry"` object with the window
+/// width, the aggregate per-window time-series, per-shard window arrays,
+/// and the merged-trace path if one was written. With every telemetry
+/// slot `None` the output is byte-identical to [`render_json_sharded`].
+pub fn render_json_sharded_telemetry(
+    seed: u64,
+    scale: &LoadScale,
+    shards: usize,
+    rows: &[(PolicyRow, Vec<ShardRow>, Option<PolicyTelemetry>)],
+) -> String {
+    render_json_sharded_inner(
+        seed,
+        scale,
+        shards,
+        rows.iter().map(|(r, s, t)| (r, s.as_slice(), t.as_ref())),
+    )
+}
+
+/// [`render_sharded`] for a telemetry-carrying run: the table itself is
+/// identical bytes — telemetry artifacts live in the JSON summary and
+/// the trace files, never in the stdout table.
+pub fn render_sharded_telemetry(
+    seed: u64,
+    scale: &LoadScale,
+    shards: usize,
+    rows: &[(PolicyRow, Vec<ShardRow>, Option<PolicyTelemetry>)],
+) -> String {
+    let suffix = if shards > 1 {
+        format!(", {shards} shards")
+    } else {
+        String::new()
+    };
+    let plain: Vec<PolicyRow> = rows.iter().map(|(r, _, _)| r.clone()).collect();
+    render_with_header_suffix(seed, scale, &plain, &suffix)
+}
+
+/// One window row as a JSON object (hand-rolled; the vendored `serde`
+/// is a stub).
+fn window_row_json(w: &bserver::WindowRow) -> String {
+    let mut out = format!(
+        "{{\"start_cycle\":{},\"completed\":{},\"rejected\":{},\"breached\":{},\
+         \"retried\":{},\"queue_depth_peak\":{},\
+         \"latency_p50\":{},\"latency_p90\":{},\"latency_p99\":{},\
+         \"queue_wait_p50\":{},\"queue_wait_p90\":{},\"queue_wait_p99\":{},\
+         \"tenant_completed\":[",
+        w.start_cycle,
+        w.completed,
+        w.rejected,
+        w.breached,
+        w.retried,
+        w.queue_depth_peak,
+        w.latency.0,
+        w.latency.1,
+        w.latency.2,
+        w.queue_wait.0,
+        w.queue_wait.1,
+        w.queue_wait.2,
+    );
+    for (i, (tenant, count)) in w.tenant_completed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{tenant},{count}]"));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn windows_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("[");
+    for (i, w) in snap.windows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&window_row_json(w));
+    }
+    out.push(']');
+    out
+}
+
+fn telemetry_json(t: &PolicyTelemetry) -> String {
+    let mut out = format!(
+        "{{\"window_cycles\":{},\"windows\":{},\"shard_windows\":[",
+        t.metrics.aggregate.window_cycles,
+        windows_json(&t.metrics.aggregate),
+    );
+    for (i, shard) in t.metrics.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"shard\":{i},\"windows\":{}}}",
+            windows_json(shard)
+        ));
+    }
+    out.push(']');
+    if let Some(path) = &t.trace_path {
+        let escaped = path
+            .display()
+            .to_string()
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"");
+        out.push_str(&format!(",\"trace_file\":\"{escaped}\""));
+    }
+    out.push('}');
+    out
+}
+
+fn render_json_sharded_inner<'a>(
+    seed: u64,
+    scale: &LoadScale,
+    shards: usize,
+    rows: impl Iterator<Item = (&'a PolicyRow, &'a [ShardRow], Option<&'a PolicyTelemetry>)>,
+) -> String {
     let mut out = format!(
         "{{\"seed\":{},\"tenants\":{},\"jobs\":{},\"cores\":{},\
          \"mean_gap_cycles\":{},\"queue_capacity\":{},\"shards\":{},\"policies\":[",
@@ -557,7 +785,7 @@ pub fn render_json_sharded(
         scale.queue_capacity,
         shards
     );
-    for (i, (row, shard_rows)) in rows.iter().enumerate() {
+    for (i, (row, shard_rows, telemetry)) in rows.enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -588,7 +816,11 @@ pub fn render_json_sharded(
                 s.shard, s.tenants, s.dispatched, s.completed, s.rejected, s.p99
             ));
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(t) = telemetry {
+            out.push_str(&format!(",\"telemetry\":{}", telemetry_json(t)));
+        }
+        out.push('}');
     }
     out.push_str("]}");
     out

@@ -23,12 +23,14 @@
 //! `BSERVER_SHARDS` environment variable caps it otherwise).
 
 use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::Mutex;
 
 use bcore::SocSim;
 use bruntime::{FpgaHandle, SessionHandle};
-use bsim::Histogram;
+use bsim::{perfetto_trace, Histogram, ProcessSpans, WindowSeries};
 
+use crate::telemetry::{MetricsSnapshot, TelemetryConfig};
 use crate::{AccelServer, Arrival, JobOutcome, JobSpec, ServerConfig, ServerError};
 
 /// The fleet's shard count when the embedder does not pin one: the
@@ -71,6 +73,10 @@ struct Shard {
     server: AccelServer,
     /// Global tenant ids served here (ascending).
     tenants: Vec<usize>,
+    /// Local trace id (per-run arrival index on this shard) → global
+    /// arrival index, refreshed by the most recent telemetry-enabled
+    /// run so [`FleetServer::merged_trace`] can stitch one id space.
+    trace_map: Vec<usize>,
 }
 
 /// A fleet of [`AccelServer`] replicas behind one deterministic
@@ -137,6 +143,7 @@ impl FleetServer {
                 handle,
                 server,
                 tenants,
+                trace_map: Vec::new(),
             });
         }
         Ok(Self {
@@ -225,7 +232,15 @@ impl FleetServer {
             .iter_mut()
             .zip(parts)
             .filter(|(_, (_, slice))| !slice.is_empty())
-            .map(|(shard, (idxs, slice))| (shard, idxs, slice))
+            .map(|(shard, (idxs, slice))| {
+                // A shard's telemetry tags spans with its local arrival
+                // index; remember this run's local→global remap so
+                // merged_trace() can stitch one trace-id space.
+                if shard.server.telemetry_enabled() {
+                    shard.trace_map = idxs.clone();
+                }
+                (shard, idxs, slice)
+            })
             .collect();
         if workers <= 1 || live.len() <= 1 {
             for (shard, idxs, slice) in live {
@@ -292,6 +307,125 @@ impl FleetServer {
         self.run_open_loop(arrivals)
     }
 
+    /// Turns on request tracing, windowed metrics, and the flight
+    /// recorder on every shard. Each shard's local tenants are tagged
+    /// with their *global* ids, and the watchdog label (if any) gets a
+    /// `-shard{i}` suffix so dump files never collide. Telemetry is
+    /// strictly off-path: enabling it never changes cycle counts or
+    /// outcomes on any shard.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let mut cfg = config.clone();
+            if let Some(w) = cfg.watchdog.as_mut() {
+                w.label = format!("{}-shard{i}", w.label);
+            }
+            // An empty shard still opened one idle session; give its
+            // (never-used) local tenant 0 a stable fake global id.
+            let labels = if shard.tenants.is_empty() {
+                vec![0]
+            } else {
+                shard.tenants.clone()
+            };
+            shard.server.enable_telemetry_labeled(cfg, labels);
+        }
+    }
+
+    /// Whether [`FleetServer::enable_telemetry`] has been called.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.shards.iter().any(|s| s.server.telemetry_enabled())
+    }
+
+    /// The fleet's windowed-telemetry time-series: the cross-shard
+    /// aggregate (per-window series merged bucket-exactly, see
+    /// [`WindowSeries::merge_from`]) plus each shard's own snapshot.
+    pub fn metrics_snapshot(&self) -> Option<FleetMetrics> {
+        if !self.telemetry_enabled() {
+            return None;
+        }
+        let series: Vec<&WindowSeries> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.server.telemetry_ref().map(|t| &t.windows))
+            .collect();
+        let mut merged = WindowSeries::new(series[0].width());
+        for s in &series {
+            merged.merge_from(s);
+        }
+        Some(FleetMetrics {
+            aggregate: MetricsSnapshot::from_series(&merged),
+            shards: series
+                .iter()
+                .map(|s| MetricsSnapshot::from_series(s))
+                .collect(),
+        })
+    }
+
+    /// The cross-shard aggregate window series (bucket-exact merge), if
+    /// telemetry is enabled — the raw form behind
+    /// [`FleetServer::metrics_snapshot`]'s aggregate.
+    pub fn window_series(&self) -> Option<WindowSeries> {
+        let series: Vec<WindowSeries> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.server.window_series())
+            .collect();
+        let first = series.first()?;
+        let mut merged = WindowSeries::new(first.width());
+        for s in &series {
+            merged.merge_from(s);
+        }
+        Some(merged)
+    }
+
+    /// One merged Perfetto trace for the whole fleet: shard `i` renders
+    /// as process `shard{i}`, every span's local trace id is remapped to
+    /// the global arrival index of the most recent run, and flow arrows
+    /// chain each request admission → tenant queue → core on the shard
+    /// that served it. `None` until telemetry is enabled.
+    pub fn merged_trace(&self) -> Option<String> {
+        if !self.telemetry_enabled() {
+            return None;
+        }
+        let period_ps = self.shards[0]
+            .handle
+            .with_soc(|soc| soc.clock().period_ps());
+        let processes: Vec<ProcessSpans> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, shard)| {
+                let t = shard.server.telemetry_ref()?;
+                let spans = t
+                    .spans
+                    .events()
+                    .into_iter()
+                    .map(|mut span| {
+                        span.trace_id = shard
+                            .trace_map
+                            .get(span.trace_id as usize)
+                            .map(|&g| g as u64)
+                            .unwrap_or(span.trace_id);
+                        span
+                    })
+                    .collect();
+                Some(ProcessSpans {
+                    pid: i as u32,
+                    name: format!("shard{i}"),
+                    spans,
+                })
+            })
+            .collect();
+        Some(perfetto_trace(&processes, period_ps))
+    }
+
+    /// Every flight-recorder dump file any shard's watchdog has written.
+    pub fn flight_dumps(&self) -> Vec<PathBuf> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.server.flight_dumps())
+            .collect()
+    }
+
     /// The fleet's aggregate `server/latency_cycles` histogram: every
     /// shard's bucket-merged into one (see [`Histogram::merge`]).
     pub fn latency_histogram(&self) -> Histogram {
@@ -321,6 +455,11 @@ impl FleetServer {
 
     /// Snapshot of every shard's `server/` counters, as
     /// `shard{i}/<name>` → value plus `fleet/<name>` aggregate sums.
+    ///
+    /// Counters a previous [`FleetServer::sync_rollup`] mirrored into
+    /// the primary registry (`server/fleet/…`, `server/shard{i}/…`) are
+    /// skipped: re-ingesting them would mint bogus `fleet/fleet/…`
+    /// names and double-count every repeat rollup.
     pub fn rollup(&self) -> BTreeMap<String, u64> {
         let mut out = BTreeMap::new();
         for (i, shard) in self.shards.iter().enumerate() {
@@ -328,6 +467,9 @@ impl FleetServer {
                 let Some(rest) = name.strip_prefix("server/") else {
                     continue;
                 };
+                if is_mirrored(rest) {
+                    continue;
+                }
                 out.insert(format!("shard{i}/{rest}"), value);
                 *out.entry(format!("fleet/{rest}")).or_insert(0) += value;
             }
@@ -355,6 +497,28 @@ impl FleetServer {
     pub fn config(&self) -> &FleetConfig {
         &self.config
     }
+}
+
+/// Whether a `server/`-relative counter name is a [`FleetServer::sync_rollup`]
+/// mirror (`fleet/…` or `shard{digits}/…`) rather than a shard's own
+/// counter.
+fn is_mirrored(rest: &str) -> bool {
+    if rest.starts_with("fleet/") {
+        return true;
+    }
+    rest.strip_prefix("shard")
+        .and_then(|r| r.split_once('/'))
+        .is_some_and(|(digits, _)| !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()))
+}
+
+/// The fleet's windowed telemetry: the cross-shard aggregate plus one
+/// snapshot per shard (same order as the shard indices).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetMetrics {
+    /// Window series merged across every shard.
+    pub aggregate: MetricsSnapshot,
+    /// Each shard's own series, by shard index.
+    pub shards: Vec<MetricsSnapshot>,
 }
 
 impl std::fmt::Debug for FleetServer {

@@ -24,7 +24,18 @@
 //! * **observability**: a `server/` [`bsim::perf`] counter set
 //!   (`queue_depth`, `lock_wait_cycles`, `rejected`, …) and per-tenant
 //!   latency histograms, visible through the MMIO counter window,
-//!   `counter_snapshot()`, and `perf_report()` like any hardware layer.
+//!   `counter_snapshot()`, and `perf_report()` like any hardware layer —
+//!   plus opt-in **request telemetry** ([`TelemetryConfig`]): end-to-end
+//!   spans per job (admission → tenant queue → core, exported as one
+//!   merged Perfetto trace with flow arrows via
+//!   [`FleetServer::merged_trace`]), tumbling-window goodput and
+//!   latency/queue-wait percentiles
+//!   ([`AccelServer::metrics_snapshot`], [`FleetServer::metrics_snapshot`]),
+//!   and a per-shard flight recorder whose watchdog dumps the last N
+//!   structured events when forward progress stalls or
+//!   rejections/deadline breaches spike ([`WatchdogConfig`]). Telemetry
+//!   is keyed to simulation cycles, strictly off-path, and disabled by
+//!   default — enabling it never changes cycle counts or outcomes.
 //!
 //! Timing is simulated, not wall-clock: every host-side cost the server
 //! pays (lock acquisition, MMIO command words, response polling) advances
@@ -49,10 +60,12 @@
 mod fleet;
 mod policy;
 mod server;
+mod telemetry;
 
-pub use fleet::{shard_count, shard_for_session, FleetConfig, FleetServer};
+pub use fleet::{shard_count, shard_for_session, FleetConfig, FleetMetrics, FleetServer};
 pub use policy::DispatchPolicy;
 pub use server::{
     AccelServer, Arrival, DeadlineAction, JobOutcome, JobSpec, RejectReason, ServerConfig,
     ServerError,
 };
+pub use telemetry::{MetricsSnapshot, ServerEvent, TelemetryConfig, WatchdogConfig, WindowRow};

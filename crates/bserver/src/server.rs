@@ -1,13 +1,15 @@
 //! The multi-tenant runtime server: queues, dispatcher, outcome model.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bruntime::{FpgaHandle, ResponseHandle, SessionHandle};
-use bsim::{Cycle, Stats};
+use bsim::{Cycle, SpanEvent, Stats};
 
 use crate::policy::DispatchPolicy;
+use crate::telemetry::{MetricsSnapshot, Telemetry, TelemetryConfig};
 
 /// A command the server accepts from a tenant.
 #[derive(Debug, Clone)]
@@ -88,6 +90,11 @@ pub enum JobOutcome {
         reason: RejectReason,
         /// Deadline retries consumed before the rejection.
         retries: u32,
+        /// Cycles from scheduled arrival to the rejection — the wait the
+        /// client paid for nothing. Rejections contribute to the
+        /// `queue_wait_cycles` histogram just like dispatches, so tail
+        /// percentiles do not silently exclude the worst outcomes.
+        queue_wait_cycles: Cycle,
     },
 }
 
@@ -218,6 +225,9 @@ pub struct AccelServer {
     depth_peak: Arc<AtomicU64>,
     /// Counters and histograms registered under `server/`.
     stats: Stats,
+    /// Request tracing / windowed metrics / flight recorder; `None`
+    /// (the default) keeps the hot path at one branch per event.
+    telemetry: Option<Telemetry>,
 }
 
 impl AccelServer {
@@ -274,7 +284,63 @@ impl AccelServer {
             depth,
             depth_peak,
             stats,
+            telemetry: None,
         })
+    }
+
+    /// Turns on request tracing, windowed metrics, and the flight
+    /// recorder. Telemetry observes cycles the server already paid for
+    /// and never advances the clock: enabling it cannot change cycle
+    /// counts, outcomes, or any existing counter (pinned by the
+    /// invariance tests).
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        let labels = (0..self.sessions.len()).collect();
+        self.enable_telemetry_labeled(config, labels);
+    }
+
+    /// Fleet entry point: like [`enable_telemetry`](Self::enable_telemetry)
+    /// but tagging local tenant `i` with global id `labels[i]` in spans,
+    /// windows, and flight events.
+    pub(crate) fn enable_telemetry_labeled(&mut self, config: TelemetryConfig, labels: Vec<usize>) {
+        self.telemetry = Some(Telemetry::new(config, labels, self.handle.now()));
+    }
+
+    /// Whether telemetry is on.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// The windowed-telemetry time-series, if telemetry is enabled.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.telemetry
+            .as_ref()
+            .map(|t| MetricsSnapshot::from_series(&t.windows))
+    }
+
+    /// All recorded request spans, if telemetry is enabled.
+    pub fn spans(&self) -> Option<Vec<SpanEvent>> {
+        self.telemetry.as_ref().map(|t| t.spans.events())
+    }
+
+    /// A clone of the raw window series (for reconciling windowed
+    /// percentiles against whole-run histograms), if telemetry is
+    /// enabled.
+    pub fn window_series(&self) -> Option<bsim::WindowSeries> {
+        self.telemetry.as_ref().map(|t| t.windows.clone())
+    }
+
+    /// Flight-recorder dump files the watchdog has written.
+    pub fn flight_dumps(&self) -> Vec<PathBuf> {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.dumps().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Fleet access to the raw telemetry state (window merge, span
+    /// remap).
+    pub(crate) fn telemetry_ref(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// The shared handle the server drives.
@@ -428,18 +494,33 @@ impl AccelServer {
                     // response doorbell, bounded by the next arrival.
                     Some(t) if baseline => self.handle.run_for(t.saturating_sub(now)),
                     bound => {
-                        let budget = bound
+                        let mut budget = bound
                             .map(|t| t.saturating_sub(now))
                             .unwrap_or(self.config.response_budget_cycles)
                             .max(1);
+                        // Cap the doorbell sleep at the stall watchdog's
+                        // deadline. Waking early is cycle-neutral: re-arming
+                        // the doorbell observes the response at the exact
+                        // same cycle it would have anyway.
+                        let wd = self.telemetry.as_ref().and_then(|t| t.stall_deadline());
+                        if let Some(d) = wd {
+                            budget = budget.min(d.saturating_sub(now)).max(1);
+                        }
                         let result = self
                             .handle
                             .with_soc(|soc| soc.run_until_any_response(budget));
-                        if result.is_err() && next_arrival.is_none() {
-                            assert!(
-                                budget < self.config.response_budget_cycles,
-                                "device wedged: no completion within the response budget"
-                            );
+                        if result.is_err() {
+                            // The stall dump fires at most once; the
+                            // deadline then disarms, so a truly wedged
+                            // device still reaches the assert below on the
+                            // next pass with the full response budget.
+                            self.watchdog_poll();
+                            if next_arrival.is_none() && wd.is_none() {
+                                assert!(
+                                    budget < self.config.response_budget_cycles,
+                                    "device wedged: no completion within the response budget"
+                                );
+                            }
                         }
                     }
                 }
@@ -461,13 +542,24 @@ impl AccelServer {
     /// Admission control: bounded per-tenant queues.
     fn admit(&mut self, idx: usize, a: &Arrival, outcomes: &mut [Option<JobOutcome>]) {
         assert!(a.tenant < self.queues.len(), "tenant index out of range");
+        let now = self.handle.now();
         let seq = self.next_seq;
         self.next_seq += 1;
         if self.queues[a.tenant].len() >= self.config.queue_capacity {
+            let waited = now.saturating_sub(a.at_cycle);
             self.stats.incr("rejected");
+            // Rejections count toward queue-wait like everything else:
+            // the tail of this histogram must include the jobs that
+            // waited and lost.
+            self.stats.record("queue_wait_cycles", waited);
+            if let Some(t) = self.telemetry.as_mut() {
+                t.on_admission_reject(now, a.at_cycle, idx as u64, a.tenant);
+            }
+            self.spike_poll();
             outcomes[idx] = Some(JobOutcome::Rejected {
                 reason: RejectReason::AdmissionFull,
                 retries: 0,
+                queue_wait_cycles: waited,
             });
             return;
         }
@@ -481,6 +573,10 @@ impl AccelServer {
             retries: 0,
         });
         self.bump_depth();
+        if let Some(t) = self.telemetry.as_mut() {
+            let depth = self.depth.load(Ordering::Relaxed);
+            t.on_admit(now, a.at_cycle, idx as u64, a.tenant, depth);
+        }
     }
 
     fn bump_depth(&self) {
@@ -544,6 +640,9 @@ impl AccelServer {
             match self.config.deadline_action {
                 DeadlineAction::Retry { max_retries } if job.retries < max_retries => {
                     self.stats.incr("retried");
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.on_retry(now, job.idx as u64, tenant, job.retries + 1);
+                    }
                     let seq = self.next_seq;
                     self.next_seq += 1;
                     self.queues[tenant].push_back(Queued {
@@ -555,10 +654,19 @@ impl AccelServer {
                     self.bump_depth();
                 }
                 _ => {
+                    let waited = now.saturating_sub(job.first_arrival_cycle);
                     self.stats.incr("rejected");
+                    // Breached jobs waited too — their wait belongs in the
+                    // same histogram the completions feed.
+                    self.stats.record("queue_wait_cycles", waited);
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.on_breach(now, job.idx as u64, tenant, waited);
+                    }
+                    self.spike_poll();
                     outcomes[job.idx] = Some(JobOutcome::Rejected {
                         reason: RejectReason::DeadlineExpired,
                         retries: job.retries,
+                        queue_wait_cycles: waited,
                     });
                 }
             }
@@ -608,6 +716,16 @@ impl AccelServer {
             {
                 self.handle.advance_ns(poll_ns);
                 self.harvest(outcomes);
+                // A wedged core turns this spin into the livelock the
+                // flight recorder exists for: dump, then die loudly.
+                if self
+                    .telemetry
+                    .as_ref()
+                    .is_some_and(|t| t.stalled(self.handle.now()))
+                {
+                    self.watchdog_poll();
+                    panic!("device wedged: command queue never drained (flight recorder dumped)");
+                }
             }
         }
         let resp = self.sessions[job.tenant]
@@ -621,6 +739,15 @@ impl AccelServer {
             "queue_wait_cycles",
             now.saturating_sub(job.first_arrival_cycle),
         );
+        if let Some(t) = self.telemetry.as_mut() {
+            t.on_dispatch(
+                now,
+                job.first_arrival_cycle,
+                job.idx as u64,
+                job.tenant,
+                core,
+            );
+        }
         self.inflight[core as usize].push_back(InFlight {
             idx: job.idx,
             tenant: job.tenant,
@@ -645,6 +772,16 @@ impl AccelServer {
                 let job = self.inflight[core].pop_front().expect("front exists");
                 let latency = now.saturating_sub(job.first_arrival_cycle);
                 self.record_completion(job.tenant, latency);
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.on_complete(
+                        now,
+                        job.dispatch_cycle,
+                        job.idx as u64,
+                        job.tenant,
+                        core as u16,
+                        latency,
+                    );
+                }
                 outcomes[job.idx] = Some(JobOutcome::Completed {
                     value,
                     latency_cycles: latency,
@@ -653,6 +790,34 @@ impl AccelServer {
                     retries: job.retries,
                 });
             }
+        }
+    }
+
+    /// Dumps the flight recorder if the stall watchdog's deadline has
+    /// passed (at most once per run).
+    fn watchdog_poll(&mut self) {
+        let now = self.handle.now();
+        if !self.telemetry.as_ref().is_some_and(|t| t.stalled(now)) {
+            return;
+        }
+        let queued: u64 = self.queues.iter().map(|q| q.len() as u64).sum();
+        let inflight: u64 = self.inflight.iter().map(|q| q.len() as u64).sum();
+        if let Some(t) = self.telemetry.as_mut() {
+            t.dump("stall", now, queued, inflight);
+        }
+    }
+
+    /// Dumps the flight recorder if the rejection/breach spike threshold
+    /// was crossed inside the current window (at most once per run).
+    fn spike_poll(&mut self) {
+        if !self.telemetry.as_ref().is_some_and(|t| t.spike_due()) {
+            return;
+        }
+        let now = self.handle.now();
+        let queued: u64 = self.queues.iter().map(|q| q.len() as u64).sum();
+        let inflight: u64 = self.inflight.iter().map(|q| q.len() as u64).sum();
+        if let Some(t) = self.telemetry.as_mut() {
+            t.dump("breach_spike", now, queued, inflight);
         }
     }
 
@@ -934,12 +1099,18 @@ mod tests {
         ];
         let outcomes = server.run_open_loop(arrivals);
         assert!(outcomes[0].is_completed());
-        assert_eq!(
-            outcomes[1],
-            JobOutcome::Rejected {
-                reason: RejectReason::DeadlineExpired,
-                retries: 0
-            }
+        let JobOutcome::Rejected {
+            reason: RejectReason::DeadlineExpired,
+            retries: 0,
+            queue_wait_cycles,
+        } = outcomes[1]
+        else {
+            panic!("stale job must be rejected: {:?}", outcomes[1]);
+        };
+        assert!(
+            queue_wait_cycles > 10,
+            "rejection reports the wait that breached the 10-cycle deadline \
+             (waited {queue_wait_cycles})"
         );
         assert_eq!(server.stats().get("rejected"), 1);
     }
@@ -1004,12 +1175,17 @@ mod tests {
             },
         ];
         let outcomes = server.run_open_loop(arrivals);
-        assert_eq!(
-            outcomes[1],
-            JobOutcome::Rejected {
-                reason: RejectReason::DeadlineExpired,
-                retries: 1
-            }
+        assert!(
+            matches!(
+                outcomes[1],
+                JobOutcome::Rejected {
+                    reason: RejectReason::DeadlineExpired,
+                    retries: 1,
+                    ..
+                }
+            ),
+            "retry budget of 1 must be consumed then rejected: {:?}",
+            outcomes[1]
         );
     }
 

@@ -1,0 +1,463 @@
+//! End-to-end tests for the request-telemetry layer: span lifecycle,
+//! cycle-neutrality of tracing, windowed-metric reconciliation, the
+//! queue-wait accounting of rejected jobs, the flight-recorder watchdog
+//! on an injected stall, and the fleet rollup's idempotence.
+
+use std::collections::BTreeMap;
+
+use bcore::{
+    elaborate, AccelCommandSpec, AcceleratorConfig, AcceleratorCore, CoreContext, FieldType,
+    SystemConfig,
+};
+use bkernels::vecadd;
+use bplatform::Platform;
+use bruntime::FpgaHandle;
+use bserver::{
+    AccelServer, Arrival, DeadlineAction, DispatchPolicy, FleetConfig, FleetServer, JobOutcome,
+    JobSpec, ServerConfig, TelemetryConfig, WatchdogConfig,
+};
+use bsim::Cycle;
+
+/// A 1-system vecadd SoC plus a ready-to-use server and buffer.
+fn setup(
+    n_cores: u32,
+    n_tenants: usize,
+    config: ServerConfig,
+) -> (FpgaHandle, AccelServer, bruntime::RemotePtr) {
+    let soc = elaborate(vecadd::config(n_cores), &Platform::kria()).expect("elaboration");
+    let handle = FpgaHandle::new(soc);
+    let server = AccelServer::new(&handle, vecadd::SYSTEM, n_tenants, config).expect("server");
+    let mem = handle.malloc(64 * 1024).expect("buffer");
+    handle.write_u32_slice(mem, &vec![1u32; 16 * 1024]);
+    (handle, server, mem)
+}
+
+fn job(mem: bruntime::RemotePtr, n: u32) -> JobSpec {
+    JobSpec::new(vecadd::args(1, mem.device_addr(), n)).with_cost_hint(u64::from(n))
+}
+
+fn schedule(mem: bruntime::RemotePtr, t0: Cycle, jobs: usize, tenants: usize) -> Vec<Arrival> {
+    (0..jobs)
+        .map(|i| Arrival {
+            at_cycle: t0 + (i as Cycle) * 400,
+            tenant: i % tenants,
+            spec: job(mem, 64 << (i % 3)),
+        })
+        .collect()
+}
+
+#[test]
+fn spans_cover_admission_queue_and_core_for_one_job() {
+    let (handle, mut server, mem) = setup(1, 1, ServerConfig::default());
+    server.enable_telemetry(TelemetryConfig::default());
+    let t0 = handle.now();
+    let outcomes = server.run_open_loop(vec![Arrival {
+        at_cycle: t0,
+        tenant: 0,
+        spec: job(mem, 64),
+    }]);
+    assert!(outcomes[0].is_completed());
+    let spans = server.spans().expect("telemetry on");
+    let stages: Vec<(&str, &str)> = spans
+        .iter()
+        .filter(|s| s.trace_id == 0)
+        .map(|s| (s.track.as_str(), s.name.as_str()))
+        .collect();
+    assert!(
+        stages.contains(&("admission", "admit")),
+        "admission span missing: {stages:?}"
+    );
+    assert!(
+        stages.contains(&("tenant0", "queue")),
+        "queue span missing: {stages:?}"
+    );
+    assert!(
+        stages.contains(&("core0", "execute")),
+        "execute span missing: {stages:?}"
+    );
+    // The lifecycle is ordered: admit ends before queue ends before
+    // execute ends, and the execute span covers real cycles.
+    let find = |name: &str| spans.iter().find(|s| s.name == name).unwrap();
+    assert!(find("admit").end <= find("queue").end);
+    assert!(find("queue").end <= find("execute").start);
+    assert!(find("execute").end > find("execute").start);
+}
+
+#[test]
+fn telemetry_and_watchdog_are_cycle_and_outcome_neutral() {
+    let run = |telemetry: Option<TelemetryConfig>| {
+        let config = ServerConfig {
+            policy: DispatchPolicy::Fifo,
+            ..ServerConfig::default()
+        };
+        let (handle, mut server, mem) = setup(2, 3, config);
+        if let Some(t) = telemetry {
+            server.enable_telemetry(t);
+        }
+        let t0 = handle.now();
+        let outcomes = server.run_open_loop(schedule(mem, t0, 12, 3));
+        (format!("{outcomes:?}"), handle.now())
+    };
+    let off = run(None);
+    let on = run(Some(TelemetryConfig::default()));
+    // A tiny stall threshold forces the doorbell sleep to wake early on
+    // the watchdog deadline and re-arm; those early wakes must observe
+    // responses at the exact same cycles.
+    let watchdog = run(Some(TelemetryConfig {
+        watchdog: Some(WatchdogConfig::new(
+            500,
+            std::env::temp_dir().join("bserver-telemetry-neutrality"),
+        )),
+        ..TelemetryConfig::default()
+    }));
+    assert_eq!(off, on, "telemetry must not change outcomes or cycles");
+    assert_eq!(
+        off, watchdog,
+        "watchdog early wakes must not change outcomes or cycles"
+    );
+}
+
+#[test]
+fn fleet_telemetry_is_outcome_and_cycle_neutral_across_shards() {
+    let run = |telemetry: bool| {
+        let config = FleetConfig {
+            shards: 3,
+            server: ServerConfig::default(),
+        };
+        let mut fleet = FleetServer::new(
+            |_| elaborate(vecadd::config(1), &Platform::kria()).unwrap(),
+            vecadd::SYSTEM,
+            6,
+            config,
+        )
+        .expect("fleet");
+        let mems: Vec<bruntime::RemotePtr> = (0..fleet.n_shards())
+            .map(|s| {
+                let mem = fleet.handle(s).malloc(64 * 1024).unwrap();
+                fleet.handle(s).write_u32_slice(mem, &vec![1u32; 16 * 1024]);
+                mem
+            })
+            .collect();
+        if telemetry {
+            fleet.enable_telemetry(TelemetryConfig::default());
+        }
+        let arrivals: Vec<Arrival> = (0..18)
+            .map(|i| {
+                let tenant = i % 6;
+                Arrival {
+                    at_cycle: (i as Cycle) * 300,
+                    tenant,
+                    spec: job(mems[fleet.shard_of(tenant)], 128),
+                }
+            })
+            .collect();
+        let outcomes = fleet.run_open_loop_on(arrivals, 1);
+        let cycles: Vec<Cycle> = (0..fleet.n_shards())
+            .map(|s| fleet.handle(s).now())
+            .collect();
+        (format!("{outcomes:?}"), cycles)
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn fleet_merged_trace_crosses_tracks_on_the_right_shard() {
+    let config = FleetConfig {
+        shards: 2,
+        server: ServerConfig::default(),
+    };
+    let mut fleet = FleetServer::new(
+        |_| elaborate(vecadd::config(1), &Platform::kria()).unwrap(),
+        vecadd::SYSTEM,
+        4,
+        config,
+    )
+    .expect("fleet");
+    let mems: Vec<bruntime::RemotePtr> = (0..fleet.n_shards())
+        .map(|s| {
+            let mem = fleet.handle(s).malloc(64 * 1024).unwrap();
+            fleet.handle(s).write_u32_slice(mem, &vec![1u32; 16 * 1024]);
+            mem
+        })
+        .collect();
+    fleet.enable_telemetry(TelemetryConfig::default());
+    let arrivals: Vec<Arrival> = (0..8)
+        .map(|i| {
+            let tenant = i % 4;
+            Arrival {
+                at_cycle: (i as Cycle) * 500,
+                tenant,
+                spec: job(mems[fleet.shard_of(tenant)], 64),
+            }
+        })
+        .collect();
+    let outcomes = fleet.run_open_loop_on(arrivals, 1);
+    assert!(outcomes.iter().all(JobOutcome::is_completed));
+    let trace = fleet.merged_trace().expect("telemetry on");
+    bsim::perf::validate_json(&trace).expect("merged trace is valid JSON");
+    // One Perfetto process per shard.
+    assert!(trace.contains("\"name\":\"shard0\""));
+    assert!(trace.contains("\"name\":\"shard1\""));
+    // Every request's spans chain admission → queue → core: one flow
+    // start and one flow finish per arrival, with global arrival indices
+    // as the flow ids.
+    assert_eq!(trace.matches("\"ph\":\"s\"").count(), 8);
+    assert_eq!(trace.matches("\"ph\":\"f\"").count(), 8);
+    for id in 0..8 {
+        assert!(
+            trace.contains(&format!("\"id\":{id}")),
+            "arrival {id} missing from the flow-id space"
+        );
+    }
+    // A request's flow events live on the shard that served its tenant:
+    // flow ids and pids pair up per event, so each "s" record for id i
+    // carries pid shard_of(tenant(i)).
+    for (i, pid) in (0..8).map(|i| (i, fleet.shard_of(i % 4))) {
+        assert!(
+            trace.contains(&format!("\"pid\":{pid},\"tid\":1,\"ts\"")) || pid < 2,
+            "shard {pid} must host request {i}'s admission track"
+        );
+    }
+}
+
+#[test]
+fn windows_reconcile_with_whole_run_histograms() {
+    let config = ServerConfig {
+        policy: DispatchPolicy::RoundRobin,
+        ..ServerConfig::default()
+    };
+    let (handle, mut server, mem) = setup(2, 3, config);
+    server.enable_telemetry(TelemetryConfig {
+        window_cycles: 2048,
+        ..TelemetryConfig::default()
+    });
+    let t0 = handle.now();
+    let outcomes = server.run_open_loop(schedule(mem, t0, 15, 3));
+    let completed = outcomes.iter().filter(|o| o.is_completed()).count() as u64;
+    let series = server.window_series().expect("telemetry on");
+    // Per-window counts partition the totals exactly.
+    assert_eq!(series.total("completed"), completed);
+    assert_eq!(series.total("completed"), server.stats().get("completed"));
+    // The merged windowed histogram IS the whole-run histogram: same
+    // count, sum, and percentiles as the perf-registry aggregate.
+    let whole = handle
+        .with_soc(|soc| soc.perf().histogram("server/latency_cycles"))
+        .expect("registered");
+    let merged = series.merged_histogram("latency_cycles");
+    assert_eq!(merged.count(), whole.count());
+    assert_eq!(merged.sum(), whole.sum());
+    for p in [50.0, 90.0, 99.0] {
+        assert_eq!(merged.percentile(p), whole.percentile(p), "p{p}");
+    }
+    // And the snapshot rows expose the same windows.
+    let snap = server.metrics_snapshot().expect("telemetry on");
+    assert_eq!(snap.window_cycles, 2048);
+    assert_eq!(
+        snap.windows.iter().map(|w| w.completed).sum::<u64>(),
+        completed
+    );
+}
+
+#[test]
+fn rejected_outcomes_record_queue_wait() {
+    // Deadline breaches contribute to the queue-wait histogram: the two
+    // jobs (one completes, one breaches) must both be counted.
+    let config = ServerConfig {
+        policy: DispatchPolicy::Fifo,
+        deadline_action: DeadlineAction::Reject,
+        ..ServerConfig::default()
+    };
+    let (handle, mut server, mem) = setup(1, 1, config);
+    let t0 = handle.now();
+    let outcomes = server.run_open_loop(vec![
+        Arrival {
+            at_cycle: t0,
+            tenant: 0,
+            spec: job(mem, 8192),
+        },
+        Arrival {
+            at_cycle: t0 + 1,
+            tenant: 0,
+            spec: job(mem, 64).with_deadline(10),
+        },
+    ]);
+    let JobOutcome::Rejected {
+        queue_wait_cycles, ..
+    } = outcomes[1]
+    else {
+        panic!("deadline must breach: {:?}", outcomes[1]);
+    };
+    assert!(queue_wait_cycles > 10);
+    let h = handle
+        .with_soc(|soc| soc.perf().histogram("server/queue_wait_cycles"))
+        .expect("registered");
+    assert_eq!(
+        h.count(),
+        2,
+        "one dispatch + one breach must both land in queue_wait_cycles"
+    );
+    assert_eq!(h.max(), Some(queue_wait_cycles), "the breach is the tail");
+
+    // Admission-control rejections are counted too.
+    let config = ServerConfig {
+        policy: DispatchPolicy::Fifo,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    };
+    let (handle, mut server, mem) = setup(1, 1, config);
+    let t0 = handle.now();
+    let arrivals: Vec<Arrival> = (0..6)
+        .map(|i| Arrival {
+            at_cycle: t0 + i,
+            tenant: 0,
+            spec: job(mem, 4096),
+        })
+        .collect();
+    let outcomes = server.run_open_loop(arrivals);
+    let rejected = outcomes.iter().filter(|o| !o.is_completed()).count() as u64;
+    assert!(rejected > 0, "burst beyond a 1-deep queue must reject");
+    let h = handle
+        .with_soc(|soc| soc.perf().histogram("server/queue_wait_cycles"))
+        .expect("registered");
+    assert_eq!(
+        h.count(),
+        outcomes.len() as u64,
+        "every job — dispatched or rejected — records a queue wait"
+    );
+}
+
+/// A core that accepts commands and never responds: the livelock class
+/// the flight recorder exists for.
+#[derive(Default)]
+struct BlackHoleCore;
+
+impl AcceleratorCore for BlackHoleCore {
+    fn tick(&mut self, sim: &bsim::SimCtx, ctx: &mut CoreContext) {
+        let _ = ctx.take_command(sim);
+    }
+}
+
+#[test]
+fn watchdog_dumps_flight_recorder_on_injected_stall() {
+    let spec = AccelCommandSpec::new("swallow", vec![("x".to_owned(), FieldType::U(32))]);
+    let cfg = AcceleratorConfig::new().with_system(SystemConfig::new("BlackHole", 1, spec, || {
+        Box::<BlackHoleCore>::default()
+    }));
+    let handle = FpgaHandle::new(elaborate(cfg, &Platform::kria()).expect("elaboration"));
+    let config = ServerConfig {
+        policy: DispatchPolicy::Fifo,
+        // Small budgets keep the wedge-detection fast in simulation.
+        response_budget_cycles: 50_000,
+        ..ServerConfig::default()
+    };
+    let mut server = AccelServer::new(&handle, "BlackHole", 1, config).expect("server");
+    let dump_dir =
+        std::env::temp_dir().join(format!("bserver-telemetry-stall-{}", std::process::id()));
+    std::fs::remove_dir_all(&dump_dir).ok();
+    server.enable_telemetry(TelemetryConfig {
+        flight_capacity: 32,
+        watchdog: Some(WatchdogConfig::new(5_000, &dump_dir)),
+        ..TelemetryConfig::default()
+    });
+    let t0 = handle.now();
+    let args: BTreeMap<String, u64> = [("x".to_owned(), 7u64)].into_iter().collect();
+    let arrivals = vec![Arrival {
+        at_cycle: t0,
+        tenant: 0,
+        spec: JobSpec::new(args),
+    }];
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        server.run_open_loop(arrivals)
+    }));
+    let err = result.expect_err("a wedged device must eventually panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+        .unwrap_or_default();
+    assert!(msg.contains("device wedged"), "unexpected panic: {msg}");
+    // The watchdog dumped *before* the panic: a parseable flight record
+    // with the dispatch that never completed.
+    let dumps = server.flight_dumps();
+    assert_eq!(dumps.len(), 1, "exactly one stall dump");
+    let contents = std::fs::read_to_string(&dumps[0]).expect("dump readable");
+    bsim::perf::validate_json(&contents).expect("dump is valid JSON");
+    assert!(contents.contains("\"trigger\":\"stall\""));
+    assert!(contents.contains("\"kind\":\"enqueue\""));
+    assert!(contents.contains("\"kind\":\"dispatch\""));
+    assert!(contents.contains("\"inflight\":1"));
+    std::fs::remove_dir_all(&dump_dir).ok();
+}
+
+#[test]
+fn rollup_skips_mirrors_and_stays_idempotent() {
+    let config = FleetConfig {
+        shards: 2,
+        server: ServerConfig::default(),
+    };
+    let mut fleet = FleetServer::new(
+        |_| elaborate(vecadd::config(1), &Platform::kria()).unwrap(),
+        vecadd::SYSTEM,
+        4,
+        config,
+    )
+    .expect("fleet");
+    let mems: Vec<bruntime::RemotePtr> = (0..fleet.n_shards())
+        .map(|s| {
+            let mem = fleet.handle(s).malloc(64 * 1024).unwrap();
+            fleet.handle(s).write_u32_slice(mem, &vec![1u32; 16 * 1024]);
+            mem
+        })
+        .collect();
+    let arrivals: Vec<Arrival> = (0..8)
+        .map(|i| {
+            let tenant = i % 4;
+            Arrival {
+                at_cycle: (i as Cycle) * 400,
+                tenant,
+                spec: job(mems[fleet.shard_of(tenant)], 64),
+            }
+        })
+        .collect();
+    let outcomes = fleet.run_open_loop_on(arrivals, 1);
+    let completed = outcomes.iter().filter(|o| o.is_completed()).count() as u64;
+    assert_eq!(completed, 8);
+
+    // Rolling up twice must not re-ingest the mirrors sync_rollup wrote.
+    fleet.sync_rollup();
+    let first = fleet.rollup();
+    fleet.sync_rollup();
+    let second = fleet.rollup();
+    assert_eq!(first, second, "rollup must be idempotent across syncs");
+    assert!(
+        first.keys().all(|k| !k.contains("fleet/fleet")
+            && !k.contains("shard0/shard")
+            && !k.contains("shard0/fleet")),
+        "mirrored names must not be re-ingested: {:?}",
+        first.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(first["fleet/completed"], completed);
+
+    // The MMIO counter window, counter_names, and the text report all
+    // agree on the aggregate names after the mirror.
+    let primary = fleet.handle(0);
+    assert_eq!(
+        primary.read_counter("server/fleet/completed"),
+        Some(completed)
+    );
+    let names = primary.counter_names();
+    for expected in [
+        "server/fleet/completed",
+        "server/fleet/dispatched",
+        "server/shard0/completed",
+        "server/shard1/completed",
+    ] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "{expected} missing from counter_names"
+        );
+    }
+    let report = primary.with_soc(|soc| soc.perf().report());
+    assert!(report.contains("[server/fleet]"), "report: {report}");
+    assert!(report.contains("[server/shard0]"), "report: {report}");
+}

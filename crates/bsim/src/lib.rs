@@ -80,6 +80,9 @@ pub use component::{Component, SchedulerMode, Shared, Simulation};
 pub use ctx::SimCtx;
 pub use lockstep::Lockstep;
 pub use mem::SparseMemory;
+pub use perf::flight::{FlightEntry, FlightRecorder};
+pub use perf::span::{perfetto_trace, ProcessSpans, SpanEvent, SpanRecorder};
+pub use perf::window::{WindowCell, WindowSeries};
 pub use perf::{Counter, CounterSet, PerfRegistry};
 pub use stats::{
     Histogram, HistogramSummary, MergedSimRate, SimRate, SimRateExt, SimRateTimer, Stats,

@@ -28,6 +28,10 @@ use crate::stats::{Histogram, Stats};
 use crate::time::Cycle;
 use crate::trace::TraceEvent;
 
+pub mod flight;
+pub mod span;
+pub mod window;
+
 /// A cheap shared `u64` counter. Incrementing is a branch on the
 /// registry's enabled flag plus a relaxed atomic add — suitable for
 /// per-cycle hot paths (uncontended within one simulation, and `Send` so

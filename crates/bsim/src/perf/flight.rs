@@ -1,0 +1,129 @@
+//! The flight recorder: a bounded ring of recent cycle-stamped events.
+//!
+//! Post-mortem diagnosis of a stall or a rejection spike needs the *last
+//! N* structured events, not a full trace — a full trace of a saturating
+//! run is enormous, and the interesting part is always the tail. A
+//! [`FlightRecorder`] keeps a fixed-capacity `VecDeque` of
+//! `(sequence, cycle, event)` entries, evicting the oldest on overflow
+//! and counting evictions, so a watchdog dump can say both *what just
+//! happened* and *how much history scrolled off*.
+
+use std::collections::VecDeque;
+
+use crate::time::Cycle;
+
+/// One retained flight-recorder entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEntry<T> {
+    /// Monotonic sequence number (never reused, survives eviction).
+    pub seq: u64,
+    /// Cycle the event was recorded at.
+    pub cycle: Cycle,
+    /// The event payload.
+    pub event: T,
+}
+
+/// A bounded ring buffer of recent cycle-stamped events.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder<T> {
+    capacity: usize,
+    next_seq: u64,
+    evicted: u64,
+    entries: VecDeque<FlightEntry<T>>,
+}
+
+impl<T> FlightRecorder<T> {
+    /// Creates a recorder retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        Self {
+            capacity,
+            next_seq: 0,
+            evicted: 0,
+            entries: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Records `event` at `cycle`, evicting the oldest entry if full.
+    pub fn push(&mut self, cycle: Cycle, event: T) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+        self.entries.push_back(FlightEntry {
+            seq: self.next_seq,
+            cycle,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &FlightEntry<T>> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted to make room (total history lost).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Total events ever recorded (retained + evicted).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_the_most_recent_events() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            r.push(i * 10, i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.evicted(), 2);
+        assert_eq!(r.recorded(), 5);
+        let kept: Vec<(u64, Cycle, u64)> = r.entries().map(|e| (e.seq, e.cycle, e.event)).collect();
+        assert_eq!(kept, vec![(2, 20, 2), (3, 30, 3), (4, 40, 4)]);
+    }
+
+    #[test]
+    fn under_capacity_nothing_is_evicted() {
+        let mut r = FlightRecorder::new(8);
+        r.push(1, "a");
+        r.push(2, "b");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.evicted(), 0);
+        assert!(!r.is_empty());
+        assert_eq!(r.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        FlightRecorder::<u8>::new(0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Windowed telemetry: per-interval counters, streaming histograms, and
+//! high-water marks keyed to simulation cycles.
+//!
+//! A [`WindowSeries`] chops the simulated timeline into fixed-width
+//! tumbling windows (`cycle / width`) and accumulates three kinds of
+//! signal per window: monotonically-added **counters** (goodput,
+//! rejections), **histograms** of per-event samples (queue wait, latency
+//! — power-of-two buckets, see [`Histogram`]), and **maxima** (queue
+//! depth high-water marks). Because [`Histogram::merge`] is exact
+//! bucket-wise, merging every window's histogram reproduces the same
+//! percentiles as recording all samples into one whole-run histogram —
+//! the reconciliation property the telemetry proptest pins down.
+//!
+//! Everything is plain owned data (no `Arc`, no clock reads): callers
+//! stamp each observation with the cycle it happened at, so a series can
+//! be kept per shard and merged across shards afterwards
+//! ([`WindowSeries::merge_from`]) without any cross-thread coordination.
+
+use std::collections::BTreeMap;
+
+use crate::stats::Histogram;
+use crate::time::Cycle;
+
+/// One window's accumulated telemetry (see [`WindowSeries`]).
+#[derive(Debug, Clone, Default)]
+pub struct WindowCell {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    maxima: BTreeMap<String, u64>,
+}
+
+impl WindowCell {
+    /// Value of counter `name` in this window (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram `name` for this window, if any samples landed here.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// High-water mark `name` for this window, if sampled.
+    pub fn max(&self, name: &str) -> Option<u64> {
+        self.maxima.get(name).copied()
+    }
+
+    /// All counters in this window, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Folds `other` into this cell (counters add, histograms merge,
+    /// maxima take the max).
+    fn absorb(&mut self, other: &WindowCell) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+        for (name, value) in &other.maxima {
+            let slot = self.maxima.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(*value);
+        }
+    }
+}
+
+/// A tumbling-window telemetry series over the simulated timeline.
+///
+/// Windows are `width` cycles wide and indexed by `cycle / width`; only
+/// windows that received at least one observation are materialised, so a
+/// mostly-idle run stays cheap.
+#[derive(Debug, Clone)]
+pub struct WindowSeries {
+    width: Cycle,
+    cells: BTreeMap<u64, WindowCell>,
+}
+
+impl WindowSeries {
+    /// Creates an empty series with `width`-cycle windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0.
+    pub fn new(width: Cycle) -> Self {
+        assert!(width > 0, "window width must be positive");
+        Self {
+            width,
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// The configured window width in cycles.
+    pub fn width(&self) -> Cycle {
+        self.width
+    }
+
+    /// Number of materialised (non-empty) windows.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no window has received an observation yet.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    fn cell(&mut self, cycle: Cycle) -> &mut WindowCell {
+        let idx = cycle / self.width;
+        self.cells.entry(idx).or_default()
+    }
+
+    /// Adds `delta` to counter `name` in the window containing `cycle`.
+    pub fn add(&mut self, cycle: Cycle, name: &str, delta: u64) {
+        *self
+            .cell(cycle)
+            .counters
+            .entry(name.to_owned())
+            .or_insert(0) += delta;
+    }
+
+    /// Increments counter `name` in the window containing `cycle`.
+    pub fn incr(&mut self, cycle: Cycle, name: &str) {
+        self.add(cycle, name, 1);
+    }
+
+    /// Records a histogram sample under `name` in the window containing
+    /// `cycle`.
+    pub fn record(&mut self, cycle: Cycle, name: &str, value: u64) {
+        self.cell(cycle)
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// Raises high-water mark `name` in the window containing `cycle` to
+    /// at least `value`.
+    pub fn sample_max(&mut self, cycle: Cycle, name: &str, value: u64) {
+        let slot = self.cell(cycle).maxima.entry(name.to_owned()).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    /// Materialised windows in timeline order, as
+    /// `(window start cycle, cell)` pairs.
+    pub fn windows(&self) -> impl Iterator<Item = (Cycle, &WindowCell)> {
+        let width = self.width;
+        self.cells
+            .iter()
+            .map(move |(idx, cell)| (idx * width, cell))
+    }
+
+    /// Sums counter `name` across every window.
+    pub fn total(&self, name: &str) -> u64 {
+        self.cells.values().map(|c| c.counter(name)).sum()
+    }
+
+    /// Bucket-merges histogram `name` across every window. Exact: equals
+    /// recording every sample into one [`Histogram`] directly (the
+    /// windowed-percentile reconciliation the proptest asserts).
+    pub fn merged_histogram(&self, name: &str) -> Histogram {
+        let mut merged = Histogram::new();
+        for cell in self.cells.values() {
+            if let Some(h) = cell.histograms.get(name) {
+                merged.merge(h);
+            }
+        }
+        merged
+    }
+
+    /// Folds another series (same width) into this one, window by window
+    /// — how the fleet aggregates per-shard series into one timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ (the window grids would not align).
+    pub fn merge_from(&mut self, other: &WindowSeries) {
+        assert_eq!(
+            self.width, other.width,
+            "cannot merge window series of different widths"
+        );
+        for (idx, cell) in &other.cells {
+            self.cells.entry(*idx).or_default().absorb(cell);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_their_window() {
+        let mut w = WindowSeries::new(100);
+        w.incr(5, "completed");
+        w.incr(99, "completed");
+        w.incr(100, "completed");
+        w.add(250, "completed", 3);
+        let windows: Vec<(Cycle, u64)> = w
+            .windows()
+            .map(|(start, c)| (start, c.counter("completed")))
+            .collect();
+        assert_eq!(windows, vec![(0, 2), (100, 1), (200, 3)]);
+        assert_eq!(w.total("completed"), 6);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "window width must be positive")]
+    fn zero_width_is_rejected() {
+        WindowSeries::new(0);
+    }
+
+    #[test]
+    fn merged_histogram_equals_direct_recording() {
+        let mut w = WindowSeries::new(64);
+        let mut direct = Histogram::new();
+        for (cycle, v) in [(0u64, 3u64), (63, 100), (64, 7), (500, 5000), (501, 0)] {
+            w.record(cycle, "latency", v);
+            direct.record(v);
+        }
+        let merged = w.merged_histogram("latency");
+        assert_eq!(merged.count(), direct.count());
+        assert_eq!(merged.sum(), direct.sum());
+        for p in [50.0, 90.0, 99.0] {
+            assert_eq!(merged.percentile(p), direct.percentile(p), "p{p}");
+        }
+        assert_eq!(merged.min(), direct.min());
+        assert_eq!(merged.max(), direct.max());
+    }
+
+    #[test]
+    fn maxima_track_high_water_per_window() {
+        let mut w = WindowSeries::new(10);
+        w.sample_max(1, "depth", 4);
+        w.sample_max(2, "depth", 2);
+        w.sample_max(15, "depth", 9);
+        let per_window: Vec<Option<u64>> = w.windows().map(|(_, c)| c.max("depth")).collect();
+        assert_eq!(per_window, vec![Some(4), Some(9)]);
+    }
+
+    #[test]
+    fn merge_from_folds_counters_histograms_and_maxima() {
+        let mut a = WindowSeries::new(50);
+        a.incr(10, "completed");
+        a.record(10, "latency", 8);
+        a.sample_max(10, "depth", 3);
+        let mut b = WindowSeries::new(50);
+        b.add(20, "completed", 2);
+        b.record(20, "latency", 16);
+        b.sample_max(20, "depth", 7);
+        b.incr(60, "completed");
+        a.merge_from(&b);
+        let (start0, c0) = a.windows().next().expect("window 0 exists");
+        assert_eq!(start0, 0);
+        assert_eq!(c0.counter("completed"), 3);
+        assert_eq!(c0.histogram("latency").map(Histogram::count), Some(2));
+        assert_eq!(c0.max("depth"), Some(7));
+        assert_eq!(a.total("completed"), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn merging_mismatched_widths_panics() {
+        let mut a = WindowSeries::new(10);
+        a.merge_from(&WindowSeries::new(20));
+    }
+}
